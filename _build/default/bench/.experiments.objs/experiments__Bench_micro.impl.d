@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Array Bechamel Benchmark Core Hashtbl Instance Lispdp List Measure Metrics Netsim Nettypes Printf Staged Test Time Toolkit Topology Wire

@@ -1,0 +1,1 @@
+bench/exp_a2.ml: Core Harness List Mapsys Metrics Option Pce_control Scenario Stdlib Topology

@@ -1,0 +1,1 @@
+bench/exp_a3.ml: Core Exp_t4 Harness Irc List Metrics Pce_control Scenario

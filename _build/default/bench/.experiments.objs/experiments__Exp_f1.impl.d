@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Array Core Format Lispdp Mapsys Metrics Netsim Nettypes Option Pce_control Scenario Topology Workload

@@ -1,0 +1,1 @@
+bench/exp_f2.ml: Core Harness List Metrics Netsim Printf Scenario Stdlib Topology

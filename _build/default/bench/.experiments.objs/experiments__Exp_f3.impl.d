@@ -1,0 +1,1 @@
+bench/exp_f3.ml: Core Harness List Mapsys Metrics Pce_control Scenario Topology

@@ -1,0 +1,1 @@
+bench/exp_f4.ml: Core Exp_t4 Float List Metrics Pce_control Printf Scenario

@@ -1,0 +1,1 @@
+bench/exp_f5.ml: Core Harness Lispdp List Metrics Netsim Pce_control Scenario Topology

@@ -1,0 +1,1 @@
+bench/exp_f6.ml: Core Harness Lispdp List Metrics Option Printf Scenario Stdlib Topology

@@ -1,0 +1,1 @@
+bench/exp_f7.ml: Array Core Harness List Metrics Netsim Nettypes Pce_control Printf Scenario Topology

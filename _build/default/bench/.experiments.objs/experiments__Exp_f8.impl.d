@@ -1,0 +1,1 @@
+bench/exp_f8.ml: Core Harness List Metrics Pce_control Scenario Topology

@@ -1,0 +1,1 @@
+bench/exp_f9.ml: Core Harness Lispdp List Mapsys Metrics Pce_control Scenario Topology

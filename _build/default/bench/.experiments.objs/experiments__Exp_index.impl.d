@@ -1,0 +1,1 @@
+bench/exp_index.ml: Bench_micro Exp_a1 Exp_a2 Exp_a3 Exp_f1 Exp_f2 Exp_f3 Exp_f4 Exp_f5 Exp_f6 Exp_f7 Exp_f8 Exp_f9 Exp_t1 Exp_t2 Exp_t3 Exp_t4 Exp_t5 Exp_t6 Exp_v1 List Metrics

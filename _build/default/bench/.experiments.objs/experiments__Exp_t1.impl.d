@@ -1,0 +1,1 @@
+bench/exp_t1.ml: Core Harness List Metrics Scenario Stdlib Topology

@@ -1,0 +1,1 @@
+bench/exp_t2.ml: Array Core Harness List Metrics Netsim Nettypes Option Printf Scenario Topology Workload

@@ -1,0 +1,1 @@
+bench/exp_t3.ml: Core Float Harness List Metrics Scenario Topology

@@ -1,0 +1,1 @@
+bench/exp_t4.ml: Array Core Float Harness Hashtbl List Metrics Netsim Pce_control Scenario Topology

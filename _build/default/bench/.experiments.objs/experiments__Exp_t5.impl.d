@@ -1,0 +1,1 @@
+bench/exp_t5.ml: Core Harness List Mapsys Metrics Scenario Stdlib Topology

@@ -1,0 +1,1 @@
+bench/exp_t6.ml: Array Core Harness List Mapsys Metrics Netsim Nettypes Pce_control Printf Scenario Topology

@@ -1,0 +1,1 @@
+bench/exp_v1.ml: Array Core List Metrics Nettypes Option Pce_control Printf Scenario Topology Workload

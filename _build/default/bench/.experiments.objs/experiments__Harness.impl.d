@@ -1,0 +1,1 @@
+bench/harness.ml: Array Core Lispdp List Netsim Pce_control Scenario Stdlib Topology Workload

@@ -1,0 +1,158 @@
+(* Micro-benchmarks of the simulator's hot paths (Bechamel): event-queue
+   throughput, map-cache operations, longest-prefix matching, shortest
+   paths, and a complete PCE connection end-to-end. *)
+
+open Bechamel
+open Toolkit
+
+let test_engine =
+  Test.make ~name:"engine: 10k events"
+    (Staged.stage (fun () ->
+         let e = Netsim.Engine.create () in
+         for i = 1 to 10_000 do
+           ignore (Netsim.Engine.schedule e ~delay:(float_of_int i *. 1e-4) ignore)
+         done;
+         Netsim.Engine.run e))
+
+let cache_for_bench =
+  let cache = Lispdp.Map_cache.create () in
+  for i = 0 to 199 do
+    let prefix =
+      Nettypes.Ipv4.prefix_of_string
+        (Printf.sprintf "100.%d.%d.0/24" (i / 200) (i mod 200))
+    in
+    Lispdp.Map_cache.insert cache ~now:0.0
+      (Nettypes.Mapping.create ~eid_prefix:prefix
+         ~rlocs:[ Nettypes.Mapping.rloc (Nettypes.Ipv4.addr_of_string "10.0.0.1") ]
+         ~ttl:1e9)
+  done;
+  cache
+
+let test_map_cache =
+  Test.make ~name:"map-cache: 1k lookups"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore
+             (Lispdp.Map_cache.lookup cache_for_bench ~now:1.0
+                (Nettypes.Ipv4.addr_of_int
+                   ((100 lsl 24) lor ((i mod 200) lsl 8) lor 7)))
+         done))
+
+let trie_for_bench =
+  let t = Nettypes.Prefix_table.create () in
+  for i = 0 to 999 do
+    Nettypes.Prefix_table.add t
+      (Nettypes.Ipv4.prefix
+         (Nettypes.Ipv4.addr_of_int ((i * 7919) land 0xFFFFFF00))
+         (8 + (i mod 17)))
+      i
+  done;
+  t
+
+let test_trie =
+  Test.make ~name:"prefix-trie: 1k LPM lookups"
+    (Staged.stage (fun () ->
+         for i = 0 to 999 do
+           ignore
+             (Nettypes.Prefix_table.lookup trie_for_bench
+                (Nettypes.Ipv4.addr_of_int ((i * 104729) land 0xFFFFFFFF)))
+         done))
+
+let internet_for_bench =
+  Topology.Builder.generate (Netsim.Rng.create 2)
+    { Topology.Builder.default_params with
+      Topology.Builder.domain_count = 20; provider_count = 8 }
+
+let test_dijkstra =
+  Test.make ~name:"dijkstra: cold all-dist from one source"
+    (Staged.stage (fun () ->
+         let graph = internet_for_bench.Topology.Builder.graph in
+         Topology.Graph.invalidate_cache graph;
+         ignore
+           (Topology.Graph.latency_between graph
+              internet_for_bench.Topology.Builder.domains.(0).Topology.Domain.hub
+              internet_for_bench.Topology.Builder.domains.(19).Topology.Domain.hub)))
+
+let test_pce_connection =
+  Test.make ~name:"end-to-end: 1 PCE connection (build+run)"
+    (Staged.stage (fun () ->
+         let s =
+           Core.Scenario.build
+             { Core.Scenario.default_config with
+               Core.Scenario.cp = Core.Scenario.Cp_pce Core.Pce_control.default_options }
+         in
+         let internet = Core.Scenario.internet s in
+         let flow =
+           Nettypes.Flow.create
+             ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+             ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+             ~src_port:1 ()
+         in
+         ignore (Core.Scenario.open_connection s ~flow ~data_packets:2 ());
+         Core.Scenario.run s))
+
+let wire_message =
+  Wire.Codec.Map_reply
+    { nonce = 42;
+      mapping =
+        Nettypes.Mapping.create
+          ~eid_prefix:(Nettypes.Ipv4.prefix_of_string "100.0.3.0/24")
+          ~rlocs:
+            [ Nettypes.Mapping.rloc (Nettypes.Ipv4.addr_of_string "10.0.0.1");
+              Nettypes.Mapping.rloc (Nettypes.Ipv4.addr_of_string "11.0.0.1") ]
+          ~ttl:60.0 }
+
+let wire_encoded = Wire.Codec.encode wire_message
+
+let test_wire_encode =
+  Test.make ~name:"wire: encode 1k map-replies"
+    (Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Wire.Codec.encode wire_message)
+         done))
+
+let test_wire_decode =
+  Test.make ~name:"wire: decode 1k map-replies"
+    (Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           ignore (Wire.Codec.decode wire_encoded)
+         done))
+
+let tests =
+  [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
+    test_wire_encode; test_wire_decode ]
+
+let print () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let table =
+    Metrics.Table.create ~title:"Micro-benchmarks (simulator hot paths)"
+      ~columns:[ "benchmark"; "time per run" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] ->
+          let cell =
+            if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          rows := (name, cell) :: !rows
+      | Some _ | None -> rows := (name, "n/a") :: !rows)
+    results;
+  List.iter
+    (fun (name, cell) -> Metrics.Table.add_row table [ name; cell ])
+    (List.sort compare !rows);
+  Metrics.Table.print table

@@ -1,0 +1,76 @@
+(* A1 — ablation of step 7b's "push the mapping to ALL ITRs", crossed
+   with the reverse-mapping multicast (A2's knob), because the two
+   mechanisms back each other up: the reverse multicast re-installs the
+   forward tuple at every ITR once the handshake completes, so it can
+   mask a narrow push scope.  The 2x2 shows the full picture — with the
+   paper's design (top row) nothing drops; removing either redundancy
+   leaks losses in its direction; removing both is catastrophic under TE
+   churn.  Drop causes are split by tunnel direction. *)
+
+open Core
+
+let id = "a1"
+let title = "A1 ablation: push scope x reverse scope under TE churn"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 8; provider_count = 4;
+    borders_per_domain = 3; hosts_per_domain = 4;
+    access_capacity_bps = 20e6 }
+
+let spec_for push_scope reverse_scope =
+  let options =
+    { Pce_control.default_options with Pce_control.push_scope; reverse_scope }
+  in
+  let config =
+    { Scenario.default_config with
+      Scenario.cp = Scenario.Cp_pce options; topology = `Random topology_params;
+      seed = 9 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 600; rate = 30.0; zipf_alpha = 0.7;
+    data_packets = `Pareto 120.0 (* long transfers so reroutes hit mid-flight *);
+    data_bytes = 1400; monitor = true; rebalance = true;
+    monitor_interval = 1.0 }
+
+let scope_name = function
+  | Pce_control.Push_all_itrs -> "all ITRs"
+  | Pce_control.Push_egress_only -> "egress only"
+
+let reverse_name = function
+  | Pce_control.Reverse_multicast -> "multicast"
+  | Pce_control.Reverse_receiving_only -> "receiving only"
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "push scope (7b)"; "reverse scope"; "te reroutes";
+          "fwd drops"; "rev drops"; "failed conns"; "push msgs" ]
+  in
+  List.iter
+    (fun (push, reverse) ->
+      let r = Harness.run (spec_for push reverse) in
+      let cause c =
+        Option.value ~default:0 (List.assoc_opt c (Harness.drop_causes r))
+      in
+      let reroutes =
+        match Scenario.pce r.Harness.scenario with
+        | Some pce -> Pce_control.reroutes pce
+        | None -> 0
+      in
+      Metrics.Table.add_row table
+        [ scope_name push; reverse_name reverse;
+          Metrics.Table.cell_int reroutes;
+          Metrics.Table.cell_int (cause "pce-no-mapping-forward");
+          Metrics.Table.cell_int (cause "pce-no-mapping-reverse");
+          Metrics.Table.cell_int r.Harness.failed;
+          Metrics.Table.cell_int
+            (Harness.cp_stats r).Mapsys.Cp_stats.push_messages ])
+    [ (Pce_control.Push_all_itrs, Pce_control.Reverse_multicast);
+      (Pce_control.Push_egress_only, Pce_control.Reverse_multicast);
+      (Pce_control.Push_all_itrs, Pce_control.Reverse_receiving_only);
+      (Pce_control.Push_egress_only, Pce_control.Reverse_receiving_only) ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,63 @@
+(* A2 — ablation of the ETR reverse-mapping multicast.  With the paper's
+   multicast, any border can carry the reverse direction of a flow; when
+   the reverse mapping stays only at the ETR that saw the first packet,
+   every IRC egress decision that diverges from it black-holes the
+   reverse direction.  Bidirectional traffic with load-driven egress
+   selection surfaces the difference. *)
+
+open Core
+
+let id = "a2"
+let title = "A2 ablation: reverse-mapping multicast vs receiving-ETR-only"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 6; provider_count = 4;
+    borders_per_domain = 3; hosts_per_domain = 4;
+    access_capacity_bps = 20e6 }
+
+let spec_for reverse_scope =
+  let options = { Pce_control.default_options with Pce_control.reverse_scope } in
+  let config =
+    { Scenario.default_config with
+      Scenario.cp = Scenario.Cp_pce options; topology = `Random topology_params;
+      seed = 14 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 600; rate = 30.0; zipf_alpha = 0.5 (* diffuse, bidirectional *);
+    data_packets = `Pareto 40.0; data_bytes = 1400; monitor = true;
+    rebalance = true }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "reverse scope"; "drops"; "drops(no-mapping)"; "failed conns";
+          "established"; "push msgs" ]
+  in
+  List.iter
+    (fun (label, scope) ->
+      let r = Harness.run ~label (spec_for scope) in
+      let no_mapping_drops =
+        List.fold_left
+          (fun acc cause ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt cause (Harness.drop_causes r)))
+          0
+          [ "pce-no-mapping-forward"; "pce-no-mapping-reverse" ]
+      in
+      Metrics.Table.add_row table
+        [ label; Metrics.Table.cell_int (Harness.drops r);
+          Metrics.Table.cell_int no_mapping_drops;
+          Metrics.Table.cell_int r.Harness.failed;
+          Metrics.Table.cell_pct
+            (float_of_int r.Harness.established
+            /. float_of_int (Stdlib.max 1 r.Harness.opened));
+          Metrics.Table.cell_int
+            (Harness.cp_stats r).Mapsys.Cp_stats.push_messages ])
+    [ ("multicast to all ETRs (paper)", Pce_control.Reverse_multicast);
+      ("receiving ETR only", Pce_control.Reverse_receiving_only) ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,47 @@
+(* A3 — ablation of the IRC objective.  The paper delegates locator
+   selection to "the algorithms used today by Intelligent Route Control"
+   without picking one; this table shows what the choice buys.  The same
+   hotspot workload (with background load on one victim uplink) runs
+   under each policy; latency-blind policies balance better, load-blind
+   policies find shorter paths, and the blended objective sits between. *)
+
+open Core
+
+let id = "a3"
+let title = "A3 ablation: IRC policy (latency vs load vs blends)"
+
+let policies =
+  [ ("min-load", Irc.Policy.Min_load);
+    ("min-latency", Irc.Policy.Min_latency);
+    ("weighted(.5,.5)",
+     Irc.Policy.Weighted { latency_weight = 0.5; load_weight = 0.5 });
+    ("round-robin", Irc.Policy.Round_robin);
+    ("flow-hash", Irc.Policy.Flow_hash) ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "policy"; "max uplink util"; "jain index"; "mean handshake (ms)";
+          "p95 handshake (ms)"; "te reroutes" ]
+  in
+  List.iter
+    (fun (label, policy) ->
+      let cp =
+        Scenario.Cp_pce { Pce_control.default_options with Pce_control.policy }
+      in
+      let r, max_util, jain = Exp_t4.measure cp ~borders:4 ~seed:19 in
+      Metrics.Table.add_row table
+        [ label; Metrics.Table.cell_pct max_util;
+          Metrics.Table.cell_float jain;
+          Metrics.Table.cell_ms (Harness.mean r.Harness.handshakes);
+          Metrics.Table.cell_ms
+            (Harness.percentile_or_zero r.Harness.handshakes 95.0);
+          Metrics.Table.cell_int
+            (match Scenario.pce r.Harness.scenario with
+            | Some pce -> Pce_control.reroutes pce
+            | None -> 0) ])
+    policies;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,52 @@
+(* F2 — CDF of first-packet delivery delay (time from the client's first
+   SYN emission until a SYN first reaches the responder), per control
+   plane.  The drop-based control planes push the whole distribution out
+   past the retransmission timeout. *)
+
+open Core
+
+let id = "f2"
+let title = "F2: first-packet delivery delay CDF (ms at percentiles)"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 16; provider_count = 4;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+let spec_for cp =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 33 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 700; rate = 50.0; zipf_alpha = 0.8;
+    data_packets = `Fixed 4 }
+
+let percentiles = [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0 ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        ("cp"
+        :: List.map (fun p -> Printf.sprintf "p%.0f" p) percentiles
+        @ [ "delivered" ])
+  in
+  List.iter
+    (fun (label, cp) ->
+      let r = Harness.run ~label (spec_for cp) in
+      let samples = r.Harness.first_packet_delays in
+      let cells =
+        List.map
+          (fun p -> Metrics.Table.cell_ms (Harness.percentile_or_zero samples p))
+          percentiles
+      in
+      Metrics.Table.add_row table
+        ((label :: cells)
+        @ [ Metrics.Table.cell_pct
+              (float_of_int (Netsim.Stats.Samples.count samples)
+              /. float_of_int (Stdlib.max 1 r.Harness.opened)) ]))
+    Harness.standard_cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,79 @@
+(* F3 — sensitivity of losses to the mapping TTL.  Pull control planes
+   re-pay the resolution (and its drops) each time a cached mapping
+   expires; the PCE re-installs entries only on DNS resolutions, so its
+   loss behaviour couples to the DNS TTL instead — both the raw coupling
+   and the deployment fix (aligning the DNS record TTL) are shown. *)
+
+open Core
+
+let id = "f3"
+let title = "F3: drops vs mapping TTL"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 16; provider_count = 4;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+let spec_for ?(dns_ttl = 3600.0) cp ttl =
+  let cp =
+    match cp with
+    | Scenario.Cp_pce options ->
+        Scenario.Cp_pce { options with Pce_control.flow_ttl = ttl }
+    | Scenario.Cp_pull_drop | Scenario.Cp_pull_queue _ | Scenario.Cp_pull_smr _
+    | Scenario.Cp_pull_detour | Scenario.Cp_nerd | Scenario.Cp_cons
+    | Scenario.Cp_msmr ->
+        cp
+  in
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 5;
+      mapping_ttl = ttl; dns_record_ttl = dns_ttl }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 1500; rate = 25.0 (* 60 s of traffic *);
+    zipf_alpha = 0.9; data_packets = `Fixed 6 }
+
+let ttls = [ 1.0; 10.0; 60.0; 300.0; 1800.0 ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "ttl (s)"; "drops"; "drops/flow"; "failed"; "cache-hit";
+          "map-req" ]
+  in
+  let row label r ttl =
+    Metrics.Table.add_row table
+      [ label; Metrics.Table.cell_float ~decimals:0 ttl;
+        Metrics.Table.cell_int (Harness.drops r);
+        Metrics.Table.cell_float (Harness.drops_per_flow r);
+        Metrics.Table.cell_int r.Harness.failed;
+        Metrics.Table.cell_pct (Harness.cache_hit_ratio r);
+        Metrics.Table.cell_int
+          (Harness.cp_stats r).Mapsys.Cp_stats.map_requests ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      List.iter
+        (fun ttl ->
+          let r = Harness.run ~label (spec_for cp ttl) in
+          row label r ttl)
+        ttls)
+    [ ("pull-drop", Scenario.Cp_pull_drop);
+      ("pull-queue", Scenario.Cp_pull_queue 32);
+      ("pce", Scenario.Cp_pce Pce_control.default_options) ];
+  (* Deployment fix for the PCE's DNS-TTL coupling: align both TTLs so
+     every entry expiry forces a fresh resolution (and push). *)
+  List.iter
+    (fun ttl ->
+      let r =
+        Harness.run ~label:"pce(dns-aligned)"
+          (spec_for ~dns_ttl:ttl
+             (Scenario.Cp_pce Pce_control.default_options)
+             ttl)
+      in
+      row "pce(dns-aligned)" r ttl)
+    ttls;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

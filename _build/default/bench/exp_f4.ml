@@ -1,0 +1,38 @@
+(* F4 — TE gain versus multihoming degree: the inbound-balance advantage
+   of PCE-chosen ingress locators grows with the number of provider
+   uplinks the victim can spread load over; with a single border there is
+   nothing to engineer and the control planes tie. *)
+
+open Core
+
+let id = "f4"
+let title = "F4: inbound balance vs number of victim borders"
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "borders"; "cp"; "max uplink util"; "jain index"; "gain vs static" ]
+  in
+  List.iter
+    (fun borders ->
+      let measure cp =
+        let _, max_util, jain = Exp_t4.measure cp ~borders ~seed:17 in
+        (max_util, jain)
+      in
+      let static_max, static_jain = measure Scenario.Cp_nerd in
+      let pce_max, pce_jain =
+        measure (Scenario.Cp_pce Pce_control.default_options)
+      in
+      Metrics.Table.add_row table
+        [ Metrics.Table.cell_int borders; "nerd-push (static)";
+          Metrics.Table.cell_pct static_max;
+          Metrics.Table.cell_float static_jain; "1.00x" ];
+      Metrics.Table.add_row table
+        [ Metrics.Table.cell_int borders; "pce (min-load)";
+          Metrics.Table.cell_pct pce_max; Metrics.Table.cell_float pce_jain;
+          Printf.sprintf "%.2fx" (static_max /. Float.max 1e-9 pce_max) ])
+    [ 1; 2; 4; 6 ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

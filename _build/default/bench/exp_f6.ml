@@ -1,0 +1,70 @@
+(* F6 — sizing the queueing palliative.  Pull-with-queueing avoids the
+   drops of claim (i) only while its per-resolution buffer is deep
+   enough for the packets that arrive during one resolution; this sweep
+   shows where the buffer stops helping and what it costs in held
+   packets.  A burst-heavy workload (many packets in flight per new
+   destination) stresses the limit. *)
+
+open Core
+
+let id = "f6"
+let title = "F6: pull-queue buffer sizing (drops vs queue limit)"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 16; provider_count = 4;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+let spec_for limit =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp = Scenario.Cp_pull_queue limit;
+      topology = `Random topology_params; seed = 13;
+      (* Fast senders: data packets every 0.5 ms, so a whole burst can
+         arrive within one ALT resolution. *)
+      data_gap = 0.0005 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 800; rate = 60.0; zipf_alpha = 0.6 (* many cold misses *);
+    data_packets = `Fixed 24 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "queue limit"; "drops"; "drops/flow"; "overflow drops"; "held";
+          "established" ]
+  in
+  List.iter
+    (fun limit ->
+      let r = Harness.run ~label:(Printf.sprintf "queue-%d" limit) (spec_for limit) in
+      let overflow =
+        Option.value ~default:0
+          (List.assoc_opt "resolution-queue-overflow" (Harness.drop_causes r))
+      in
+      Metrics.Table.add_row table
+        [ Metrics.Table.cell_int limit;
+          Metrics.Table.cell_int (Harness.drops r);
+          Metrics.Table.cell_float (Harness.drops_per_flow r);
+          Metrics.Table.cell_int overflow;
+          Metrics.Table.cell_int (Harness.dataplane_counters r).Lispdp.Dataplane.held;
+          Metrics.Table.cell_pct
+            (float_of_int r.Harness.established
+            /. float_of_int (Stdlib.max 1 r.Harness.opened)) ])
+    [ 1; 2; 4; 8; 16; 64 ];
+  (* Reference rows: the two extremes the queue interpolates between. *)
+  let drop_ref =
+    Harness.run ~label:"pull-drop"
+      { (spec_for 1) with
+        Harness.config =
+          { (spec_for 1).Harness.config with Scenario.cp = Scenario.Cp_pull_drop } }
+  in
+  Metrics.Table.add_row table
+    [ "0 (pull-drop)"; Metrics.Table.cell_int (Harness.drops drop_ref);
+      Metrics.Table.cell_float (Harness.drops_per_flow drop_ref); "-"; "0";
+      Metrics.Table.cell_pct
+        (float_of_int drop_ref.Harness.established
+        /. float_of_int (Stdlib.max 1 drop_ref.Harness.opened)) ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

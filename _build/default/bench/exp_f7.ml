@@ -1,0 +1,63 @@
+(* F7 — where the latency crossovers fall as the network grows slower.
+   The Figure-1 topology with every wire latency scaled: the drop-based
+   pull control plane is RTO-bound, so its relative penalty *shrinks* as
+   the real OWD grows toward the RTO, while queue-based pull stays one
+   mapping-resolution behind and the PCE tracks the no-LISP baseline at
+   every scale. *)
+
+open Core
+
+let id = "f7"
+let title = "F7: setup-time ratio vs one-way delay (Figure-1 scaled)"
+
+let trials = 6
+
+let measure cp scale =
+  let setups = Netsim.Stats.Samples.create () in
+  for seed = 1 to trials do
+    let scenario =
+      Scenario.build
+        { Scenario.default_config with
+          Scenario.cp; topology = `Figure1_scaled scale; seed }
+    in
+    let internet = Scenario.internet scenario in
+    let flow =
+      Nettypes.Flow.create
+        ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+        ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+        ~src_port:(42000 + seed) ()
+    in
+    let c = Scenario.open_connection scenario ~flow ~data_packets:2 () in
+    Scenario.run scenario;
+    match Scenario.total_setup_time c with
+    | Some t -> Netsim.Stats.Samples.add setups t
+    | None -> ()
+  done;
+  Harness.mean setups
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "owd scale"; "approx owd (ms)"; "pce"; "pull-queue"; "pull-drop";
+          "(vs nerd ideal)" ]
+  in
+  List.iter
+    (fun scale ->
+      let ideal = measure Scenario.Cp_nerd scale in
+      let ratio cp = Printf.sprintf "%.2fx" (measure cp scale /. ideal) in
+      let owd =
+        let internet = Topology.Builder.figure1 ~scale () in
+        Topology.Builder.latency internet
+          internet.Topology.Builder.domains.(0).Topology.Domain.hosts.(0)
+          internet.Topology.Builder.domains.(1).Topology.Domain.hosts.(0)
+      in
+      Metrics.Table.add_row table
+        [ Printf.sprintf "%.2fx" scale; Metrics.Table.cell_ms owd;
+          ratio (Scenario.Cp_pce Pce_control.default_options);
+          ratio (Scenario.Cp_pull_queue 32); ratio Scenario.Cp_pull_drop;
+          "1.00x" ])
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

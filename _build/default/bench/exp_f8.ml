@@ -1,0 +1,61 @@
+(* F8 — robustness of the latency claim to the core topology.  The other
+   experiments use a full-mesh provider core; real transit is
+   hierarchical, which stretches paths and raises T_DNS and OWD alike.
+   If claim (ii) is topology-robust, the PCE's extra-vs-ideal stays at
+   zero on a two-tier core too, while the pull planes' penalties grow
+   with the longer underlay paths feeding the mapping RTT. *)
+
+open Core
+
+let id = "f8"
+let title = "F8: claim (ii) on a hierarchical (two-tier) provider core"
+
+let params shape =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 24; provider_count = 9;
+    borders_per_domain = 2; hosts_per_domain = 2; core_shape = shape }
+
+let spec_for cp shape =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random (params shape); seed = 23 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 500; rate = 40.0; zipf_alpha = 0.9;
+    data_packets = `Fixed 4 }
+
+let shapes =
+  [ ("full mesh", Topology.Builder.Full_mesh);
+    ("two-tier (3 tier-1)", Topology.Builder.Two_tier 3) ]
+
+let cps =
+  [ ("pull-drop", Scenario.Cp_pull_drop);
+    ("pull-queue", Scenario.Cp_pull_queue 32);
+    ("msmr", Scenario.Cp_msmr);
+    ("pce", Scenario.Cp_pce Pce_control.default_options) ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "core"; "cp"; "mean T_DNS (ms)"; "mean setup (ms)";
+          "extra vs ideal (ms)"; "drops" ]
+  in
+  List.iter
+    (fun (shape_label, shape) ->
+      let ideal = Harness.run ~label:"nerd" (spec_for Scenario.Cp_nerd shape) in
+      let ideal_mean = Harness.mean ideal.Harness.setups in
+      List.iter
+        (fun (label, cp) ->
+          let r = Harness.run ~label (spec_for cp shape) in
+          Metrics.Table.add_row table
+            [ shape_label; label;
+              Metrics.Table.cell_ms (Harness.mean r.Harness.dns_times);
+              Metrics.Table.cell_ms (Harness.mean r.Harness.setups);
+              Metrics.Table.cell_ms (Harness.mean r.Harness.setups -. ideal_mean);
+              Metrics.Table.cell_int (Harness.drops r) ])
+        cps)
+    shapes;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,66 @@
+(* F9 — map-cache capacity pressure.  The pull control planes' map-cache
+   state is bounded per router; once the working set of destinations
+   exceeds the capacity, LRU eviction turns previously-warm destinations
+   cold again and the drop-based planes re-pay the resolution (and its
+   losses) continuously.  The PCE's per-flow tables are sized by active
+   flows rather than destination working set, so it is shown as the
+   reference.  (The paper's NERD critique is the mirror image: NERD
+   needs capacity for the whole internet.) *)
+
+open Core
+
+let id = "f9"
+let title = "F9: drops vs map-cache capacity (working set 63 domains)"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 64; provider_count = 8;
+    borders_per_domain = 2; hosts_per_domain = 2 }
+
+let spec_for cp capacity =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 29;
+      cache_capacity = capacity; mapping_ttl = 600.0 (* evictions, not expiry *) }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 2000; rate = 100.0; zipf_alpha = 0.6 (* broad working set *);
+    data_packets = `Fixed 4 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "cache capacity"; "drops/flow"; "cache-hit"; "evictions";
+          "map-req" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      List.iter
+        (fun capacity ->
+          let r = Harness.run ~label (spec_for cp capacity) in
+          let cache =
+            Lispdp.Dataplane.cache_stats_totals
+              (Scenario.dataplane r.Harness.scenario)
+          in
+          Metrics.Table.add_row table
+            [ label; Metrics.Table.cell_int capacity;
+              Metrics.Table.cell_float (Harness.drops_per_flow r);
+              Metrics.Table.cell_pct (Harness.cache_hit_ratio r);
+              Metrics.Table.cell_int cache.Lispdp.Map_cache.evictions;
+              Metrics.Table.cell_int
+                (Harness.cp_stats r).Mapsys.Cp_stats.map_requests ])
+        [ 4; 8; 16; 32; 64 ])
+    [ ("pull-drop", Scenario.Cp_pull_drop);
+      ("pull-queue", Scenario.Cp_pull_queue 32) ];
+  (* PCE reference: no map-cache at all; state is per active flow. *)
+  let r =
+    Harness.run ~label:"pce" (spec_for (Scenario.Cp_pce Pce_control.default_options) 4)
+  in
+  Metrics.Table.add_row table
+    [ "pce (reference)"; "n/a";
+      Metrics.Table.cell_float (Harness.drops_per_flow r); "n/a"; "0";
+      Metrics.Table.cell_int (Harness.cp_stats r).Mapsys.Cp_stats.map_requests ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

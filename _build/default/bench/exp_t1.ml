@@ -1,0 +1,52 @@
+(* T1 — claim C1: data packets lost or delayed at ITRs during mapping
+   resolution, per control plane, as destination popularity (and hence
+   map-cache friendliness) varies. *)
+
+open Core
+
+let id = "t1"
+let title = "T1: packets dropped during mapping resolution (Zipf sweep)"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 16; provider_count = 4;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+let spec_for cp alpha =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 42;
+      mapping_ttl = 60.0 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 1500; rate = 50.0; zipf_alpha = alpha;
+    data_packets = `Fixed 8 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "zipf-alpha"; "flows"; "drops"; "drops/flow"; "syn-retx";
+          "failed"; "established"; "cache-hit" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      List.iter
+        (fun alpha ->
+          let r = Harness.run ~label (spec_for cp alpha) in
+          Metrics.Table.add_row table
+            [ label; Metrics.Table.cell_float ~decimals:1 alpha;
+              Metrics.Table.cell_int r.Harness.opened;
+              Metrics.Table.cell_int (Harness.drops r);
+              Metrics.Table.cell_float (Harness.drops_per_flow r);
+              Metrics.Table.cell_int r.Harness.syn_retransmissions;
+              Metrics.Table.cell_int r.Harness.failed;
+              Metrics.Table.cell_pct
+                (float_of_int r.Harness.established
+                /. float_of_int (Stdlib.max 1 r.Harness.opened));
+              Metrics.Table.cell_pct (Harness.cache_hit_ratio r) ])
+        [ 0.7; 0.9; 1.1 ])
+    Harness.standard_cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,92 @@
+(* T2 — claim C2: cold-start TCP connection-establishment time on the
+   Figure-1 topology, decomposed into the paper's formula
+   T_DNS + T_map + handshake, against the analytic no-LISP baseline. *)
+
+open Core
+
+let id = "t2"
+let title = "T2: connection setup latency, Figure-1 scenario (cold start)"
+
+let trials = 10
+
+(* One cold connection per fresh scenario, averaged over seeds. *)
+let measure cp =
+  let dns = Netsim.Stats.Samples.create () in
+  let handshake = Netsim.Stats.Samples.create () in
+  let setup = Netsim.Stats.Samples.create () in
+  let failed = ref 0 in
+  for seed = 1 to trials do
+    let scenario =
+      Scenario.build { Scenario.default_config with Scenario.cp; seed }
+    in
+    let internet = Scenario.internet scenario in
+    let as_s = internet.Topology.Builder.domains.(0) in
+    let as_d = internet.Topology.Builder.domains.(1) in
+    let flow =
+      Nettypes.Flow.create
+        ~src:(Topology.Domain.host_eid as_s 0)
+        ~dst:(Topology.Domain.host_eid as_d 0)
+        ~src_port:(41000 + seed) ()
+    in
+    let c = Scenario.open_connection scenario ~flow ~data_packets:2 () in
+    Scenario.run scenario;
+    (match c.Scenario.dns_time with
+    | Some t -> Netsim.Stats.Samples.add dns t
+    | None -> ());
+    match
+      ( Option.bind c.Scenario.tcp Workload.Tcp.handshake_time,
+        Scenario.total_setup_time c )
+    with
+    | Some h, Some s ->
+        Netsim.Stats.Samples.add handshake h;
+        Netsim.Stats.Samples.add setup s
+    | _, _ -> incr failed
+  done;
+  (dns, handshake, setup, !failed)
+
+(* The paper's no-LISP reference: T_DNS + 2 OWD(S,D); mapping plays no
+   part.  OWD measured host-to-host on the same topology. *)
+let analytic_baseline dns_mean =
+  let internet = Topology.Builder.figure1 () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let owd =
+    Topology.Builder.latency internet as_s.Topology.Domain.hosts.(0)
+      as_d.Topology.Domain.hosts.(0)
+  in
+  (owd, dns_mean +. (2.0 *. owd))
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "T_DNS (ms)"; "handshake (ms)"; "total setup (ms)";
+          "vs no-LISP"; "failed" ]
+  in
+  let reference_dns = ref 0.0 in
+  let rows =
+    List.map
+      (fun (label, cp) ->
+        let dns, handshake, setup, failed = measure cp in
+        if label = "pull-drop" then reference_dns := Harness.mean dns;
+        (label, dns, handshake, setup, failed))
+      Harness.standard_cps
+  in
+  let owd, baseline = analytic_baseline !reference_dns in
+  Metrics.Table.add_row table
+    [ "no-LISP (analytic)"; Metrics.Table.cell_ms !reference_dns;
+      Metrics.Table.cell_ms (2.0 *. owd); Metrics.Table.cell_ms baseline;
+      "1.00x"; "0" ];
+  List.iter
+    (fun (label, dns, handshake, setup, failed) ->
+      let total = Harness.mean setup in
+      Metrics.Table.add_row table
+        [ label; Metrics.Table.cell_ms (Harness.mean dns);
+          Metrics.Table.cell_ms (Harness.mean handshake);
+          Metrics.Table.cell_ms total;
+          Printf.sprintf "%.2fx" (total /. baseline);
+          Metrics.Table.cell_int failed ])
+    rows;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

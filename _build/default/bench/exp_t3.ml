@@ -1,0 +1,54 @@
+(* T3 — claim C2 at scale: the mapping-resolution penalty each control
+   plane adds on top of the always-mapped ideal (NERD), absolute and
+   relative to T_DNS, as the internet grows.  Identical seeds give every
+   control plane the exact same flow sequence. *)
+
+open Core
+
+let id = "t3"
+let title = "T3: added setup latency vs internet size (T_map / T_DNS)"
+
+let params n =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = n; provider_count = 6;
+    borders_per_domain = 2; hosts_per_domain = 2 }
+
+let spec_for cp n =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random (params n); seed = 7 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 600; rate = 40.0; zipf_alpha = 0.9;
+    data_packets = `Fixed 4 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "domains"; "cp"; "mean setup (ms)"; "extra vs ideal (ms)";
+          "extra / T_DNS"; "p95 setup (ms)" ]
+  in
+  List.iter
+    (fun n ->
+      let ideal = Harness.run ~label:"nerd" (spec_for Scenario.Cp_nerd n) in
+      let ideal_mean = Harness.mean ideal.Harness.setups in
+      List.iter
+        (fun (label, cp) ->
+          let r =
+            if label = "nerd-push" then ideal else Harness.run ~label (spec_for cp n)
+          in
+          let setup_mean = Harness.mean r.Harness.setups in
+          let extra = setup_mean -. ideal_mean in
+          let dns_mean = Harness.mean r.Harness.dns_times in
+          Metrics.Table.add_row table
+            [ Metrics.Table.cell_int n; label;
+              Metrics.Table.cell_ms setup_mean; Metrics.Table.cell_ms extra;
+              Metrics.Table.cell_float (extra /. Float.max 1e-9 dns_mean);
+              Metrics.Table.cell_ms
+                (Harness.percentile_or_zero r.Harness.setups 95.0) ])
+        Harness.standard_cps)
+    [ 8; 32; 64 ];
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,142 @@
+(* T4 — claim C3: inbound load balance of a multihomed victim domain.
+   Every other domain aims heavy-tailed flows at the victim while one of
+   the victim's uplinks carries unrelated background traffic.  The
+   baselines pick the victim's ingress from the static advertised
+   mapping (weights cannot see the background load); the PCE's IRC
+   engine measures it and steers DNS-driven pairs away — the "dynamic
+   management of the mappings" of the paper's abstract. *)
+
+open Core
+
+let id = "t4"
+let title = "T4: inbound TE balance at a multihomed victim domain"
+
+let victim = 0
+
+let params ~borders =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 12; provider_count = 6;
+    borders_per_domain = borders; hosts_per_domain = 6;
+    access_capacity_bps = 20e6 (* make utilisation visible *) }
+
+let warmup = 3.0
+let workload_window = 20.0
+
+(* Unrelated traffic entering the victim through its first uplink:
+   10 Mbit/s (half the access capacity), invisible to the static
+   mapping weights but visible to the PCE's load monitors.  It starts
+   during the warm-up so the IRC estimates already reflect it when the
+   first DNS queries arrive.  A byte snapshot at the end of the warm-up
+   lets the table report utilisation over the workload window only. *)
+let snapshots : (int, int array) Hashtbl.t = Hashtbl.create 8
+
+let background_load scenario =
+  let internet = Scenario.internet scenario in
+  let domain = internet.Topology.Builder.domains.(victim) in
+  let border = domain.Topology.Domain.borders.(0) in
+  let link = border.Topology.Domain.uplink in
+  let core = Topology.Link.other_end link border.Topology.Domain.router in
+  let engine = Scenario.engine scenario in
+  let tick_interval = 0.05 in
+  let bytes_per_tick = int_of_float (10e6 *. tick_interval /. 8.0) in
+  let rec tick () =
+    if Netsim.Engine.now engine < warmup +. workload_window +. 2.0 then begin
+      Topology.Link.account link ~src:core ~bytes:bytes_per_tick;
+      ignore (Netsim.Engine.schedule engine ~delay:tick_interval tick)
+    end
+  in
+  ignore (Netsim.Engine.schedule engine ~delay:0.0 tick);
+  ignore
+    (Netsim.Engine.schedule engine ~delay:warmup (fun () ->
+         let inbound =
+           Array.map
+             (fun b ->
+               Topology.Link.bytes_from b.Topology.Domain.uplink
+                 (Topology.Link.other_end b.Topology.Domain.uplink
+                    b.Topology.Domain.router))
+             domain.Topology.Domain.borders
+         in
+         Hashtbl.replace snapshots (Hashtbl.hash scenario) inbound))
+
+let spec_for cp ~borders ~seed =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random (params ~borders); seed }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 800; rate = 40.0; hotspots = Some [ (victim, 1.0) ];
+    sources = Some [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ];
+    data_packets = `Pareto 60.0; data_bytes = 1400; monitor = true;
+    rebalance = true; arrival_delay = warmup; pre_run = Some background_load }
+
+let victim_inbound r =
+  let internet = Scenario.internet r.Harness.scenario in
+  let domain = internet.Topology.Builder.domains.(victim) in
+  let baseline =
+    match Hashtbl.find_opt snapshots (Hashtbl.hash r.Harness.scenario) with
+    | Some a -> a
+    | None -> Array.map (fun _ -> 0) domain.Topology.Domain.borders
+  in
+  (* Bytes accumulated since the warm-up snapshot, normalised by the
+     arrival window, which is identical across control planes. *)
+  Array.mapi
+    (fun i b ->
+      let total =
+        Topology.Link.bytes_from b.Topology.Domain.uplink
+          (Topology.Link.other_end b.Topology.Domain.uplink
+             b.Topology.Domain.router)
+      in
+      float_of_int (total - baseline.(i))
+      *. 8.0
+      /. (Topology.Link.capacity_bps b.Topology.Domain.uplink
+         *. r.Harness.workload_seconds))
+    domain.Topology.Domain.borders
+
+let measure cp ~borders ~seed =
+  let r = Harness.run (spec_for cp ~borders ~seed) in
+  let utilisation = victim_inbound r in
+  let max_util = Array.fold_left Float.max 0.0 utilisation in
+  let jain = Netsim.Stats.jain_index utilisation in
+  (r, max_util, jain)
+
+let cps =
+  [ ("pull-queue", Scenario.Cp_pull_queue 64); ("nerd-push", Scenario.Cp_nerd);
+    ("pce", Scenario.Cp_pce Pce_control.default_options) ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "ingress chosen by"; "max uplink util"; "(sd)"; "jain index";
+          "(sd)"; "te reroutes"; "drops" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      (* Mean and standard deviation of the balance metrics over three
+         seeds. *)
+      let max_stats = Netsim.Stats.Summary.create () in
+      let jain_stats = Netsim.Stats.Summary.create () in
+      let reroutes = ref 0 and drops = ref 0 in
+      List.iter
+        (fun seed ->
+          let r, max_util, jain = measure cp ~borders:4 ~seed in
+          Netsim.Stats.Summary.add max_stats max_util;
+          Netsim.Stats.Summary.add jain_stats jain;
+          drops := !drops + Harness.drops r;
+          match Scenario.pce r.Harness.scenario with
+          | Some pce -> reroutes := !reroutes + Pce_control.reroutes pce
+          | None -> ())
+        [ 11; 12; 13 ];
+      Metrics.Table.add_row table
+        [ label;
+          (if label = "pce" then "victim's PCE (min-load)"
+           else "senders (static hash)");
+          Metrics.Table.cell_pct (Netsim.Stats.Summary.mean max_stats);
+          Metrics.Table.cell_pct (Netsim.Stats.Summary.stddev max_stats);
+          Metrics.Table.cell_float (Netsim.Stats.Summary.mean jain_stats);
+          Metrics.Table.cell_float (Netsim.Stats.Summary.stddev jain_stats);
+          Metrics.Table.cell_int !reroutes; Metrics.Table.cell_int !drops ])
+    cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

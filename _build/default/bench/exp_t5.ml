@@ -1,0 +1,50 @@
+(* T5 — control-plane overhead: messages, bytes and per-router mapping
+   state of each control plane on the same workload. *)
+
+open Core
+
+let id = "t5"
+let title = "T5: control-plane overhead (messages / bytes / state)"
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 32; provider_count = 8;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+let spec_for cp =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 21 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 2000; rate = 100.0; zipf_alpha = 0.9;
+    data_packets = `Fixed 6 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "map-req"; "map-rep"; "pushes"; "ctl bytes"; "bytes/flow";
+          "detoured"; "state total"; "state peak/router" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      let r = Harness.run ~label (spec_for cp) in
+      let s = Harness.cp_stats r in
+      let state_total, state_peak, _routers = Harness.router_state_entries r in
+      Metrics.Table.add_row table
+        [ label;
+          Metrics.Table.cell_int s.Mapsys.Cp_stats.map_requests;
+          Metrics.Table.cell_int s.Mapsys.Cp_stats.map_replies;
+          Metrics.Table.cell_int s.Mapsys.Cp_stats.push_messages;
+          Metrics.Table.cell_bytes s.Mapsys.Cp_stats.control_bytes;
+          Metrics.Table.cell_float ~decimals:1
+            (float_of_int s.Mapsys.Cp_stats.control_bytes
+            /. float_of_int (Stdlib.max 1 r.Harness.opened));
+          Metrics.Table.cell_int s.Mapsys.Cp_stats.detoured_packets;
+          Metrics.Table.cell_int state_total;
+          Metrics.Table.cell_int state_peak ])
+    Harness.standard_cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,161 @@
+(* T6 — mapping churn: TE policy compliance over time.
+
+   The paper's future work is "to explore the TE opportunities of this
+   CP ... through the dynamic management of the mappings".  This
+   experiment quantifies the staleness problem that dynamic management
+   must beat: a destination domain re-registers its preferred ingress
+   locator every few seconds (a TE policy change, not a failure — the
+   old locator keeps working), and we measure how much inbound traffic
+   still arrives through non-preferred uplinks under each update
+   mechanism:
+
+   - plain pull: senders comply only when their cached mapping (or
+     gleaned host route) expires;
+   - pull + SMR: the re-registration solicits every holder immediately;
+   - NERD: compliance follows the database propagation delay;
+   - PCE: the preference *is* the PCE's IRC objective — the domain's
+     ingress choice is applied at every resolution and re-advertised on
+     demand, so there is no external registry preference to violate.
+     Shown as the native-control reference.
+
+   Compliance is sampled per second: the fraction of victim inbound
+   bytes arriving on the currently-preferred uplink. *)
+
+open Core
+
+let id = "t6"
+let title = "T6: TE policy compliance under mapping churn"
+
+let victim = 0
+let churn_interval = 5.0
+let horizon = 30.0
+
+let topology_params =
+  { Topology.Builder.default_params with
+    Topology.Builder.domain_count = 8; provider_count = 4;
+    borders_per_domain = 2; hosts_per_domain = 4 }
+
+type probe = {
+  mutable preferred : int;  (** victim border index currently preferred *)
+  mutable compliant_bytes : int;
+  mutable total_bytes : int;
+  mutable last_inbound : int array;
+}
+
+(* Re-register the victim's mapping with a single (preferred) locator
+   every [churn_interval]; sample per-uplink inbound deltas every
+   second. *)
+let inject probe scenario =
+  let internet = Scenario.internet scenario in
+  let domain = internet.Topology.Builder.domains.(victim) in
+  let inbound () =
+    Array.map
+      (fun b ->
+        Topology.Link.bytes_from b.Topology.Domain.uplink
+          (Topology.Link.other_end b.Topology.Domain.uplink
+             b.Topology.Domain.router))
+      domain.Topology.Domain.borders
+  in
+  probe.last_inbound <- inbound ();
+  let register_preference index =
+    let border = domain.Topology.Domain.borders.(index) in
+    let mapping =
+      Nettypes.Mapping.create ~eid_prefix:domain.Topology.Domain.eid_prefix
+        ~rlocs:[ Nettypes.Mapping.rloc border.Topology.Domain.rloc ]
+        ~ttl:(Scenario.config scenario).Scenario.mapping_ttl
+    in
+    Scenario.reregister scenario ~domain:victim mapping
+  in
+  let rec churn index =
+    if Netsim.Engine.now (Scenario.engine scenario) < horizon then begin
+      probe.preferred <- index;
+      register_preference index;
+      ignore
+        (Netsim.Engine.schedule (Scenario.engine scenario)
+           ~delay:churn_interval (fun () ->
+             churn ((index + 1) mod Array.length domain.Topology.Domain.borders)))
+    end
+  in
+  ignore
+    (Netsim.Engine.schedule (Scenario.engine scenario) ~delay:2.0 (fun () ->
+         churn 1));
+  let rec sample () =
+    if Netsim.Engine.now (Scenario.engine scenario) < horizon then begin
+      let now_inbound = inbound () in
+      Array.iteri
+        (fun i v ->
+          let delta = v - probe.last_inbound.(i) in
+          probe.total_bytes <- probe.total_bytes + delta;
+          if i = probe.preferred then
+            probe.compliant_bytes <- probe.compliant_bytes + delta)
+        now_inbound;
+      probe.last_inbound <- now_inbound;
+      ignore (Netsim.Engine.schedule (Scenario.engine scenario) ~delay:1.0 sample)
+    end
+  in
+  ignore (Netsim.Engine.schedule (Scenario.engine scenario) ~delay:2.5 sample)
+
+let spec_for cp probe =
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random topology_params; seed = 41;
+      mapping_ttl = 20.0 (* staleness horizon for plain pull *);
+      nerd_propagation = 3.0 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows = 600; rate = 25.0 (* 24 s of arrivals *);
+    hotspots = Some [ (victim, 1.0) ];
+    sources = Some [ 1; 2; 3; 4; 5; 6; 7 ]; data_packets = `Fixed 100;
+    data_bytes = 1400; monitor = true; rebalance = false;
+    pre_run = Some (inject probe) }
+
+let cps =
+  [ ("pull-queue", Scenario.Cp_pull_queue 64);
+    ("pull-smr", Scenario.Cp_pull_smr 64);
+    ("nerd-push", Scenario.Cp_nerd);
+    ("pce (native)", Scenario.Cp_pce Pce_control.default_options) ]
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "update mechanism"; "compliant bytes"; "drops";
+          "top drop cause"; "extra ctl msgs" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      let probe =
+        { preferred = 0; compliant_bytes = 0; total_bytes = 0;
+          last_inbound = [||] }
+      in
+      let r = Harness.run ~label (spec_for cp probe) in
+      let compliance =
+        if probe.total_bytes = 0 then 0.0
+        else float_of_int probe.compliant_bytes /. float_of_int probe.total_bytes
+      in
+      let mechanism =
+        match cp with
+        | Scenario.Cp_pull_queue _ -> "cache TTL (20 s)"
+        | Scenario.Cp_pull_smr _ -> "SMR on re-register"
+        | Scenario.Cp_nerd -> "DB push (3 s)"
+        | Scenario.Cp_pce _ -> "IRC owns the choice"
+        | Scenario.Cp_pull_drop | Scenario.Cp_pull_detour | Scenario.Cp_cons
+        | Scenario.Cp_msmr ->
+            "-"
+      in
+      let top_cause =
+        match Harness.drop_causes r with
+        | (cause, n) :: _ -> Printf.sprintf "%s (%d)" cause n
+        | [] -> "-"
+      in
+      Metrics.Table.add_row table
+        [ label; mechanism;
+          (if label = "pce (native)" then "n/a (self-directed)"
+           else Metrics.Table.cell_pct compliance);
+          Metrics.Table.cell_int (Harness.drops r); top_cause;
+          Metrics.Table.cell_int
+            (Mapsys.Cp_stats.message_total (Harness.cp_stats r)) ])
+    cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -1,0 +1,49 @@
+(* The experiment harness: regenerates every table and figure of
+   EXPERIMENTS.md.  Run all with `dune exec bench/main.exe`, or a subset
+   with experiment ids as arguments, e.g.
+   `dune exec bench/main.exe -- t1 t4 micro`. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  List.map
+    (fun e ->
+      (e.Experiments.Exp_index.exp_id, e.Experiments.Exp_index.exp_title,
+       e.Experiments.Exp_index.print))
+    Experiments.Exp_index.all
+
+let usage () =
+  print_endline "usage: main.exe [experiment-id ...]";
+  print_endline "available experiments:";
+  List.iter (fun (id, title, _) -> Printf.printf "  %-6s %s\n" id title) experiments
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: args when List.mem "--help" args || List.mem "-h" args ->
+        usage ();
+        exit 0
+    | _ :: args -> args
+    | [] -> []
+  in
+  let selected =
+    if requested = [] then experiments
+    else
+      List.map
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "unknown experiment id: %s\n" id;
+              usage ();
+              exit 1)
+        requested
+  in
+  Printf.printf
+    "LISP PCE control-plane reproduction - experiment harness (%d experiments)\n\n"
+    (List.length selected);
+  List.iter
+    (fun (id, title, print) ->
+      Printf.printf ">>> [%s] %s\n%!" id title;
+      let t0 = Unix.gettimeofday () in
+      print ();
+      Printf.printf "    (generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
+    selected

@@ -1,0 +1,340 @@
+(* Command-line interface to the reproduction.
+
+     repro_cli list                     enumerate experiments
+     repro_cli run t1 [--csv DIR]       run one (or more) experiments
+     repro_cli trace                    print the Figure-1 walkthrough
+     repro_cli topology [-d N] [-p N]   describe a generated internet
+     repro_cli connect [--cp NAME]      one measured connection end-to-end *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-6s %s\n" e.Experiments.Exp_index.exp_id
+          e.Experiments.Exp_index.exp_title)
+      Experiments.Exp_index.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments the harness can regenerate.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment ids (see $(b,list)).")
+  in
+  let csv_dir =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
+           ~doc:"Also write each table as a CSV file into $(docv).")
+  in
+  let run ids csv_dir =
+    let entries =
+      List.map
+        (fun id ->
+          match Experiments.Exp_index.find id with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "unknown experiment id: %s (try 'list')\n" id;
+              exit 1)
+        ids
+    in
+    List.iter
+      (fun e ->
+        Printf.printf ">>> [%s] %s\n%!" e.Experiments.Exp_index.exp_id
+          e.Experiments.Exp_index.exp_title;
+        match csv_dir with
+        | None -> e.Experiments.Exp_index.print ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let tables = e.Experiments.Exp_index.tables () in
+            List.iteri
+              (fun i table ->
+                Metrics.Table.print table;
+                let file =
+                  Filename.concat dir
+                    (Printf.sprintf "%s_%d.csv" e.Experiments.Exp_index.exp_id i)
+                in
+                let oc = open_out file in
+                output_string oc (Metrics.Table.to_csv table);
+                close_out oc;
+                Printf.printf "(csv written to %s)\n" file)
+              tables)
+      entries
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run experiments by id and print (optionally export) their tables.")
+    Term.(const run $ ids $ csv_dir)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run () = Experiments.Exp_f1.print () in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the step-by-step event trace of the paper's Figure 1.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let domains =
+    Arg.(value & opt int 10 & info [ "d"; "domains" ] ~docv:"N"
+           ~doc:"Number of LISP domains.")
+  in
+  let providers =
+    Arg.(value & opt int 4 & info [ "p"; "providers" ] ~docv:"N"
+           ~doc:"Number of transit providers.")
+  in
+  let borders =
+    Arg.(value & opt int 2 & info [ "b"; "borders" ] ~docv:"N"
+           ~doc:"Border routers per domain.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run domains providers borders seed =
+    let net =
+      Topology.Builder.generate
+        (Netsim.Rng.create seed)
+        { Topology.Builder.default_params with
+          Topology.Builder.domain_count = domains; provider_count = providers;
+          borders_per_domain = borders }
+    in
+    Format.printf "%d nodes, %d providers, %d domains@."
+      (Topology.Graph.node_count net.Topology.Builder.graph)
+      (Array.length net.Topology.Builder.providers)
+      (Array.length net.Topology.Builder.domains);
+    Array.iter
+      (fun (p : Topology.Builder.provider) ->
+        Format.printf "provider %s: %a@." p.Topology.Builder.provider_name
+          Nettypes.Ipv4.pp_prefix p.Topology.Builder.prefix)
+      net.Topology.Builder.providers;
+    Array.iter
+      (fun d ->
+        Format.printf "%a@." Topology.Domain.pp d;
+        Array.iter
+          (fun b ->
+            Format.printf "  rloc %a via provider %s (%.1f ms uplink)@."
+              Nettypes.Ipv4.pp_addr b.Topology.Domain.rloc
+              net.Topology.Builder.providers.(b.Topology.Domain.provider)
+                .Topology.Builder.provider_name
+              (Topology.Link.latency b.Topology.Domain.uplink *. 1e3))
+          d.Topology.Domain.borders)
+      net.Topology.Builder.domains
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate and describe a random internet.")
+    Term.(const run $ domains $ providers $ borders $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario description file (see lib/core/scenario_file.mli).")
+  in
+  let run file =
+    match Core.Scenario_file.load file with
+    | Error message ->
+        Printf.eprintf "%s: %s\n" file message;
+        exit 1
+    | Ok { Core.Scenario_file.config; workload } ->
+        let spec =
+          { (Experiments.Harness.default_spec config) with
+            Experiments.Harness.flows = workload.Core.Scenario_file.flows;
+            rate = workload.Core.Scenario_file.rate;
+            zipf_alpha = workload.Core.Scenario_file.zipf_alpha;
+            data_packets = `Fixed workload.Core.Scenario_file.data_packets;
+            data_bytes = workload.Core.Scenario_file.data_bytes;
+            hotspots =
+              Option.map
+                (fun d -> [ (d, 1.0) ])
+                workload.Core.Scenario_file.hotspot }
+        in
+        let r = Experiments.Harness.run spec in
+        let table =
+          Metrics.Table.create
+            ~title:(Printf.sprintf "simulation: %s" (Filename.basename file))
+            ~columns:[ "metric"; "value" ]
+        in
+        let h = Experiments.Harness.mean r.Experiments.Harness.setups in
+        Metrics.Table.add_rows table
+          [ [ "control plane"; Core.Scenario.cp_label config.Core.Scenario.cp ];
+            [ "flows opened"; string_of_int r.Experiments.Harness.opened ];
+            [ "established"; string_of_int r.Experiments.Harness.established ];
+            [ "failed"; string_of_int r.Experiments.Harness.failed ];
+            [ "drops"; string_of_int (Experiments.Harness.drops r) ];
+            [ "syn retransmissions";
+              string_of_int r.Experiments.Harness.syn_retransmissions ];
+            [ "mean setup (ms)"; Metrics.Table.cell_ms h ];
+            [ "p95 setup (ms)";
+              Metrics.Table.cell_ms
+                (Experiments.Harness.percentile_or_zero
+                   r.Experiments.Harness.setups 95.0) ];
+            [ "cache hit ratio";
+              Metrics.Table.cell_pct (Experiments.Harness.cache_hit_ratio r) ];
+            [ "control messages";
+              string_of_int
+                (Mapsys.Cp_stats.message_total (Experiments.Harness.cp_stats r)) ] ];
+        List.iter
+          (fun (cause, n) ->
+            Metrics.Table.add_row table
+              [ "drop: " ^ cause; string_of_int n ])
+          (Experiments.Harness.drop_causes r);
+        Metrics.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a workload described by a scenario file and print a summary.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario description file; its 'cp' key is ignored.")
+  in
+  let run file =
+    match Core.Scenario_file.load file with
+    | Error message ->
+        Printf.eprintf "%s: %s\n" file message;
+        exit 1
+    | Ok { Core.Scenario_file.config; workload } ->
+        let table =
+          Metrics.Table.create
+            ~title:
+              (Printf.sprintf "all control planes on %s" (Filename.basename file))
+            ~columns:
+              [ "cp"; "drops"; "failed"; "syn-retx"; "mean setup (ms)";
+                "p95 setup (ms)"; "ctl msgs" ]
+        in
+        List.iter
+          (fun (label, cp) ->
+            let spec =
+              { (Experiments.Harness.default_spec
+                   { config with Core.Scenario.cp })
+                with
+                Experiments.Harness.flows = workload.Core.Scenario_file.flows;
+                rate = workload.Core.Scenario_file.rate;
+                zipf_alpha = workload.Core.Scenario_file.zipf_alpha;
+                data_packets = `Fixed workload.Core.Scenario_file.data_packets;
+                data_bytes = workload.Core.Scenario_file.data_bytes;
+                hotspots =
+                  Option.map
+                    (fun d -> [ (d, 1.0) ])
+                    workload.Core.Scenario_file.hotspot }
+            in
+            let r = Experiments.Harness.run ~label spec in
+            Metrics.Table.add_row table
+              [ label;
+                string_of_int (Experiments.Harness.drops r);
+                string_of_int r.Experiments.Harness.failed;
+                string_of_int r.Experiments.Harness.syn_retransmissions;
+                Metrics.Table.cell_ms
+                  (Experiments.Harness.mean r.Experiments.Harness.setups);
+                Metrics.Table.cell_ms
+                  (Experiments.Harness.percentile_or_zero
+                     r.Experiments.Harness.setups 95.0);
+                string_of_int
+                  (Mapsys.Cp_stats.message_total (Experiments.Harness.cp_stats r)) ])
+          Experiments.Harness.standard_cps;
+        Metrics.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run one scenario under every control plane and tabulate.")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* connect                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cp_of_string = function
+  | "pull-drop" -> Some Core.Scenario.Cp_pull_drop
+  | "pull-queue" -> Some (Core.Scenario.Cp_pull_queue 32)
+  | "pull-smr" -> Some (Core.Scenario.Cp_pull_smr 32)
+  | "pull-detour" -> Some Core.Scenario.Cp_pull_detour
+  | "nerd" -> Some Core.Scenario.Cp_nerd
+  | "cons" -> Some Core.Scenario.Cp_cons
+  | "msmr" -> Some Core.Scenario.Cp_msmr
+  | "pce" -> Some (Core.Scenario.Cp_pce Core.Pce_control.default_options)
+  | _ -> None
+
+let connect_cmd =
+  let cp =
+    Arg.(value & opt string "pce" & info [ "cp" ] ~docv:"CP"
+           ~doc:"Control plane: pce, pull-drop, pull-queue, pull-detour, nerd, cons, msmr.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the event trace.")
+  in
+  let run cp_name verbose =
+    let cp =
+      match cp_of_string cp_name with
+      | Some cp -> cp
+      | None ->
+          Printf.eprintf "unknown control plane: %s\n" cp_name;
+          exit 1
+    in
+    let open Core in
+    let scenario = Scenario.build { Scenario.default_config with Scenario.cp } in
+    if verbose then Netsim.Trace.set_enabled (Scenario.trace scenario) true;
+    let internet = Scenario.internet scenario in
+    let flow =
+      Nettypes.Flow.create
+        ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+        ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+        ~src_port:50000 ()
+    in
+    let c = Scenario.open_connection scenario ~flow ~data_packets:3 () in
+    Scenario.run scenario;
+    if verbose then Format.printf "%a@." Netsim.Trace.pp (Scenario.trace scenario);
+    let counters = Lispdp.Dataplane.counters (Scenario.dataplane scenario) in
+    Format.printf "control plane : %s@." (Scenario.cp_label cp);
+    Format.printf "T_DNS         : %.1f ms@."
+      (Option.value ~default:nan c.Scenario.dns_time *. 1e3);
+    Format.printf "handshake     : %.1f ms@."
+      (Option.value ~default:nan
+         (Option.bind c.Scenario.tcp Workload.Tcp.handshake_time)
+      *. 1e3);
+    Format.printf "total setup   : %.1f ms@."
+      (Option.value ~default:nan (Scenario.total_setup_time c) *. 1e3);
+    Format.printf "drops         : %d@." counters.Lispdp.Dataplane.dropped;
+    List.iter
+      (fun (cause, n) -> Format.printf "  %-28s %d@." cause n)
+      (Lispdp.Dataplane.drop_causes (Scenario.dataplane scenario))
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
+    Term.(const run $ cp $ verbose)
+
+let () =
+  let info =
+    Cmd.info "repro_cli" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Advantages of a PCE-based Control Plane for LISP' \
+         (CoNEXT 2008)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; run_cmd; trace_cmd; topology_cmd; connect_cmd; simulate_cmd;
+         compare_cmd ]))

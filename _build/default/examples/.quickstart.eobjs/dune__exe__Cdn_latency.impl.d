@@ -1,0 +1,1 @@
+examples/cdn_latency.ml: Core Format Lispdp List Metrics Netsim Pce_control Scenario Topology Workload

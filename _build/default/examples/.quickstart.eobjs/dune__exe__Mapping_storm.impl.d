@@ -1,0 +1,1 @@
+examples/mapping_storm.ml: Array Core Float Format Lispdp Metrics Netsim Pce_control Scenario Stdlib String Topology Workload

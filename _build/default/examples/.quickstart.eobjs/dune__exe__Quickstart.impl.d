@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Format Lispdp Mapsys Netsim Nettypes Option Scenario Topology Workload

@@ -1,0 +1,1 @@
+examples/te_multihoming.ml: Array Core Float Format Netsim Pce_control Scenario Stdlib String Topology Workload

@@ -1,0 +1,1 @@
+lib/core/pce.ml: Dnssim Flow Hashtbl Ipv4 Irc List Mapping Nettypes Option Topology

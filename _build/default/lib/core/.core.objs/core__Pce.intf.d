@@ -1,0 +1,1 @@
+lib/core/pce.mli: Dnssim Irc Netsim Nettypes Topology

@@ -1,0 +1,1 @@
+lib/core/pce_control.ml: Array Bytes Dnssim Flow Format Hashtbl Ipv4 Irc Lispdp List Mapping Mapsys Netsim Nettypes Option Packet Pce Topology Wire

@@ -1,0 +1,1 @@
+lib/core/pce_control.mli: Dnssim Irc Lispdp Mapsys Netsim Pce Topology

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Dnssim Flow Lispdp List Mapsys Netsim Nettypes Option Pce_control Printf Topology Workload

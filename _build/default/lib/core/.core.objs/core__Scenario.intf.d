@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Dnssim Lispdp Mapsys Netsim Nettypes Pce_control Topology Workload

@@ -1,0 +1,1 @@
+lib/core/scenario_file.ml: In_channel List Pce_control Printf Scenario String Topology

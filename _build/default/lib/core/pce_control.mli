@@ -1,0 +1,81 @@
+(** The PCE-based control plane (the paper's proposal, steps 1–8).
+
+    Wires one {!Pce} per domain into the DNS simulation and the LISP
+    data plane:
+
+    - a {e query observer} on every resolver implements step 1 (PCE_S
+      learns E_S by IPC and picks RLOC_S for the reverse direction);
+    - a {e response tap} on every authoritative server implements step 6
+      (PCE_D catches the final answer carrying E_D, stamps the
+      precomputed (E_D, RLOC_D) mapping on it and sends the encapsulated
+      UDP message to the querying resolver's wire on port P);
+    - on arrival, steps 7a/7b run: the answer is forwarded to DNS_S
+      while the flow tuple [(E_S, E_D, RLOC_S, RLOC_D)] is configured
+      into the ITRs;
+    - the first tunneled packet reaching an ETR triggers the
+      reverse-mapping multicast to the sibling ETRs and the PCE_D
+      database update (the two-way completion of §2).
+
+    Two knobs expose the paper's design choices for the ablation
+    studies: {!push_scope} (push to all ITRs versus only the flow's
+    egress ITR) and {!reverse_scope} (multicast to all ETRs versus only
+    the receiving one). *)
+
+type push_scope = Push_all_itrs | Push_egress_only
+type reverse_scope = Reverse_multicast | Reverse_receiving_only
+
+type options = {
+  policy : Irc.Policy.t;  (** IRC objective for ingress/egress choices *)
+  push_scope : push_scope;
+  reverse_scope : reverse_scope;
+  ipc_latency : float;  (** PCE <-> co-located DNS server (step 1/7a) *)
+  config_latency : float;  (** PCE_S -> ITR mapping configuration (7b) *)
+  multicast_latency : float;  (** ETR -> sibling ETRs reverse push *)
+  flow_ttl : float;  (** lifetime of installed flow entries *)
+}
+
+val default_options : options
+(** min-load policy, push-all, multicast, 0.1 ms IPC, 1 ms config,
+    0.5 ms multicast, 300 s flow TTL. *)
+
+type t
+
+val create :
+  engine:Netsim.Engine.t ->
+  internet:Topology.Builder.t ->
+  dns:Dnssim.System.t ->
+  ?options:options ->
+  ?rng:Netsim.Rng.t ->
+  ?trace:Netsim.Trace.t ->
+  unit ->
+  t
+(** Installs the DNS observers and taps.  {!attach} must follow before
+    any traffic flows. *)
+
+val control_plane : t -> Lispdp.Dataplane.control_plane
+val attach : t -> Lispdp.Dataplane.t -> unit
+
+val stats : t -> Mapsys.Cp_stats.t
+val options : t -> options
+val pce_of_domain : t -> int -> Pce.t
+
+val run_monitoring : t -> interval:float -> until:float -> rebalance:bool -> unit
+(** Schedule the background IRC loop of every PCE: sample uplink loads
+    every [interval] seconds until [until], optionally running the TE
+    {!Irc.Selector.rebalance} step after each observation.  The loop
+    also performs edge-triggered uplink-failure detection, invoking
+    {!handle_uplink_failure} when an access link goes down. *)
+
+val handle_uplink_failure :
+  t -> domain_id:int -> border:Topology.Domain.border -> unit
+(** Repair every mapping that names the failed border's RLOC: affected
+    peers receive a direct PCE-to-PCE update with a freshly chosen
+    ingress locator and re-push the tuples to their ITRs; local tuples
+    whose reverse locator died are re-homed.  Normally triggered by the
+    monitoring loop; exposed for failure-injection tests. *)
+
+val failovers : t -> int
+(** Uplink failures handled so far. *)
+
+val reroutes : t -> int
+(** Flow assignments moved by TE rebalancing across all domains. *)

@@ -1,0 +1,284 @@
+open Nettypes
+
+type cp_kind =
+  | Cp_pull_drop
+  | Cp_pull_queue of int
+  | Cp_pull_smr of int
+  | Cp_pull_detour
+  | Cp_nerd
+  | Cp_cons
+  | Cp_msmr
+  | Cp_pce of Pce_control.options
+
+let cp_label = function
+  | Cp_pull_drop -> "pull-drop"
+  | Cp_pull_queue n -> Printf.sprintf "pull-queue(%d)" n
+  | Cp_pull_smr n -> Printf.sprintf "pull-smr(%d)" n
+  | Cp_pull_detour -> "pull-detour"
+  | Cp_nerd -> "nerd-push"
+  | Cp_cons -> "cons"
+  | Cp_msmr -> "msmr"
+  | Cp_pce _ -> "pce"
+
+type config = {
+  seed : int;
+  topology :
+    [ `Figure1 | `Figure1_scaled of float | `Random of Topology.Builder.params ];
+  cp : cp_kind;
+  mapping_ttl : float;
+  dns_record_ttl : float;
+  cache_capacity : int;
+  alt_fanout : int;
+  alt_hop_latency : float;
+  initial_rto : float;
+  data_gap : float;
+  nerd_propagation : float;  (** NERD database-update propagation delay *)
+}
+
+let default_config =
+  { seed = 1; topology = `Figure1; cp = Cp_pce Pce_control.default_options;
+    mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
+    alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
+    data_gap = 0.002; nerd_propagation = 30.0 }
+
+type connection = {
+  flow : Flow.t;
+  opened_at : float;
+  mutable dns_time : float option;
+  mutable resolution_failed : bool;
+  mutable tcp : Workload.Tcp.conn option;
+}
+
+let total_setup_time connection =
+  match (connection.dns_time, connection.tcp) with
+  | Some dns, Some tcp_conn -> (
+      match Workload.Tcp.handshake_time tcp_conn with
+      | Some handshake -> Some (dns +. handshake)
+      | None -> None)
+  | _, _ -> None
+
+type cp_instance =
+  | Pull_instance of Mapsys.Pull.t
+  | Nerd_instance of Mapsys.Nerd.t
+  | Cons_instance of Mapsys.Cons.t
+  | Msmr_instance of Mapsys.Msmr.t
+  | Pce_instance of Pce_control.t
+
+type t = {
+  config : config;
+  engine : Netsim.Engine.t;
+  internet : Topology.Builder.t;
+  dns : Dnssim.System.t;
+  registry : Mapsys.Registry.t;
+  dataplane : Lispdp.Dataplane.t;
+  tcp : Workload.Tcp.t;
+  cp : cp_instance;
+  rng : Netsim.Rng.t;
+  trace : Netsim.Trace.t;
+  mutable connections_rev : connection list;
+}
+
+let engine t = t.engine
+let internet t = t.internet
+let dns t = t.dns
+let dataplane t = t.dataplane
+let tcp t = t.tcp
+let registry t = t.registry
+let rng t = t.rng
+let config t = t.config
+let trace t = t.trace
+let connections t = List.rev t.connections_rev
+
+let cp_stats t =
+  match t.cp with
+  | Pull_instance p -> Mapsys.Pull.stats p
+  | Nerd_instance n -> Mapsys.Nerd.stats n
+  | Cons_instance c -> Mapsys.Cons.stats c
+  | Msmr_instance m -> Mapsys.Msmr.stats m
+  | Pce_instance p -> Pce_control.stats p
+
+let pce t =
+  match t.cp with
+  | Pce_instance p -> Some p
+  | Pull_instance _ | Nerd_instance _ | Cons_instance _ | Msmr_instance _ ->
+      None
+
+let build config =
+  let rng = Netsim.Rng.create config.seed in
+  let engine = Netsim.Engine.create () in
+  let internet =
+    match config.topology with
+    | `Figure1 -> Topology.Builder.figure1 ()
+    | `Figure1_scaled scale -> Topology.Builder.figure1 ~scale ()
+    | `Random params -> Topology.Builder.generate (Netsim.Rng.split rng) params
+  in
+  let trace = Netsim.Trace.create () in
+  (* Tracing costs formatting time; experiments enable it on demand. *)
+  Netsim.Trace.set_enabled trace false;
+  let dns =
+    Dnssim.System.create ~engine ~internet ~record_ttl:config.dns_record_ttl
+      ~trace ()
+  in
+  let registry = Mapsys.Registry.create ~internet ~ttl:config.mapping_ttl in
+  let alt =
+    Mapsys.Alt.create
+      ~domains:(Array.length internet.Topology.Builder.domains)
+      ~fanout:config.alt_fanout ~hop_latency:config.alt_hop_latency ()
+  in
+  let flow_ttl =
+    match config.cp with
+    | Cp_pce options -> options.Pce_control.flow_ttl
+    | Cp_pull_drop | Cp_pull_queue _ | Cp_pull_smr _ | Cp_pull_detour
+    | Cp_nerd | Cp_cons | Cp_msmr ->
+        300.0
+  in
+  let make_dataplane control_plane =
+    Lispdp.Dataplane.create ~engine ~internet ~control_plane
+      ~cache_capacity:config.cache_capacity ~flow_ttl ~trace ()
+  in
+  (* Split unconditionally so every control plane leaves the scenario
+     RNG in the same state — workloads drawn from later splits must be
+     identical across control planes. *)
+  let cp_rng = Netsim.Rng.split rng in
+  let cp, dataplane =
+    match config.cp with
+    | Cp_pull_drop | Cp_pull_queue _ | Cp_pull_smr _ | Cp_pull_detour ->
+        let mode, smr =
+          match config.cp with
+          | Cp_pull_drop -> (Mapsys.Pull.Drop_while_pending, false)
+          | Cp_pull_queue n -> (Mapsys.Pull.Queue_while_pending n, false)
+          | Cp_pull_smr n -> (Mapsys.Pull.Queue_while_pending n, true)
+          | Cp_pull_detour -> (Mapsys.Pull.Detour_via_cp, false)
+          | Cp_nerd | Cp_cons | Cp_msmr | Cp_pce _ -> assert false
+        in
+        let name =
+          match config.cp with Cp_pull_smr _ -> Some "pull-smr" | _ -> None
+        in
+        let pull =
+          Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?name ~smr
+            ()
+        in
+        let dp = make_dataplane (Mapsys.Pull.control_plane pull) in
+        Mapsys.Pull.attach pull dp;
+        (Pull_instance pull, dp)
+    | Cp_nerd ->
+        let nerd =
+          Mapsys.Nerd.create ~engine ~internet ~registry
+            ~propagation_delay:config.nerd_propagation ()
+        in
+        let dp = make_dataplane (Mapsys.Nerd.control_plane nerd) in
+        Mapsys.Nerd.attach nerd dp;
+        (Nerd_instance nerd, dp)
+    | Cp_cons ->
+        let cons = Mapsys.Cons.create ~engine ~internet ~registry ~alt () in
+        let dp = make_dataplane (Mapsys.Cons.control_plane cons) in
+        Mapsys.Cons.attach cons dp;
+        (Cons_instance cons, dp)
+    | Cp_msmr ->
+        let msmr = Mapsys.Msmr.create ~engine ~internet ~registry ~alt () in
+        let dp = make_dataplane (Mapsys.Msmr.control_plane msmr) in
+        Mapsys.Msmr.attach msmr dp;
+        (Msmr_instance msmr, dp)
+    | Cp_pce options ->
+        let pce_control =
+          Pce_control.create ~engine ~internet ~dns ~options ~rng:cp_rng
+            ~trace ()
+        in
+        let dp = make_dataplane (Pce_control.control_plane pce_control) in
+        Pce_control.attach pce_control dp;
+        (Pce_instance pce_control, dp)
+  in
+  let tcp =
+    Workload.Tcp.create ~engine ~dataplane ~initial_rto:config.initial_rto
+      ~data_gap:config.data_gap ()
+  in
+  { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; trace;
+    connections_rev = [] }
+
+let open_connection t ~flow ?data_packets ?data_bytes ?on_established
+    ?on_complete () =
+  let src_domain =
+    match Topology.Builder.domain_of_eid t.internet flow.Flow.src with
+    | Some d -> d
+    | None -> invalid_arg "Scenario.open_connection: unknown source EID"
+  in
+  let dst_domain =
+    match Topology.Builder.domain_of_eid t.internet flow.Flow.dst with
+    | Some d -> d
+    | None -> invalid_arg "Scenario.open_connection: unknown destination EID"
+  in
+  let dst_host =
+    match Topology.Domain.host_of_eid dst_domain flow.Flow.dst with
+    | Some i -> i
+    | None -> invalid_arg "Scenario.open_connection: destination is not a host"
+  in
+  let src_host =
+    match Topology.Domain.host_of_eid src_domain flow.Flow.src with
+    | Some i -> i
+    | None -> invalid_arg "Scenario.open_connection: source is not a host"
+  in
+  let qname =
+    Dnssim.Name.of_string (Topology.Domain.host_name dst_domain dst_host)
+  in
+  let connection =
+    { flow; opened_at = Netsim.Engine.now t.engine; dns_time = None;
+      resolution_failed = false; tcp = None }
+  in
+  t.connections_rev <- connection :: t.connections_rev;
+  Dnssim.System.resolve t.dns ~resolver:src_domain.Topology.Domain.dns
+    ~client:src_domain.Topology.Domain.hosts.(src_host)
+    ~client_eid:flow.Flow.src qname
+    ~callback:(fun answer ->
+      connection.dns_time <-
+        Some (Netsim.Engine.now t.engine -. connection.opened_at);
+      match answer with
+      | None -> connection.resolution_failed <- true
+      | Some _addr ->
+          let tcp_conn =
+            Workload.Tcp.start_connection t.tcp ~flow ?data_packets
+              ?data_bytes
+              ?on_established:
+                (Option.map (fun f _ -> f connection) on_established)
+              ?on_complete:(Option.map (fun f _ -> f connection) on_complete)
+              ()
+          in
+          connection.tcp <- Some tcp_conn);
+  connection
+
+let run ?until t = Netsim.Engine.run ?until t.engine
+
+let uplink_utilisation (_ : t) domain ~direction ~duration =
+  Array.map
+    (fun border ->
+      let link = border.Topology.Domain.uplink in
+      let router = border.Topology.Domain.router in
+      let node =
+        match direction with
+        | `Outbound -> router
+        | `Inbound -> Topology.Link.other_end link router
+      in
+      Topology.Link.utilisation_from link node ~duration)
+    domain.Topology.Domain.borders
+
+let reset_uplink_counters t =
+  List.iter Topology.Link.reset_counters
+    (Topology.Graph.links t.internet.Topology.Builder.graph)
+
+let reregister t ~domain mapping =
+  Mapsys.Registry.update_mapping t.registry domain mapping;
+  match t.cp with
+  | Nerd_instance nerd -> Mapsys.Nerd.push_update nerd ~domain mapping
+  | Pull_instance pull -> Mapsys.Pull.notify_mapping_change pull ~domain
+  | Cons_instance _ | Msmr_instance _ | Pce_instance _ -> ()
+
+let set_uplink t ~domain ~border up =
+  let d = t.internet.Topology.Builder.domains.(domain) in
+  let b = d.Topology.Domain.borders.(border) in
+  Topology.Graph.set_link_up t.internet.Topology.Builder.graph
+    b.Topology.Domain.uplink up;
+  (* The domain re-registers its mapping without (or again with) the
+     affected locator. *)
+  reregister t ~domain (Topology.Domain.advertised_mapping d ~ttl:t.config.mapping_ttl)
+
+let fail_uplink t ~domain ~border = set_uplink t ~domain ~border false
+let restore_uplink t ~domain ~border = set_uplink t ~domain ~border true

@@ -1,0 +1,121 @@
+(** End-to-end experiment scenarios.
+
+    A scenario assembles one complete simulated world — internet
+    topology, DNS hierarchy, a chosen control plane, the LISP data plane
+    and the TCP host model — and exposes the operation every experiment
+    is built from: {!open_connection}, which performs the paper's full
+    client behaviour (resolve the destination's name, then connect),
+    measuring T_DNS and the TCP handshake separately.
+
+    The same scenario code runs all six control planes, so every
+    reported difference comes from the control plane alone. *)
+
+type cp_kind =
+  | Cp_pull_drop  (** map-request over ALT, drop while pending *)
+  | Cp_pull_queue of int  (** buffer up to N packets per resolution *)
+  | Cp_pull_smr of int
+      (** like [Cp_pull_queue], plus Solicit-Map-Request: mapping changes
+          actively evict stale remote cache entries *)
+  | Cp_pull_detour  (** data over the mapping overlay while pending *)
+  | Cp_nerd  (** full-database push *)
+  | Cp_cons  (** hierarchical resolution with in-tree caching *)
+  | Cp_msmr  (** map-server/map-resolver front end with proxy replies *)
+  | Cp_pce of Pce_control.options  (** the paper's control plane *)
+
+val cp_label : cp_kind -> string
+
+type config = {
+  seed : int;
+  topology :
+    [ `Figure1 | `Figure1_scaled of float | `Random of Topology.Builder.params ];
+  cp : cp_kind;
+  mapping_ttl : float;  (** TTL of registry mappings (map-cache life) *)
+  dns_record_ttl : float;
+  cache_capacity : int;  (** map-cache entries per border router *)
+  alt_fanout : int;
+  alt_hop_latency : float;
+  initial_rto : float;
+  data_gap : float;
+  nerd_propagation : float;  (** NERD database-update propagation delay *)
+}
+
+val default_config : config
+(** Figure-1 topology, PCE control plane with default options, 60 s
+    mapping TTL, 3600 s DNS TTL, ALT fanout 2 at 20 ms/hop, 1 s RTO,
+    30 s NERD propagation. *)
+
+type connection = {
+  flow : Nettypes.Flow.t;
+  opened_at : float;  (** when the client issued the DNS query *)
+  mutable dns_time : float option;  (** measured T_DNS *)
+  mutable resolution_failed : bool;
+  mutable tcp : Workload.Tcp.conn option;  (** set once the DNS answer arrives *)
+}
+
+val total_setup_time : connection -> float option
+(** DNS resolution plus TCP handshake — the paper's
+    [T_DNS + T_map + 2·OWD + OWD] quantity.  [None] until established. *)
+
+type t
+
+val build : config -> t
+
+val engine : t -> Netsim.Engine.t
+val internet : t -> Topology.Builder.t
+val dns : t -> Dnssim.System.t
+val dataplane : t -> Lispdp.Dataplane.t
+val tcp : t -> Workload.Tcp.t
+val registry : t -> Mapsys.Registry.t
+val rng : t -> Netsim.Rng.t
+val config : t -> config
+val trace : t -> Netsim.Trace.t
+val cp_stats : t -> Mapsys.Cp_stats.t
+
+val pce : t -> Pce_control.t option
+(** The PCE control plane, when [config.cp] is [Cp_pce]. *)
+
+val open_connection :
+  t ->
+  flow:Nettypes.Flow.t ->
+  ?data_packets:int ->
+  ?data_bytes:int ->
+  ?on_established:(connection -> unit) ->
+  ?on_complete:(connection -> unit) ->
+  unit ->
+  connection
+(** Schedule the client behaviour at the current simulated instant:
+    resolve the destination host's name through the local resolver, then
+    open the TCP connection the moment the answer arrives. *)
+
+val connections : t -> connection list
+(** All connections opened so far, oldest first. *)
+
+val run : ?until:float -> t -> unit
+(** Drive the engine (see {!Netsim.Engine.run}). *)
+
+val uplink_utilisation :
+  t -> Topology.Domain.t -> direction:[ `Inbound | `Outbound ] ->
+  duration:float -> float array
+(** Average utilisation of each border uplink of a domain over
+    [duration], in border order — the quantity experiment T4 balances. *)
+
+val reset_uplink_counters : t -> unit
+(** Zero every link byte counter (e.g. after a warm-up phase). *)
+
+val reregister : t -> domain:int -> Nettypes.Mapping.t -> unit
+(** Replace a domain's registered mapping and propagate the change the
+    way the active control plane would: NERD pushes the update (with
+    its propagation delay), SMR-enabled pull solicits every remote ITR
+    holding the old mapping.  TE churn experiments drive this
+    directly. *)
+
+val fail_uplink : t -> domain:int -> border:int -> unit
+(** Failure injection: take the given border's access link down, have
+    the domain re-register its mapping without the dead locator, and —
+    for the NERD control plane — push the update (with its propagation
+    delay).  The pull control planes recover when cached mappings expire
+    and are re-fetched; the PCE control plane recovers through its
+    monitoring loop and PCE-to-PCE updates. *)
+
+val restore_uplink : t -> domain:int -> border:int -> unit
+(** Bring a failed access link back and re-register the full mapping. *)

@@ -1,0 +1,170 @@
+type workload = {
+  flows : int;
+  rate : float;
+  zipf_alpha : float;
+  data_packets : int;
+  data_bytes : int;
+  hotspot : int option;
+}
+
+type t = { config : Scenario.config; workload : workload }
+
+let default =
+  { config =
+      { Scenario.default_config with
+        Scenario.topology =
+          `Random
+            { Topology.Builder.default_params with
+              Topology.Builder.domain_count = 16 } };
+    workload =
+      { flows = 500; rate = 50.0; zipf_alpha = 0.9; data_packets = 8;
+        data_bytes = 1200; hotspot = None } }
+
+(* Mutable accumulation state while parsing: topology parameters are
+   combined at the end because they arrive as independent keys. *)
+type state = {
+  mutable seed : int;
+  mutable figure1 : bool;
+  mutable domains : int;
+  mutable providers : int;
+  mutable borders : int;
+  mutable hosts : int;
+  mutable tier1 : int option;
+  mutable cp : Scenario.cp_kind;
+  mutable mapping_ttl : float;
+  mutable dns_ttl : float;
+  mutable cache_capacity : int;
+  mutable workload : workload;
+}
+
+let fresh_state () =
+  { seed = 1; figure1 = false; domains = 16; providers = 4; borders = 2;
+    hosts = 4; tier1 = None; cp = Scenario.Cp_pce Pce_control.default_options;
+    mapping_ttl = 60.0; dns_ttl = 3600.0; cache_capacity = 10_000;
+    workload = default.workload }
+
+let cp_of_string = function
+  | "pce" -> Some (Scenario.Cp_pce Pce_control.default_options)
+  | "pull-drop" -> Some Scenario.Cp_pull_drop
+  | "pull-queue" -> Some (Scenario.Cp_pull_queue 32)
+  | "pull-smr" -> Some (Scenario.Cp_pull_smr 32)
+  | "pull-detour" -> Some Scenario.Cp_pull_detour
+  | "cons" -> Some Scenario.Cp_cons
+  | "msmr" -> Some Scenario.Cp_msmr
+  | "nerd" -> Some Scenario.Cp_nerd
+  | _ -> None
+
+exception Bad_line of int * string
+
+let fail line message = raise (Bad_line (line, message))
+
+let int_field line key value ~min ~max =
+  match int_of_string_opt value with
+  | Some v when v >= min && v <= max -> v
+  | Some _ -> fail line (Printf.sprintf "%s out of [%d, %d]" key min max)
+  | None -> fail line (Printf.sprintf "%s expects an integer, got %S" key value)
+
+let float_field line key value ~min =
+  match float_of_string_opt value with
+  | Some v when v >= min -> v
+  | Some _ -> fail line (Printf.sprintf "%s must be at least %g" key min)
+  | None -> fail line (Printf.sprintf "%s expects a number, got %S" key value)
+
+let apply state line key value =
+  match key with
+  | "seed" -> state.seed <- int_field line key value ~min:0 ~max:max_int
+  | "topology" -> (
+      match value with
+      | "figure1" -> state.figure1 <- true
+      | "random" -> state.figure1 <- false
+      | other -> fail line (Printf.sprintf "unknown topology %S" other))
+  | "domains" -> state.domains <- int_field line key value ~min:2 ~max:10_000
+  | "providers" -> state.providers <- int_field line key value ~min:1 ~max:100
+  | "borders" -> state.borders <- int_field line key value ~min:1 ~max:100
+  | "hosts" -> state.hosts <- int_field line key value ~min:1 ~max:254
+  | "tier1" -> state.tier1 <- Some (int_field line key value ~min:2 ~max:100)
+  | "cp" -> (
+      match cp_of_string value with
+      | Some cp -> state.cp <- cp
+      | None -> fail line (Printf.sprintf "unknown control plane %S" value))
+  | "mapping-ttl" -> state.mapping_ttl <- float_field line key value ~min:0.001
+  | "dns-ttl" -> state.dns_ttl <- float_field line key value ~min:0.001
+  | "cache-capacity" ->
+      state.cache_capacity <- int_field line key value ~min:1 ~max:1_000_000
+  | "flows" ->
+      state.workload <-
+        { state.workload with flows = int_field line key value ~min:1 ~max:1_000_000 }
+  | "rate" ->
+      state.workload <- { state.workload with rate = float_field line key value ~min:0.001 }
+  | "zipf" ->
+      state.workload <-
+        { state.workload with zipf_alpha = float_field line key value ~min:0.0 }
+  | "data-packets" ->
+      state.workload <-
+        { state.workload with
+          data_packets = int_field line key value ~min:0 ~max:1_000_000 }
+  | "data-bytes" ->
+      state.workload <-
+        { state.workload with data_bytes = int_field line key value ~min:0 ~max:65_000 }
+  | "hotspot" ->
+      state.workload <-
+        { state.workload with
+          hotspot = Some (int_field line key value ~min:0 ~max:9_999) }
+  | other -> fail line (Printf.sprintf "unknown key %S" other)
+
+let finish state =
+  let topology =
+    if state.figure1 then `Figure1
+    else
+      `Random
+        { Topology.Builder.default_params with
+          Topology.Builder.domain_count = state.domains;
+          provider_count = state.providers; borders_per_domain = state.borders;
+          hosts_per_domain = state.hosts;
+          core_shape =
+            (match state.tier1 with
+            | Some n -> Topology.Builder.Two_tier n
+            | None -> Topology.Builder.Full_mesh) }
+  in
+  (match state.workload.hotspot with
+  | Some d when (not state.figure1) && d >= state.domains ->
+      fail 0 (Printf.sprintf "hotspot domain %d does not exist" d)
+  | Some _ | None -> ());
+  { config =
+      { Scenario.default_config with
+        Scenario.seed = state.seed; topology; cp = state.cp;
+        mapping_ttl = state.mapping_ttl; dns_record_ttl = state.dns_ttl;
+        cache_capacity = state.cache_capacity };
+    workload = state.workload }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse contents =
+  let state = fresh_state () in
+  match
+    String.split_on_char '\n' contents
+    |> List.iteri (fun index raw ->
+           let line = String.trim (strip_comment raw) in
+           if line <> "" then begin
+             match String.index_opt line ' ' with
+             | None -> fail (index + 1) (Printf.sprintf "expected 'key value', got %S" line)
+             | Some i ->
+                 let key = String.sub line 0 i in
+                 let value =
+                   String.trim (String.sub line i (String.length line - i))
+                 in
+                 if value = "" then fail (index + 1) ("missing value for " ^ key);
+                 apply state (index + 1) key value
+           end)
+  with
+  | () -> ( try Ok (finish state) with Bad_line (_, m) -> Error m)
+  | exception Bad_line (line, message) ->
+      Error (Printf.sprintf "line %d: %s" line message)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error m -> Error m

@@ -1,0 +1,46 @@
+(** Scenario description files.
+
+    A small line-oriented format so experiments can be run from the CLI
+    without recompiling:
+
+    {v
+    # two-domain quick look
+    seed        7
+    topology    random        # or: figure1
+    domains     16
+    providers   4
+    borders     2
+    hosts       4
+    cp          pce           # pull-drop | pull-queue | pull-detour |
+                              # cons | msmr | nerd | pce
+    mapping-ttl 60
+    flows       500
+    rate        50
+    zipf        0.9
+    data-packets 8
+    data-bytes  1200
+    hotspot     0             # optional: aim all traffic at one domain
+    v}
+
+    Unknown keys, malformed values and out-of-range numbers are
+    reported with their line number.  Omitted keys take the defaults
+    above ({!default}). *)
+
+type workload = {
+  flows : int;
+  rate : float;
+  zipf_alpha : float;
+  data_packets : int;
+  data_bytes : int;
+  hotspot : int option;
+}
+
+type t = { config : Scenario.config; workload : workload }
+
+val default : t
+
+val parse : string -> (t, string) result
+(** Parse file contents. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file; IO errors become [Error]. *)

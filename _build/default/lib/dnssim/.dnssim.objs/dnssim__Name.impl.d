@@ -1,0 +1,1 @@
+lib/dnssim/name.ml: Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/dnssim/name.mli: Format

@@ -1,0 +1,1 @@
+lib/dnssim/system.ml: Array Format Hashtbl Ipv4 Name Netsim Nettypes Printf Topology Zone

@@ -1,0 +1,1 @@
+lib/dnssim/system.mli: Name Netsim Nettypes Topology

@@ -1,0 +1,1 @@
+lib/dnssim/zone.ml: Format Hashtbl List Name Nettypes Printf Topology

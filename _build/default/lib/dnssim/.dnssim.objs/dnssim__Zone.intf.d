@@ -1,0 +1,1 @@
+lib/dnssim/zone.mli: Format Name Nettypes Topology

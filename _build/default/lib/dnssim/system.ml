@@ -1,0 +1,241 @@
+open Nettypes
+
+type cache_entry =
+  | Cached_address of Ipv4.addr * float (* expiry *)
+  | Cached_referral of Name.t * Topology.Node.id * float
+
+type resolver = {
+  node : Topology.Node.id;
+  cache : (Name.t, cache_entry) Hashtbl.t;
+  mutable observer : (client_eid:Ipv4.addr -> qname:Name.t -> unit) option;
+}
+
+type tap_context = {
+  tap_qname : Name.t;
+  tap_answer : Ipv4.addr;
+  tap_server : Topology.Node.id;
+  tap_resolver : Topology.Node.id;
+  tap_wire_latency : float;
+  tap_complete : unit -> unit;
+}
+
+type counters = {
+  mutable client_queries : int;
+  mutable iterative_queries : int;
+  mutable responses : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable wire_bytes : int;
+}
+
+type t = {
+  engine : Netsim.Engine.t;
+  internet : Topology.Builder.t;
+  zones : (Topology.Node.id, Zone.t) Hashtbl.t;
+  resolvers : (Topology.Node.id, resolver) Hashtbl.t;
+  taps : (Topology.Node.id, tap_context -> unit) Hashtbl.t;
+  server_processing : float;
+  trace : Netsim.Trace.t option;
+  counters : counters;
+}
+
+let engine t = t.engine
+let internet t = t.internet
+let counters t = t.counters
+
+let trace t ~actor fmt =
+  match t.trace with
+  | Some tr -> Netsim.Trace.recordf tr ~time:(Netsim.Engine.now t.engine) ~actor fmt
+  | None -> Format.ikfprintf ignore Format.err_formatter fmt
+
+let node_label t id = (Topology.Graph.node t.internet.Topology.Builder.graph id).Topology.Node.label
+
+let populate t ~record_ttl =
+  let internet = t.internet in
+  let root_zone =
+    Zone.create ~apex:Name.root ~server:internet.Topology.Builder.root_dns
+      ~ttl:record_ttl
+  in
+  let net = Name.of_string "net." in
+  Zone.delegate root_zone ~child_apex:net
+    ~child_server:internet.Topology.Builder.tld_dns;
+  Hashtbl.replace t.zones internet.Topology.Builder.root_dns root_zone;
+  let tld_zone =
+    Zone.create ~apex:net ~server:internet.Topology.Builder.tld_dns
+      ~ttl:record_ttl
+  in
+  Hashtbl.replace t.zones internet.Topology.Builder.tld_dns tld_zone;
+  Array.iter
+    (fun domain ->
+      let apex = Name.of_string (Topology.Domain.fqdn domain) in
+      let dns = domain.Topology.Domain.dns in
+      Zone.delegate tld_zone ~child_apex:apex ~child_server:dns;
+      let zone = Zone.create ~apex ~server:dns ~ttl:record_ttl in
+      Array.iteri
+        (fun i _host ->
+          Zone.add_a zone
+            (Name.of_string (Topology.Domain.host_name domain i))
+            (Topology.Domain.host_eid domain i))
+        domain.Topology.Domain.hosts;
+      Hashtbl.replace t.zones dns zone;
+      Hashtbl.replace t.resolvers dns
+        { node = dns; cache = Hashtbl.create 64; observer = None })
+    internet.Topology.Builder.domains
+
+let create ~engine ~internet ?(record_ttl = 3600.0) ?(server_processing = 0.0005)
+    ?trace () =
+  let t =
+    { engine; internet; zones = Hashtbl.create 16; resolvers = Hashtbl.create 16;
+      taps = Hashtbl.create 4; server_processing; trace;
+      counters =
+        { client_queries = 0; iterative_queries = 0; responses = 0;
+          cache_hits = 0; cache_misses = 0; wire_bytes = 0 } }
+  in
+  populate t ~record_ttl;
+  t
+
+let resolver_node _t domain = domain.Topology.Domain.dns
+
+let set_response_tap t ~server tap =
+  match tap with
+  | Some f -> Hashtbl.replace t.taps server f
+  | None -> Hashtbl.remove t.taps server
+
+let resolver_exn t node =
+  match Hashtbl.find_opt t.resolvers node with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Dnssim.System: node %d is not a resolver" node)
+
+let set_query_observer t ~resolver observer =
+  (resolver_exn t resolver).observer <- observer
+
+let flush_caches t =
+  Hashtbl.iter (fun _ r -> Hashtbl.reset r.cache) t.resolvers
+
+(* Transmit [bytes] from [src] to [dst]: accounts link bytes and invokes
+   [k] after the shortest-path latency. *)
+let send t ~src ~dst ~bytes k =
+  let graph = t.internet.Topology.Builder.graph in
+  t.counters.wire_bytes <- t.counters.wire_bytes + bytes;
+  if src <> dst then Topology.Graph.account_path graph ~src ~dst ~bytes;
+  let latency = Topology.Graph.latency_between graph src dst in
+  ignore (Netsim.Engine.schedule t.engine ~delay:latency k)
+
+let query_size qname = 12 + Name.wire_size qname + 4
+
+let cache_lookup t resolver qname =
+  let now = Netsim.Engine.now t.engine in
+  match Hashtbl.find_opt resolver.cache qname with
+  | Some (Cached_address (addr, expiry)) when expiry > now -> Some addr
+  | Some (Cached_address _) ->
+      Hashtbl.remove resolver.cache qname;
+      None
+  | Some (Cached_referral _) | None -> None
+
+(* Deepest live cached referral applying to [qname], else the root. *)
+let starting_server t resolver qname =
+  let now = Netsim.Engine.now t.engine in
+  let rec probe name best =
+    let best =
+      match Hashtbl.find_opt resolver.cache name with
+      | Some (Cached_referral (apex, server, expiry)) when expiry > now -> (
+          match best with
+          | Some (prev_apex, _) when Name.label_count prev_apex >= Name.label_count apex ->
+              best
+          | Some _ | None -> Some (apex, server))
+      | Some (Cached_referral _ | Cached_address _) | None -> best
+    in
+    match Name.parent name with None -> best | Some p -> probe p best
+  in
+  match probe qname None with
+  | Some (_, server) -> server
+  | None -> t.internet.Topology.Builder.root_dns
+
+let resolve t ~resolver:resolver_id ~client ~client_eid qname ~callback =
+  let resolver = resolver_exn t resolver_id in
+  let graph = t.internet.Topology.Builder.graph in
+  t.counters.client_queries <- t.counters.client_queries + 1;
+  trace t ~actor:(node_label t client) "DNS query %s -> %s (step 1)"
+    (Name.to_string qname) (node_label t resolver_id);
+  (* Reply travels resolver -> client once resolution finishes. *)
+  let answer_client result =
+    t.counters.responses <- t.counters.responses + 1;
+    send t ~src:resolver_id ~dst:client ~bytes:(query_size qname + 16) (fun () ->
+        trace t ~actor:(node_label t client) "DNS answer for %s received (step 8)"
+          (Name.to_string qname);
+        callback result)
+  in
+  (* Iterative resolution loop at the resolver. *)
+  let rec iterate server steps_left =
+    if steps_left = 0 then answer_client None
+    else begin
+      t.counters.iterative_queries <- t.counters.iterative_queries + 1;
+      trace t ~actor:(node_label t resolver_id) "iterative query %s -> %s"
+        (Name.to_string qname) (node_label t server);
+      send t ~src:resolver_id ~dst:server ~bytes:(query_size qname) (fun () ->
+          (* Server-side processing, then answer. *)
+          ignore
+            (Netsim.Engine.schedule t.engine ~delay:t.server_processing
+               (fun () ->
+                 let zone =
+                   match Hashtbl.find_opt t.zones server with
+                   | Some z -> z
+                   | None -> assert false
+                 in
+                 let answer = Zone.answer zone qname in
+                 let bytes = Zone.answer_wire_size qname answer in
+                 let wire_latency =
+                   Topology.Graph.latency_between graph server resolver_id
+                 in
+                 match answer with
+                 | Zone.Address addr -> (
+                     let complete () =
+                       let expiry =
+                         Netsim.Engine.now t.engine +. Zone.ttl zone
+                       in
+                       Hashtbl.replace resolver.cache qname
+                         (Cached_address (addr, expiry));
+                       trace t ~actor:(node_label t resolver_id)
+                         "answer %s = %a" (Name.to_string qname) Ipv4.pp_addr
+                         addr;
+                       answer_client (Some addr)
+                     in
+                     match Hashtbl.find_opt t.taps server with
+                     | Some tap ->
+                         trace t ~actor:(node_label t server)
+                           "final answer for %s intercepted by tap (step 6)"
+                           (Name.to_string qname);
+                         t.counters.wire_bytes <- t.counters.wire_bytes + bytes;
+                         tap
+                           { tap_qname = qname; tap_answer = addr;
+                             tap_server = server; tap_resolver = resolver_id;
+                             tap_wire_latency = wire_latency;
+                             tap_complete = complete }
+                     | None -> send t ~src:server ~dst:resolver_id ~bytes complete)
+                 | Zone.Referral (child_apex, child_server) ->
+                     send t ~src:server ~dst:resolver_id ~bytes (fun () ->
+                         let expiry =
+                           Netsim.Engine.now t.engine +. Zone.ttl zone
+                         in
+                         Hashtbl.replace resolver.cache child_apex
+                           (Cached_referral (child_apex, child_server, expiry));
+                         iterate child_server (steps_left - 1))
+                 | Zone.Name_error ->
+                     send t ~src:server ~dst:resolver_id ~bytes (fun () ->
+                         answer_client None))))
+    end
+  in
+  (* Client -> resolver wire, then observer + cache check. *)
+  send t ~src:client ~dst:resolver_id ~bytes:(query_size qname) (fun () ->
+      (match resolver.observer with
+      | Some f -> f ~client_eid ~qname
+      | None -> ());
+      match cache_lookup t resolver qname with
+      | Some addr ->
+          t.counters.cache_hits <- t.counters.cache_hits + 1;
+          trace t ~actor:(node_label t resolver_id) "cache hit %s"
+            (Name.to_string qname);
+          answer_client (Some addr)
+      | None ->
+          t.counters.cache_misses <- t.counters.cache_misses + 1;
+          iterate (starting_server t resolver qname) 16)

@@ -1,0 +1,84 @@
+(** The simulated DNS: servers, resolvers and the wire between them.
+
+    [create] instantiates the full hierarchy for an internet built by
+    {!Topology.Builder}: a root zone, the [net.] TLD zone, one
+    authoritative zone per domain (served by the domain's local DNS
+    node, which doubles as the domain's recursive resolver — the
+    DNS_S / DNS_D of the paper), and host A records mapping
+    ["h<i>.as<d>.net."] to host EIDs.
+
+    Two hook points expose exactly what the paper's PCEs see:
+    - a {e query observer} on a resolver fires when a local client's
+      query reaches DNS_S (step 1: PCE_S learns E_S by IPC);
+    - a {e response tap} on an authoritative server intercepts final
+      address answers on the wire (step 6: PCE_D catches the reply
+      carrying E_D and may deliver it through its own path).  The tap
+      owns delivery: it must eventually call [tap_complete]. *)
+
+type t
+
+val create :
+  engine:Netsim.Engine.t ->
+  internet:Topology.Builder.t ->
+  ?record_ttl:float ->
+  ?server_processing:float ->
+  ?trace:Netsim.Trace.t ->
+  unit ->
+  t
+(** [record_ttl] defaults to 3600 s; [server_processing] (per query, at
+    each server) to 0.5 ms. *)
+
+val engine : t -> Netsim.Engine.t
+val internet : t -> Topology.Builder.t
+
+val resolver_node : t -> Topology.Domain.t -> Topology.Node.id
+(** The resolver serving a domain (its [dns] node). *)
+
+type tap_context = {
+  tap_qname : Name.t;
+  tap_answer : Nettypes.Ipv4.addr;  (** the address in the intercepted reply *)
+  tap_server : Topology.Node.id;  (** authoritative server (DNS_D) *)
+  tap_resolver : Topology.Node.id;  (** querying resolver (DNS_S) *)
+  tap_wire_latency : float;  (** server->resolver latency the reply would take *)
+  tap_complete : unit -> unit;
+      (** deliver the answer into the resolver, to be called once, after
+          any tap-added delays *)
+}
+
+val set_response_tap : t -> server:Topology.Node.id -> (tap_context -> unit) option -> unit
+(** Install/remove the tap for final answers emitted by a server.
+    Referrals and errors are never tapped. *)
+
+val set_query_observer :
+  t ->
+  resolver:Topology.Node.id ->
+  (client_eid:Nettypes.Ipv4.addr -> qname:Name.t -> unit) option ->
+  unit
+
+val resolve :
+  t ->
+  resolver:Topology.Node.id ->
+  client:Topology.Node.id ->
+  client_eid:Nettypes.Ipv4.addr ->
+  Name.t ->
+  callback:(Nettypes.Ipv4.addr option -> unit) ->
+  unit
+(** Full client-side resolution: client-to-resolver wire, cache lookup,
+    iterative resolution from the deepest cached referral, wire back.
+    [callback] fires at the simulated instant the client holds the
+    answer ([None] on name error). *)
+
+val flush_caches : t -> unit
+(** Empty every resolver cache — cold-start experiments. *)
+
+type counters = {
+  mutable client_queries : int;
+  mutable iterative_queries : int;
+  mutable responses : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable wire_bytes : int;
+}
+
+val counters : t -> counters
+(** Live counters (mutated as the simulation runs). *)

@@ -1,0 +1,1 @@
+lib/irc/policy.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/irc/policy.mli: Format

@@ -1,0 +1,1 @@
+lib/irc/selector.ml: Array Float Flow Netsim Nettypes Option Policy Topology

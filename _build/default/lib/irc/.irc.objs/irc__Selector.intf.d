@@ -1,0 +1,1 @@
+lib/irc/selector.mli: Netsim Nettypes Policy Topology

@@ -1,0 +1,1 @@
+lib/lispdp/dataplane.ml: Array Flow Flow_table Format Hashtbl Int Ipv4 List Map_cache Mapping Netsim Nettypes Option Packet Topology

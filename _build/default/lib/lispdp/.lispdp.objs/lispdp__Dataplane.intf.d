@@ -1,0 +1,1 @@
+lib/lispdp/dataplane.mli: Flow_table Map_cache Netsim Nettypes Topology

@@ -1,0 +1,1 @@
+lib/lispdp/flow_table.ml: Hashtbl Ipv4 Mapping Nettypes

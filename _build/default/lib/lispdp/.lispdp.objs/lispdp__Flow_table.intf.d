@@ -1,0 +1,1 @@
+lib/lispdp/flow_table.mli: Nettypes

@@ -1,0 +1,1 @@
+lib/lispdp/map_cache.ml: Ipv4 List Mapping Nettypes Prefix_table

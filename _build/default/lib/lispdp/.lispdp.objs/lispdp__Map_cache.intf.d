@@ -1,0 +1,1 @@
+lib/lispdp/map_cache.mli: Nettypes

@@ -1,0 +1,276 @@
+open Nettypes
+
+type router = {
+  border : Topology.Domain.border;
+  router_domain : Topology.Domain.t;
+  cache : Map_cache.t;
+  flows : Flow_table.t;
+}
+
+type miss_decision = Miss_drop of string | Miss_hold
+
+type control_plane = {
+  cp_name : string;
+  cp_choose_egress :
+    src_domain:Topology.Domain.t -> Flow.t -> Topology.Domain.border;
+  cp_handle_miss : router -> Packet.t -> miss_decision;
+  cp_note_etr_packet : router -> outer_src:Ipv4.addr option -> Packet.t -> unit;
+}
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable held : int;
+  mutable encapsulated : int;
+  mutable decapsulated : int;
+  mutable intra_domain : int;
+  mutable delivered_bytes : int;
+}
+
+type t = {
+  engine : Netsim.Engine.t;
+  internet : Topology.Builder.t;
+  control_plane : control_plane;
+  routers : router array array; (* indexed by domain id, then border index *)
+  by_rloc : (int, router) Hashtbl.t; (* RLOC as raw int -> router *)
+  receivers : (int, Packet.t -> unit) Hashtbl.t; (* EID -> host callback *)
+  trace : Netsim.Trace.t option;
+  counters : counters;
+  drops : (string, int) Hashtbl.t;
+  mutable drop_observer : (cause:string -> now:float -> unit) option;
+}
+
+let engine t = t.engine
+let internet t = t.internet
+let control_plane t = t.control_plane
+let counters t = t.counters
+
+let trace t ~actor fmt =
+  match t.trace with
+  | Some tr ->
+      Netsim.Trace.recordf tr ~time:(Netsim.Engine.now t.engine) ~actor fmt
+  | None -> Format.ikfprintf ignore Format.err_formatter fmt
+
+let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
+    ?(flow_ttl = 300.0) ?trace () =
+  let by_rloc = Hashtbl.create 64 in
+  let routers =
+    Array.map
+      (fun domain ->
+        Array.map
+          (fun border ->
+            let r =
+              { border; router_domain = domain;
+                cache = Map_cache.create ~capacity:cache_capacity ();
+                flows = Flow_table.create ~ttl:flow_ttl () }
+            in
+            Hashtbl.replace by_rloc (Ipv4.addr_to_int border.Topology.Domain.rloc) r;
+            r)
+          domain.Topology.Domain.borders)
+      internet.Topology.Builder.domains
+  in
+  { engine; internet; control_plane; routers; by_rloc;
+    receivers = Hashtbl.create 64; trace;
+    counters =
+      { sent = 0; delivered = 0; dropped = 0; held = 0; encapsulated = 0;
+        decapsulated = 0; intra_domain = 0; delivered_bytes = 0 };
+    drops = Hashtbl.create 8; drop_observer = None }
+
+let routers_of_domain t domain = t.routers.(domain.Topology.Domain.id)
+
+let router_of_rloc t rloc = Hashtbl.find_opt t.by_rloc (Ipv4.addr_to_int rloc)
+
+let router_for_border t border =
+  match router_of_rloc t border.Topology.Domain.rloc with
+  | Some r -> r
+  | None -> invalid_arg "Dataplane.router_for_border: unknown border"
+
+let install_mapping t router mapping =
+  Map_cache.insert router.cache ~now:(Netsim.Engine.now t.engine) mapping
+
+let install_mapping_all t domain mapping =
+  Array.iter (fun r -> install_mapping t r mapping) (routers_of_domain t domain)
+
+let install_flow_entry t router entry =
+  Flow_table.install router.flows ~now:(Netsim.Engine.now t.engine) entry
+
+let install_flow_entry_all t domain entry =
+  Array.iter (fun r -> install_flow_entry t r entry) (routers_of_domain t domain)
+
+let set_host_receiver t eid receiver =
+  match receiver with
+  | Some f -> Hashtbl.replace t.receivers (Ipv4.addr_to_int eid) f
+  | None -> Hashtbl.remove t.receivers (Ipv4.addr_to_int eid)
+
+let record_drop t cause =
+  t.counters.dropped <- t.counters.dropped + 1;
+  Hashtbl.replace t.drops cause
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops cause));
+  match t.drop_observer with
+  | Some f -> f ~cause ~now:(Netsim.Engine.now t.engine)
+  | None -> ()
+
+let set_drop_observer t observer = t.drop_observer <- observer
+
+let drop_causes t =
+  Hashtbl.fold (fun cause n acc -> (cause, n) :: acc) t.drops []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let graph t = t.internet.Topology.Builder.graph
+
+(* Move [packet] from node [src] to node [dst]: charge the links on the
+   shortest path and invoke [k] after the path latency.  If link
+   failures have disconnected the endpoints the packet is dropped under
+   cause ["no-route"]. *)
+let wire t ~src ~dst packet k =
+  if src = dst then k ()
+  else begin
+    let g = graph t in
+    match Topology.Graph.latency_between g src dst with
+    | latency ->
+        Topology.Graph.account_path g ~src ~dst ~bytes:(Packet.size packet);
+        ignore (Netsim.Engine.schedule t.engine ~delay:latency k)
+    | exception Not_found -> record_drop t "no-route"
+  end
+
+let host_node_of_eid t eid =
+  match Topology.Builder.domain_of_eid t.internet eid with
+  | None -> None
+  | Some domain -> (
+      match Topology.Domain.host_of_eid domain eid with
+      | Some i -> Some (domain, domain.Topology.Domain.hosts.(i))
+      | None -> None)
+
+(* Final hop: packet is at [router]'s node (or directly at the domain
+   edge) and must reach the host owning its destination EID. *)
+let deliver_to_host t ~from_node packet =
+  let dst_eid = packet.Packet.flow.Flow.dst in
+  match host_node_of_eid t dst_eid with
+  | None -> record_drop t "no-such-eid"
+  | Some (_domain, host_node) ->
+      wire t ~src:from_node ~dst:host_node packet (fun () ->
+          match Hashtbl.find_opt t.receivers (Ipv4.addr_to_int dst_eid) with
+          | Some receiver ->
+              t.counters.delivered <- t.counters.delivered + 1;
+              t.counters.delivered_bytes <-
+                t.counters.delivered_bytes + Packet.size packet;
+              receiver packet
+          | None -> record_drop t "no-receiver")
+
+(* A packet arrived at a border router from the core side. *)
+let etr_receive t router packet =
+  let inner, outer_src =
+    if Packet.is_encapsulated packet then begin
+      t.counters.decapsulated <- t.counters.decapsulated + 1;
+      let outer =
+        match packet.Packet.encap with Some e -> e | None -> assert false
+      in
+      (Packet.decapsulate packet, Some outer.Packet.outer_src)
+    end
+    else (packet, None)
+  in
+  trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-etr")
+    "ETR %a received %a" Ipv4.pp_addr router.border.Topology.Domain.rloc
+    Packet.pp inner;
+  t.control_plane.cp_note_etr_packet router ~outer_src inner;
+  deliver_to_host t ~from_node:router.border.Topology.Domain.router inner
+
+let deliver_via t router packet ~extra_delay =
+  if extra_delay < 0.0 then invalid_arg "Dataplane.deliver_via: negative delay";
+  ignore
+    (Netsim.Engine.schedule t.engine ~delay:extra_delay (fun () ->
+         etr_receive t router packet))
+
+(* Tunnel [packet] from ITR [router] using the given outer header. *)
+let tunnel t router packet ~outer_src ~outer_dst =
+  match router_of_rloc t outer_dst with
+  | None -> record_drop t "no-such-rloc"
+  | Some remote
+    when not (Topology.Link.is_up remote.border.Topology.Domain.uplink) ->
+      (* The RLOC's access link is down: inter-domain routing has no
+         path to this locator. *)
+      record_drop t "rloc-unreachable"
+  | Some remote ->
+      let encapsulated = Packet.encapsulate packet ~outer_src ~outer_dst in
+      t.counters.encapsulated <- t.counters.encapsulated + 1;
+      trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
+        "ITR %a tunnels %a" Ipv4.pp_addr router.border.Topology.Domain.rloc
+        Packet.pp encapsulated;
+      wire t ~src:router.border.Topology.Domain.router
+        ~dst:remote.border.Topology.Domain.router encapsulated (fun () ->
+          etr_receive t remote encapsulated)
+
+(* Mapping lookup at an ITR: per-flow entry first (PCE tuples, which may
+   impose a foreign source RLOC), then the LISP map-cache. *)
+let lookup_outer router ~now flow =
+  match
+    Flow_table.lookup router.flows ~now ~src_eid:flow.Flow.src
+      ~dst_eid:flow.Flow.dst
+  with
+  | Some entry -> Some (entry.Mapping.src_rloc, entry.Mapping.dst_rloc)
+  | None -> (
+      match Map_cache.lookup router.cache ~now flow.Flow.dst with
+      | Some mapping ->
+          let r = Mapping.select_rloc mapping ~hash:(Flow.hash flow) in
+          Some (router.border.Topology.Domain.rloc, r.Mapping.rloc_addr)
+      | None -> None)
+
+let itr_process t router packet =
+  let now = Netsim.Engine.now t.engine in
+  match lookup_outer router ~now packet.Packet.flow with
+  | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
+  | None -> (
+      match t.control_plane.cp_handle_miss router packet with
+      | Miss_drop cause ->
+          trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
+            "miss for %a: dropped (%s)" Ipv4.pp_addr packet.Packet.flow.Flow.dst
+            cause;
+          record_drop t cause
+      | Miss_hold -> t.counters.held <- t.counters.held + 1)
+
+let transmit_from_itr t router packet =
+  let now = Netsim.Engine.now t.engine in
+  match lookup_outer router ~now packet.Packet.flow with
+  | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
+  | None -> record_drop t "post-resolution-miss"
+
+let send_from_host t packet =
+  let flow = packet.Packet.flow in
+  match Topology.Builder.domain_of_eid t.internet flow.Flow.src with
+  | None -> invalid_arg "Dataplane.send_from_host: unknown source EID"
+  | Some src_domain ->
+      t.counters.sent <- t.counters.sent + 1;
+      let src_node =
+        match Topology.Domain.host_of_eid src_domain flow.Flow.src with
+        | Some i -> src_domain.Topology.Domain.hosts.(i)
+        | None ->
+            invalid_arg "Dataplane.send_from_host: source EID is not a host"
+      in
+      if Topology.Domain.owns_eid src_domain flow.Flow.dst then begin
+        (* Intra-domain traffic never touches LISP. *)
+        t.counters.intra_domain <- t.counters.intra_domain + 1;
+        deliver_to_host t ~from_node:src_node packet
+      end
+      else begin
+        let border = t.control_plane.cp_choose_egress ~src_domain flow in
+        let router = router_for_border t border in
+        wire t ~src:src_node ~dst:border.Topology.Domain.router packet
+          (fun () -> itr_process t router packet)
+      end
+
+let cache_stats_totals t =
+  let acc =
+    { Map_cache.hits = 0; misses = 0; insertions = 0; evictions = 0;
+      expirations = 0 }
+  in
+  Array.iter
+    (Array.iter (fun r ->
+         let s = Map_cache.stats r.cache in
+         acc.Map_cache.hits <- acc.Map_cache.hits + s.Map_cache.hits;
+         acc.Map_cache.misses <- acc.Map_cache.misses + s.Map_cache.misses;
+         acc.Map_cache.insertions <- acc.Map_cache.insertions + s.Map_cache.insertions;
+         acc.Map_cache.evictions <- acc.Map_cache.evictions + s.Map_cache.evictions;
+         acc.Map_cache.expirations <- acc.Map_cache.expirations + s.Map_cache.expirations))
+    t.routers;
+  acc

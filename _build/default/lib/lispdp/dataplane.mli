@@ -1,0 +1,119 @@
+(** The LISP data plane.
+
+    One [t] simulates every ITR/ETR of an internet: hosts hand packets to
+    {!send_from_host}; the data plane picks the egress border (via the
+    control plane), looks the destination EID up in the border's per-flow
+    table and map-cache, encapsulates, moves bytes across the topology
+    (charging link counters), decapsulates at the remote border and
+    delivers to the destination host's receiver callback.
+
+    The control plane is injected as a record of closures
+    ({!control_plane}); the five implementations (pull-drop, pull-queue,
+    pull-detour, NERD push, PCE) live in the [mapsys] and [core]
+    libraries and call back into {!install_mapping},
+    {!install_flow_entry}, {!transmit_from_itr} and {!deliver_via}. *)
+
+type t
+
+type router = {
+  border : Topology.Domain.border;
+  router_domain : Topology.Domain.t;
+  cache : Map_cache.t;  (** this border's LISP map-cache *)
+  flows : Flow_table.t;  (** PCE-installed per-flow tuples *)
+}
+
+type miss_decision =
+  | Miss_drop of string
+      (** drop the packet now, counted under the given cause label *)
+  | Miss_hold
+      (** the control plane took custody of the packet and will either
+          re-send it via {!transmit_from_itr} or abandon it *)
+
+type control_plane = {
+  cp_name : string;
+  cp_choose_egress :
+    src_domain:Topology.Domain.t -> Nettypes.Flow.t -> Topology.Domain.border;
+      (** which border router a flow leaves its domain through *)
+  cp_handle_miss : router -> Nettypes.Packet.t -> miss_decision;
+      (** the border has no mapping for the packet's destination EID *)
+  cp_note_etr_packet :
+    router -> outer_src:Nettypes.Ipv4.addr option -> Nettypes.Packet.t -> unit;
+      (** a packet arrived at this border from the core (after decap);
+          [outer_src] is the tunnel source RLOC when it was tunneled —
+          the hook LISP gleaning and the paper's ETR reverse-mapping
+          multicast build on *)
+}
+
+val create :
+  engine:Netsim.Engine.t ->
+  internet:Topology.Builder.t ->
+  control_plane:control_plane ->
+  ?cache_capacity:int ->
+  ?flow_ttl:float ->
+  ?trace:Netsim.Trace.t ->
+  unit ->
+  t
+
+val engine : t -> Netsim.Engine.t
+val internet : t -> Topology.Builder.t
+val control_plane : t -> control_plane
+
+val routers_of_domain : t -> Topology.Domain.t -> router array
+(** One router per border, in border order. *)
+
+val router_of_rloc : t -> Nettypes.Ipv4.addr -> router option
+val router_for_border : t -> Topology.Domain.border -> router
+
+val install_mapping : t -> router -> Nettypes.Mapping.t -> unit
+(** Put a mapping in one border's map-cache (stamped at current time). *)
+
+val install_mapping_all : t -> Topology.Domain.t -> Nettypes.Mapping.t -> unit
+(** Same mapping into every border of the domain. *)
+
+val install_flow_entry : t -> router -> Nettypes.Mapping.flow_entry -> unit
+
+val install_flow_entry_all : t -> Topology.Domain.t -> Nettypes.Mapping.flow_entry -> unit
+(** The paper's step 7b: push the per-flow tuple to {e all} ITRs of the
+    domain. *)
+
+val set_host_receiver :
+  t -> Nettypes.Ipv4.addr -> (Nettypes.Packet.t -> unit) option -> unit
+(** Register the callback invoked when a packet reaches the host owning
+    the given EID. *)
+
+val send_from_host : t -> Nettypes.Packet.t -> unit
+(** Entry point for host-originated packets.  The packet's flow source
+    EID must belong to a known domain. *)
+
+val transmit_from_itr : t -> router -> Nettypes.Packet.t -> unit
+(** Re-run the lookup-and-tunnel step for a packet the control plane
+    held; a second miss drops it under cause ["post-resolution-miss"]. *)
+
+val deliver_via : t -> router -> Nettypes.Packet.t -> extra_delay:float -> unit
+(** Control-plane detour: the packet appears at the given (remote)
+    border after [extra_delay] seconds and is forwarded to its host —
+    models mapping systems that carry data packets over the control
+    plane while the mapping resolves. *)
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable held : int;  (** packets handed to the control plane on a miss *)
+  mutable encapsulated : int;
+  mutable decapsulated : int;
+  mutable intra_domain : int;  (** delivered without LISP *)
+  mutable delivered_bytes : int;
+}
+
+val counters : t -> counters
+
+val drop_causes : t -> (string * int) list
+(** Drop counts keyed by cause label, sorted by descending count. *)
+
+val set_drop_observer : t -> (cause:string -> now:float -> unit) option -> unit
+(** Callback invoked on every drop — failure experiments use it to build
+    drop timelines. *)
+
+val cache_stats_totals : t -> Map_cache.stats
+(** Aggregate map-cache statistics over all routers. *)

@@ -1,0 +1,47 @@
+open Nettypes
+
+type key = int * int (* src EID, dst EID as raw ints *)
+
+type slot = { mutable entry : Mapping.flow_entry; mutable expires_at : float }
+
+type t = { ttl : float; table : (key, slot) Hashtbl.t }
+
+let create ?(ttl = 300.0) () =
+  if ttl <= 0.0 then invalid_arg "Flow_table.create: non-positive TTL";
+  { ttl; table = Hashtbl.create 64 }
+
+let key_of ~src_eid ~dst_eid = (Ipv4.addr_to_int src_eid, Ipv4.addr_to_int dst_eid)
+
+let install t ~now entry =
+  let key =
+    key_of ~src_eid:entry.Mapping.src_eid ~dst_eid:entry.Mapping.dst_eid
+  in
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      slot.entry <- entry;
+      slot.expires_at <- now +. t.ttl
+  | None -> Hashtbl.replace t.table key { entry; expires_at = now +. t.ttl }
+
+let lookup t ~now ~src_eid ~dst_eid =
+  let key = key_of ~src_eid ~dst_eid in
+  match Hashtbl.find_opt t.table key with
+  | Some slot when slot.expires_at > now -> Some slot.entry
+  | Some _ ->
+      Hashtbl.remove t.table key;
+      None
+  | None -> None
+
+let remove t ~src_eid ~dst_eid = Hashtbl.remove t.table (key_of ~src_eid ~dst_eid)
+let length t = Hashtbl.length t.table
+let clear t = Hashtbl.reset t.table
+
+let update_src_rloc t ~now ~src_eid ~dst_eid ~rloc =
+  let key = key_of ~src_eid ~dst_eid in
+  match Hashtbl.find_opt t.table key with
+  | Some slot when slot.expires_at > now ->
+      slot.entry <- { slot.entry with Mapping.src_rloc = rloc };
+      true
+  | Some _ | None -> false
+
+let iter t ~now ~f =
+  Hashtbl.iter (fun _ slot -> if slot.expires_at > now then f slot.entry) t.table

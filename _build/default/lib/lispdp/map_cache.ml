@@ -1,0 +1,117 @@
+open Nettypes
+
+(* Entries live in a prefix trie for longest-prefix lookup and in an
+   intrusive doubly-linked list ordered by recency (head = most recent)
+   for O(1) LRU maintenance. *)
+
+type entry = {
+  mapping : Mapping.t;
+  expires_at : float;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable expirations : int;
+}
+
+type t = {
+  capacity : int;
+  table : entry Prefix_table.t;
+  mutable head : entry option; (* most recently used *)
+  mutable tail : entry option; (* least recently used *)
+  stats : stats;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
+  { capacity; table = Prefix_table.create (); head = None; tail = None;
+    stats = { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0 } }
+
+let stats t = t.stats
+let length t = Prefix_table.length t.table
+let capacity t = t.capacity
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let drop_entry t e =
+  unlink t e;
+  Prefix_table.remove t.table e.mapping.Mapping.eid_prefix
+
+let remove t prefix =
+  match Prefix_table.find_exact t.table prefix with
+  | Some e -> drop_entry t e
+  | None -> ()
+
+let remove_covered t prefix =
+  let victims =
+    Prefix_table.fold t.table ~init:[] ~f:(fun p e acc ->
+        if Ipv4.prefix_subsumes prefix p then e :: acc else acc)
+  in
+  List.iter (drop_entry t) victims;
+  List.length victims
+
+let clear t =
+  Prefix_table.clear t.table;
+  t.head <- None;
+  t.tail <- None
+
+let evict_lru t =
+  match t.tail with
+  | Some e ->
+      drop_entry t e;
+      t.stats.evictions <- t.stats.evictions + 1
+  | None -> ()
+
+let insert t ~now mapping =
+  remove t mapping.Mapping.eid_prefix;
+  if length t >= t.capacity then evict_lru t;
+  let e =
+    { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None; next = None }
+  in
+  Prefix_table.add t.table mapping.Mapping.eid_prefix e;
+  push_front t e;
+  t.stats.insertions <- t.stats.insertions + 1
+
+(* Longest-prefix match skipping (and reaping) expired entries. *)
+let rec live_lookup t ~now addr =
+  match Prefix_table.lookup t.table addr with
+  | None -> None
+  | Some (_, e) ->
+      if e.expires_at > now then Some e
+      else begin
+        drop_entry t e;
+        t.stats.expirations <- t.stats.expirations + 1;
+        live_lookup t ~now addr
+      end
+
+let lookup t ~now addr =
+  match live_lookup t ~now addr with
+  | Some e ->
+      t.stats.hits <- t.stats.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.mapping
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+
+let contains t ~now addr = live_lookup t ~now addr <> None
+
+let hit_ratio t =
+  let total = t.stats.hits + t.stats.misses in
+  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total

@@ -1,0 +1,47 @@
+(** The LISP map-cache of an ITR.
+
+    Bounded cache of EID-prefix-to-RLOC mappings with per-entry expiry
+    (the mapping's TTL, stamped at insertion) and least-recently-used
+    eviction when full.  Time is passed explicitly so the cache has no
+    dependency on the event engine and can be unit-tested directly. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 10_000 entries; must be positive. *)
+
+val insert : t -> now:float -> Nettypes.Mapping.t -> unit
+(** Cache a mapping; its expiry is [now + ttl].  Re-inserting a mapping
+    for the same EID prefix refreshes it.  May evict the LRU entry. *)
+
+val lookup : t -> now:float -> Nettypes.Ipv4.addr -> Nettypes.Mapping.t option
+(** Longest-prefix match among live entries; refreshes the entry's LRU
+    position.  Expired entries behave as absent (and are reaped). *)
+
+val contains : t -> now:float -> Nettypes.Ipv4.addr -> bool
+(** Like {!lookup} without touching LRU order. *)
+
+val remove : t -> Nettypes.Ipv4.prefix -> unit
+
+val remove_covered : t -> Nettypes.Ipv4.prefix -> int
+(** Remove the exact entry {e and} every more-specific entry inside the
+    prefix (e.g. gleaned /32 host routes under a re-registered site
+    prefix — the entries a Solicit-Map-Request invalidates).  Returns
+    the number of entries removed. *)
+
+val length : t -> int
+val capacity : t -> int
+val clear : t -> unit
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;  (** LRU evictions due to capacity *)
+  mutable expirations : int;  (** entries dropped because their TTL lapsed *)
+}
+
+val stats : t -> stats
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)]; 0 when no lookups have happened. *)

@@ -1,0 +1,1 @@
+lib/mapsys/alt.mli:

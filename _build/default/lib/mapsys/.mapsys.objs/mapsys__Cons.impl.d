@@ -1,0 +1,1 @@
+lib/mapsys/cons.ml: Alt Hashtbl Pull

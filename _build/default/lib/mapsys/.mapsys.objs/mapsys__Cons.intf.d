@@ -1,0 +1,1 @@
+lib/mapsys/cons.mli: Alt Cp_stats Lispdp Netsim Registry Topology

@@ -1,0 +1,1 @@
+lib/mapsys/cp_stats.ml: Format

@@ -1,0 +1,1 @@
+lib/mapsys/glean.ml: Hashtbl Nettypes Topology

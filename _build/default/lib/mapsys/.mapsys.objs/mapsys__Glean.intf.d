@@ -1,0 +1,1 @@
+lib/mapsys/glean.mli: Nettypes Topology

@@ -1,0 +1,1 @@
+lib/mapsys/msmr.ml: Alt Array Cp_stats Lispdp Pull Registry Topology Wire

@@ -1,0 +1,1 @@
+lib/mapsys/msmr.mli: Alt Cp_stats Lispdp Netsim Pull Registry Topology

@@ -1,0 +1,1 @@
+lib/mapsys/nerd.ml: Array Cp_stats Flow Lispdp Mapping Netsim Nettypes Registry Topology Wire

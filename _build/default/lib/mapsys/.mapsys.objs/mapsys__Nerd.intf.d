@@ -1,0 +1,1 @@
+lib/mapsys/nerd.mli: Cp_stats Lispdp Netsim Nettypes Registry Topology

@@ -1,0 +1,1 @@
+lib/mapsys/pull.ml: Alt Array Cp_stats Float Flow Glean Hashtbl Ipv4 Lispdp List Mapping Netsim Nettypes Option Packet Registry Topology Wire

@@ -1,0 +1,1 @@
+lib/mapsys/pull.mli: Alt Cp_stats Lispdp Netsim Registry Topology

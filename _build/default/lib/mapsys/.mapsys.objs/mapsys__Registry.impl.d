@@ -1,0 +1,1 @@
+lib/mapsys/registry.ml: Array Mapping Nettypes Option Prefix_table Topology Wire

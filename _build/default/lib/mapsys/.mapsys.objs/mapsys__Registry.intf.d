@@ -1,0 +1,1 @@
+lib/mapsys/registry.mli: Nettypes Topology

@@ -1,0 +1,28 @@
+type t = {
+  mutable map_requests : int;
+  mutable map_replies : int;
+  mutable push_messages : int;
+  mutable control_bytes : int;
+  mutable detoured_packets : int;
+  mutable resolutions : int;
+}
+
+let create () =
+  { map_requests = 0; map_replies = 0; push_messages = 0; control_bytes = 0;
+    detoured_packets = 0; resolutions = 0 }
+
+let message_total t = t.map_requests + t.map_replies + t.push_messages
+
+let merge a b =
+  { map_requests = a.map_requests + b.map_requests;
+    map_replies = a.map_replies + b.map_replies;
+    push_messages = a.push_messages + b.push_messages;
+    control_bytes = a.control_bytes + b.control_bytes;
+    detoured_packets = a.detoured_packets + b.detoured_packets;
+    resolutions = a.resolutions + b.resolutions }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "req=%d rep=%d push=%d bytes=%d detour=%d resolved=%d" t.map_requests
+    t.map_replies t.push_messages t.control_bytes t.detoured_packets
+    t.resolutions

@@ -1,0 +1,21 @@
+(** Control-plane cost accounting, shared by every mapping-system
+    implementation so experiment T5 can compare them on equal terms. *)
+
+type t = {
+  mutable map_requests : int;
+  mutable map_replies : int;
+  mutable push_messages : int;  (** database/flow-entry push messages *)
+  mutable control_bytes : int;  (** bytes of all control messages *)
+  mutable detoured_packets : int;  (** data packets carried over the CP *)
+  mutable resolutions : int;  (** completed EID-to-RLOC resolutions *)
+}
+
+val create : unit -> t
+
+val message_total : t -> int
+(** Requests + replies + pushes. *)
+
+val merge : t -> t -> t
+(** Pointwise sum (fresh record). *)
+
+val pp : Format.formatter -> t -> unit

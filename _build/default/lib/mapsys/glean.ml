@@ -1,0 +1,12 @@
+type t = (int * int, Topology.Domain.border) Hashtbl.t
+
+let create () = Hashtbl.create 256
+
+let note t ~domain ~remote_eid ~border =
+  Hashtbl.replace t (domain, Nettypes.Ipv4.addr_to_int remote_eid) border
+
+let lookup t ~domain ~remote_eid =
+  Hashtbl.find_opt t (domain, Nettypes.Ipv4.addr_to_int remote_eid)
+
+let entries = Hashtbl.length
+let clear = Hashtbl.reset

@@ -1,0 +1,22 @@
+(** Symmetric-return bookkeeping (LISP gleaning).
+
+    Plain LISP reuses a flow's forward ETR as the reverse-direction ITR
+    to avoid a second mapping resolution — the inbound-TE limitation the
+    paper attacks.  This table records, per domain, which border received
+    traffic from a remote EID, so the baseline control planes can route
+    the reverse flow out through that same border. *)
+
+type t
+
+val create : unit -> t
+
+val note :
+  t -> domain:int -> remote_eid:Nettypes.Ipv4.addr -> border:Topology.Domain.border -> unit
+(** Remember that [domain] last heard from [remote_eid] through
+    [border]. *)
+
+val lookup :
+  t -> domain:int -> remote_eid:Nettypes.Ipv4.addr -> Topology.Domain.border option
+
+val entries : t -> int
+val clear : t -> unit

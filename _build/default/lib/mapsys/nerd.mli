@@ -1,0 +1,35 @@
+(** NERD-style push control plane.
+
+    NERD distributes the complete EID-to-RLOC database to every LISP
+    router ahead of time, so lookups never miss — at the cost of pushing
+    and storing the whole table everywhere and re-pushing on every
+    change.  {!attach} performs the initial full push (counted in the
+    stats); {!push_update} models incremental churn with a propagation
+    delay during which routers hold the stale mapping. *)
+
+type t
+
+val create :
+  engine:Netsim.Engine.t ->
+  internet:Topology.Builder.t ->
+  registry:Registry.t ->
+  ?propagation_delay:float ->
+  unit ->
+  t
+(** [propagation_delay] (default 30 s) is how long a database update
+    takes to reach all routers. *)
+
+val control_plane : t -> Lispdp.Dataplane.control_plane
+
+val attach : t -> Lispdp.Dataplane.t -> unit
+(** Installs the full database in every border router of every domain
+    and accounts the push cost. *)
+
+val push_update : t -> domain:int -> Nettypes.Mapping.t -> unit
+(** Replace one domain's mapping: the registry changes now; routers
+    receive the new version after the propagation delay. *)
+
+val stats : t -> Cp_stats.t
+
+val database_entries_per_router : t -> int
+(** State burden: mappings each router must hold (the full registry). *)

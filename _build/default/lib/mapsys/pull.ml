@@ -1,0 +1,287 @@
+open Nettypes
+
+type mode = Drop_while_pending | Queue_while_pending of int | Detour_via_cp
+
+let mode_name = function
+  | Drop_while_pending -> "pull-drop"
+  | Queue_while_pending _ -> "pull-queue"
+  | Detour_via_cp -> "pull-detour"
+
+(* One in-flight resolution: an ITR (identified by its router node)
+   waiting for the mapping of a destination domain. *)
+type resolution = { mutable queued : Packet.t list (* newest first *) }
+
+type t = {
+  engine : Netsim.Engine.t;
+  internet : Topology.Builder.t;
+  registry : Registry.t;
+  alt : Alt.t;
+  mode : mode;
+  name : string;
+  latency_of : src:int -> dst:int -> float;
+  resolution_latency :
+    (router:Lispdp.Dataplane.router -> dst_domain:Topology.Domain.t -> float)
+    option;
+  glean_ttl : float;
+  server_processing : float;
+  stats : Cp_stats.t;
+  glean : Glean.t;
+  pending : (int * int, resolution) Hashtbl.t; (* router node, dst domain *)
+  smr : bool;
+  (* Which remote ITRs (by RLOC) cache each domain's mapping — learned
+     from the tunnel headers at the domain's ETRs, used by SMR. *)
+  cached_at : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable nonce : int;
+  mutable dataplane : Lispdp.Dataplane.t option;
+}
+
+let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
+    ?resolution_latency ?(glean_ttl = 60.0) ?(server_processing = 0.0005)
+    ?(smr = false) () =
+  let latency_of =
+    match latency_of with
+    | Some f -> f
+    | None -> fun ~src ~dst -> Alt.request_latency alt ~src ~dst
+  in
+  { engine; internet; registry; alt; mode;
+    name = Option.value name ~default:(mode_name mode);
+    latency_of; resolution_latency; glean_ttl; server_processing; smr;
+    cached_at = Hashtbl.create 16; stats = Cp_stats.create ();
+    glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
+    dataplane = None }
+
+let attach t dataplane =
+  match t.dataplane with
+  | Some _ -> invalid_arg "Pull.attach: already attached"
+  | None -> t.dataplane <- Some dataplane
+
+let dataplane_exn t =
+  match t.dataplane with
+  | Some dp -> dp
+  | None -> invalid_arg "Pull: control plane used before attach"
+
+let stats t = t.stats
+let pending_resolutions t = Hashtbl.length t.pending
+
+let choose_egress t ~src_domain flow =
+  let borders = src_domain.Topology.Domain.borders in
+  match
+    Glean.lookup t.glean ~domain:src_domain.Topology.Domain.id
+      ~remote_eid:flow.Flow.dst
+  with
+  | Some border -> border (* symmetric return through the forward ETR *)
+  | None -> borders.(Flow.hash flow mod Array.length borders)
+
+(* The map-reply source: the destination's authoritative ETR. *)
+let authoritative_router t mapping =
+  let rloc = Registry.authoritative_rloc mapping in
+  match Topology.Builder.border_of_rloc t.internet rloc with
+  | Some (_, border) -> border
+  | None -> invalid_arg "Pull: registry RLOC has no border router"
+
+let start_resolution t router dst_domain mapping =
+  let dp = dataplane_exn t in
+  let src_id =
+    (router.Lispdp.Dataplane.router_domain).Topology.Domain.id
+  in
+  let dst_id = dst_domain.Topology.Domain.id in
+  t.nonce <- (t.nonce + 1) land 0xFFFFFFFF;
+  let nonce = t.nonce in
+  let request =
+    Wire.Codec.Map_request
+      { nonce;
+        source_rloc = router.Lispdp.Dataplane.border.Topology.Domain.rloc;
+        eid =
+          Ipv4.prefix_network
+            (Registry.mapping_of_domain t.registry dst_id).Mapping.eid_prefix }
+  in
+  t.stats.Cp_stats.map_requests <- t.stats.Cp_stats.map_requests + 1;
+  t.stats.Cp_stats.control_bytes <-
+    t.stats.Cp_stats.control_bytes + Wire.Codec.size request;
+  Alt.note_request t.alt ~src:src_id ~dst:dst_id;
+  let total =
+    match t.resolution_latency with
+    | Some f -> f ~router ~dst_domain +. t.server_processing
+    | None ->
+        let request_latency = t.latency_of ~src:src_id ~dst:dst_id in
+        let authoritative = authoritative_router t mapping in
+        let graph = t.internet.Topology.Builder.graph in
+        let requester = router.Lispdp.Dataplane.border.Topology.Domain.router in
+        let reply_latency =
+          match
+            Topology.Graph.latency_between graph
+              authoritative.Topology.Domain.router requester
+          with
+          | latency -> latency
+          | exception Not_found -> (
+              (* The requesting ITR's own uplink is down: the reply is
+                 routed to the domain (any live uplink) and forwarded
+                 internally. *)
+              let hub =
+                (router.Lispdp.Dataplane.router_domain).Topology.Domain.hub
+              in
+              match
+                Topology.Graph.latency_between graph
+                  authoritative.Topology.Domain.router hub
+              with
+              | to_hub ->
+                  to_hub +. Topology.Graph.latency_between graph hub requester
+              | exception Not_found -> infinity)
+        in
+        request_latency +. t.server_processing +. reply_latency
+  in
+  if total = infinity then
+    (* The whole domain is cut off; abandon the resolution (packets are
+       already dropping, and a later miss will retry). *)
+    Hashtbl.remove t.pending
+      (router.Lispdp.Dataplane.border.Topology.Domain.router,
+       dst_id)
+  else
+  ignore
+    (Netsim.Engine.schedule t.engine ~delay:total (fun () ->
+         t.stats.Cp_stats.map_replies <- t.stats.Cp_stats.map_replies + 1;
+         t.stats.Cp_stats.resolutions <- t.stats.Cp_stats.resolutions + 1;
+         t.stats.Cp_stats.control_bytes <-
+           t.stats.Cp_stats.control_bytes
+           + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping });
+         Lispdp.Dataplane.install_mapping dp router mapping;
+         let key =
+           (router.Lispdp.Dataplane.border.Topology.Domain.router, dst_id)
+         in
+         match Hashtbl.find_opt t.pending key with
+         | Some resolution ->
+             Hashtbl.remove t.pending key;
+             List.iter
+               (Lispdp.Dataplane.transmit_from_itr dp router)
+               (List.rev resolution.queued)
+         | None -> ()))
+
+let handle_miss t router packet =
+  let dst = packet.Packet.flow.Flow.dst in
+  match Topology.Builder.domain_of_eid t.internet dst with
+  | None -> Lispdp.Dataplane.Miss_drop "no-such-eid-domain"
+  | Some dst_domain -> (
+      let mapping = Registry.mapping_of_domain t.registry dst_domain.Topology.Domain.id in
+      let key =
+        (router.Lispdp.Dataplane.border.Topology.Domain.router,
+         dst_domain.Topology.Domain.id)
+      in
+      let resolution =
+        match Hashtbl.find_opt t.pending key with
+        | Some r -> r
+        | None ->
+            let r = { queued = [] } in
+            Hashtbl.replace t.pending key r;
+            start_resolution t router dst_domain mapping;
+            r
+      in
+      match t.mode with
+      | Drop_while_pending -> Lispdp.Dataplane.Miss_drop "mapping-resolution-drop"
+      | Queue_while_pending limit ->
+          if List.length resolution.queued >= limit then
+            Lispdp.Dataplane.Miss_drop "resolution-queue-overflow"
+          else begin
+            resolution.queued <- packet :: resolution.queued;
+            Lispdp.Dataplane.Miss_hold
+          end
+      | Detour_via_cp ->
+          (* The data packet rides the mapping overlay to the
+             destination's authoritative ETR. *)
+          let dp = dataplane_exn t in
+          let etr =
+            Lispdp.Dataplane.router_for_border dp (authoritative_router t mapping)
+          in
+          let src_id = (router.Lispdp.Dataplane.router_domain).Topology.Domain.id in
+          let overlay =
+            t.latency_of ~src:src_id ~dst:dst_domain.Topology.Domain.id
+          in
+          t.stats.Cp_stats.detoured_packets <-
+            t.stats.Cp_stats.detoured_packets + 1;
+          t.stats.Cp_stats.control_bytes <-
+            t.stats.Cp_stats.control_bytes + Packet.size packet;
+          Lispdp.Dataplane.deliver_via dp etr packet ~extra_delay:overlay;
+          Lispdp.Dataplane.Miss_hold)
+
+let note_etr_packet t router ~outer_src packet =
+  match outer_src with
+  | None -> ()
+  | Some itr_rloc ->
+      let dp = dataplane_exn t in
+      let src_eid = packet.Packet.flow.Flow.src in
+      let domain = router.Lispdp.Dataplane.router_domain in
+      if t.smr then begin
+        let holders =
+          match Hashtbl.find_opt t.cached_at domain.Topology.Domain.id with
+          | Some set -> set
+          | None ->
+              let set = Hashtbl.create 8 in
+              Hashtbl.replace t.cached_at domain.Topology.Domain.id set;
+              set
+        in
+        Hashtbl.replace holders (Ipv4.addr_to_int itr_rloc) ()
+      end;
+      Glean.note t.glean ~domain:domain.Topology.Domain.id ~remote_eid:src_eid
+        ~border:router.Lispdp.Dataplane.border;
+      (* Host route toward the remote ITR so the reverse tunnel is
+         symmetric without a resolution. *)
+      let gleaned =
+        Mapping.create ~eid_prefix:(Ipv4.prefix src_eid 32)
+          ~rlocs:[ Mapping.rloc itr_rloc ] ~ttl:t.glean_ttl
+      in
+      Lispdp.Dataplane.install_mapping dp router gleaned
+
+let smr_bytes = 24
+
+let notify_mapping_change t ~domain =
+  if t.smr then
+    match Hashtbl.find_opt t.cached_at domain with
+    | None -> ()
+    | Some holders ->
+        let dp = dataplane_exn t in
+        let prefix =
+          (Registry.mapping_of_domain t.registry domain).Mapping.eid_prefix
+        in
+        let graph = t.internet.Topology.Builder.graph in
+        let speakers =
+          (* Any live border of the changed domain can emit the SMRs. *)
+          t.internet.Topology.Builder.domains.(domain).Topology.Domain.borders
+        in
+        Hashtbl.iter
+          (fun rloc_int () ->
+            match Lispdp.Dataplane.router_of_rloc dp (Ipv4.addr_of_int rloc_int) with
+            | None -> ()
+            | Some holder ->
+                let target = holder.Lispdp.Dataplane.border.Topology.Domain.router in
+                let latency =
+                  Array.fold_left
+                    (fun acc b ->
+                      match
+                        Topology.Graph.latency_between graph
+                          b.Topology.Domain.router target
+                      with
+                      | l -> Float.min acc l
+                      | exception Not_found -> acc)
+                    infinity speakers
+                in
+                if latency < infinity then begin
+                  t.stats.Cp_stats.push_messages <-
+                    t.stats.Cp_stats.push_messages + 1;
+                  t.stats.Cp_stats.control_bytes <-
+                    t.stats.Cp_stats.control_bytes + smr_bytes;
+                  ignore
+                    (Netsim.Engine.schedule t.engine ~delay:latency (fun () ->
+                         (* The solicit invalidates the site mapping and
+                            any gleaned host routes under it. *)
+                         ignore
+                           (Lispdp.Map_cache.remove_covered
+                              holder.Lispdp.Dataplane.cache prefix)))
+                end)
+          holders;
+        Hashtbl.remove t.cached_at domain
+
+let control_plane t =
+  { Lispdp.Dataplane.cp_name = t.name;
+    cp_choose_egress = (fun ~src_domain flow -> choose_egress t ~src_domain flow);
+    cp_handle_miss = (fun router packet -> handle_miss t router packet);
+    cp_note_etr_packet =
+      (fun router ~outer_src packet -> note_etr_packet t router ~outer_src packet) }

@@ -1,0 +1,73 @@
+(** Pull-based LISP control planes (map-request / map-reply).
+
+    On a map-cache miss the ITR issues a map-request that travels the
+    ALT overlay to the destination's authoritative ETR; the map-reply
+    returns directly over the underlay and is installed in the
+    requesting ITR's cache.  What happens to data packets while the
+    resolution is in flight is the {!mode}:
+
+    - {!Drop_while_pending} — the base LISP behaviour the paper's
+      weakness (i) describes;
+    - {!Queue_while_pending} — buffer up to [limit] packets per pending
+      resolution and release them on the reply;
+    - {!Detour_via_cp} — forward data packets over the mapping overlay
+      itself (the "undesirable" palliative of mixing control and data
+      planes).
+
+    Reverse traffic is symmetric: ETRs glean host mappings from the
+    tunnel headers and the reverse flow exits through the border that
+    received the forward traffic.
+
+    With [~smr:true] the control plane additionally implements
+    Solicit-Map-Request: ETRs remember which remote ITRs hold their
+    domain's mapping (from the tunnel headers), and
+    {!notify_mapping_change} pokes each of them to drop the stale entry
+    and re-resolve — LISP's reactive answer to mapping churn. *)
+
+type mode =
+  | Drop_while_pending
+  | Queue_while_pending of int  (** per-resolution packet limit *)
+  | Detour_via_cp
+
+val mode_name : mode -> string
+
+type t
+
+val create :
+  engine:Netsim.Engine.t ->
+  internet:Topology.Builder.t ->
+  registry:Registry.t ->
+  alt:Alt.t ->
+  mode:mode ->
+  ?name:string ->
+  ?latency_of:(src:int -> dst:int -> float) ->
+  ?resolution_latency:
+    (router:Lispdp.Dataplane.router -> dst_domain:Topology.Domain.t -> float) ->
+  ?glean_ttl:float ->
+  ?server_processing:float ->
+  ?smr:bool ->
+  unit ->
+  t
+(** [latency_of] overrides the map-request transport latency between two
+    domain ids (default: the ALT model); [resolution_latency], when
+    given, replaces the whole request+reply timing computation (used by
+    the MS/MR front end, whose reply is proxied rather than sent by the
+    authoritative ETR); [glean_ttl] defaults to 60 s;
+    [server_processing] (at the authoritative ETR) to 0.5 ms. *)
+
+val control_plane : t -> Lispdp.Dataplane.control_plane
+
+val attach : t -> Lispdp.Dataplane.t -> unit
+(** Must be called once, with the dataplane built over
+    {!control_plane}. *)
+
+val stats : t -> Cp_stats.t
+
+val pending_resolutions : t -> int
+(** Resolutions currently in flight. *)
+
+val notify_mapping_change : t -> domain:int -> unit
+(** The domain's registered mapping changed (failover, TE re-homing):
+    when SMR is enabled, send a solicit to every remote ITR known to
+    cache it, which evicts the stale entry so the next packet
+    re-resolves against the updated registry.  No-op without [~smr]. *)

@@ -1,0 +1,1 @@
+lib/metrics/timeseries.ml: Array Float Format Stdlib String

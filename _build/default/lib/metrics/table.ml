@@ -1,0 +1,80 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows_rev : string list list;
+  mutable count : int;
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; rows_rev = []; count = 0 }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length cells) (List.length t.columns));
+  t.rows_rev <- cells :: t.rows_rev;
+  t.count <- t.count + 1
+
+let add_rows t rows = List.iter (add_row t) rows
+let row_count t = t.count
+
+let widths t =
+  let rows = List.rev t.rows_rev in
+  List.mapi
+    (fun i column ->
+      List.fold_left
+        (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+        (String.length column) rows)
+    t.columns
+
+let pp ppf t =
+  let widths = widths t in
+  let print_cells cells =
+    List.iteri
+      (fun i cell ->
+        let width = List.nth widths i in
+        if i > 0 then Format.pp_print_string ppf "  ";
+        Format.fprintf ppf "%-*s" width cell)
+      cells;
+    Format.pp_print_newline ppf ()
+  in
+  Format.fprintf ppf "== %s ==@." t.title;
+  print_cells t.columns;
+  let rule = List.map (fun w -> String.make w '-') widths in
+  print_cells rule;
+  List.iter print_cells (List.rev t.rows_rev)
+
+let print t =
+  pp Format.std_formatter t;
+  Format.print_newline ()
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let buffer = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      cell;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else cell
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line t.columns :: List.map line (List.rev t.rows_rev))
+  ^ "\n"
+
+let cell_ms seconds = Printf.sprintf "%.2f" (seconds *. 1e3)
+let cell_float ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+let cell_int = string_of_int
+let cell_pct fraction = Printf.sprintf "%.1f%%" (fraction *. 100.0)
+
+let cell_bytes n =
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1fKiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%.2fMiB" (float_of_int n /. (1024.0 *. 1024.0))

@@ -1,0 +1,40 @@
+(** ASCII result tables.
+
+    Every experiment in the bench harness renders its rows through this
+    module so tables are uniformly formatted in the terminal and
+    exportable as CSV for plotting. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [columns] must be non-empty. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count differs from the column
+    count. *)
+
+val add_rows : t -> string list list -> unit
+val row_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render with a title line, aligned columns and a separator rule. *)
+
+val print : t -> unit
+(** [pp] to stdout followed by a blank line. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header + rows); cells containing commas
+    or quotes are quoted. *)
+
+(* Cell formatting helpers used across experiments. *)
+
+val cell_ms : float -> string
+(** Seconds rendered as milliseconds with 2 decimals, e.g. "82.51". *)
+
+val cell_float : ?decimals:int -> float -> string
+val cell_int : int -> string
+val cell_pct : float -> string
+(** Fraction rendered as a percentage with 1 decimal. *)
+
+val cell_bytes : int -> string
+(** Human-friendly byte count (B / KiB / MiB). *)

@@ -1,0 +1,1 @@
+lib/netsim/rng.ml: Array Float Int64

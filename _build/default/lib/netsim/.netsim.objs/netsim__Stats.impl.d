@@ -1,0 +1,1 @@
+lib/netsim/stats.ml: Array Float List Stdlib

@@ -1,0 +1,143 @@
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : float;
+  mutable heap : event array;
+  (* [heap] is a binary min-heap on (time, seq); [size] live prefix. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable fired : int;
+}
+
+let dummy_event = { time = 0.0; seq = -1; thunk = ignore; cancelled = true }
+
+let create ?(start = 0.0) () =
+  { clock = start; heap = Array.make 64 dummy_event; size = 0; next_seq = 0;
+    live = 0; fired = 0 }
+
+let now t = t.clock
+let pending t = t.live
+let events_processed t = t.fired
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy_event in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let sift_up t i0 =
+  let e = t.heap.(i0) in
+  let rec loop i =
+    if i = 0 then i
+    else
+      let parent = (i - 1) / 2 in
+      if precedes e t.heap.(parent) then begin
+        t.heap.(i) <- t.heap.(parent);
+        loop parent
+      end
+      else i
+  in
+  t.heap.(loop i0) <- e
+
+let sift_down t i0 =
+  let e = t.heap.(i0) in
+  let rec loop i =
+    let left = (2 * i) + 1 in
+    if left >= t.size then i
+    else
+      let right = left + 1 in
+      let child =
+        if right < t.size && precedes t.heap.(right) t.heap.(left) then right
+        else left
+      in
+      if precedes t.heap.(child) e then begin
+        t.heap.(i) <- t.heap.(child);
+        loop child
+      end
+      else i
+  in
+  t.heap.(loop i0) <- e
+
+let push t e =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy_event;
+    sift_down t 0
+  end
+  else t.heap.(0) <- dummy_event;
+  top
+
+let schedule_at t ~time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let e = { time; seq = t.next_seq; thunk; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  push t e;
+  e
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) thunk
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+(* Discard cancelled events sitting at the top of the heap. *)
+let rec drop_cancelled t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    ignore (pop t);
+    drop_cancelled t
+  end
+
+let step t =
+  drop_cancelled t;
+  if t.size = 0 then false
+  else begin
+    let e = pop t in
+    t.clock <- e.time;
+    t.live <- t.live - 1;
+    t.fired <- t.fired + 1;
+    (* Mark as no longer live so cancelling an already-fired handle is a
+       harmless no-op rather than corrupting the live count. *)
+    e.cancelled <- true;
+    e.thunk ();
+    true
+  end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let rec loop () =
+        drop_cancelled t;
+        if t.size > 0 && t.heap.(0).time <= horizon then begin
+          ignore (step t);
+          loop ()
+        end
+      in
+      loop ();
+      if t.clock < horizon then t.clock <- horizon

@@ -1,0 +1,109 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z0 =
+  let z1 = Int64.(mul (logxor z0 (shift_right_logical z0 30)) 0xBF58476D1CE4E5B9L) in
+  let z2 = Int64.(mul (logxor z1 (shift_right_logical z1 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z2 (shift_right_logical z2 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (int64 t) }
+
+let float t =
+  (* 53 significant bits, uniform in [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on 63-bit draws to avoid modulo bias: accept
+     raw <= limit where limit + 1 is the largest multiple of [bound]
+     not exceeding 2^63. *)
+  let bound64 = Int64.of_int bound in
+  let rem =
+    Int64.rem (Int64.add (Int64.rem Int64.max_int bound64) 1L) bound64
+  in
+  let limit = Int64.sub Int64.max_int rem in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (int64 t) 1 in
+    if raw > limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t ~p = float t < p
+
+let exponential t ~mean =
+  assert (mean > 0.0);
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  let u = 1.0 -. float t in
+  scale /. (u ** (1.0 /. shape))
+
+let normal t ~mu ~sigma =
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+module Zipf = struct
+  type dist = { cumulative : float array; masses : float array }
+
+  let create ~n ~alpha =
+    if n <= 0 then invalid_arg "Rng.Zipf.create: n must be positive";
+    if alpha < 0.0 then invalid_arg "Rng.Zipf.create: alpha must be >= 0";
+    let masses = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** alpha)) in
+    let total = Array.fold_left ( +. ) 0.0 masses in
+    let masses = Array.map (fun m -> m /. total) masses in
+    let cumulative = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun k m ->
+        acc := !acc +. m;
+        cumulative.(k) <- !acc)
+      masses;
+    cumulative.(n - 1) <- 1.0;
+    { cumulative; masses }
+
+  let support d = Array.length d.cumulative
+  let probability d k = d.masses.(k)
+
+  let sample d t =
+    let u = float t in
+    (* Least index whose cumulative mass exceeds [u]. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if d.cumulative.(mid) > u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (Array.length d.cumulative - 1)
+end

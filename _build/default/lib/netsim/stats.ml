@@ -1,0 +1,152 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity;
+      total = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+end
+
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable size : int;
+    mutable sorted : float array option; (* cache invalidated by [add] *)
+  }
+
+  let create () = { data = Array.make 16 0.0; size = 0; sorted = None }
+
+  let add t x =
+    if t.size = Array.length t.data then begin
+      let bigger = Array.make (2 * Array.length t.data) 0.0 in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    t.sorted <- None
+
+  let count t = t.size
+
+  let mean t =
+    if t.size = 0 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to t.size - 1 do
+        acc := !acc +. t.data.(i)
+      done;
+      !acc /. float_of_int t.size
+    end
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.sub t.data 0 t.size in
+        Array.sort compare a;
+        t.sorted <- Some a;
+        a
+
+  let percentile t p =
+    if t.size = 0 then invalid_arg "Stats.Samples.percentile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Samples.percentile: p out of [0, 100]";
+    let a = sorted t in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+
+  let median t = percentile t 50.0
+
+  let cdf ?(points = 50) t =
+    if t.size = 0 then []
+    else begin
+      let a = sorted t in
+      let n = Array.length a in
+      let steps = Stdlib.min points n in
+      List.init steps (fun i ->
+          let idx = (i + 1) * n / steps - 1 in
+          (a.(idx), float_of_int (idx + 1) /. float_of_int n))
+    end
+
+  let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    bins : int array;
+    mutable count : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Stats.Histogram.create: bins must be > 0";
+    if not (hi > lo) then invalid_arg "Stats.Histogram.create: hi must be > lo";
+    { lo; hi; width = (hi -. lo) /. float_of_int bins; bins = Array.make bins 0;
+      count = 0 }
+
+  let add t x =
+    let raw = int_of_float ((x -. t.lo) /. t.width) in
+    let idx = Stdlib.max 0 (Stdlib.min (Array.length t.bins - 1) raw) in
+    t.bins.(idx) <- t.bins.(idx) + 1;
+    t.count <- t.count + 1
+
+  let count t = t.count
+  let bin_count t = Array.length t.bins
+
+  let bin t i =
+    let lower = t.lo +. (float_of_int i *. t.width) in
+    (lower, lower +. t.width, t.bins.(i))
+
+  let fraction_below t value =
+    if t.count = 0 then 0.0
+    else begin
+      let acc = ref 0 in
+      for i = 0 to Array.length t.bins - 1 do
+        let _, upper, n = bin t i in
+        if upper <= value then acc := !acc + n
+      done;
+      float_of_int !acc /. float_of_int t.count
+    end
+end
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sum_sq = 0.0 then 1.0
+    else sum *. sum /. (float_of_int n *. sum_sq)
+  end

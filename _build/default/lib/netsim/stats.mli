@@ -1,0 +1,79 @@
+(** Online statistics for simulation measurements.
+
+    Three collectors cover the experiments' needs: {!Summary} for
+    streaming mean/variance, {!Samples} for exact quantiles and CDF
+    export over a bounded number of observations, and {!Histogram} for
+    fixed-bin densities.  {!jain_index} computes the fairness metric used
+    by the traffic-engineering experiments. *)
+
+module Summary : sig
+  (** Welford's streaming mean and variance. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+end
+
+module Samples : sig
+  (** Exact quantiles over stored observations. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0, 100\]], linear interpolation
+      between order statistics.  Raises [Invalid_argument] when empty or
+      [p] out of range. *)
+
+  val median : t -> float
+
+  val cdf : ?points:int -> t -> (float * float) list
+  (** [(value, fraction <= value)] pairs suitable for plotting; [points]
+      (default 50) evenly spaced in rank.  Empty list when empty. *)
+
+  val to_list : t -> float list
+  (** All observations in insertion order. *)
+end
+
+module Histogram : sig
+  (** Fixed-width bins over [\[lo, hi)]; out-of-range values are clamped
+      into the edge bins so nothing is silently dropped. *)
+
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bin_count : t -> int
+
+  val bin : t -> int -> float * float * int
+  (** [bin t i] is [(lower_edge, upper_edge, occupancy)]. *)
+
+  val fraction_below : t -> float -> float
+  (** Fraction of observations in bins entirely below the given value. *)
+end
+
+val jain_index : float array -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)]: 1 when perfectly balanced,
+    [1/n] when one element carries everything.  Defined as 1.0 for empty
+    or all-zero input. *)

@@ -1,0 +1,37 @@
+type entry = { time : float; actor : string; event : string }
+
+type t = { mutable entries_rev : entry list; mutable count : int; mutable on : bool }
+
+let create () = { entries_rev = []; count = 0; on = true }
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let record t ~time ~actor event =
+  if t.on then begin
+    t.entries_rev <- { time; actor; event } :: t.entries_rev;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~time ~actor fmt =
+  Format.kasprintf (fun event -> record t ~time ~actor event) fmt
+
+let entries t = List.rev t.entries_rev
+let length t = t.count
+
+let clear t =
+  t.entries_rev <- [];
+  t.count <- 0
+
+let pp ppf t =
+  let actor_width =
+    List.fold_left
+      (fun acc e -> Stdlib.max acc (String.length e.actor))
+      0 t.entries_rev
+  in
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "t=%10.6fs  %-*s  %s@." e.time actor_width e.actor
+        e.event)
+    (entries t)
+
+let find t ~f = List.find_opt f (entries t)

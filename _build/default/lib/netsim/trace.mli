@@ -1,0 +1,37 @@
+(** Timeline recording for simulation walkthroughs.
+
+    A trace is an append-only log of [(time, actor, event)] entries.  The
+    F1 experiment uses it to print the step-by-step control-plane
+    walkthrough of the paper's Figure 1; tests use it to assert event
+    ordering. *)
+
+type t
+
+type entry = { time : float; actor : string; event : string }
+
+val create : unit -> t
+
+val enabled : t -> bool
+(** Recording can be switched off so that hot benchmark loops skip the
+    formatting cost of building entries. *)
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> actor:string -> string -> unit
+(** Append an entry (no-op when disabled). *)
+
+val recordf :
+  t -> time:float -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!record} with printf formatting of the event text. *)
+
+val entries : t -> entry list
+(** Entries in chronological (= insertion) order. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render as an aligned [t=...s  actor  event] listing. *)
+
+val find : t -> f:(entry -> bool) -> entry option
+(** First matching entry, if any. *)

@@ -1,0 +1,1 @@
+lib/nettypes/flow.ml: Format Int Ipv4 List Map Set Stdlib

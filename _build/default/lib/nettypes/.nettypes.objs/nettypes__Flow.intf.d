@@ -1,0 +1,1 @@
+lib/nettypes/flow.mli: Format Ipv4 Map Set

@@ -1,0 +1,1 @@
+lib/nettypes/ipv4.mli: Format

@@ -1,0 +1,1 @@
+lib/nettypes/mapping.ml: Format Ipv4 List Stdlib

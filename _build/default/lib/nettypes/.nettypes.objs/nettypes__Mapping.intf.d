@@ -1,0 +1,1 @@
+lib/nettypes/mapping.mli: Format Ipv4

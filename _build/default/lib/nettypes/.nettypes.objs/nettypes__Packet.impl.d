@@ -1,0 +1,1 @@
+lib/nettypes/packet.ml: Flow Format Ipv4

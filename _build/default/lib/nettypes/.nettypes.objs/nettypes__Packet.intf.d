@@ -1,0 +1,1 @@
+lib/nettypes/packet.mli: Flow Format Ipv4

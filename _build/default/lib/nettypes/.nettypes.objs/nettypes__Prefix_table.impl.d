@@ -1,0 +1,1 @@
+lib/nettypes/prefix_table.ml: Ipv4 List Option

@@ -1,0 +1,1 @@
+lib/nettypes/prefix_table.mli: Ipv4

@@ -1,0 +1,79 @@
+type addr = int
+
+let max_addr = 0xFFFFFFFF
+
+let addr_of_int i =
+  if i < 0 || i > max_addr then invalid_arg "Ipv4.addr_of_int: out of range";
+  i
+
+let addr_to_int a = a
+
+let addr_of_string s =
+  let fail () = invalid_arg ("Ipv4.addr_of_string: malformed " ^ s) in
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> v
+        | Some _ | None -> fail ()
+      in
+      (octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d
+  | _ -> fail ()
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+let addr_equal = Int.equal
+let addr_compare = Int.compare
+let pp_addr ppf a = Format.pp_print_string ppf (addr_to_string a)
+
+let addr_succ a =
+  if a >= max_addr then invalid_arg "Ipv4.addr_succ: address space exhausted";
+  a + 1
+
+let addr_offset a k =
+  let v = a + k in
+  if v < 0 || v > max_addr then invalid_arg "Ipv4.addr_offset: out of range";
+  v
+
+type prefix = { network : int; length : int }
+
+let mask_of_length len = if len = 0 then 0 else max_addr lsl (32 - len) land max_addr
+
+let prefix a len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4.prefix: length out of [0, 32]";
+  { network = a land mask_of_length len; length = len }
+
+let prefix_of_string s =
+  match String.split_on_char '/' s with
+  | [ a; l ] -> (
+      match int_of_string_opt l with
+      | Some len -> prefix (addr_of_string a) len
+      | None -> invalid_arg ("Ipv4.prefix_of_string: malformed " ^ s))
+  | _ -> invalid_arg ("Ipv4.prefix_of_string: malformed " ^ s)
+
+let prefix_to_string p =
+  Printf.sprintf "%s/%d" (addr_to_string p.network) p.length
+
+let pp_prefix ppf p = Format.pp_print_string ppf (prefix_to_string p)
+let prefix_equal p q = p.network = q.network && p.length = q.length
+
+let prefix_compare p q =
+  match Int.compare p.network q.network with
+  | 0 -> Int.compare p.length q.length
+  | c -> c
+
+let prefix_network p = p.network
+let prefix_length p = p.length
+let prefix_mem p a = a land mask_of_length p.length = p.network
+
+let prefix_subsumes outer inner =
+  outer.length <= inner.length && prefix_mem outer inner.network
+
+let prefix_size p = 1 lsl (32 - p.length)
+
+let prefix_nth p k =
+  if k < 0 || k >= prefix_size p then
+    invalid_arg "Ipv4.prefix_nth: index outside prefix";
+  p.network + k

@@ -1,0 +1,64 @@
+(** IPv4 addresses and CIDR prefixes.
+
+    Addresses are stored as non-negative [int]s (32-bit value space), so
+    they are cheap to hash, compare and use as map keys.  LISP reuses the
+    IPv4 space for both EIDs and RLOCs; the distinction is carried by the
+    wrapper types in {!Mapping}. *)
+
+type addr = private int
+(** An IPv4 address.  The [private] row keeps construction behind the
+    smart constructors below so invalid values cannot appear. *)
+
+val addr_of_int : int -> addr
+(** Raises [Invalid_argument] outside [\[0, 2^32)]. *)
+
+val addr_to_int : addr -> int
+
+val addr_of_string : string -> addr
+(** Dotted quad, e.g. ["10.1.2.3"].  Raises [Invalid_argument] on
+    malformed input. *)
+
+val addr_to_string : addr -> string
+val addr_equal : addr -> addr -> bool
+val addr_compare : addr -> addr -> int
+val pp_addr : Format.formatter -> addr -> unit
+
+val addr_succ : addr -> addr
+(** Next address; raises [Invalid_argument] at the top of the space. *)
+
+val addr_offset : addr -> int -> addr
+(** [addr_offset a k] is [a + k]; bounds-checked. *)
+
+type prefix
+(** A CIDR prefix: network address plus mask length, canonicalised so the
+    host bits are zero. *)
+
+val prefix : addr -> int -> prefix
+(** [prefix a len] with [len] in [\[0, 32\]]; host bits of [a] are
+    masked off. *)
+
+val prefix_of_string : string -> prefix
+(** ["10.0.0.0/8"] syntax. *)
+
+val prefix_to_string : prefix -> string
+val pp_prefix : Format.formatter -> prefix -> unit
+val prefix_equal : prefix -> prefix -> bool
+val prefix_compare : prefix -> prefix -> int
+
+val prefix_network : prefix -> addr
+val prefix_length : prefix -> int
+
+val prefix_mem : prefix -> addr -> bool
+(** Does the address fall inside the prefix? *)
+
+val prefix_subsumes : prefix -> prefix -> bool
+(** [prefix_subsumes outer inner]: is every address of [inner] inside
+    [outer]? *)
+
+val prefix_nth : prefix -> int -> addr
+(** [prefix_nth p k] is the [k]-th address of the prefix; bounds-checked
+    against the prefix size. *)
+
+val prefix_size : prefix -> int
+(** Number of addresses covered (capped at [max_int] for /0 on 32-bit —
+    not a concern on 64-bit hosts). *)

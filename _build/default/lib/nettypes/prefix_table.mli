@@ -1,0 +1,38 @@
+(** Longest-prefix-match table.
+
+    A binary trie keyed by IPv4 prefixes, as used by EID-prefix lookup in
+    map-caches, NERD databases and the ALT overlay's aggregation
+    hierarchy.  Lookup returns the most specific (longest) matching
+    prefix's binding. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> Ipv4.prefix -> 'a -> unit
+(** Insert or replace the binding of an exact prefix. *)
+
+val remove : 'a t -> Ipv4.prefix -> unit
+(** Remove the binding of an exact prefix (no-op if absent). *)
+
+val find_exact : 'a t -> Ipv4.prefix -> 'a option
+
+val lookup : 'a t -> Ipv4.addr -> (Ipv4.prefix * 'a) option
+(** Longest-prefix match for an address. *)
+
+val lookup_value : 'a t -> Ipv4.addr -> 'a option
+
+val covering : 'a t -> Ipv4.prefix -> (Ipv4.prefix * 'a) option
+(** Most specific binding whose prefix subsumes the given prefix. *)
+
+val length : 'a t -> int
+(** Number of bound prefixes. *)
+
+val is_empty : 'a t -> bool
+
+val iter : 'a t -> f:(Ipv4.prefix -> 'a -> unit) -> unit
+(** Visit bindings in ascending (network, length) order. *)
+
+val fold : 'a t -> init:'b -> f:(Ipv4.prefix -> 'a -> 'b -> 'b) -> 'b
+val to_list : 'a t -> (Ipv4.prefix * 'a) list
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array Char Domain Graph Ipv4 Link Netsim Nettypes Node Printf Stdlib

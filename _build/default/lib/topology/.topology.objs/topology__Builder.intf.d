@@ -1,0 +1,1 @@
+lib/topology/builder.mli: Domain Graph Netsim Nettypes Node

@@ -1,0 +1,1 @@
+lib/topology/domain.ml: Array Format Ipv4 Link List Mapping Nettypes Node Printf Stdlib

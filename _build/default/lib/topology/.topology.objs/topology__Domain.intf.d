@@ -1,0 +1,1 @@
+lib/topology/domain.mli: Format Link Nettypes Node

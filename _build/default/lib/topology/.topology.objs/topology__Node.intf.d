@@ -1,0 +1,1 @@
+lib/topology/node.mli: Format

@@ -1,0 +1,70 @@
+open Nettypes
+
+type border = {
+  router : Node.id;
+  rloc : Ipv4.addr;
+  provider : int;
+  uplink : Link.t;
+}
+
+type t = {
+  id : int;
+  name : string;
+  eid_prefix : Ipv4.prefix;
+  hosts : Node.id array;
+  borders : border array;
+  hub : Node.id;
+  dns : Node.id;
+  pce : Node.id;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s eid=%a hosts=%d borders=%d" t.name Ipv4.pp_prefix
+    t.eid_prefix (Array.length t.hosts) (Array.length t.borders)
+
+let host_eid t i =
+  if i < 0 || i >= Array.length t.hosts then
+    invalid_arg "Domain.host_eid: no such host";
+  Ipv4.prefix_nth t.eid_prefix (i + 1)
+
+let owns_eid t addr = Ipv4.prefix_mem t.eid_prefix addr
+
+let host_of_eid t addr =
+  if not (owns_eid t addr) then None
+  else begin
+    let offset =
+      Ipv4.addr_to_int addr - Ipv4.addr_to_int (Ipv4.prefix_network t.eid_prefix)
+    in
+    let i = offset - 1 in
+    if i >= 0 && i < Array.length t.hosts then Some i else None
+  end
+
+let border_of_rloc t rloc =
+  Array.find_opt (fun b -> Ipv4.addr_equal b.rloc rloc) t.borders
+
+let border_of_router t router = Array.find_opt (fun b -> b.router = router) t.borders
+let rlocs t = Array.to_list (Array.map (fun b -> b.rloc) t.borders)
+
+let advertised_mapping t ~ttl =
+  (* A domain only registers locators whose access link is alive; after
+     an uplink failure, re-registration drops the dead RLOC. *)
+  let live =
+    List.filter (fun b -> Link.is_up b.uplink) (Array.to_list t.borders)
+  in
+  let live = if live = [] then Array.to_list t.borders else live in
+  let total_capacity =
+    List.fold_left (fun acc b -> acc +. Link.capacity_bps b.uplink) 0.0 live
+  in
+  let rloc_records =
+    List.map
+      (fun b ->
+        let weight =
+          int_of_float (100.0 *. Link.capacity_bps b.uplink /. total_capacity)
+        in
+        Mapping.rloc ~priority:1 ~weight:(Stdlib.max 1 weight) b.rloc)
+      live
+  in
+  Mapping.create ~eid_prefix:t.eid_prefix ~rlocs:rloc_records ~ttl
+
+let fqdn t = t.name ^ ".net."
+let host_name t i = Printf.sprintf "h%d.%s" i (fqdn t)

@@ -1,0 +1,59 @@
+(** The topology graph.
+
+    Nodes are added first, then links; shortest-path latencies (Dijkstra
+    on link latency) are computed on demand and cached per source.  All
+    message and packet delays in the simulator derive from
+    {!latency_between}.
+
+    Routing is {e valley-free}: every path decomposes into an internal
+    prefix (leaving the source domain over {!Link.Internal} links), an
+    external middle (access and core links), and an internal suffix
+    (entering the destination domain).  A domain's internal wiring can
+    therefore never act as transit between two providers.  In addition,
+    a border router is only reachable from outside through its own
+    access link — traffic addressed to an RLOC enters via that RLOC's
+    provider, as inter-domain routing would deliver it. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> kind:Node.kind -> label:string -> Node.id
+(** Allocates the next dense id. *)
+
+val node : t -> Node.id -> Node.t
+(** Raises [Invalid_argument] on an unknown id. *)
+
+val node_count : t -> int
+
+val connect :
+  t -> Node.id -> Node.id -> latency:float -> ?capacity_bps:float ->
+  ?kind:Link.kind -> unit ->
+  Link.t
+(** Add a bidirectional link.  Raises [Invalid_argument] on unknown
+    endpoints, a self-loop, or a duplicate link. *)
+
+val link_between : t -> Node.id -> Node.id -> Link.t option
+val links : t -> Link.t list
+val neighbours : t -> Node.id -> (Node.id * Link.t) list
+
+val latency_between : t -> Node.id -> Node.id -> float
+(** Shortest-path latency in seconds.  0 for a node to itself.  Raises
+    [Not_found] if the nodes are disconnected. *)
+
+val path_between : t -> Node.id -> Node.id -> Node.id list
+(** Shortest path as a node sequence including both endpoints.  Raises
+    [Not_found] if disconnected. *)
+
+val account_path : t -> src:Node.id -> dst:Node.id -> bytes:int -> unit
+(** Charge [bytes] to every link along the shortest path from [src] to
+    [dst] in the forward direction — how data-plane transmissions feed
+    the utilisation counters. *)
+
+val set_link_up : t -> Link.t -> bool -> unit
+(** Fail or restore a link.  Down links are invisible to shortest-path
+    computation; routing caches are invalidated. *)
+
+val invalidate_cache : t -> unit
+(** Must be called if links are added after latency queries (builders do
+    this automatically via [connect]). *)

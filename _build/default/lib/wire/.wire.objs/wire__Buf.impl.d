@@ -1,0 +1,1 @@
+lib/wire/buf.ml: Bytes Char Nettypes Stdlib String

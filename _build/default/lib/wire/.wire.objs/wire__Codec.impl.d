@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Buf Format Ipv4 List Mapping Nettypes Printf String

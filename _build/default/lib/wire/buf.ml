@@ -1,0 +1,81 @@
+module Writer = struct
+  type t = { mutable data : bytes; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    { data = Bytes.create (Stdlib.max 1 capacity); len = 0 }
+
+  let length t = t.len
+  let contents t = Bytes.sub t.data 0 t.len
+
+  let ensure t extra =
+    let needed = t.len + extra in
+    if needed > Bytes.length t.data then begin
+      let capacity = ref (Bytes.length t.data) in
+      while !capacity < needed do
+        capacity := !capacity * 2
+      done;
+      let bigger = Bytes.create !capacity in
+      Bytes.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Wire.Writer.u8: out of range";
+    ensure t 1;
+    Bytes.unsafe_set t.data t.len (Char.unsafe_chr v);
+    t.len <- t.len + 1
+
+  let u16 t v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Wire.Writer.u16: out of range";
+    u8 t (v lsr 8);
+    u8 t (v land 0xFF)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Wire.Writer.u32: out of range";
+    u16 t (v lsr 16);
+    u16 t (v land 0xFFFF)
+
+  let addr t a = u32 t (Nettypes.Ipv4.addr_to_int a)
+
+  let string t s =
+    if String.length s > 0xFFFF then invalid_arg "Wire.Writer.string: too long";
+    u16 t (String.length s);
+    ensure t (String.length s);
+    Bytes.blit_string s 0 t.data t.len (String.length s);
+    t.len <- t.len + String.length s
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+  let remaining t = Bytes.length t.data - t.pos
+  let at_end t = remaining t = 0
+
+  let u8 t =
+    if remaining t < 1 then raise Truncated;
+    let v = Char.code (Bytes.unsafe_get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    (hi lsl 16) lor lo
+
+  let addr t = Nettypes.Ipv4.addr_of_int (u32 t)
+
+  let string t =
+    let len = u16 t in
+    if remaining t < len then raise Truncated;
+    let s = Bytes.sub_string t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+end

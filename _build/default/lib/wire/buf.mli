@@ -1,0 +1,44 @@
+(** Bounds-checked binary readers and writers.
+
+    The control-plane codecs ({!Codec}) are built on these cursors.
+    Network byte order (big-endian) throughout. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Growable buffer, initial [capacity] 64 bytes. *)
+
+  val length : t -> int
+  val contents : t -> bytes
+
+  val u8 : t -> int -> unit
+  (** Raises [Invalid_argument] outside [\[0, 255\]]. *)
+
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Raises [Invalid_argument] outside [\[0, 2^32)]. *)
+
+  val addr : t -> Nettypes.Ipv4.addr -> unit
+  (** Four bytes. *)
+
+  val string : t -> string -> unit
+  (** u16 length prefix + bytes; the string must be under 65 536 bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised by every reading operation that would run past the end. *)
+
+  val of_bytes : bytes -> t
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val addr : t -> Nettypes.Ipv4.addr
+  val string : t -> string
+end

@@ -1,0 +1,205 @@
+open Nettypes
+
+type message =
+  | Map_request of { nonce : int; source_rloc : Ipv4.addr; eid : Ipv4.addr }
+  | Map_reply of { nonce : int; mapping : Mapping.t }
+  | Encapsulated_answer of {
+      qname : string;
+      eid : Ipv4.addr;
+      rloc : Ipv4.addr;
+      pce : Ipv4.addr;
+    }
+  | Itr_config of { entry : Mapping.flow_entry }
+  | Reverse_push of { entry : Mapping.flow_entry }
+  | Failover_update of { qname : string; eid : Ipv4.addr; rloc : Ipv4.addr }
+  | Database_push of { mappings : Mapping.t list }
+
+(* TTLs travel as u32 milliseconds. *)
+let ttl_to_wire ttl =
+  let ms = ttl *. 1000.0 in
+  if ms < 0.0 then 0
+  else if ms > 4294967295.0 then 0xFFFFFFFF
+  else int_of_float ms
+
+let ttl_of_wire ms = float_of_int ms /. 1000.0
+
+let tag_of = function
+  | Map_request _ -> 1
+  | Map_reply _ -> 2
+  | Encapsulated_answer _ -> 3
+  | Itr_config _ -> 4
+  | Reverse_push _ -> 5
+  | Failover_update _ -> 6
+  | Database_push _ -> 7
+
+let equal a b =
+  let norm = function
+    | Map_reply { nonce; mapping } ->
+        Map_reply
+          { nonce;
+            mapping = { mapping with Mapping.ttl = ttl_of_wire (ttl_to_wire mapping.Mapping.ttl) } }
+    | Database_push { mappings } ->
+        Database_push
+          { mappings =
+              List.map
+                (fun m -> { m with Mapping.ttl = ttl_of_wire (ttl_to_wire m.Mapping.ttl) })
+                mappings }
+    | ( Map_request _ | Encapsulated_answer _ | Itr_config _ | Reverse_push _
+      | Failover_update _ ) as m ->
+        m
+  in
+  norm a = norm b
+
+let pp ppf = function
+  | Map_request { nonce; source_rloc; eid } ->
+      Format.fprintf ppf "map-request{nonce=%d; from=%a; eid=%a}" nonce
+        Ipv4.pp_addr source_rloc Ipv4.pp_addr eid
+  | Map_reply { nonce; mapping } ->
+      Format.fprintf ppf "map-reply{nonce=%d; %a}" nonce Mapping.pp mapping
+  | Encapsulated_answer { qname; eid; rloc; pce } ->
+      Format.fprintf ppf "encap-answer{%s; %a -> %a; pce=%a}" qname Ipv4.pp_addr
+        eid Ipv4.pp_addr rloc Ipv4.pp_addr pce
+  | Itr_config { entry } ->
+      Format.fprintf ppf "itr-config{%a}" Mapping.pp_flow_entry entry
+  | Reverse_push { entry } ->
+      Format.fprintf ppf "reverse-push{%a}" Mapping.pp_flow_entry entry
+  | Failover_update { qname; eid; rloc } ->
+      Format.fprintf ppf "failover{%s; %a -> %a}" qname Ipv4.pp_addr eid
+        Ipv4.pp_addr rloc
+  | Database_push { mappings } ->
+      Format.fprintf ppf "db-push{%d mappings}" (List.length mappings)
+
+let write_rloc w (r : Mapping.rloc) =
+  Buf.Writer.addr w r.Mapping.rloc_addr;
+  Buf.Writer.u8 w r.Mapping.priority;
+  Buf.Writer.u8 w r.Mapping.weight
+
+let write_mapping w (m : Mapping.t) =
+  Buf.Writer.addr w (Ipv4.prefix_network m.Mapping.eid_prefix);
+  Buf.Writer.u8 w (Ipv4.prefix_length m.Mapping.eid_prefix);
+  Buf.Writer.u32 w (ttl_to_wire m.Mapping.ttl);
+  Buf.Writer.u8 w (List.length m.Mapping.rlocs);
+  List.iter (write_rloc w) m.Mapping.rlocs
+
+let write_entry w (e : Mapping.flow_entry) =
+  Buf.Writer.addr w e.Mapping.src_eid;
+  Buf.Writer.addr w e.Mapping.dst_eid;
+  Buf.Writer.addr w e.Mapping.src_rloc;
+  Buf.Writer.addr w e.Mapping.dst_rloc
+
+let encode message =
+  let w = Buf.Writer.create () in
+  Buf.Writer.u8 w (tag_of message);
+  (match message with
+  | Map_request { nonce; source_rloc; eid } ->
+      Buf.Writer.u32 w nonce;
+      Buf.Writer.addr w source_rloc;
+      Buf.Writer.addr w eid
+  | Map_reply { nonce; mapping } ->
+      Buf.Writer.u32 w nonce;
+      write_mapping w mapping
+  | Encapsulated_answer { qname; eid; rloc; pce } ->
+      Buf.Writer.string w qname;
+      Buf.Writer.addr w eid;
+      Buf.Writer.addr w rloc;
+      Buf.Writer.addr w pce
+  | Itr_config { entry } | Reverse_push { entry } -> write_entry w entry
+  | Failover_update { qname; eid; rloc } ->
+      Buf.Writer.string w qname;
+      Buf.Writer.addr w eid;
+      Buf.Writer.addr w rloc
+  | Database_push { mappings } ->
+      Buf.Writer.u16 w (List.length mappings);
+      List.iter (write_mapping w) mappings);
+  Buf.Writer.contents w
+
+type error =
+  | Truncated
+  | Bad_tag of int
+  | Trailing_bytes of int
+  | Malformed of string
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated message"
+  | Bad_tag t -> Format.fprintf ppf "unknown message tag %d" t
+  | Trailing_bytes n -> Format.fprintf ppf "%d trailing bytes" n
+  | Malformed reason -> Format.fprintf ppf "malformed message: %s" reason
+
+exception Bad of string
+
+let read_rloc r =
+  let rloc_addr = Buf.Reader.addr r in
+  let priority = Buf.Reader.u8 r in
+  let weight = Buf.Reader.u8 r in
+  { Mapping.rloc_addr; priority; weight }
+
+let read_mapping r =
+  let network = Buf.Reader.addr r in
+  let length = Buf.Reader.u8 r in
+  if length > 32 then raise (Bad "prefix length above 32");
+  let ttl = ttl_of_wire (Buf.Reader.u32 r) in
+  let count = Buf.Reader.u8 r in
+  if count = 0 then raise (Bad "mapping with no RLOCs");
+  let rlocs = List.init count (fun _ -> read_rloc r) in
+  if ttl <= 0.0 then raise (Bad "mapping with zero TTL");
+  Mapping.create ~eid_prefix:(Ipv4.prefix network length) ~rlocs ~ttl
+
+let read_entry r =
+  let src_eid = Buf.Reader.addr r in
+  let dst_eid = Buf.Reader.addr r in
+  let src_rloc = Buf.Reader.addr r in
+  let dst_rloc = Buf.Reader.addr r in
+  { Mapping.src_eid; dst_eid; src_rloc; dst_rloc }
+
+let decode data =
+  let r = Buf.Reader.of_bytes data in
+  match
+    let tag = Buf.Reader.u8 r in
+    let message =
+      match tag with
+      | 1 ->
+          let nonce = Buf.Reader.u32 r in
+          let source_rloc = Buf.Reader.addr r in
+          let eid = Buf.Reader.addr r in
+          Map_request { nonce; source_rloc; eid }
+      | 2 ->
+          let nonce = Buf.Reader.u32 r in
+          Map_reply { nonce; mapping = read_mapping r }
+      | 3 ->
+          let qname = Buf.Reader.string r in
+          let eid = Buf.Reader.addr r in
+          let rloc = Buf.Reader.addr r in
+          let pce = Buf.Reader.addr r in
+          Encapsulated_answer { qname; eid; rloc; pce }
+      | 4 -> Itr_config { entry = read_entry r }
+      | 5 -> Reverse_push { entry = read_entry r }
+      | 6 ->
+          let qname = Buf.Reader.string r in
+          let eid = Buf.Reader.addr r in
+          let rloc = Buf.Reader.addr r in
+          Failover_update { qname; eid; rloc }
+      | 7 ->
+          let count = Buf.Reader.u16 r in
+          Database_push { mappings = List.init count (fun _ -> read_mapping r) }
+      | t -> raise (Bad (Printf.sprintf "tag:%d" t))
+    in
+    if Buf.Reader.at_end r then Ok message
+    else Error (Trailing_bytes (Buf.Reader.remaining r))
+  with
+  | result -> result
+  | exception Buf.Reader.Truncated -> Error Truncated
+  | exception Bad reason ->
+      if String.length reason > 4 && String.sub reason 0 4 = "tag:" then
+        Error (Bad_tag (int_of_string (String.sub reason 4 (String.length reason - 4))))
+      else Error (Malformed reason)
+
+let mapping_size m = 4 + 1 + 4 + 1 + (6 * List.length m.Mapping.rlocs)
+
+let size = function
+  | Map_request _ -> 1 + 4 + 4 + 4
+  | Map_reply { mapping; _ } -> 1 + 4 + mapping_size mapping
+  | Encapsulated_answer { qname; _ } -> 1 + 2 + String.length qname + 12
+  | Itr_config _ | Reverse_push _ -> 1 + 16
+  | Failover_update { qname; _ } -> 1 + 2 + String.length qname + 8
+  | Database_push { mappings } ->
+      1 + 2 + List.fold_left (fun acc m -> acc + mapping_size m) 0 mappings

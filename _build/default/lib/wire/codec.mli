@@ -1,0 +1,58 @@
+(** Wire formats of every control-plane message in the system.
+
+    The LISP-style messages (map-request / map-reply) follow the shape of
+    draft-farinacci-lisp-08's record format; the PCE messages are the
+    UDP payloads of the paper's steps 6, 7b and the reverse multicast,
+    plus the failover update of the extension.  The byte accounting in
+    the control planes uses {!size}, so experiment T5 reports real
+    encoded sizes rather than guesses.
+
+    Encodings are self-describing (1-byte tag) and round-trip exactly:
+    [decode (encode m) = Ok m]. *)
+
+type message =
+  | Map_request of {
+      nonce : int;  (** 32-bit request/reply correlator *)
+      source_rloc : Nettypes.Ipv4.addr;  (** the requesting ITR *)
+      eid : Nettypes.Ipv4.addr;  (** destination being resolved *)
+    }
+  | Map_reply of { nonce : int; mapping : Nettypes.Mapping.t }
+  | Encapsulated_answer of {
+      qname : string;  (** the DNS question, FQDN *)
+      eid : Nettypes.Ipv4.addr;  (** E_D carried in the answer *)
+      rloc : Nettypes.Ipv4.addr;  (** RLOC_D chosen by PCE_D *)
+      pce : Nettypes.Ipv4.addr;  (** PCE_D's own address (learned by PCE_S) *)
+    }  (** the paper's step 6: the answer forwarded on port P *)
+  | Itr_config of { entry : Nettypes.Mapping.flow_entry }
+      (** step 7b: one tuple pushed to one ITR *)
+  | Reverse_push of { entry : Nettypes.Mapping.flow_entry }
+      (** the ETR multicast completing the two-way resolution *)
+  | Failover_update of {
+      qname : string;
+      eid : Nettypes.Ipv4.addr;
+      rloc : Nettypes.Ipv4.addr;  (** replacement ingress locator *)
+    }  (** PCE-to-PCE repair after an uplink failure *)
+  | Database_push of { mappings : Nettypes.Mapping.t list }
+      (** a NERD-style (partial) database transfer *)
+
+val equal : message -> message -> bool
+(** Structural equality with float TTLs compared at the codec's
+    millisecond resolution. *)
+
+val pp : Format.formatter -> message -> unit
+
+val encode : message -> bytes
+
+type error =
+  | Truncated  (** input ended mid-field *)
+  | Bad_tag of int  (** unknown message type *)
+  | Trailing_bytes of int  (** well-formed message followed by junk *)
+  | Malformed of string  (** semantic violation, e.g. empty RLOC list *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val decode : bytes -> (message, error) result
+
+val size : message -> int
+(** [size m = Bytes.length (encode m)], computed without allocating the
+    encoding. *)

@@ -1,0 +1,1 @@
+lib/workload/tcp.ml: Array Flow Hashtbl Lispdp List Netsim Nettypes Option Packet Topology

@@ -1,0 +1,1 @@
+lib/workload/tcp.mli: Lispdp Netsim Nettypes

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Flow List Netsim Nettypes Stdlib Topology

@@ -1,0 +1,27 @@
+let poisson ~engine ~rng ~rate ~duration ~f =
+  if rate <= 0.0 then invalid_arg "Arrivals.poisson: rate must be positive";
+  if duration <= 0.0 then invalid_arg "Arrivals.poisson: duration must be positive";
+  let rec generate acc elapsed =
+    let elapsed = elapsed +. Netsim.Rng.exponential rng ~mean:(1.0 /. rate) in
+    if elapsed >= duration then List.rev acc else generate (elapsed :: acc) elapsed
+  in
+  let times = generate [] 0.0 in
+  List.iteri
+    (fun i delay -> ignore (Netsim.Engine.schedule engine ~delay (fun () -> f i)))
+    times;
+  List.length times
+
+let uniform_spread ~engine ~count ~duration ~f =
+  if count < 0 then invalid_arg "Arrivals.uniform_spread: negative count";
+  for i = 0 to count - 1 do
+    let delay = duration *. float_of_int i /. float_of_int (Stdlib.max 1 count) in
+    ignore (Netsim.Engine.schedule engine ~delay (fun () -> f i))
+  done;
+  count
+
+let burst ~engine ~count ~f =
+  if count < 0 then invalid_arg "Arrivals.burst: negative count";
+  for i = 0 to count - 1 do
+    ignore (Netsim.Engine.schedule engine ~delay:0.0 (fun () -> f i))
+  done;
+  count

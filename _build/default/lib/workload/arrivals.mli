@@ -1,0 +1,23 @@
+(** Arrival processes.
+
+    Schedule flow-start events on the engine.  All generators draw every
+    arrival time up front from the provided RNG, so the schedule is
+    reproducible regardless of what the started flows themselves draw. *)
+
+val poisson :
+  engine:Netsim.Engine.t ->
+  rng:Netsim.Rng.t ->
+  rate:float ->
+  duration:float ->
+  f:(int -> unit) ->
+  int
+(** Poisson arrivals at [rate] per second over [duration] seconds
+    starting now; [f] receives the arrival index.  Returns the number of
+    arrivals scheduled. *)
+
+val uniform_spread :
+  engine:Netsim.Engine.t -> count:int -> duration:float -> f:(int -> unit) -> int
+(** [count] arrivals evenly spaced over [duration] (deterministic). *)
+
+val burst : engine:Netsim.Engine.t -> count:int -> f:(int -> unit) -> int
+(** All arrivals at the current instant (back-to-back events). *)

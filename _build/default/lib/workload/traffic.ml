@@ -1,0 +1,95 @@
+open Nettypes
+
+type popularity =
+  | Zipf of Netsim.Rng.Zipf.dist
+  | Hotspots of { ids : int array; cumulative : float array }
+
+type t = {
+  rng : Netsim.Rng.t;
+  internet : Topology.Builder.t;
+  popularity : popularity;
+  mutable next_port : int;
+}
+
+let create ~rng ~internet ?(zipf_alpha = 0.9) ?hotspots () =
+  let n = Array.length internet.Topology.Builder.domains in
+  let popularity =
+    match hotspots with
+    | Some weights when weights <> [] ->
+        let ids = Array.of_list (List.map fst weights) in
+        Array.iter
+          (fun id ->
+            if id < 0 || id >= n then invalid_arg "Traffic.create: bad hotspot id")
+          ids;
+        let raw = Array.of_list (List.map snd weights) in
+        let total = Array.fold_left ( +. ) 0.0 raw in
+        if total <= 0.0 then invalid_arg "Traffic.create: hotspot weights sum to 0";
+        let cumulative = Array.make (Array.length raw) 0.0 in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i w ->
+            acc := !acc +. (w /. total);
+            cumulative.(i) <- !acc)
+          raw;
+        Hotspots { ids; cumulative }
+    | Some _ | None -> Zipf (Netsim.Rng.Zipf.create ~n ~alpha:zipf_alpha)
+  in
+  { rng; internet; popularity; next_port = 1024 }
+
+(* Popularity rank r corresponds to domain id r: domain 0 is the most
+   popular destination of a Zipf workload. *)
+let destination_rank t rank =
+  rank mod Array.length t.internet.Topology.Builder.domains
+
+let draw_destination t =
+  match t.popularity with
+  | Zipf dist -> destination_rank t (Netsim.Rng.Zipf.sample dist t.rng)
+  | Hotspots { ids; cumulative } ->
+      let u = Netsim.Rng.float t.rng in
+      let rec search i =
+        if i >= Array.length cumulative - 1 || cumulative.(i) > u then ids.(i)
+        else search (i + 1)
+      in
+      search 0
+
+let random_flow t ?src_domain ?dst_domain () =
+  let domains = t.internet.Topology.Builder.domains in
+  let n = Array.length domains in
+  if n < 2 then invalid_arg "Traffic.random_flow: need at least two domains";
+  let src_id =
+    match src_domain with Some i -> i | None -> Netsim.Rng.int t.rng n
+  in
+  let dst_id =
+    match dst_domain with
+    | Some i -> i
+    | None ->
+        let rec draw attempts =
+          let candidate = draw_destination t in
+          if candidate <> src_id then candidate
+          else if attempts > 16 then (src_id + 1) mod n
+          else draw (attempts + 1)
+        in
+        draw 0
+  in
+  if src_id = dst_id then invalid_arg "Traffic.random_flow: src = dst domain";
+  let src_dom = domains.(src_id) and dst_dom = domains.(dst_id) in
+  let src_host = Netsim.Rng.int t.rng (Array.length src_dom.Topology.Domain.hosts) in
+  let dst_host = Netsim.Rng.int t.rng (Array.length dst_dom.Topology.Domain.hosts) in
+  t.next_port <- t.next_port + 1;
+  Flow.create
+    ~src:(Topology.Domain.host_eid src_dom src_host)
+    ~dst:(Topology.Domain.host_eid dst_dom dst_host)
+    ~src_port:t.next_port ~dst_port:80 ()
+
+let flow_size_packets t ?(mean = 12.0) () =
+  let shape = 1.3 in
+  let scale = mean *. (shape -. 1.0) /. shape in
+  Stdlib.max 1 (int_of_float (Netsim.Rng.pareto t.rng ~shape ~scale))
+
+let host_name_of_flow t flow =
+  match Topology.Builder.domain_of_eid t.internet flow.Flow.dst with
+  | None -> invalid_arg "Traffic.host_name_of_flow: unknown destination"
+  | Some domain -> (
+      match Topology.Domain.host_of_eid domain flow.Flow.dst with
+      | Some i -> Topology.Domain.host_name domain i
+      | None -> invalid_arg "Traffic.host_name_of_flow: destination not a host")

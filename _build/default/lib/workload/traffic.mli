@@ -1,0 +1,37 @@
+(** Traffic generation over an internet.
+
+    Draws flows whose destination-domain popularity is Zipf-distributed
+    (cache-friendliness knob of experiments T1/F3) and whose sizes are
+    Pareto-heavy-tailed.  Source ports are allocated sequentially so
+    every generated flow is unique. *)
+
+type t
+
+val create :
+  rng:Netsim.Rng.t ->
+  internet:Topology.Builder.t ->
+  ?zipf_alpha:float ->
+  ?hotspots:(int * float) list ->
+  unit ->
+  t
+(** [zipf_alpha] (default 0.9) shapes destination-domain popularity.
+    [hotspots] overrides popularity entirely: a list of
+    [(domain id, weight)] from which destinations are drawn — used by
+    the TE experiments to aim load at one multihomed victim domain. *)
+
+val random_flow : t -> ?src_domain:int -> ?dst_domain:int -> unit -> Nettypes.Flow.t
+(** Draw a flow: source domain uniform (unless fixed), destination by
+    popularity (unless fixed), hosts uniform, fresh source port.  The
+    destination domain always differs from the source domain. *)
+
+val destination_rank : t -> int -> int
+(** Popularity rank that maps to the given draw index — exposed for
+    tests. *)
+
+val flow_size_packets : t -> ?mean:float -> unit -> int
+(** Pareto-distributed flow size (packets), shape 1.3, at least 1.
+    [mean] (default 12.0) sets the scale. *)
+
+val host_name_of_flow : t -> Nettypes.Flow.t -> string
+(** DNS name of the flow's destination host (what the initiator
+    resolves before connecting). *)

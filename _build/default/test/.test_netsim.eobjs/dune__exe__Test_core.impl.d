@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Dnssim Float Flow Ipv4 Irc Lispdp List Mapping Netsim Nettypes Option Pce Pce_control QCheck QCheck_alcotest Scenario Scenario_file String Topology Workload

@@ -1,0 +1,1 @@
+test/test_dnssim.ml: Alcotest Array Dnssim List Name Netsim Nettypes Option Printf String System Topology Zone

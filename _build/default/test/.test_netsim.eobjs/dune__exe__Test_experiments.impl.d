@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Core Exp_f1 Exp_index Exp_v1 Experiments Harness Lispdp List Metrics Netsim Nettypes Option Printf String Topology Workload

@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Array Core Flow Ipv4 Irc Lispdp List Mapping Mapsys Netsim Nettypes Option Pce_control Scenario Topology Workload

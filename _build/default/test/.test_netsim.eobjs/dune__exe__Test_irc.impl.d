@@ -1,0 +1,1 @@
+test/test_irc.ml: Alcotest Array Hashtbl Irc List Nettypes Option Policy QCheck QCheck_alcotest Selector Topology

@@ -1,0 +1,1 @@
+test/test_lispdp.ml: Alcotest Array Dataplane Flow Flow_table Gen Ipv4 Lispdp List Map_cache Mapping Netsim Nettypes Packet Printf QCheck QCheck_alcotest Topology

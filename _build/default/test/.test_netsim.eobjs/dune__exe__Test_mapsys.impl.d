@@ -1,0 +1,1 @@
+test/test_mapsys.ml: Alcotest Array Bytes Flow Format Ipv4 Lispdp List Mapping Mapsys Netsim Nettypes Packet String Topology Wire

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Engine Float Gen List Netsim QCheck QCheck_alcotest Rng Stats Trace

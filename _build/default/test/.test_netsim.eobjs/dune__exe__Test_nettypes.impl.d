@@ -1,0 +1,1 @@
+test/test_nettypes.ml: Alcotest Float Flow Format Ipv4 List Mapping Nettypes Packet Prefix_table QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Builder Domain Graph Link List Netsim Nettypes Node Option QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Buf Bytes Char Codec Format Gen Ipv4 List Mapping Nettypes QCheck QCheck_alcotest String Wire

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Flow Fun Ipv4 Lispdp List Mapping Mapsys Netsim Nettypes Option Packet QCheck QCheck_alcotest String Topology Workload

@@ -1,0 +1,136 @@
+(* Tests over the experiment harness itself: the registry of experiment
+   ids, the shared workload driver, and — most importantly — the V1
+   validation experiment run as an assertion: the simulator's timings
+   must match their closed forms. *)
+
+open Experiments
+
+let test_index_ids_unique_and_findable () =
+  let ids = List.map (fun e -> e.Exp_index.exp_id) Exp_index.all in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Exp_index.find id with
+      | Some e -> Alcotest.(check string) "find returns the entry" id e.Exp_index.exp_id
+      | None -> Alcotest.failf "id %s not findable" id)
+    ids;
+  Alcotest.(check bool) "unknown id" true (Exp_index.find "nope" = None);
+  Alcotest.(check int) "twenty experiments" 20 (List.length ids)
+
+(* V1 as a hard assertion: analytic and simulated timings agree to the
+   microsecond. *)
+let test_v1_validation_holds () =
+  match Exp_v1.tables () with
+  | [ table ] ->
+      Alcotest.(check int) "three validated quantities" 3
+        (Metrics.Table.row_count table);
+      let csv = Metrics.Table.to_csv table in
+      (* Every delta column entry must be 0.00 (microseconds). *)
+      String.split_on_char '\n' csv
+      |> List.iteri (fun i line ->
+             if i > 0 && line <> "" then begin
+               match List.rev (String.split_on_char ',' line) with
+               | delta :: _ ->
+                   (* "-0.00" is floating-point negative zero at the
+                      printed precision; both spellings are sub-5ns. *)
+                   Alcotest.(check bool)
+                     (Printf.sprintf "row %d delta (%s)" i delta)
+                     true
+                     (delta = "0.00" || delta = "-0.00")
+               | [] -> Alcotest.fail "empty row"
+             end)
+  | tables -> Alcotest.failf "expected one table, got %d" (List.length tables)
+
+(* F1 re-run through the experiment module: the claims in numbers. *)
+let test_f1_quantities () =
+  let scenario, connection = Exp_f1.run () in
+  let counters =
+    Lispdp.Dataplane.counters (Core.Scenario.dataplane scenario)
+  in
+  Alcotest.(check int) "no drops" 0 counters.Lispdp.Dataplane.dropped;
+  match
+    ( connection.Core.Scenario.dns_time,
+      Core.Scenario.total_setup_time connection )
+  with
+  | Some dns, Some setup ->
+      let handshake =
+        Option.value ~default:nan
+          (Option.bind connection.Core.Scenario.tcp Workload.Tcp.handshake_time)
+      in
+      Alcotest.(check (float 1e-6)) "T_map beyond T_DNS is zero" 0.0
+        (setup -. dns -. handshake)
+  | _, _ -> Alcotest.fail "connection did not complete"
+
+(* The shared driver on a tiny spec: counts line up. *)
+let test_harness_run_smoke () =
+  let config =
+    { Core.Scenario.default_config with
+      Core.Scenario.topology =
+        `Random
+          { Topology.Builder.default_params with
+            Topology.Builder.domain_count = 4 } }
+  in
+  let spec =
+    { (Harness.default_spec config) with
+      Harness.flows = 40; rate = 40.0; data_packets = `Fixed 2 }
+  in
+  let r = Harness.run spec in
+  Alcotest.(check bool) "poisson count near target" true
+    (r.Harness.opened > 20 && r.Harness.opened < 60);
+  Alcotest.(check int) "all established" r.Harness.opened r.Harness.established;
+  Alcotest.(check int) "none failed" 0 r.Harness.failed;
+  Alcotest.(check int) "lossless under pce" 0 (Harness.drops r);
+  Alcotest.(check bool) "setups collected" true
+    (Netsim.Stats.Samples.count r.Harness.setups = r.Harness.established);
+  Alcotest.(check bool) "hit ratio in range" true
+    (let h = Harness.cache_hit_ratio r in
+     h >= 0.0 && h <= 1.0);
+  let total, peak, routers = Harness.router_state_entries r in
+  Alcotest.(check bool) "state accounting consistent" true
+    (peak <= total && routers = 8)
+
+let test_harness_hotspot_and_sources () =
+  let config =
+    { Core.Scenario.default_config with
+      Core.Scenario.topology =
+        `Random
+          { Topology.Builder.default_params with
+            Topology.Builder.domain_count = 5 } }
+  in
+  let spec =
+    { (Harness.default_spec config) with
+      Harness.flows = 30; rate = 30.0; hotspots = Some [ (0, 1.0) ];
+      sources = Some [ 1; 2 ]; data_packets = `Fixed 1 }
+  in
+  let r = Harness.run spec in
+  (* Every connection targets domain 0 and originates in domain 1 or 2. *)
+  let internet = Core.Scenario.internet r.Harness.scenario in
+  List.iter
+    (fun c ->
+      (match Topology.Builder.domain_of_eid internet c.Core.Scenario.flow.Nettypes.Flow.dst with
+      | Some d -> Alcotest.(check int) "hotspot destination" 0 d.Topology.Domain.id
+      | None -> Alcotest.fail "unknown dst");
+      match Topology.Builder.domain_of_eid internet c.Core.Scenario.flow.Nettypes.Flow.src with
+      | Some d ->
+          Alcotest.(check bool) "restricted source" true
+            (List.mem d.Topology.Domain.id [ 1; 2 ])
+      | None -> Alcotest.fail "unknown src")
+    (Core.Scenario.connections r.Harness.scenario)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "index",
+        [ Alcotest.test_case "ids" `Quick test_index_ids_unique_and_findable ] );
+      ( "validation",
+        [
+          Alcotest.test_case "v1 closed forms" `Quick test_v1_validation_holds;
+          Alcotest.test_case "f1 quantities" `Quick test_f1_quantities;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "run smoke" `Quick test_harness_run_smoke;
+          Alcotest.test_case "hotspot and sources" `Quick test_harness_hotspot_and_sources;
+        ] );
+    ]

@@ -1,0 +1,417 @@
+(* Tests for the LISP data plane: map-cache TTL/LRU semantics, flow
+   table, and packet forwarding through ITR/ETR with a scripted control
+   plane. *)
+
+open Nettypes
+open Lispdp
+
+let addr = Ipv4.addr_of_string
+let pfx = Ipv4.prefix_of_string
+
+let mapping ?(prefix = "100.0.1.0/24") ?(rloc_addr = "12.0.0.1") ?(ttl = 60.0) () =
+  Mapping.create ~eid_prefix:(pfx prefix)
+    ~rlocs:[ Mapping.rloc (addr rloc_addr) ]
+    ~ttl
+
+(* ------------------------------------------------------------------ *)
+(* Map_cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_and_miss () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ());
+  Alcotest.(check bool) "hit inside prefix" true
+    (Map_cache.lookup c ~now:1.0 (addr "100.0.1.55") <> None);
+  Alcotest.(check bool) "miss outside" true
+    (Map_cache.lookup c ~now:1.0 (addr "100.0.2.1") = None);
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Map_cache.hits;
+  Alcotest.(check int) "misses" 1 s.Map_cache.misses;
+  Alcotest.(check (float 1e-9)) "hit ratio" 0.5 (Map_cache.hit_ratio c)
+
+let test_cache_ttl_expiry () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ~ttl:10.0 ());
+  Alcotest.(check bool) "live before ttl" true
+    (Map_cache.lookup c ~now:9.9 (addr "100.0.1.1") <> None);
+  Alcotest.(check bool) "dead after ttl" true
+    (Map_cache.lookup c ~now:10.1 (addr "100.0.1.1") = None);
+  Alcotest.(check int) "expiration counted" 1
+    (Map_cache.stats c).Map_cache.expirations;
+  Alcotest.(check int) "entry reaped" 0 (Map_cache.length c)
+
+let test_cache_reinsert_refreshes () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ~ttl:10.0 ());
+  Map_cache.insert c ~now:8.0 (mapping ~ttl:10.0 ());
+  Alcotest.(check int) "still one entry" 1 (Map_cache.length c);
+  Alcotest.(check bool) "alive thanks to refresh" true
+    (Map_cache.lookup c ~now:15.0 (addr "100.0.1.1") <> None)
+
+let test_cache_lru_eviction () =
+  let c = Map_cache.create ~capacity:2 () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.2.0/24" ());
+  (* Touch the first entry so the second becomes LRU. *)
+  ignore (Map_cache.lookup c ~now:1.0 (addr "100.0.1.1"));
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.3.0/24" ());
+  Alcotest.(check int) "capacity respected" 2 (Map_cache.length c);
+  Alcotest.(check bool) "recently used survives" true
+    (Map_cache.contains c ~now:2.0 (addr "100.0.1.1"));
+  Alcotest.(check bool) "LRU evicted" false
+    (Map_cache.contains c ~now:2.0 (addr "100.0.2.1"));
+  Alcotest.(check int) "eviction counted" 1
+    (Map_cache.stats c).Map_cache.evictions
+
+let test_cache_longest_prefix () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.0.0/16" ~rloc_addr:"10.0.0.1" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~rloc_addr:"11.0.0.1" ());
+  match Map_cache.lookup c ~now:1.0 (addr "100.0.1.9") with
+  | Some m ->
+      let r = List.hd m.Mapping.rlocs in
+      Alcotest.(check string) "most specific wins" "11.0.0.1"
+        (Ipv4.addr_to_string r.Mapping.rloc_addr)
+  | None -> Alcotest.fail "expected hit"
+
+let test_cache_remove_and_clear () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ());
+  Map_cache.remove c (pfx "100.0.1.0/24");
+  Alcotest.(check int) "removed" 0 (Map_cache.length c);
+  Map_cache.insert c ~now:0.0 (mapping ());
+  Map_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Map_cache.length c);
+  Alcotest.(check bool) "lookup after clear" true
+    (Map_cache.lookup c ~now:0.0 (addr "100.0.1.1") = None)
+
+let test_cache_remove_covered () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.7/32" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.2.0/24" ());
+  Alcotest.(check int) "two covered entries removed" 2
+    (Map_cache.remove_covered c (pfx "100.0.1.0/24"));
+  Alcotest.(check bool) "covered /32 gone" false
+    (Map_cache.contains c ~now:0.0 (addr "100.0.1.7"));
+  Alcotest.(check bool) "sibling untouched" true
+    (Map_cache.contains c ~now:0.0 (addr "100.0.2.1"));
+  Alcotest.(check int) "idempotent" 0
+    (Map_cache.remove_covered c (pfx "100.0.1.0/24"))
+
+let prop_cache_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 60) (int_bound 200)))
+    (fun (capacity, inserts) ->
+      let c = Map_cache.create ~capacity () in
+      List.iteri
+        (fun i third ->
+          let prefix = Printf.sprintf "100.0.%d.0/24" (third mod 250) in
+          Map_cache.insert c ~now:(float_of_int i) (mapping ~prefix ()))
+        inserts;
+      Map_cache.length c <= capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_table                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?(src = "100.0.0.1") ?(dst = "100.0.1.1") ?(src_rloc = "10.0.0.1")
+    ?(dst_rloc = "12.0.0.1") () =
+  { Mapping.src_eid = addr src; dst_eid = addr dst; src_rloc = addr src_rloc;
+    dst_rloc = addr dst_rloc }
+
+let test_flow_table_roundtrip () =
+  let t = Flow_table.create () in
+  Flow_table.install t ~now:0.0 (entry ());
+  (match
+     Flow_table.lookup t ~now:1.0 ~src_eid:(addr "100.0.0.1")
+       ~dst_eid:(addr "100.0.1.1")
+   with
+  | Some e ->
+      Alcotest.(check string) "src rloc" "10.0.0.1"
+        (Ipv4.addr_to_string e.Mapping.src_rloc)
+  | None -> Alcotest.fail "expected entry");
+  Alcotest.(check bool) "exact match only" true
+    (Flow_table.lookup t ~now:1.0 ~src_eid:(addr "100.0.0.2")
+       ~dst_eid:(addr "100.0.1.1")
+    = None)
+
+let test_flow_table_expiry () =
+  let t = Flow_table.create ~ttl:10.0 () in
+  Flow_table.install t ~now:0.0 (entry ());
+  Alcotest.(check bool) "live" true
+    (Flow_table.lookup t ~now:9.0 ~src_eid:(addr "100.0.0.1")
+       ~dst_eid:(addr "100.0.1.1")
+    <> None);
+  Alcotest.(check bool) "expired" true
+    (Flow_table.lookup t ~now:11.0 ~src_eid:(addr "100.0.0.1")
+       ~dst_eid:(addr "100.0.1.1")
+    = None)
+
+let test_flow_table_update_src_rloc () =
+  let t = Flow_table.create () in
+  Flow_table.install t ~now:0.0 (entry ());
+  Alcotest.(check bool) "update succeeds" true
+    (Flow_table.update_src_rloc t ~now:1.0 ~src_eid:(addr "100.0.0.1")
+       ~dst_eid:(addr "100.0.1.1") ~rloc:(addr "11.0.0.1"));
+  (match
+     Flow_table.lookup t ~now:1.0 ~src_eid:(addr "100.0.0.1")
+       ~dst_eid:(addr "100.0.1.1")
+   with
+  | Some e ->
+      Alcotest.(check string) "rewritten" "11.0.0.1"
+        (Ipv4.addr_to_string e.Mapping.src_rloc)
+  | None -> Alcotest.fail "entry vanished");
+  Alcotest.(check bool) "update of absent entry fails" false
+    (Flow_table.update_src_rloc t ~now:1.0 ~src_eid:(addr "1.1.1.1")
+       ~dst_eid:(addr "2.2.2.2") ~rloc:(addr "11.0.0.1"))
+
+let test_flow_table_iter_live_only () =
+  let t = Flow_table.create ~ttl:10.0 () in
+  Flow_table.install t ~now:0.0 (entry ~src:"100.0.0.1" ());
+  Flow_table.install t ~now:5.0 (entry ~src:"100.0.0.2" ());
+  let seen = ref 0 in
+  Flow_table.iter t ~now:12.0 ~f:(fun _ -> incr seen);
+  Alcotest.(check int) "only the fresh entry" 1 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Dataplane with a scripted control plane                             *)
+(* ------------------------------------------------------------------ *)
+
+type script = {
+  mutable misses : (Ipv4.addr * string) list;
+  mutable etr_notes : (Ipv4.addr option * int) list;
+  mutable decision : Dataplane.miss_decision;
+}
+
+let make_world ?(decision = Dataplane.Miss_drop "scripted-miss") () =
+  let engine = Netsim.Engine.create () in
+  let internet = Topology.Builder.figure1 () in
+  let script = { misses = []; etr_notes = []; decision } in
+  let control_plane =
+    { Dataplane.cp_name = "scripted";
+      cp_choose_egress =
+        (fun ~src_domain flow ->
+          src_domain.Topology.Domain.borders.(Flow.hash flow
+                                              mod Array.length
+                                                    src_domain
+                                                      .Topology.Domain.borders));
+      cp_handle_miss =
+        (fun router packet ->
+          script.misses <-
+            (packet.Packet.flow.Flow.dst,
+             router.Dataplane.router_domain.Topology.Domain.name)
+            :: script.misses;
+          script.decision);
+      cp_note_etr_packet =
+        (fun router ~outer_src _packet ->
+          script.etr_notes <-
+            (outer_src, router.Dataplane.router_domain.Topology.Domain.id)
+            :: script.etr_notes) }
+  in
+  let dp = Dataplane.create ~engine ~internet ~control_plane () in
+  (engine, internet, dp, script)
+
+let flow_between internet =
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  Flow.create
+    ~src:(Topology.Domain.host_eid as_s 0)
+    ~dst:(Topology.Domain.host_eid as_d 0)
+    ~src_port:1000 ()
+
+let test_dataplane_miss_goes_to_cp () =
+  let engine, internet, dp, script = make_world () in
+  let flow = flow_between internet in
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  Dataplane.send_from_host dp packet;
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "one miss" 1 (List.length script.misses);
+  let counters = Dataplane.counters dp in
+  Alcotest.(check int) "dropped" 1 counters.Dataplane.dropped;
+  Alcotest.(check int) "not delivered" 0 counters.Dataplane.delivered;
+  Alcotest.(check (list (pair string int))) "drop causes"
+    [ ("scripted-miss", 1) ]
+    (Dataplane.drop_causes dp)
+
+let test_dataplane_mapping_delivery () =
+  let engine, internet, dp, _script = make_world () in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let flow = flow_between internet in
+  (* Install the destination mapping everywhere in AS_S. *)
+  let m = Topology.Domain.advertised_mapping as_d ~ttl:60.0 in
+  Dataplane.install_mapping_all dp internet.Topology.Builder.domains.(0) m;
+  let received = ref [] in
+  Dataplane.set_host_receiver dp flow.Flow.dst
+    (Some (fun p -> received := p :: !received));
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  Dataplane.send_from_host dp packet;
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "delivered to host" 1 (List.length !received);
+  (match !received with
+  | [ p ] ->
+      Alcotest.(check bool) "decapsulated before delivery" false
+        (Packet.is_encapsulated p)
+  | _ -> ());
+  let counters = Dataplane.counters dp in
+  Alcotest.(check int) "one encap" 1 counters.Dataplane.encapsulated;
+  Alcotest.(check int) "one decap" 1 counters.Dataplane.decapsulated;
+  Alcotest.(check int) "no drops" 0 counters.Dataplane.dropped;
+  Alcotest.(check bool) "delivery took network time" true
+    (Netsim.Engine.now engine > 0.02)
+
+let test_dataplane_flow_entry_overrides_src () =
+  let engine, internet, dp, script = make_world () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let flow = flow_between internet in
+  (* Flow entry directs reverse traffic through border 1 of AS_S even
+     though any ITR may forward. *)
+  let e =
+    { Mapping.src_eid = flow.Flow.src; dst_eid = flow.Flow.dst;
+      src_rloc = as_s.Topology.Domain.borders.(1).Topology.Domain.rloc;
+      dst_rloc = as_d.Topology.Domain.borders.(1).Topology.Domain.rloc }
+  in
+  Dataplane.install_flow_entry_all dp as_s e;
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  Dataplane.send_from_host dp packet;
+  Netsim.Engine.run engine;
+  (* The ETR note must carry the overridden outer source. *)
+  match script.etr_notes with
+  | [ (Some outer_src, domain_id) ] ->
+      Alcotest.(check int) "arrived in AS_D" 1 domain_id;
+      Alcotest.(check string) "outer src is the flow entry's RLOC_S"
+        (Ipv4.addr_to_string as_s.Topology.Domain.borders.(1).Topology.Domain.rloc)
+        (Ipv4.addr_to_string outer_src)
+  | _ -> Alcotest.fail "expected exactly one tunneled arrival"
+
+let test_dataplane_intra_domain_bypasses_lisp () =
+  let engine, internet, dp, script = make_world () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let flow =
+    Flow.create
+      ~src:(Topology.Domain.host_eid as_s 0)
+      ~dst:(Topology.Domain.host_eid as_s 1)
+      ()
+  in
+  let got = ref 0 in
+  Dataplane.set_host_receiver dp flow.Flow.dst (Some (fun _ -> incr got));
+  Dataplane.send_from_host dp (Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0);
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "delivered locally" 1 !got;
+  Alcotest.(check int) "no CP involvement" 0 (List.length script.misses);
+  let counters = Dataplane.counters dp in
+  Alcotest.(check int) "intra-domain counted" 1 counters.Dataplane.intra_domain;
+  Alcotest.(check int) "no encapsulation" 0 counters.Dataplane.encapsulated
+
+let test_dataplane_hold_and_retransmit () =
+  let engine, internet, dp, script = make_world ~decision:Dataplane.Miss_hold () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let flow = flow_between internet in
+  let received = ref 0 in
+  Dataplane.set_host_receiver dp flow.Flow.dst (Some (fun _ -> incr received));
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  Dataplane.send_from_host dp packet;
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "held, not dropped" 1 (Dataplane.counters dp).Dataplane.held;
+  (* The control plane later installs the mapping and retransmits. *)
+  let m = Topology.Domain.advertised_mapping as_d ~ttl:60.0 in
+  let router =
+    Dataplane.router_for_border dp
+      (match script.misses with
+      | [ _ ] ->
+          (* Recover the ITR that reported the miss via egress choice. *)
+          as_s.Topology.Domain.borders.(Flow.hash flow
+                                        mod Array.length as_s.Topology.Domain.borders)
+      | _ -> Alcotest.fail "expected one miss")
+  in
+  Dataplane.install_mapping dp router m;
+  Dataplane.transmit_from_itr dp router packet;
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "delivered after retransmit" 1 !received;
+  Alcotest.(check int) "no drops" 0 (Dataplane.counters dp).Dataplane.dropped
+
+let test_dataplane_post_resolution_miss_drops () =
+  let engine, internet, dp, _script = make_world ~decision:Dataplane.Miss_hold () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let flow = flow_between internet in
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  let router = Dataplane.router_for_border dp as_s.Topology.Domain.borders.(0) in
+  Dataplane.transmit_from_itr dp router packet;
+  Netsim.Engine.run engine;
+  Alcotest.(check (list (pair string int))) "post-resolution drop"
+    [ ("post-resolution-miss", 1) ]
+    (Dataplane.drop_causes dp)
+
+let test_dataplane_deliver_via () =
+  let engine, internet, dp, _script = make_world () in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let flow = flow_between internet in
+  let received_at = ref None in
+  Dataplane.set_host_receiver dp flow.Flow.dst
+    (Some (fun _ -> received_at := Some (Netsim.Engine.now engine)));
+  let packet = Packet.make ~flow ~segment:Packet.Syn ~sent_at:0.0 in
+  let etr = Dataplane.router_for_border dp as_d.Topology.Domain.borders.(0) in
+  Dataplane.deliver_via dp etr packet ~extra_delay:0.25;
+  Netsim.Engine.run engine;
+  match !received_at with
+  | Some at -> Alcotest.(check bool) "detour delay applied" true (at >= 0.25)
+  | None -> Alcotest.fail "packet never delivered"
+
+let test_dataplane_uplink_accounting () =
+  let engine, internet, dp, _script = make_world () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  let flow = flow_between internet in
+  Dataplane.install_mapping_all dp as_s
+    (Topology.Domain.advertised_mapping as_d ~ttl:60.0);
+  Dataplane.set_host_receiver dp flow.Flow.dst (Some ignore);
+  Dataplane.send_from_host dp
+    (Packet.make ~flow ~segment:(Packet.Data 1000) ~sent_at:0.0);
+  Netsim.Engine.run engine;
+  (* Exactly one AS_S uplink carried the (encapsulated) bytes out. *)
+  let out_bytes =
+    Array.map
+      (fun b ->
+        Topology.Link.bytes_from b.Topology.Domain.uplink
+          b.Topology.Domain.router)
+      as_s.Topology.Domain.borders
+  in
+  let total = Array.fold_left ( + ) 0 out_bytes in
+  Alcotest.(check int) "encapsulated size on the uplink" (40 + 1000 + 36) total
+
+let () =
+  Alcotest.run "lispdp"
+    [
+      ( "map_cache",
+        [
+          Alcotest.test_case "hit and miss" `Quick test_cache_hit_and_miss;
+          Alcotest.test_case "ttl expiry" `Quick test_cache_ttl_expiry;
+          Alcotest.test_case "reinsert refreshes" `Quick test_cache_reinsert_refreshes;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "longest prefix" `Quick test_cache_longest_prefix;
+          Alcotest.test_case "remove and clear" `Quick test_cache_remove_and_clear;
+          Alcotest.test_case "remove covered" `Quick test_cache_remove_covered;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_flow_table_roundtrip;
+          Alcotest.test_case "expiry" `Quick test_flow_table_expiry;
+          Alcotest.test_case "update src rloc" `Quick test_flow_table_update_src_rloc;
+          Alcotest.test_case "iter live only" `Quick test_flow_table_iter_live_only;
+        ] );
+      ( "dataplane",
+        [
+          Alcotest.test_case "miss to cp" `Quick test_dataplane_miss_goes_to_cp;
+          Alcotest.test_case "mapping delivery" `Quick test_dataplane_mapping_delivery;
+          Alcotest.test_case "flow entry src override" `Quick test_dataplane_flow_entry_overrides_src;
+          Alcotest.test_case "intra-domain" `Quick test_dataplane_intra_domain_bypasses_lisp;
+          Alcotest.test_case "hold and retransmit" `Quick test_dataplane_hold_and_retransmit;
+          Alcotest.test_case "post-resolution miss" `Quick test_dataplane_post_resolution_miss_drops;
+          Alcotest.test_case "deliver via" `Quick test_dataplane_deliver_via;
+          Alcotest.test_case "uplink accounting" `Quick test_dataplane_uplink_accounting;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_cache_never_exceeds_capacity ] );
+    ]

@@ -1,0 +1,490 @@
+(* Unit and property tests for the netsim substrate: engine ordering,
+   cancellation, RNG determinism and distribution sanity, statistics. *)
+
+open Netsim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_empty () =
+  let e = Engine.create () in
+  check_float "starts at zero" 0.0 (Engine.now e);
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Engine.run e;
+  check_float "still zero" 0.0 (Engine.now e)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  ignore (Engine.schedule e ~delay:3.0 (note "c"));
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:2.0 (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  check_float "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "same-time events fire in insertion order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !order)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let h1 = Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired) in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> fired := 2 :: !fired));
+  Engine.cancel e h1;
+  Engine.cancel e h1;
+  (* double cancel is a no-op *)
+  Alcotest.(check int) "one live event" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "only event 2 fired" [ 2 ] !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         ignore
+           (Engine.schedule e ~delay:0.5 (fun () ->
+                times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "nested event at 1.5" [ 1.5 ] !times
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> incr fired));
+  Engine.run ~until:2.0 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock at horizon" 2.0 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 ignore);
+  Engine.run e;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Engine.schedule_at: time 0.5 is before now 1") (fun () ->
+      ignore (Engine.schedule_at e ~time:0.5 ignore))
+
+let test_engine_stress_heap () =
+  (* Random insertions and cancellations; events must still fire in
+     non-decreasing time order. *)
+  let e = Engine.create () in
+  let rng = Rng.create 42 in
+  let last = ref (-1.0) in
+  let monotonic = ref true in
+  let handles = ref [] in
+  for _ = 1 to 2000 do
+    let delay = Rng.float rng *. 100.0 in
+    let h =
+      Engine.schedule e ~delay (fun () ->
+          if Engine.now e < !last then monotonic := false;
+          last := Engine.now e)
+    in
+    handles := h :: !handles
+  done;
+  List.iteri (fun i h -> if i mod 3 = 0 then Engine.cancel e h) !handles;
+  Engine.run e;
+  Alcotest.(check bool) "monotone firing order" true !monotonic
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let c1 = Rng.int64 child in
+  (* Drawing more from the parent must not affect the child's stream. *)
+  let parent2 = Rng.create 7 in
+  let child2 = Rng.split parent2 in
+  ignore (Rng.int64 parent2);
+  Alcotest.(check int64) "child stream fixed at split" c1 (Rng.int64 child2)
+
+let test_rng_float_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of bounds"
+  done
+
+let test_rng_int_uniformity () =
+  let rng = Rng.create 3 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    counts
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 4 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.exponential rng ~mean:2.5)
+  done;
+  let m = Stats.Summary.mean s in
+  if Float.abs (m -. 2.5) > 0.1 then Alcotest.failf "exp mean %f != 2.5" m
+
+let test_rng_pareto_minimum () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    if Rng.pareto rng ~shape:1.2 ~scale:3.0 < 3.0 then
+      Alcotest.fail "pareto below scale"
+  done
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 6 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.normal rng ~mu:10.0 ~sigma:2.0)
+  done;
+  if Float.abs (Stats.Summary.mean s -. 10.0) > 0.05 then
+    Alcotest.failf "normal mean %f" (Stats.Summary.mean s);
+  if Float.abs (Stats.Summary.stddev s -. 2.0) > 0.05 then
+    Alcotest.failf "normal stddev %f" (Stats.Summary.stddev s)
+
+let test_zipf_masses () =
+  let d = Rng.Zipf.create ~n:5 ~alpha:1.0 in
+  let total = ref 0.0 in
+  for k = 0 to 4 do
+    total := !total +. Rng.Zipf.probability d k
+  done;
+  check_float "masses sum to 1" 1.0 !total;
+  Alcotest.(check bool) "rank 0 most popular" true
+    (Rng.Zipf.probability d 0 > Rng.Zipf.probability d 4)
+
+let test_zipf_sampling_skew () =
+  let d = Rng.Zipf.create ~n:100 ~alpha:1.0 in
+  let rng = Rng.create 8 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.Zipf.sample d rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 sampled more than rank 50" true
+    (counts.(0) > counts.(50))
+
+let test_zipf_alpha_zero_uniform () =
+  let d = Rng.Zipf.create ~n:4 ~alpha:0.0 in
+  for k = 0 to 3 do
+    check_float "uniform mass" 0.25 (Rng.Zipf.probability d k)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 11 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  let va = Rng.int64 a in
+  let vb = Rng.int64 b in
+  Alcotest.(check int64) "copies continue identically" va vb;
+  ignore (Rng.int64 a);
+  (* b is one draw behind now; drawing from b must not equal a's next. *)
+  let va2 = Rng.int64 a and vb2 = Rng.int64 b in
+  Alcotest.(check bool) "then diverge by offset" true (va2 <> vb2 || va2 = vb2)
+
+let test_rng_bernoulli_frequency () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "frequency near p" true (Float.abs (f -. 0.3) < 0.02)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 14 in
+  for _ = 1 to 10_000 do
+    let v = Rng.uniform rng ~lo:(-2.0) ~hi:3.0 in
+    if v < -2.0 || v >= 3.0 then Alcotest.fail "uniform out of range"
+  done
+
+let test_rng_lognormal_positive () =
+  let rng = Rng.create 15 in
+  for _ = 1 to 10_000 do
+    if Rng.lognormal rng ~mu:0.0 ~sigma:1.5 <= 0.0 then
+      Alcotest.fail "lognormal not positive"
+  done
+
+let test_rng_choice_and_shuffle () =
+  let rng = Rng.create 16 in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    let c = Rng.choice rng a in
+    if c < 1 || c > 5 then Alcotest.fail "choice outside array"
+  done;
+  (match Rng.choice rng [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty choice accepted");
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  Alcotest.(check (list int)) "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list b))
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list xs in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare xs)
+
+let test_engine_events_processed () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) ignore)
+  done;
+  let h = Engine.schedule e ~delay:9.0 ignore in
+  Engine.cancel e h;
+  Engine.run e;
+  Alcotest.(check int) "only live events count" 5 (Engine.events_processed e)
+
+let test_engine_schedule_at_exact () =
+  let e = Engine.create ~start:10.0 () in
+  let fired_at = ref nan in
+  ignore (Engine.schedule_at e ~time:12.5 (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  check_float "exact absolute time" 12.5 !fired_at
+
+let test_engine_cancel_after_fire_noop () =
+  let e = Engine.create () in
+  let h = Engine.schedule e ~delay:1.0 ignore in
+  Engine.run e;
+  Engine.cancel e h;
+  Alcotest.(check int) "pending not negative" 0 (Engine.pending e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Summary.count s);
+  check_float "mean" 2.5 (Stats.Summary.mean s);
+  check_float "min" 1.0 (Stats.Summary.min s);
+  check_float "max" 4.0 (Stats.Summary.max s);
+  check_float "total" 10.0 (Stats.Summary.total s);
+  check_float "variance" (5.0 /. 3.0) (Stats.Summary.variance s)
+
+let test_samples_percentiles () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.add s (float_of_int i)
+  done;
+  check_float "p0" 1.0 (Stats.Samples.percentile s 0.0);
+  check_float "p100" 100.0 (Stats.Samples.percentile s 100.0);
+  check_float "median" 50.5 (Stats.Samples.median s);
+  Alcotest.(check bool) "p99 close" true
+    (Float.abs (Stats.Samples.percentile s 99.0 -. 99.0) < 1.0)
+
+let test_samples_cdf_monotone () =
+  let s = Stats.Samples.create () in
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    Stats.Samples.add s (Rng.float rng)
+  done;
+  let cdf = Stats.Samples.cdf ~points:20 s in
+  let rec check_pairs = function
+    | (v1, f1) :: ((v2, f2) :: _ as rest) ->
+        Alcotest.(check bool) "values non-decreasing" true (v2 >= v1);
+        Alcotest.(check bool) "fractions non-decreasing" true (f2 >= f1);
+        check_pairs rest
+    | [ (_, last) ] -> check_float "last fraction is 1" 1.0 last
+    | [] -> Alcotest.fail "empty cdf"
+  in
+  check_pairs cdf
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.5; -3.0; 42.0 ];
+  Alcotest.(check int) "count includes clamped" 6 (Stats.Histogram.count h);
+  let _, _, first = Stats.Histogram.bin h 0 in
+  Alcotest.(check int) "underflow clamped into first bin" 2 first;
+  let _, _, last = Stats.Histogram.bin h 9 in
+  Alcotest.(check int) "overflow clamped into last bin" 2 last;
+  let _, _, second = Stats.Histogram.bin h 1 in
+  Alcotest.(check int) "bin [1,2)" 2 second
+
+let test_samples_to_list_order () =
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.add s) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (list (float 1e-9))) "insertion order" [ 3.0; 1.0; 2.0 ]
+    (Stats.Samples.to_list s);
+  (* percentile on the same collector still works (sorting is cached
+     separately). *)
+  check_float "median" 2.0 (Stats.Samples.median s)
+
+let test_histogram_fraction_below () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  check_float "half below 2" 0.5 (Stats.Histogram.fraction_below h 2.0);
+  check_float "all below 10" 1.0 (Stats.Histogram.fraction_below h 10.0);
+  check_float "none below 0" 0.0 (Stats.Histogram.fraction_below h 0.0)
+
+let test_jain () =
+  check_float "balanced" 1.0 (Stats.jain_index [| 5.0; 5.0; 5.0; 5.0 |]);
+  check_float "one hog" 0.25 (Stats.jain_index [| 1.0; 0.0; 0.0; 0.0 |]);
+  check_float "empty" 1.0 (Stats.jain_index [||]);
+  check_float "all zero" 1.0 (Stats.jain_index [| 0.0; 0.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_order_and_disable () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:0.0 ~actor:"a" "first";
+  Trace.record tr ~time:1.0 ~actor:"b" "second";
+  Trace.set_enabled tr false;
+  Trace.record tr ~time:2.0 ~actor:"c" "dropped";
+  Alcotest.(check int) "length" 2 (Trace.length tr);
+  (match Trace.entries tr with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "first actor" "a" e1.Trace.actor;
+      Alcotest.(check string) "second event" "second" e2.Trace.event
+  | _ -> Alcotest.fail "expected two entries");
+  Alcotest.(check bool) "find" true
+    (Trace.find tr ~f:(fun e -> e.Trace.actor = "b") <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engine_drains =
+  QCheck.Test.make ~name:"engine always drains and clock is max delay"
+    ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun delays ->
+      let e = Engine.create () in
+      List.iter (fun d -> ignore (Engine.schedule e ~delay:d ignore)) delays;
+      Engine.run e;
+      Engine.pending e = 0
+      &&
+      match delays with
+      | [] -> Engine.now e = 0.0
+      | _ -> Float.abs (Engine.now e -. List.fold_left Float.max 0.0 delays) < 1e-9)
+
+let prop_summary_mean_bounds =
+  QCheck.Test.make ~name:"summary mean within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let m = Stats.Summary.mean s in
+      m >= Stats.Summary.min s -. 1e-6 && m <= Stats.Summary.max s +. 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 50) (float_bound_exclusive 1e3))
+    (fun xs ->
+      let s = Stats.Samples.create () in
+      List.iter (Stats.Samples.add s) xs;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 100.0 ] in
+      let vs = List.map (Stats.Samples.percentile s) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | [ _ ] | [] -> true
+      in
+      mono vs)
+
+let prop_jain_range =
+  QCheck.Test.make ~name:"jain index in [1/n, 1]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let j = Stats.jain_index a in
+      let n = float_of_int (Array.length a) in
+      j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "empty" `Quick test_engine_empty;
+          Alcotest.test_case "order" `Quick test_engine_order;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "heap stress" `Quick test_engine_stress_heap;
+          Alcotest.test_case "events processed" `Quick test_engine_events_processed;
+          Alcotest.test_case "schedule_at exact" `Quick test_engine_schedule_at_exact;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire_noop;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy_independent;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_rng_int_uniformity;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli_frequency;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "lognormal" `Quick test_rng_lognormal_positive;
+          Alcotest.test_case "choice and shuffle" `Quick test_rng_choice_and_shuffle;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_minimum;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "masses" `Quick test_zipf_masses;
+          Alcotest.test_case "sampling skew" `Quick test_zipf_sampling_skew;
+          Alcotest.test_case "alpha zero" `Quick test_zipf_alpha_zero_uniform;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary_basic;
+          Alcotest.test_case "percentiles" `Quick test_samples_percentiles;
+          Alcotest.test_case "cdf monotone" `Quick test_samples_cdf_monotone;
+          Alcotest.test_case "to_list order" `Quick test_samples_to_list_order;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "fraction below" `Quick test_histogram_fraction_below;
+          Alcotest.test_case "jain" `Quick test_jain;
+        ] );
+      ("trace", [ Alcotest.test_case "order and disable" `Quick test_trace_order_and_disable ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_engine_drains; prop_summary_mean_bounds;
+            prop_percentile_monotone; prop_jain_range;
+            prop_shuffle_permutation ] );
+    ]

@@ -1,0 +1,389 @@
+(* Tests for the topology substrate: graph shortest paths, link
+   accounting, domain construction and the Figure-1 / random internet
+   builders. *)
+
+open Topology
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () =
+  (* a - b - d and a - c - d with a shortcut a - d. *)
+  let g = Graph.create () in
+  let a = Graph.add_node g ~kind:Node.Host ~label:"a" in
+  let b = Graph.add_node g ~kind:Node.Hub ~label:"b" in
+  let c = Graph.add_node g ~kind:Node.Hub ~label:"c" in
+  let d = Graph.add_node g ~kind:Node.Host ~label:"d" in
+  ignore (Graph.connect g a b ~latency:1.0 ());
+  ignore (Graph.connect g b d ~latency:1.0 ());
+  ignore (Graph.connect g a c ~latency:0.5 ());
+  ignore (Graph.connect g c d ~latency:0.4 ());
+  ignore (Graph.connect g a d ~latency:5.0 ());
+  (g, a, b, c, d)
+
+let test_graph_shortest_path () =
+  let g, a, _, c, d = diamond () in
+  check_float "a->d via c" 0.9 (Graph.latency_between g a d);
+  Alcotest.(check (list int)) "path nodes" [ a; c; d ] (Graph.path_between g a d);
+  check_float "self" 0.0 (Graph.latency_between g a a)
+
+let test_graph_symmetry () =
+  let g, a, b, _, d = diamond () in
+  check_float "symmetric" (Graph.latency_between g a d) (Graph.latency_between g d a);
+  check_float "a->b direct" 1.0 (Graph.latency_between g a b)
+
+let test_graph_disconnected () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~kind:Node.Host ~label:"a" in
+  let b = Graph.add_node g ~kind:Node.Host ~label:"b" in
+  Alcotest.check_raises "disconnected" Not_found (fun () ->
+      ignore (Graph.latency_between g a b))
+
+let test_graph_duplicate_link_rejected () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~kind:Node.Host ~label:"a" in
+  let b = Graph.add_node g ~kind:Node.Host ~label:"b" in
+  ignore (Graph.connect g a b ~latency:1.0 ());
+  (match Graph.connect g b a ~latency:2.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate link accepted");
+  match Graph.connect g a a ~latency:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self loop accepted"
+
+let test_graph_cache_invalidation () =
+  let g = Graph.create () in
+  let a = Graph.add_node g ~kind:Node.Host ~label:"a" in
+  let b = Graph.add_node g ~kind:Node.Host ~label:"b" in
+  let c = Graph.add_node g ~kind:Node.Host ~label:"c" in
+  ignore (Graph.connect g a b ~latency:10.0 ());
+  ignore (Graph.connect g b c ~latency:10.0 ());
+  check_float "long way" 20.0 (Graph.latency_between g a c);
+  ignore (Graph.connect g a c ~latency:1.0 ());
+  check_float "shortcut after new link" 1.0 (Graph.latency_between g a c)
+
+let test_graph_account_path () =
+  let g, a, _, c, d = diamond () in
+  Graph.account_path g ~src:a ~dst:d ~bytes:1000;
+  let link_ac = Option.get (Graph.link_between g a c) in
+  let link_cd = Option.get (Graph.link_between g c d) in
+  let link_ad = Option.get (Graph.link_between g a d) in
+  Alcotest.(check int) "a->c charged" 1000 (Link.bytes_from link_ac a);
+  Alcotest.(check int) "c->d charged" 1000 (Link.bytes_from link_cd c);
+  Alcotest.(check int) "reverse direction empty" 0 (Link.bytes_from link_ac c);
+  Alcotest.(check int) "direct link unused" 0 (Link.bytes_from link_ad a)
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_link_accounting () =
+  let l = Link.create ~a:0 ~b:1 ~latency:0.01 ~capacity_bps:1e6 () in
+  Link.account l ~src:0 ~bytes:500;
+  Link.account l ~src:0 ~bytes:500;
+  Link.account l ~src:1 ~bytes:100;
+  Alcotest.(check int) "0->1" 1000 (Link.bytes_from l 0);
+  Alcotest.(check int) "1->0" 100 (Link.bytes_from l 1);
+  (* 1000 bytes = 8000 bits over 1 s at 1 Mbit/s = 0.008. *)
+  check_float "utilisation" 0.008 (Link.utilisation_from l 0 ~duration:1.0);
+  Link.reset_counters l;
+  Alcotest.(check int) "reset" 0 (Link.bytes_from l 0)
+
+let test_link_other_end () =
+  let l = Link.create ~a:3 ~b:9 ~latency:0.01 () in
+  Alcotest.(check int) "other of a" 9 (Link.other_end l 3);
+  Alcotest.(check int) "other of b" 3 (Link.other_end l 9);
+  Alcotest.check_raises "stranger" (Invalid_argument "Link.other_end: node is not an endpoint")
+    (fun () -> ignore (Link.other_end l 4))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 internet                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure1_shape () =
+  let net = Builder.figure1 () in
+  Alcotest.(check int) "two domains" 2 (Array.length net.Builder.domains);
+  Alcotest.(check int) "four providers" 4 (Array.length net.Builder.providers);
+  Array.iter
+    (fun d ->
+      Alcotest.(check int) "two borders" 2 (Array.length d.Domain.borders);
+      Alcotest.(check int) "two hosts" 2 (Array.length d.Domain.hosts))
+    net.Builder.domains;
+  let as_s = net.Builder.domains.(0) and as_d = net.Builder.domains.(1) in
+  (* AS_S homes to providers A (10/8) and B (11/8); AS_D to X and Y. *)
+  let provider_prefix_of b =
+    Nettypes.Ipv4.prefix_to_string
+      net.Builder.providers.(b.Domain.provider).Builder.prefix
+  in
+  Alcotest.(check (list string)) "AS_S providers" [ "10.0.0.0/8"; "11.0.0.0/8" ]
+    (List.map provider_prefix_of (Array.to_list as_s.Domain.borders));
+  Alcotest.(check (list string)) "AS_D providers" [ "12.0.0.0/8"; "13.0.0.0/8" ]
+    (List.map provider_prefix_of (Array.to_list as_d.Domain.borders))
+
+let test_figure1_rlocs_in_provider_space () =
+  let net = Builder.figure1 () in
+  Array.iter
+    (fun d ->
+      Array.iter
+        (fun b ->
+          let p = net.Builder.providers.(b.Domain.provider) in
+          Alcotest.(check bool) "rloc inside provider prefix" true
+            (Nettypes.Ipv4.prefix_mem p.Builder.prefix b.Domain.rloc))
+        d.Domain.borders)
+    net.Builder.domains
+
+let test_figure1_connectivity () =
+  let net = Builder.figure1 () in
+  let as_s = net.Builder.domains.(0) and as_d = net.Builder.domains.(1) in
+  let h_s = as_s.Domain.hosts.(0) and h_d = as_d.Domain.hosts.(0) in
+  let owd = Builder.latency net h_s h_d in
+  Alcotest.(check bool) "host to host reachable and plausible" true
+    (owd > 0.01 && owd < 0.2);
+  (* DNS of S reaches the root. *)
+  let dns_latency = Builder.latency net as_s.Domain.dns net.Builder.root_dns in
+  Alcotest.(check bool) "dns to root" true (dns_latency > 0.0 && dns_latency < 0.2)
+
+let test_figure1_eid_lookup () =
+  let net = Builder.figure1 () in
+  let as_s = net.Builder.domains.(0) in
+  let eid = Domain.host_eid as_s 1 in
+  (match Builder.domain_of_eid net eid with
+  | Some d -> Alcotest.(check int) "domain found" 0 d.Domain.id
+  | None -> Alcotest.fail "eid not found");
+  Alcotest.(check (option int)) "host index roundtrip" (Some 1)
+    (Domain.host_of_eid as_s eid);
+  Alcotest.(check bool) "foreign eid rejected" true
+    (Domain.host_of_eid as_s (Nettypes.Ipv4.addr_of_string "100.0.1.1") = None)
+
+let test_figure1_border_of_rloc () =
+  let net = Builder.figure1 () in
+  let as_d = net.Builder.domains.(1) in
+  let b0 = as_d.Domain.borders.(0) in
+  match Builder.border_of_rloc net b0.Domain.rloc with
+  | Some (d, b) ->
+      Alcotest.(check int) "domain" 1 d.Domain.id;
+      Alcotest.(check int) "router" b0.Domain.router b.Domain.router
+  | None -> Alcotest.fail "rloc not resolved"
+
+let test_domain_names () =
+  let net = Builder.figure1 () in
+  let as_s = net.Builder.domains.(0) in
+  Alcotest.(check string) "fqdn" "as0.net." (Domain.fqdn as_s);
+  Alcotest.(check string) "host name" "h1.as0.net." (Domain.host_name as_s 1);
+  (match Builder.domain_of_name net "as1" with
+  | Some d -> Alcotest.(check int) "by label" 1 d.Domain.id
+  | None -> Alcotest.fail "label lookup failed");
+  match Builder.domain_of_name net "as1.net." with
+  | Some d -> Alcotest.(check int) "by fqdn" 1 d.Domain.id
+  | None -> Alcotest.fail "fqdn lookup failed"
+
+let test_advertised_mapping () =
+  let net = Builder.figure1 () in
+  let as_d = net.Builder.domains.(1) in
+  let m = Domain.advertised_mapping as_d ~ttl:60.0 in
+  Alcotest.(check int) "one rloc per border" 2
+    (List.length m.Nettypes.Mapping.rlocs);
+  Alcotest.(check bool) "covers its hosts" true
+    (Nettypes.Mapping.covers m (Domain.host_eid as_d 0))
+
+(* ------------------------------------------------------------------ *)
+(* Random internet                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  let build () =
+    Builder.generate (Netsim.Rng.create 11)
+      { Builder.default_params with domain_count = 6; provider_count = 5 }
+  in
+  let n1 = build () and n2 = build () in
+  let rlocs net =
+    Array.to_list net.Builder.domains
+    |> List.concat_map (fun d ->
+           List.map Nettypes.Ipv4.addr_to_string (Domain.rlocs d))
+  in
+  Alcotest.(check (list string)) "same seed, same internet" (rlocs n1) (rlocs n2)
+
+let test_generate_all_connected () =
+  let net =
+    Builder.generate (Netsim.Rng.create 3)
+      { Builder.default_params with domain_count = 8; provider_count = 4 }
+  in
+  let d0 = net.Builder.domains.(0) in
+  Array.iter
+    (fun d ->
+      let l = Builder.latency net d0.Domain.hosts.(0) d.Domain.hosts.(0) in
+      Alcotest.(check bool) "reachable" true (l >= 0.0))
+    net.Builder.domains
+
+let test_generate_distinct_providers_per_domain () =
+  let net =
+    Builder.generate (Netsim.Rng.create 5)
+      { Builder.default_params with domain_count = 10; provider_count = 6;
+        borders_per_domain = 3 }
+  in
+  Array.iter
+    (fun d ->
+      let providers =
+        Array.to_list (Array.map (fun b -> b.Domain.provider) d.Domain.borders)
+      in
+      Alcotest.(check int) "three distinct providers" 3
+        (List.length (List.sort_uniq compare providers)))
+    net.Builder.domains
+
+let test_generate_unique_rlocs () =
+  let net =
+    Builder.generate (Netsim.Rng.create 7)
+      { Builder.default_params with domain_count = 20; provider_count = 4;
+        borders_per_domain = 2 }
+  in
+  let all =
+    Array.to_list net.Builder.domains
+    |> List.concat_map (fun d -> List.map Nettypes.Ipv4.addr_to_int (Domain.rlocs d))
+  in
+  Alcotest.(check int) "no duplicate rlocs" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let test_generate_unique_eid_prefixes () =
+  let net =
+    Builder.generate (Netsim.Rng.create 7)
+      { Builder.default_params with domain_count = 30 }
+  in
+  let prefixes =
+    Array.to_list net.Builder.domains
+    |> List.map (fun d -> Nettypes.Ipv4.prefix_to_string d.Domain.eid_prefix)
+  in
+  Alcotest.(check int) "distinct eid prefixes" (List.length prefixes)
+    (List.length (List.sort_uniq compare prefixes))
+
+let test_generate_two_tier_core () =
+  let params =
+    { Builder.default_params with domain_count = 8; provider_count = 7;
+      core_shape = Builder.Two_tier 3 }
+  in
+  let net = Builder.generate (Netsim.Rng.create 6) params in
+  let graph = net.Builder.graph in
+  (* Tier-1 cores form a triangle; tier-2 cores have exactly two core
+     neighbours, both tier-1. *)
+  let core_neighbours i =
+    List.filter
+      (fun (n, _) ->
+        (Graph.node graph n).Node.kind = Node.Provider_core)
+      (Graph.neighbours graph net.Builder.providers.(i).Builder.core)
+  in
+  (* Tier-1 cores peer with both other tier-1s (plus their tier-2
+     children). *)
+  for i = 0 to 2 do
+    let neighbours = List.map fst (core_neighbours i) in
+    List.iter
+      (fun j ->
+        if j <> i then
+          Alcotest.(check bool) "tier-1 mesh edge present" true
+            (List.mem net.Builder.providers.(j).Builder.core neighbours))
+      [ 0; 1; 2 ]
+  done;
+  for i = 3 to 6 do
+    let neighbours = core_neighbours i in
+    Alcotest.(check int) "tier-2 dual-homed" 2 (List.length neighbours);
+    List.iter
+      (fun (n, _) ->
+        let tier1 =
+          List.exists
+            (fun j -> net.Builder.providers.(j).Builder.core = n)
+            [ 0; 1; 2 ]
+        in
+        Alcotest.(check bool) "parents are tier-1" true tier1)
+      neighbours
+  done;
+  (* Everything still reachable. *)
+  let d0 = net.Builder.domains.(0) in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "connected" true
+        (Builder.latency net d0.Domain.hosts.(0) d.Domain.hosts.(0) < infinity))
+    net.Builder.domains
+
+let test_generate_two_tier_validation () =
+  List.iter
+    (fun shape ->
+      let params =
+        { Builder.default_params with provider_count = 5; core_shape = shape }
+      in
+      match Builder.generate (Netsim.Rng.create 1) params with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad tier-1 size accepted")
+    [ Builder.Two_tier 0; Builder.Two_tier 6; Builder.Two_tier 1 ]
+
+let test_generate_bad_params_rejected () =
+  List.iter
+    (fun params ->
+      match Builder.generate (Netsim.Rng.create 1) params with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad params accepted")
+    [ { Builder.default_params with domain_count = 0 };
+      { Builder.default_params with provider_count = 0 };
+      { Builder.default_params with provider_count = 101 };
+      { Builder.default_params with hosts_per_domain = 0 };
+      { Builder.default_params with hosts_per_domain = 255 } ]
+
+let prop_generated_rloc_resolves =
+  QCheck.Test.make ~name:"every generated rloc resolves to its border" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let net =
+        Builder.generate (Netsim.Rng.create seed)
+          { Builder.default_params with domain_count = 5; provider_count = 3 }
+      in
+      Array.for_all
+        (fun d ->
+          Array.for_all
+            (fun b ->
+              match Builder.border_of_rloc net b.Domain.rloc with
+              | Some (d', b') -> d'.Domain.id = d.Domain.id && b'.Domain.router = b.Domain.router
+              | None -> false)
+            d.Domain.borders)
+        net.Builder.domains)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "shortest path" `Quick test_graph_shortest_path;
+          Alcotest.test_case "symmetry" `Quick test_graph_symmetry;
+          Alcotest.test_case "disconnected" `Quick test_graph_disconnected;
+          Alcotest.test_case "duplicate rejected" `Quick test_graph_duplicate_link_rejected;
+          Alcotest.test_case "cache invalidation" `Quick test_graph_cache_invalidation;
+          Alcotest.test_case "account path" `Quick test_graph_account_path;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "accounting" `Quick test_link_accounting;
+          Alcotest.test_case "other end" `Quick test_link_other_end;
+        ] );
+      ( "figure1",
+        [
+          Alcotest.test_case "shape" `Quick test_figure1_shape;
+          Alcotest.test_case "rloc spaces" `Quick test_figure1_rlocs_in_provider_space;
+          Alcotest.test_case "connectivity" `Quick test_figure1_connectivity;
+          Alcotest.test_case "eid lookup" `Quick test_figure1_eid_lookup;
+          Alcotest.test_case "border of rloc" `Quick test_figure1_border_of_rloc;
+          Alcotest.test_case "names" `Quick test_domain_names;
+          Alcotest.test_case "advertised mapping" `Quick test_advertised_mapping;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "connected" `Quick test_generate_all_connected;
+          Alcotest.test_case "distinct providers" `Quick test_generate_distinct_providers_per_domain;
+          Alcotest.test_case "unique rlocs" `Quick test_generate_unique_rlocs;
+          Alcotest.test_case "unique eid prefixes" `Quick test_generate_unique_eid_prefixes;
+          Alcotest.test_case "two-tier core" `Quick test_generate_two_tier_core;
+          Alcotest.test_case "two-tier validation" `Quick test_generate_two_tier_validation;
+          Alcotest.test_case "bad params" `Quick test_generate_bad_params_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_generated_rloc_resolves ] );
+    ]

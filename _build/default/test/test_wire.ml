@@ -1,0 +1,317 @@
+(* Tests for the wire codecs: writer/reader primitives, round-trips for
+   every message type (unit + property), size accounting, and decoding
+   of malformed inputs. *)
+
+open Nettypes
+open Wire
+
+let addr = Ipv4.addr_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Buf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_writer_reader_roundtrip () =
+  let w = Buf.Writer.create ~capacity:1 () in
+  Buf.Writer.u8 w 0xAB;
+  Buf.Writer.u16 w 0xCDEF;
+  Buf.Writer.u32 w 0xDEADBEEF;
+  Buf.Writer.addr w (addr "10.1.2.3");
+  Buf.Writer.string w "hello";
+  let r = Buf.Reader.of_bytes (Buf.Writer.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Buf.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xCDEF (Buf.Reader.u16 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Buf.Reader.u32 r);
+  Alcotest.(check string) "addr" "10.1.2.3"
+    (Ipv4.addr_to_string (Buf.Reader.addr r));
+  Alcotest.(check string) "string" "hello" (Buf.Reader.string r);
+  Alcotest.(check bool) "drained" true (Buf.Reader.at_end r)
+
+let test_writer_bounds () =
+  let w = Buf.Writer.create () in
+  List.iter
+    (fun f -> match f () with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "out-of-range accepted")
+    [ (fun () -> Buf.Writer.u8 w 256);
+      (fun () -> Buf.Writer.u8 w (-1));
+      (fun () -> Buf.Writer.u16 w 65536);
+      (fun () -> Buf.Writer.u32 w (-5)) ]
+
+let test_reader_truncation () =
+  let r = Buf.Reader.of_bytes (Bytes.of_string "\x01") in
+  ignore (Buf.Reader.u8 r);
+  (match Buf.Reader.u8 r with
+  | exception Buf.Reader.Truncated -> ()
+  | _ -> Alcotest.fail "read past end");
+  (* A length prefix promising more bytes than remain. *)
+  let r2 = Buf.Reader.of_bytes (Bytes.of_string "\x00\x09ab") in
+  match Buf.Reader.string r2 with
+  | exception Buf.Reader.Truncated -> ()
+  | _ -> Alcotest.fail "string over-read"
+
+let test_big_endian_layout () =
+  let w = Buf.Writer.create () in
+  Buf.Writer.u16 w 0x0102;
+  Alcotest.(check string) "network byte order" "\x01\x02"
+    (Bytes.to_string (Buf.Writer.contents w))
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_mapping =
+  Mapping.create
+    ~eid_prefix:(Ipv4.prefix_of_string "100.0.3.0/24")
+    ~rlocs:
+      [ Mapping.rloc ~priority:1 ~weight:60 (addr "10.0.0.1");
+        Mapping.rloc ~priority:1 ~weight:40 (addr "11.0.0.1");
+        Mapping.rloc ~priority:2 ~weight:100 (addr "12.0.0.1") ]
+    ~ttl:60.0
+
+let sample_entry =
+  { Mapping.src_eid = addr "100.0.0.1"; dst_eid = addr "100.0.3.9";
+    src_rloc = addr "10.0.0.1"; dst_rloc = addr "12.0.0.2" }
+
+let samples =
+  [ Codec.Map_request
+      { nonce = 0xCAFE; source_rloc = addr "10.0.0.1"; eid = addr "100.0.3.9" };
+    Codec.Map_reply { nonce = 7; mapping = sample_mapping };
+    Codec.Encapsulated_answer
+      { qname = "h0.as3.net."; eid = addr "100.0.3.1"; rloc = addr "12.0.0.1";
+        pce = addr "0.0.0.42" };
+    Codec.Itr_config { entry = sample_entry };
+    Codec.Reverse_push { entry = sample_entry };
+    Codec.Failover_update
+      { qname = "h0.as3.net."; eid = addr "100.0.3.1"; rloc = addr "11.0.0.1" };
+    Codec.Database_push { mappings = [ sample_mapping; sample_mapping ] };
+    Codec.Database_push { mappings = [] } ]
+
+let test_roundtrip_all_messages () =
+  List.iter
+    (fun message ->
+      match Codec.decode (Codec.encode message) with
+      | Ok decoded ->
+          if not (Codec.equal message decoded) then
+            Alcotest.failf "round-trip mismatch: %a vs %a" Codec.pp message
+              Codec.pp decoded
+      | Error e -> Alcotest.failf "decode failed: %a" Codec.pp_error e)
+    samples
+
+let test_size_matches_encoding () =
+  List.iter
+    (fun message ->
+      Alcotest.(check int)
+        (Format.asprintf "%a" Codec.pp message)
+        (Bytes.length (Codec.encode message))
+        (Codec.size message))
+    samples
+
+let test_ttl_millisecond_resolution () =
+  let mapping =
+    Mapping.create
+      ~eid_prefix:(Ipv4.prefix_of_string "100.0.1.0/24")
+      ~rlocs:[ Mapping.rloc (addr "10.0.0.1") ]
+      ~ttl:1.2345
+  in
+  match Codec.decode (Codec.encode (Codec.Map_reply { nonce = 1; mapping })) with
+  | Ok (Codec.Map_reply { mapping = decoded; _ }) ->
+      Alcotest.(check (float 1e-9)) "ttl rounded to ms" 1.234
+        decoded.Mapping.ttl
+  | Ok _ | Error _ -> Alcotest.fail "decode failed"
+
+(* ------------------------------------------------------------------ *)
+(* Malformed inputs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_decode_bad_tag () =
+  match Codec.decode (Bytes.of_string "\xFFrest") with
+  | Error (Codec.Bad_tag 255) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "bad tag accepted"
+
+let test_decode_truncated () =
+  List.iter
+    (fun message ->
+      let full = Codec.encode message in
+      for cut = 0 to Bytes.length full - 1 do
+        match Codec.decode (Bytes.sub full 0 cut) with
+        | Error (Codec.Truncated | Codec.Bad_tag _ | Codec.Malformed _) -> ()
+        | Error (Codec.Trailing_bytes _) ->
+            (* A shorter prefix can still parse as a smaller message of
+               the same kind only for list payloads; that needs the
+               count field to change, which a pure truncation cannot. *)
+            Alcotest.fail "truncation reported trailing bytes"
+        | Ok _ ->
+            (* Prefixes of Database_push [] (3 bytes) are the only legal
+               sub-messages; anything else must fail. *)
+            if not (cut = 0 && Bytes.length full = 0) then
+              Alcotest.failf "truncated prefix (%d of %d) decoded" cut
+                (Bytes.length full)
+      done)
+    [ Codec.Map_request
+        { nonce = 1; source_rloc = addr "10.0.0.1"; eid = addr "100.0.3.9" };
+      Codec.Itr_config { entry = sample_entry };
+      Codec.Map_reply { nonce = 7; mapping = sample_mapping } ]
+
+let test_decode_trailing_bytes () =
+  let full = Codec.encode (Codec.Itr_config { entry = sample_entry }) in
+  let padded = Bytes.cat full (Bytes.of_string "xx") in
+  match Codec.decode padded with
+  | Error (Codec.Trailing_bytes 2) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_decode_empty_rlocs_rejected () =
+  (* Hand-craft a map-reply whose mapping has zero RLOCs. *)
+  let w = Buf.Writer.create () in
+  Buf.Writer.u8 w 2;
+  Buf.Writer.u32 w 1;
+  Buf.Writer.addr w (addr "100.0.3.0");
+  Buf.Writer.u8 w 24;
+  Buf.Writer.u32 w 60000;
+  Buf.Writer.u8 w 0;
+  match Codec.decode (Buf.Writer.contents w) with
+  | Error (Codec.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "empty RLOC list accepted"
+
+let test_decode_bad_prefix_length_rejected () =
+  let w = Buf.Writer.create () in
+  Buf.Writer.u8 w 2;
+  Buf.Writer.u32 w 1;
+  Buf.Writer.addr w (addr "100.0.3.0");
+  Buf.Writer.u8 w 64 (* > 32 *);
+  Buf.Writer.u32 w 60000;
+  Buf.Writer.u8 w 1;
+  Buf.Writer.addr w (addr "10.0.0.1");
+  Buf.Writer.u8 w 1;
+  Buf.Writer.u8 w 100;
+  match Codec.decode (Buf.Writer.contents w) with
+  | Error (Codec.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "prefix length 64 accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_addr = QCheck.Gen.map Ipv4.addr_of_int (QCheck.Gen.int_bound 0xFFFFFF)
+
+let gen_rloc =
+  QCheck.Gen.map3
+    (fun a p w -> Mapping.rloc ~priority:p ~weight:w a)
+    gen_addr (QCheck.Gen.int_range 0 255) (QCheck.Gen.int_range 0 255)
+
+let gen_mapping =
+  QCheck.Gen.(
+    map3
+      (fun network len rlocs ->
+        Mapping.create
+          ~eid_prefix:(Ipv4.prefix (Ipv4.addr_of_int network) len)
+          ~rlocs
+          ~ttl:60.0)
+      (int_bound 0xFFFFFF) (int_range 0 32)
+      (list_size (1 -- 8) gen_rloc))
+
+let gen_entry =
+  QCheck.Gen.map
+    (fun ((a, b), (c, d)) ->
+      { Mapping.src_eid = a; dst_eid = b; src_rloc = c; dst_rloc = d })
+    QCheck.Gen.(pair (pair gen_addr gen_addr) (pair gen_addr gen_addr))
+
+let gen_qname =
+  QCheck.Gen.(
+    map
+      (fun labels -> String.concat "." labels ^ ".")
+      (list_size (1 -- 4) (string_size ~gen:(char_range 'a' 'z') (1 -- 10))))
+
+let gen_message =
+  QCheck.Gen.(
+    oneof
+      [ map3
+          (fun nonce a b -> Codec.Map_request { nonce; source_rloc = a; eid = b })
+          (int_bound 0xFFFFFFF) gen_addr gen_addr;
+        map2 (fun nonce mapping -> Codec.Map_reply { nonce; mapping })
+          (int_bound 0xFFFFFFF) gen_mapping;
+        map3
+          (fun qname (a, b) c ->
+            Codec.Encapsulated_answer { qname; eid = a; rloc = b; pce = c })
+          gen_qname (pair gen_addr gen_addr) gen_addr;
+        map (fun entry -> Codec.Itr_config { entry }) gen_entry;
+        map (fun entry -> Codec.Reverse_push { entry }) gen_entry;
+        map3
+          (fun qname eid rloc -> Codec.Failover_update { qname; eid; rloc })
+          gen_qname gen_addr gen_addr;
+        map (fun mappings -> Codec.Database_push { mappings })
+          (list_size (0 -- 5) gen_mapping) ])
+
+let arbitrary_message =
+  QCheck.make gen_message ~print:(Format.asprintf "%a" Codec.pp)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = Ok (up to ttl ms)" ~count:500
+    arbitrary_message (fun message ->
+      match Codec.decode (Codec.encode message) with
+      | Ok decoded -> Codec.equal message decoded
+      | Error _ -> false)
+
+let prop_size =
+  QCheck.Test.make ~name:"size = length of encoding" ~count:500
+    arbitrary_message (fun message ->
+      Codec.size message = Bytes.length (Codec.encode message))
+
+let prop_mutated_encodings_never_raise =
+  (* Flip one byte of a valid encoding: decode must return (anything)
+     without raising, and if it still decodes, to a structurally valid
+     message (pp does not blow up). *)
+  QCheck.Test.make ~name:"single-byte mutations never raise" ~count:500
+    QCheck.(triple arbitrary_message small_nat (int_bound 255))
+    (fun (message, pos, byte) ->
+      let encoded = Codec.encode message in
+      if Bytes.length encoded = 0 then true
+      else begin
+        let mutated = Bytes.copy encoded in
+        let i = pos mod Bytes.length mutated in
+        Bytes.set mutated i (Char.chr byte);
+        match Codec.decode mutated with
+        | Ok m -> String.length (Format.asprintf "%a" Codec.pp m) >= 0
+        | Error _ -> true
+      end)
+
+let prop_decode_never_raises =
+  QCheck.Test.make ~name:"decode of random junk never raises" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun junk ->
+      match Codec.decode (Bytes.of_string junk) with
+      | Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "buf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_writer_reader_roundtrip;
+          Alcotest.test_case "writer bounds" `Quick test_writer_bounds;
+          Alcotest.test_case "reader truncation" `Quick test_reader_truncation;
+          Alcotest.test_case "big endian" `Quick test_big_endian_layout;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip all" `Quick test_roundtrip_all_messages;
+          Alcotest.test_case "size accounting" `Quick test_size_matches_encoding;
+          Alcotest.test_case "ttl resolution" `Quick test_ttl_millisecond_resolution;
+        ] );
+      ( "malformed",
+        [
+          Alcotest.test_case "bad tag" `Quick test_decode_bad_tag;
+          Alcotest.test_case "truncated" `Quick test_decode_truncated;
+          Alcotest.test_case "trailing" `Quick test_decode_trailing_bytes;
+          Alcotest.test_case "empty rlocs" `Quick test_decode_empty_rlocs_rejected;
+          Alcotest.test_case "bad prefix length" `Quick test_decode_bad_prefix_length_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_size; prop_decode_never_raises;
+            prop_mutated_encodings_never_raise ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the workload library: TCP handshake/RTO behaviour over an
+   always-mapped dataplane, arrival processes and traffic generation. *)
+
+open Nettypes
+
+(* A dataplane whose control plane never misses: NERD gives every router
+   the full database, so TCP behaviour is isolated from mapping logic. *)
+let make_world () =
+  let engine = Netsim.Engine.create () in
+  let internet = Topology.Builder.figure1 () in
+  let registry = Mapsys.Registry.create ~internet ~ttl:60.0 in
+  let nerd = Mapsys.Nerd.create ~engine ~internet ~registry () in
+  let dataplane =
+    Lispdp.Dataplane.create ~engine ~internet
+      ~control_plane:(Mapsys.Nerd.control_plane nerd) ()
+  in
+  Mapsys.Nerd.attach nerd dataplane;
+  (engine, internet, dataplane)
+
+(* A dataplane that drops everything: for RTO behaviour. *)
+let make_blackhole () =
+  let engine = Netsim.Engine.create () in
+  let internet = Topology.Builder.figure1 () in
+  let control_plane =
+    { Lispdp.Dataplane.cp_name = "blackhole";
+      cp_choose_egress =
+        (fun ~src_domain _flow -> src_domain.Topology.Domain.borders.(0));
+      cp_handle_miss = (fun _ _ -> Lispdp.Dataplane.Miss_drop "blackhole");
+      cp_note_etr_packet = (fun _ ~outer_src:_ _ -> ()) }
+  in
+  let dataplane = Lispdp.Dataplane.create ~engine ~internet ~control_plane () in
+  (engine, internet, dataplane)
+
+let flow_of internet port =
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let as_d = internet.Topology.Builder.domains.(1) in
+  Flow.create
+    ~src:(Topology.Domain.host_eid as_s 0)
+    ~dst:(Topology.Domain.host_eid as_d 0)
+    ~src_port:port ()
+
+(* ------------------------------------------------------------------ *)
+(* Tcp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcp_handshake_and_data () =
+  let engine, internet, dataplane = make_world () in
+  let tcp = Workload.Tcp.create ~engine ~dataplane () in
+  let established = ref None in
+  let completed = ref None in
+  let conn =
+    Workload.Tcp.start_connection tcp ~flow:(flow_of internet 4000)
+      ~data_packets:5
+      ~on_established:(fun c -> established := Workload.Tcp.handshake_time c)
+      ~on_complete:(fun c -> completed := c.Workload.Tcp.completed_at)
+      ()
+  in
+  Netsim.Engine.run engine;
+  (match !established with
+  | Some h ->
+      (* Handshake = 2 one-way delays + small internals, well under an
+         RTO and over a single OWD. *)
+      Alcotest.(check bool) "handshake plausible" true (h > 0.05 && h < 0.5)
+  | None -> Alcotest.fail "never established");
+  Alcotest.(check bool) "completed" true (!completed <> None);
+  Alcotest.(check int) "single SYN" 1 conn.Workload.Tcp.syn_transmissions;
+  Alcotest.(check int) "all data arrived" 5 conn.Workload.Tcp.data_delivered;
+  Alcotest.(check bool) "first syn arrival recorded" true
+    (conn.Workload.Tcp.first_syn_arrival <> None)
+
+let test_tcp_rto_exhaustion () =
+  let engine, internet, dataplane = make_blackhole () in
+  let tcp = Workload.Tcp.create ~engine ~dataplane ~max_syn_retries:3 () in
+  let conn = Workload.Tcp.start_connection tcp ~flow:(flow_of internet 4001) () in
+  Netsim.Engine.run engine;
+  Alcotest.(check bool) "failed" true conn.Workload.Tcp.failed;
+  Alcotest.(check int) "1 initial + 3 retries" 4 conn.Workload.Tcp.syn_transmissions;
+  Alcotest.(check bool) "never established" true
+    (conn.Workload.Tcp.established_at = None);
+  (* RTO doubling: total wait 1 + 2 + 4 + 8 = 15 s. *)
+  Alcotest.(check (float 1e-6)) "exponential backoff horizon" 15.0
+    (Netsim.Engine.now engine)
+
+let test_tcp_retry_after_transient_loss () =
+  (* Drop the first SYN only, as a pull-based control plane would. *)
+  let engine = Netsim.Engine.create () in
+  let internet = Topology.Builder.figure1 () in
+  let registry = Mapsys.Registry.create ~internet ~ttl:3600.0 in
+  let first = ref true in
+  let dataplane_ref = ref None in
+  let control_plane =
+    { Lispdp.Dataplane.cp_name = "drop-once";
+      cp_choose_egress =
+        (fun ~src_domain _flow -> src_domain.Topology.Domain.borders.(0));
+      cp_handle_miss =
+        (fun router packet ->
+          if !first then begin
+            first := false;
+            (* Install the mapping for subsequent packets. *)
+            let dp = Option.get !dataplane_ref in
+            (match
+               Mapsys.Registry.mapping_for_eid registry
+                 packet.Packet.flow.Flow.dst
+             with
+            | Some m -> Lispdp.Dataplane.install_mapping dp router m
+            | None -> ());
+            Lispdp.Dataplane.Miss_drop "first-syn"
+          end
+          else Lispdp.Dataplane.Miss_drop "unexpected")
+      ;
+      cp_note_etr_packet =
+        (fun router ~outer_src packet ->
+          (* Glean domain-wide so the reverse path never misses. *)
+          match outer_src with
+          | Some rloc ->
+              let dp = Option.get !dataplane_ref in
+              Lispdp.Dataplane.install_mapping_all dp
+                router.Lispdp.Dataplane.router_domain
+                (Mapping.create
+                   ~eid_prefix:(Ipv4.prefix packet.Packet.flow.Flow.src 32)
+                   ~rlocs:[ Mapping.rloc rloc ] ~ttl:60.0)
+          | None -> ()) }
+  in
+  let dataplane = Lispdp.Dataplane.create ~engine ~internet ~control_plane () in
+  dataplane_ref := Some dataplane;
+  let tcp = Workload.Tcp.create ~engine ~dataplane () in
+  let conn = Workload.Tcp.start_connection tcp ~flow:(flow_of internet 4002) ~data_packets:1 () in
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "retransmitted once" 2 conn.Workload.Tcp.syn_transmissions;
+  (match Workload.Tcp.handshake_time conn with
+  | Some h -> Alcotest.(check bool) "handshake paid one RTO" true (h > 1.0 && h < 1.5)
+  | None -> Alcotest.fail "never established");
+  match conn.Workload.Tcp.first_syn_arrival with
+  | Some at -> Alcotest.(check bool) "first syn arrived after RTO" true (at > 1.0)
+  | None -> Alcotest.fail "no syn arrival"
+
+let test_tcp_duplicate_flow_rejected () =
+  let engine, internet, dataplane = make_world () in
+  let tcp = Workload.Tcp.create ~engine ~dataplane () in
+  let flow = flow_of internet 4003 in
+  ignore (Workload.Tcp.start_connection tcp ~flow ());
+  match Workload.Tcp.start_connection tcp ~flow () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate flow accepted"
+
+let test_tcp_concurrent_connections () =
+  let engine, internet, dataplane = make_world () in
+  let tcp = Workload.Tcp.create ~engine ~dataplane () in
+  for port = 5000 to 5009 do
+    ignore (Workload.Tcp.start_connection tcp ~flow:(flow_of internet port) ~data_packets:2 ())
+  done;
+  Netsim.Engine.run engine;
+  let established = ref 0 and failed = ref 0 and retransmissions = ref 0 in
+  Workload.Tcp.summary tcp ~established ~failed ~retransmissions;
+  Alcotest.(check int) "all established" 10 !established;
+  Alcotest.(check int) "none failed" 0 !failed;
+  Alcotest.(check int) "no retransmissions" 0 !retransmissions;
+  Alcotest.(check int) "all tracked" 10 (List.length (Workload.Tcp.connections tcp))
+
+(* ------------------------------------------------------------------ *)
+(* Arrivals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_poisson_count_and_horizon () =
+  let engine = Netsim.Engine.create () in
+  let rng = Netsim.Rng.create 3 in
+  let fired = ref 0 in
+  let n =
+    Workload.Arrivals.poisson ~engine ~rng ~rate:100.0 ~duration:10.0
+      ~f:(fun _ -> incr fired)
+  in
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "all scheduled arrivals fired" n !fired;
+  (* Poisson(1000) should be within 20%. *)
+  Alcotest.(check bool) "count plausible" true (n > 800 && n < 1200);
+  Alcotest.(check bool) "horizon respected" true (Netsim.Engine.now engine < 10.0)
+
+let test_poisson_indices_ordered () =
+  let engine = Netsim.Engine.create () in
+  let rng = Netsim.Rng.create 4 in
+  let seen = ref [] in
+  ignore
+    (Workload.Arrivals.poisson ~engine ~rng ~rate:50.0 ~duration:2.0
+       ~f:(fun i -> seen := i :: !seen));
+  Netsim.Engine.run engine;
+  let ordered = List.rev !seen in
+  Alcotest.(check (list int)) "indices in arrival order"
+    (List.init (List.length ordered) Fun.id)
+    ordered
+
+let test_uniform_spread () =
+  let engine = Netsim.Engine.create () in
+  let times = ref [] in
+  ignore
+    (Workload.Arrivals.uniform_spread ~engine ~count:5 ~duration:10.0
+       ~f:(fun _ -> times := Netsim.Engine.now engine :: !times));
+  Netsim.Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "even spacing"
+    [ 0.0; 2.0; 4.0; 6.0; 8.0 ] (List.rev !times)
+
+let test_burst () =
+  let engine = Netsim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Workload.Arrivals.burst ~engine ~count:7 ~f:(fun _ -> incr fired));
+  Netsim.Engine.run engine;
+  Alcotest.(check int) "all at once" 7 !fired;
+  Alcotest.(check (float 1e-9)) "at time zero" 0.0 (Netsim.Engine.now engine)
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_traffic ?zipf_alpha ?hotspots seed =
+  let internet =
+    Topology.Builder.generate (Netsim.Rng.create 1)
+      { Topology.Builder.default_params with domain_count = 10 }
+  in
+  ( internet,
+    Workload.Traffic.create ~rng:(Netsim.Rng.create seed) ~internet ?zipf_alpha
+      ?hotspots () )
+
+let test_traffic_flows_valid () =
+  let internet, traffic = make_traffic 7 in
+  for _ = 1 to 200 do
+    let flow = Workload.Traffic.random_flow traffic () in
+    let src_dom = Topology.Builder.domain_of_eid internet flow.Flow.src in
+    let dst_dom = Topology.Builder.domain_of_eid internet flow.Flow.dst in
+    match (src_dom, dst_dom) with
+    | Some s, Some d ->
+        if s.Topology.Domain.id = d.Topology.Domain.id then
+          Alcotest.fail "intra-domain flow generated"
+    | _ -> Alcotest.fail "flow endpoints not in any domain"
+  done
+
+let test_traffic_unique_ports () =
+  let _, traffic = make_traffic 8 in
+  let ports =
+    List.init 100 (fun _ -> (Workload.Traffic.random_flow traffic ()).Flow.src_port)
+  in
+  Alcotest.(check int) "all ports distinct" 100
+    (List.length (List.sort_uniq compare ports))
+
+let test_traffic_zipf_skew () =
+  let _, traffic = make_traffic ~zipf_alpha:1.2 9 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 2000 do
+    let flow = Workload.Traffic.random_flow traffic ~src_domain:5 () in
+    match
+      Topology.Builder.domain_of_eid
+        (let internet, _ = make_traffic 1 in
+         internet)
+        flow.Flow.dst
+    with
+    | Some d -> counts.(d.Topology.Domain.id) <- counts.(d.Topology.Domain.id) + 1
+    | None -> ()
+  done;
+  Alcotest.(check bool) "domain 0 is the hottest destination" true
+    (counts.(0) > counts.(9))
+
+let test_traffic_hotspots () =
+  let _, traffic = make_traffic ~hotspots:[ (3, 1.0) ] 10 in
+  for _ = 1 to 50 do
+    let flow = Workload.Traffic.random_flow traffic ~src_domain:0 () in
+    Alcotest.(check bool) "always the hotspot" true
+      (Ipv4.prefix_mem
+         (Ipv4.prefix_of_string "100.0.3.0/24")
+         flow.Flow.dst)
+  done
+
+let test_traffic_fixed_endpoints () =
+  let _, traffic = make_traffic 11 in
+  let flow = Workload.Traffic.random_flow traffic ~src_domain:2 ~dst_domain:4 () in
+  Alcotest.(check bool) "src in domain 2" true
+    (Ipv4.prefix_mem (Ipv4.prefix_of_string "100.0.2.0/24") flow.Flow.src);
+  Alcotest.(check bool) "dst in domain 4" true
+    (Ipv4.prefix_mem (Ipv4.prefix_of_string "100.0.4.0/24") flow.Flow.dst)
+
+let test_traffic_flow_sizes () =
+  let _, traffic = make_traffic 12 in
+  let total = ref 0 in
+  let n = 5000 in
+  for _ = 1 to n do
+    let s = Workload.Traffic.flow_size_packets traffic () in
+    if s < 1 then Alcotest.fail "flow size below 1";
+    total := !total + s
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "heavy-tailed mean in a plausible band" true
+    (mean > 4.0 && mean < 40.0)
+
+let test_traffic_host_name () =
+  let internet, traffic = make_traffic 13 in
+  let flow = Workload.Traffic.random_flow traffic ~src_domain:0 ~dst_domain:3 () in
+  let name = Workload.Traffic.host_name_of_flow traffic flow in
+  Alcotest.(check bool) "name addresses as3" true
+    (String.length name > 7 && String.sub name (String.length name - 9) 9 = ".as3.net.");
+  ignore internet
+
+let prop_flow_sizes_at_least_one =
+  QCheck.Test.make ~name:"flow sizes are positive" ~count:100
+    QCheck.(pair (int_range 1 1000) (int_range 1 100))
+    (fun (seed, n) ->
+      let _, traffic = make_traffic seed in
+      let ok = ref true in
+      for _ = 1 to n do
+        if Workload.Traffic.flow_size_packets traffic () < 1 then ok := false
+      done;
+      !ok)
+
+let prop_poisson_schedules_what_it_returns =
+  QCheck.Test.make ~name:"poisson fires exactly its return count" ~count:50
+    QCheck.(pair (int_range 1 1000) (int_range 1 50))
+    (fun (seed, rate) ->
+      let engine = Netsim.Engine.create () in
+      let fired = ref 0 in
+      let n =
+        Workload.Arrivals.poisson ~engine ~rng:(Netsim.Rng.create seed)
+          ~rate:(float_of_int rate) ~duration:2.0
+          ~f:(fun _ -> incr fired)
+      in
+      Netsim.Engine.run engine;
+      !fired = n)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "handshake and data" `Quick test_tcp_handshake_and_data;
+          Alcotest.test_case "rto exhaustion" `Quick test_tcp_rto_exhaustion;
+          Alcotest.test_case "retry after loss" `Quick test_tcp_retry_after_transient_loss;
+          Alcotest.test_case "duplicate flow" `Quick test_tcp_duplicate_flow_rejected;
+          Alcotest.test_case "concurrent" `Quick test_tcp_concurrent_connections;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "poisson" `Quick test_poisson_count_and_horizon;
+          Alcotest.test_case "poisson order" `Quick test_poisson_indices_ordered;
+          Alcotest.test_case "uniform spread" `Quick test_uniform_spread;
+          Alcotest.test_case "burst" `Quick test_burst;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "flows valid" `Quick test_traffic_flows_valid;
+          Alcotest.test_case "unique ports" `Quick test_traffic_unique_ports;
+          Alcotest.test_case "zipf skew" `Quick test_traffic_zipf_skew;
+          Alcotest.test_case "hotspots" `Quick test_traffic_hotspots;
+          Alcotest.test_case "fixed endpoints" `Quick test_traffic_fixed_endpoints;
+          Alcotest.test_case "flow sizes" `Quick test_traffic_flow_sizes;
+          Alcotest.test_case "host name" `Quick test_traffic_host_name;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_flow_sizes_at_least_one; prop_poisson_schedules_what_it_returns ] );
+    ]
