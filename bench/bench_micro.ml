@@ -118,9 +118,37 @@ let test_wire_decode =
            ignore (Wire.Codec.decode wire_encoded)
          done))
 
+(* The observability layer's disabled paths: recording into a disabled
+   trace must not pay the kasprintf formatting cost, and emitting into a
+   disabled hub must not allocate the event. *)
+
+let disabled_trace =
+  let t = Netsim.Trace.create () in
+  Netsim.Trace.set_enabled t false;
+  t
+
+let test_trace_disabled =
+  Test.make ~name:"trace: 10k recordf (disabled)"
+    (Staged.stage (fun () ->
+         for i = 1 to 10_000 do
+           Netsim.Trace.recordf disabled_trace ~time:(float_of_int i)
+             ~actor:"bench" "event %d of %s run" i "benchmark"
+         done))
+
+let disabled_hub = Obs.Hub.create ()
+
+let test_hub_disabled =
+  Test.make ~name:"obs: 10k emit (disabled)"
+    (Staged.stage (fun () ->
+         for i = 1 to 10_000 do
+           if Obs.Hub.enabled disabled_hub then
+             Obs.Hub.emit disabled_hub ~time:(float_of_int i) ~actor:"bench"
+               (Obs.Event.Mapping_push { targets = i })
+         done))
+
 let tests =
   [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
-    test_wire_encode; test_wire_decode ]
+    test_wire_encode; test_wire_decode; test_trace_disabled; test_hub_disabled ]
 
 let print () =
   let ols =

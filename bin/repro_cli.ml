@@ -2,6 +2,9 @@
 
      repro_cli list                     enumerate experiments
      repro_cli run t1 [--csv DIR]       run one (or more) experiments
+                [--trace-out FILE]      ... exporting structured events (JSONL)
+                [--metrics-out FILE]    ... and metrics (JSON, or CSV by suffix)
+     repro_cli obs FILE                 summarise an exported event stream
      repro_cli trace                    print the Figure-1 walkthrough
      repro_cli topology [-d N] [-p N]   describe a generated internet
      repro_cli connect [--cp NAME]      one measured connection end-to-end *)
@@ -36,7 +39,22 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR"
            ~doc:"Also write each table as a CSV file into $(docv).")
   in
-  let run ids csv_dir =
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Export every structured event of every scenario the \
+                 experiments build, one JSON object per line.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Export the metrics registry of every scenario: final \
+                 snapshot plus periodic samples, as JSON (or CSV when \
+                 $(docv) ends in .csv).")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 1.0 & info [ "metrics-interval" ] ~docv:"SECONDS"
+           ~doc:"Simulated-time spacing of periodic metrics samples.")
+  in
+  let run ids csv_dir trace_out metrics_out metrics_interval =
     let entries =
       List.map
         (fun id ->
@@ -47,33 +65,52 @@ let run_cmd =
               exit 1)
         ids
     in
-    List.iter
-      (fun e ->
-        Printf.printf ">>> [%s] %s\n%!" e.Experiments.Exp_index.exp_id
-          e.Experiments.Exp_index.exp_title;
-        match csv_dir with
-        | None -> e.Experiments.Exp_index.print ()
-        | Some dir ->
-            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-            let tables = e.Experiments.Exp_index.tables () in
-            List.iteri
-              (fun i table ->
-                Metrics.Table.print table;
-                let file =
-                  Filename.concat dir
-                    (Printf.sprintf "%s_%d.csv" e.Experiments.Exp_index.exp_id i)
-                in
-                let oc = open_out file in
-                output_string oc (Metrics.Table.to_csv table);
-                close_out oc;
-                Printf.printf "(csv written to %s)\n" file)
-              tables)
-      entries
+    let exporting = trace_out <> None || metrics_out <> None in
+    if exporting then begin
+      if metrics_interval <= 0.0 then begin
+        Printf.eprintf "repro_cli: --metrics-interval must be positive\n";
+        exit 1
+      end;
+      ignore
+        (Obs.Runtime.install ?trace_out ?metrics_out ~metrics_interval ())
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        if exporting then begin
+          Obs.Runtime.finalize ();
+          Option.iter (Printf.printf "(events written to %s)\n") trace_out;
+          Option.iter (Printf.printf "(metrics written to %s)\n") metrics_out
+        end)
+      (fun () ->
+        List.iter
+          (fun e ->
+            Printf.printf ">>> [%s] %s\n%!" e.Experiments.Exp_index.exp_id
+              e.Experiments.Exp_index.exp_title;
+            match csv_dir with
+            | None -> e.Experiments.Exp_index.print ()
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                let tables = e.Experiments.Exp_index.tables () in
+                List.iteri
+                  (fun i table ->
+                    Metrics.Table.print table;
+                    let file =
+                      Filename.concat dir
+                        (Printf.sprintf "%s_%d.csv"
+                           e.Experiments.Exp_index.exp_id i)
+                    in
+                    let oc = open_out file in
+                    output_string oc (Metrics.Table.to_csv table);
+                    close_out oc;
+                    Printf.printf "(csv written to %s)\n" file)
+                  tables)
+          entries)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments by id and print (optionally export) their tables.")
-    Term.(const run $ ids $ csv_dir)
+    Term.(const run $ ids $ csv_dir $ trace_out $ metrics_out
+          $ metrics_interval)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -265,6 +302,79 @@ let compare_cmd =
     Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
+(* obs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let obs_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL event stream written by $(b,run --trace-out).")
+  in
+  let run file =
+    let events, errors = Obs.Export.read_jsonl file in
+    if events = [] && errors = [] then begin
+      Printf.printf "%s: empty event stream\n" file;
+      exit 0
+    end;
+    let bump tbl key =
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    in
+    let kinds = Hashtbl.create 16 in
+    let actors = Hashtbl.create 64 in
+    let flows = Hashtbl.create 256 in
+    let drops = Hashtbl.create 16 in
+    let t_min = ref infinity and t_max = ref neg_infinity in
+    List.iter
+      (fun e ->
+        bump kinds (Obs.Event.kind_name e.Obs.Event.kind);
+        bump actors e.Obs.Event.actor;
+        Option.iter (fun id -> Hashtbl.replace flows id ()) e.Obs.Event.flow;
+        (match e.Obs.Event.kind with
+        | Obs.Event.Packet_drop { cause } -> bump drops cause
+        | _ -> ());
+        t_min := Float.min !t_min e.Obs.Event.time;
+        t_max := Float.max !t_max e.Obs.Event.time)
+      events;
+    let sorted tbl =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (_, a) (_, b) -> compare (b : int) a)
+    in
+    let table =
+      Metrics.Table.create
+        ~title:(Printf.sprintf "event stream: %s" (Filename.basename file))
+        ~columns:[ "metric"; "value" ]
+    in
+    Metrics.Table.add_rows table
+      [ [ "events"; string_of_int (List.length events) ];
+        [ "parse errors"; string_of_int (List.length errors) ];
+        [ "time span (s)";
+          if events = [] then "-"
+          else Printf.sprintf "%.6f .. %.6f" !t_min !t_max ];
+        [ "actors"; string_of_int (Hashtbl.length actors) ];
+        [ "distinct flows"; string_of_int (Hashtbl.length flows) ] ];
+    List.iter
+      (fun (kind, n) ->
+        Metrics.Table.add_row table [ "kind: " ^ kind; string_of_int n ])
+      (sorted kinds);
+    List.iter
+      (fun (cause, n) ->
+        Metrics.Table.add_row table [ "drop: " ^ cause; string_of_int n ])
+      (sorted drops);
+    Metrics.Table.print table;
+    List.iter
+      (fun (line, message) ->
+        Printf.eprintf "%s:%d: unparseable event: %s\n" file line message)
+      errors;
+    if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Summarise an exported JSONL event stream (counts by kind, \
+             actors, flows, drops, time span).")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
 (* connect                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -337,4 +447,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; trace_cmd; topology_cmd; connect_cmd; simulate_cmd;
-         compare_cmd ]))
+         compare_cmd; obs_cmd ]))

@@ -26,6 +26,7 @@ type t = {
   resolver_domains : (Topology.Node.id, int) Hashtbl.t;
   stats : Mapsys.Cp_stats.t;
   trace : Netsim.Trace.t option;
+  obs : Obs.Hub.t option;
   mutable dataplane : Lispdp.Dataplane.t option;
   mutable failovers : int;
 }
@@ -42,6 +43,15 @@ let tracef t ~actor fmt =
   | Some tr ->
       Netsim.Trace.recordf tr ~time:(Netsim.Engine.now t.engine) ~actor fmt
   | None -> Format.ikfprintf ignore Format.err_formatter fmt
+
+let obs_on t =
+  match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
+
+let obs_emit t ~actor ?flow kind =
+  match t.obs with
+  | Some hub ->
+      Obs.Hub.emit hub ~time:(Netsim.Engine.now t.engine) ~actor ?flow kind
+  | None -> ()
 
 let dataplane_exn t =
   match t.dataplane with
@@ -98,7 +108,11 @@ let push_entry t pce entry =
     + (List.length targets * itr_config_size entry);
   tracef t ~actor:(domain.Topology.Domain.name ^ "-pce")
     "step 7b: push %a to %d ITR(s)" Mapping.pp_flow_entry entry
-    (List.length targets)
+    (List.length targets);
+  if obs_on t then
+    obs_emit t
+      ~actor:(domain.Topology.Domain.name ^ "-pce")
+      (Obs.Event.Mapping_push { targets = List.length targets })
 
 (* Step 6 handler: PCE_D intercepted the authoritative answer. *)
 let on_intercept t ~dst_pce ctx =
@@ -175,8 +189,8 @@ let on_intercept t ~dst_pce ctx =
                (Netsim.Engine.schedule t.engine ~delay:t.options.ipc_latency
                   ctx.Dnssim.System.tap_complete)))
 
-let create ~engine ~internet ~dns ?(options = default_options) ?rng ?trace ()
-    =
+let create ~engine ~internet ~dns ?(options = default_options) ?rng ?trace
+    ?obs () =
   let domains = internet.Topology.Builder.domains in
   let pces =
     Array.map
@@ -193,7 +207,7 @@ let create ~engine ~internet ~dns ?(options = default_options) ?rng ?trace ()
     domains;
   let t =
     { engine; internet; options; pces; resolver_domains;
-      stats = Mapsys.Cp_stats.create (); trace; dataplane = None;
+      stats = Mapsys.Cp_stats.create (); trace; obs; dataplane = None;
       failovers = 0 }
   in
   Array.iter
@@ -298,7 +312,13 @@ let note_etr_packet t router ~outer_src packet =
 
 let choose_egress t ~src_domain flow =
   let pce = t.pces.(src_domain.Topology.Domain.id) in
-  egress_border t pce ~src_eid:flow.Flow.src ~dst_eid:flow.Flow.dst
+  let border = egress_border t pce ~src_eid:flow.Flow.src ~dst_eid:flow.Flow.dst in
+  if obs_on t then
+    obs_emit t
+      ~actor:(src_domain.Topology.Domain.name ^ "-pce")
+      ~flow:(Obs.Event.flow_id flow)
+      (Obs.Event.Irc_decision { rloc = border.Topology.Domain.rloc });
+  border
 
 (* Misses are labelled by direction: the responder's SYN/ACK travels the
    reverse tunnel, everything else the forward one, so the ablation

@@ -47,10 +47,13 @@ val create :
   ?options:options ->
   ?rng:Netsim.Rng.t ->
   ?trace:Netsim.Trace.t ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** Installs the DNS observers and taps.  {!attach} must follow before
-    any traffic flows. *)
+    any traffic flows.  [obs] receives typed [Mapping_push] events on
+    every step-7b configuration and flow-scoped [Irc_decision] events
+    each time the IRC engine picks an egress border. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 val attach : t -> Lispdp.Dataplane.t -> unit

@@ -75,6 +75,10 @@ type t = {
   cp : cp_instance;
   rng : Netsim.Rng.t;
   trace : Netsim.Trace.t;
+  obs : Obs.Hub.t;
+  obs_registry : Obs.Registry.t;
+  dns_time_hist : Obs.Registry.histogram;
+  setup_time_hist : Obs.Registry.histogram;
   mutable connections_rev : connection list;
 }
 
@@ -87,6 +91,8 @@ let registry t = t.registry
 let rng t = t.rng
 let config t = t.config
 let trace t = t.trace
+let obs t = t.obs
+let obs_registry t = t.obs_registry
 let connections t = List.rev t.connections_rev
 
 let cp_stats t =
@@ -115,9 +121,12 @@ let build config =
   let trace = Netsim.Trace.create () in
   (* Tracing costs formatting time; experiments enable it on demand. *)
   Netsim.Trace.set_enabled trace false;
+  (* The hub starts disabled: instrumented call sites pay one boolean
+     test until an exporter (or a test) enables it. *)
+  let obs = Obs.Hub.create () in
   let dns =
     Dnssim.System.create ~engine ~internet ~record_ttl:config.dns_record_ttl
-      ~trace ()
+      ~trace ~obs ()
   in
   let registry = Mapsys.Registry.create ~internet ~ttl:config.mapping_ttl in
   let alt =
@@ -134,7 +143,7 @@ let build config =
   in
   let make_dataplane control_plane =
     Lispdp.Dataplane.create ~engine ~internet ~control_plane
-      ~cache_capacity:config.cache_capacity ~flow_ttl ~trace ()
+      ~cache_capacity:config.cache_capacity ~flow_ttl ~trace ~obs ()
   in
   (* Split unconditionally so every control plane leaves the scenario
      RNG in the same state — workloads drawn from later splits must be
@@ -156,7 +165,7 @@ let build config =
         in
         let pull =
           Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?name ~smr
-            ()
+            ~obs ()
         in
         let dp = make_dataplane (Mapsys.Pull.control_plane pull) in
         Mapsys.Pull.attach pull dp;
@@ -164,25 +173,25 @@ let build config =
     | Cp_nerd ->
         let nerd =
           Mapsys.Nerd.create ~engine ~internet ~registry
-            ~propagation_delay:config.nerd_propagation ()
+            ~propagation_delay:config.nerd_propagation ~obs ()
         in
         let dp = make_dataplane (Mapsys.Nerd.control_plane nerd) in
         Mapsys.Nerd.attach nerd dp;
         (Nerd_instance nerd, dp)
     | Cp_cons ->
-        let cons = Mapsys.Cons.create ~engine ~internet ~registry ~alt () in
+        let cons = Mapsys.Cons.create ~engine ~internet ~registry ~alt ~obs () in
         let dp = make_dataplane (Mapsys.Cons.control_plane cons) in
         Mapsys.Cons.attach cons dp;
         (Cons_instance cons, dp)
     | Cp_msmr ->
-        let msmr = Mapsys.Msmr.create ~engine ~internet ~registry ~alt () in
+        let msmr = Mapsys.Msmr.create ~engine ~internet ~registry ~alt ~obs () in
         let dp = make_dataplane (Mapsys.Msmr.control_plane msmr) in
         Mapsys.Msmr.attach msmr dp;
         (Msmr_instance msmr, dp)
     | Cp_pce options ->
         let pce_control =
           Pce_control.create ~engine ~internet ~dns ~options ~rng:cp_rng
-            ~trace ()
+            ~trace ~obs ()
         in
         let dp = make_dataplane (Pce_control.control_plane pce_control) in
         Pce_control.attach pce_control dp;
@@ -192,8 +201,69 @@ let build config =
     Workload.Tcp.create ~engine ~dataplane ~initial_rto:config.initial_rto
       ~data_gap:config.data_gap ()
   in
+  (* Every layer's live counters, exposed as read-on-snapshot gauges so
+     there is no double bookkeeping anywhere. *)
+  let obs_registry = Obs.Registry.create () in
+  let gauge name f = Obs.Registry.register_gauge obs_registry name f in
+  let fi = float_of_int in
+  gauge "engine.pending" (fun () -> fi (Netsim.Engine.pending engine));
+  gauge "engine.events_processed" (fun () ->
+      fi (Netsim.Engine.events_processed engine));
+  let dpc = Lispdp.Dataplane.counters dataplane in
+  gauge "dp.sent" (fun () -> fi dpc.Lispdp.Dataplane.sent);
+  gauge "dp.delivered" (fun () -> fi dpc.Lispdp.Dataplane.delivered);
+  gauge "dp.dropped" (fun () -> fi dpc.Lispdp.Dataplane.dropped);
+  gauge "dp.held" (fun () -> fi dpc.Lispdp.Dataplane.held);
+  gauge "dp.encapsulated" (fun () -> fi dpc.Lispdp.Dataplane.encapsulated);
+  gauge "dp.decapsulated" (fun () -> fi dpc.Lispdp.Dataplane.decapsulated);
+  gauge "dp.intra_domain" (fun () -> fi dpc.Lispdp.Dataplane.intra_domain);
+  gauge "dp.delivered_bytes" (fun () -> fi dpc.Lispdp.Dataplane.delivered_bytes);
+  Obs.Registry.register_many obs_registry "dp.drop" (fun () ->
+      List.map
+        (fun (cause, n) -> (cause, fi n))
+        (Lispdp.Dataplane.drop_causes dataplane));
+  Obs.Registry.register_many obs_registry "cache" (fun () ->
+      let s = Lispdp.Dataplane.cache_stats_totals dataplane in
+      let lookups = s.Lispdp.Map_cache.hits + s.Lispdp.Map_cache.misses in
+      [ ("hits", fi s.Lispdp.Map_cache.hits);
+        ("misses", fi s.Lispdp.Map_cache.misses);
+        ("insertions", fi s.Lispdp.Map_cache.insertions);
+        ("evictions", fi s.Lispdp.Map_cache.evictions);
+        ("expirations", fi s.Lispdp.Map_cache.expirations);
+        ( "hit_ratio",
+          if lookups = 0 then 0.0
+          else fi s.Lispdp.Map_cache.hits /. fi lookups ) ]);
+  let cps =
+    match cp with
+    | Pull_instance p -> Mapsys.Pull.stats p
+    | Nerd_instance n -> Mapsys.Nerd.stats n
+    | Cons_instance c -> Mapsys.Cons.stats c
+    | Msmr_instance m -> Mapsys.Msmr.stats m
+    | Pce_instance p -> Pce_control.stats p
+  in
+  gauge "cp.map_requests" (fun () -> fi cps.Mapsys.Cp_stats.map_requests);
+  gauge "cp.map_replies" (fun () -> fi cps.Mapsys.Cp_stats.map_replies);
+  gauge "cp.push_messages" (fun () -> fi cps.Mapsys.Cp_stats.push_messages);
+  gauge "cp.control_bytes" (fun () -> fi cps.Mapsys.Cp_stats.control_bytes);
+  gauge "cp.detoured_packets" (fun () ->
+      fi cps.Mapsys.Cp_stats.detoured_packets);
+  gauge "cp.resolutions" (fun () -> fi cps.Mapsys.Cp_stats.resolutions);
+  let dnsc = Dnssim.System.counters dns in
+  gauge "dns.client_queries" (fun () -> fi dnsc.Dnssim.System.client_queries);
+  gauge "dns.iterative_queries" (fun () ->
+      fi dnsc.Dnssim.System.iterative_queries);
+  gauge "dns.responses" (fun () -> fi dnsc.Dnssim.System.responses);
+  gauge "dns.cache_hits" (fun () -> fi dnsc.Dnssim.System.cache_hits);
+  gauge "dns.cache_misses" (fun () -> fi dnsc.Dnssim.System.cache_misses);
+  gauge "dns.wire_bytes" (fun () -> fi dnsc.Dnssim.System.wire_bytes);
+  let dns_time_hist = Obs.Registry.histogram obs_registry "conn.dns_time" in
+  let setup_time_hist = Obs.Registry.histogram obs_registry "conn.setup_time" in
+  (* Exporters installed by the CLI pick the scenario up here; without
+     an installed runtime this is a no-op and the hub stays disabled. *)
+  Obs.Runtime.attach ~label:(cp_label config.cp) ~hub:obs
+    ~registry:obs_registry ();
   { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; trace;
-    connections_rev = [] }
+    obs; obs_registry; dns_time_hist; setup_time_hist; connections_rev = [] }
 
 let open_connection t ~flow ?data_packets ?data_bytes ?on_established
     ?on_complete () =
@@ -225,27 +295,38 @@ let open_connection t ~flow ?data_packets ?data_bytes ?on_established
       resolution_failed = false; tcp = None }
   in
   t.connections_rev <- connection :: t.connections_rev;
+  let established _ =
+    (match total_setup_time connection with
+    | Some setup -> Obs.Registry.observe t.setup_time_hist setup
+    | None -> ());
+    match on_established with Some f -> f connection | None -> ()
+  in
   Dnssim.System.resolve t.dns ~resolver:src_domain.Topology.Domain.dns
     ~client:src_domain.Topology.Domain.hosts.(src_host)
-    ~client_eid:flow.Flow.src qname
+    ~client_eid:flow.Flow.src
+    ?flow:
+      (if Obs.Hub.enabled t.obs then Some (Obs.Event.flow_id flow) else None)
+    qname
     ~callback:(fun answer ->
-      connection.dns_time <-
-        Some (Netsim.Engine.now t.engine -. connection.opened_at);
+      let dns_time = Netsim.Engine.now t.engine -. connection.opened_at in
+      connection.dns_time <- Some dns_time;
+      Obs.Registry.observe t.dns_time_hist dns_time;
       match answer with
       | None -> connection.resolution_failed <- true
       | Some _addr ->
           let tcp_conn =
             Workload.Tcp.start_connection t.tcp ~flow ?data_packets
-              ?data_bytes
-              ?on_established:
-                (Option.map (fun f _ -> f connection) on_established)
+              ?data_bytes ~on_established:established
               ?on_complete:(Option.map (fun f _ -> f connection) on_complete)
               ()
           in
           connection.tcp <- Some tcp_conn);
   connection
 
-let run ?until t = Netsim.Engine.run ?until t.engine
+let run ?until t =
+  Netsim.Engine.run ?until t.engine;
+  (* Closing metrics sample for an installed exporter (no-op otherwise). *)
+  Obs.Runtime.finish_run ~now:(Netsim.Engine.now t.engine)
 
 let uplink_utilisation (_ : t) domain ~direction ~duration =
   Array.map
@@ -276,6 +357,11 @@ let set_uplink t ~domain ~border up =
   let b = d.Topology.Domain.borders.(border) in
   Topology.Graph.set_link_up t.internet.Topology.Builder.graph
     b.Topology.Domain.uplink up;
+  if Obs.Hub.enabled t.obs then
+    Obs.Hub.emit t.obs ~time:(Netsim.Engine.now t.engine)
+      ~actor:(d.Topology.Domain.name ^ "-border")
+      (if up then Obs.Event.Link_up { rloc = b.Topology.Domain.rloc }
+       else Obs.Event.Link_down { rloc = b.Topology.Domain.rloc });
   (* The domain re-registers its mapping without (or again with) the
      affected locator. *)
   reregister t ~domain (Topology.Domain.advertised_mapping d ~ttl:t.config.mapping_ttl)

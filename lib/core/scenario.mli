@@ -69,6 +69,21 @@ val registry : t -> Mapsys.Registry.t
 val rng : t -> Netsim.Rng.t
 val config : t -> config
 val trace : t -> Netsim.Trace.t
+
+val obs : t -> Obs.Hub.t
+(** The scenario's event hub, threaded through every layer (DNS, map
+    systems, PCE, data plane).  Disabled by default; enable it and add
+    sinks ({!Obs.Hub.add_sink}) to observe the run.  When an
+    {!Obs.Runtime} is installed (CLI export flags) the hub arrives
+    already enabled and wired. *)
+
+val obs_registry : t -> Obs.Registry.t
+(** The scenario's metrics registry.  Pre-registered at build time:
+    [engine.*] internals, [dp.*] dataplane counters and [dp.drop.*]
+    per-cause drops, [cache.*] aggregate map-cache statistics,
+    [cp.*] control-plane statistics, [dns.*] resolver counters, and the
+    [conn.dns_time] / [conn.setup_time] histograms. *)
+
 val cp_stats : t -> Mapsys.Cp_stats.t
 
 val pce : t -> Pce_control.t option

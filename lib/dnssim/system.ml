@@ -36,6 +36,7 @@ type t = {
   taps : (Topology.Node.id, tap_context -> unit) Hashtbl.t;
   server_processing : float;
   trace : Netsim.Trace.t option;
+  obs : Obs.Hub.t option;
   counters : counters;
 }
 
@@ -47,6 +48,15 @@ let trace t ~actor fmt =
   match t.trace with
   | Some tr -> Netsim.Trace.recordf tr ~time:(Netsim.Engine.now t.engine) ~actor fmt
   | None -> Format.ikfprintf ignore Format.err_formatter fmt
+
+let obs_on t =
+  match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
+
+let obs_emit t ~actor ?flow kind =
+  match t.obs with
+  | Some hub ->
+      Obs.Hub.emit hub ~time:(Netsim.Engine.now t.engine) ~actor ?flow kind
+  | None -> ()
 
 let node_label t id = (Topology.Graph.node t.internet.Topology.Builder.graph id).Topology.Node.label
 
@@ -83,10 +93,10 @@ let populate t ~record_ttl =
     internet.Topology.Builder.domains
 
 let create ~engine ~internet ?(record_ttl = 3600.0) ?(server_processing = 0.0005)
-    ?trace () =
+    ?trace ?obs () =
   let t =
     { engine; internet; zones = Hashtbl.create 16; resolvers = Hashtbl.create 16;
-      taps = Hashtbl.create 4; server_processing; trace;
+      taps = Hashtbl.create 4; server_processing; trace; obs;
       counters =
         { client_queries = 0; iterative_queries = 0; responses = 0;
           cache_hits = 0; cache_misses = 0; wire_bytes = 0 } }
@@ -151,18 +161,25 @@ let starting_server t resolver qname =
   | Some (_, server) -> server
   | None -> t.internet.Topology.Builder.root_dns
 
-let resolve t ~resolver:resolver_id ~client ~client_eid qname ~callback =
+let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
   let resolver = resolver_exn t resolver_id in
   let graph = t.internet.Topology.Builder.graph in
   t.counters.client_queries <- t.counters.client_queries + 1;
   trace t ~actor:(node_label t client) "DNS query %s -> %s (step 1)"
     (Name.to_string qname) (node_label t resolver_id);
+  if obs_on t then
+    obs_emit t ~actor:(node_label t client) ?flow
+      (Obs.Event.Dns_query { qname = Name.to_string qname });
   (* Reply travels resolver -> client once resolution finishes. *)
   let answer_client result =
     t.counters.responses <- t.counters.responses + 1;
     send t ~src:resolver_id ~dst:client ~bytes:(query_size qname + 16) (fun () ->
         trace t ~actor:(node_label t client) "DNS answer for %s received (step 8)"
           (Name.to_string qname);
+        if obs_on t then
+          obs_emit t ~actor:(node_label t client) ?flow
+            (Obs.Event.Dns_reply
+               { qname = Name.to_string qname; answered = result <> None });
         callback result)
   in
   (* Iterative resolution loop at the resolver. *)

@@ -23,10 +23,12 @@ val create :
   ?record_ttl:float ->
   ?server_processing:float ->
   ?trace:Netsim.Trace.t ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [record_ttl] defaults to 3600 s; [server_processing] (per query, at
-    each server) to 0.5 ms. *)
+    each server) to 0.5 ms.  [obs] receives typed [Dns_query]/
+    [Dns_reply] events when enabled. *)
 
 val engine : t -> Netsim.Engine.t
 val internet : t -> Topology.Builder.t
@@ -60,13 +62,16 @@ val resolve :
   resolver:Topology.Node.id ->
   client:Topology.Node.id ->
   client_eid:Nettypes.Ipv4.addr ->
+  ?flow:int ->
   Name.t ->
   callback:(Nettypes.Ipv4.addr option -> unit) ->
   unit
 (** Full client-side resolution: client-to-resolver wire, cache lookup,
     iterative resolution from the deepest cached referral, wire back.
     [callback] fires at the simulated instant the client holds the
-    answer ([None] on name error). *)
+    answer ([None] on name error).  [flow] tags the emitted observability
+    events with the id of the connection this resolution belongs to, so
+    DNS events correlate with the flow's later packets. *)
 
 val flush_caches : t -> unit
 (** Empty every resolver cache — cold-start experiments. *)

@@ -36,6 +36,7 @@ type t = {
   by_rloc : (int, router) Hashtbl.t; (* RLOC as raw int -> router *)
   receivers : (int, Packet.t -> unit) Hashtbl.t; (* EID -> host callback *)
   trace : Netsim.Trace.t option;
+  obs : Obs.Hub.t option;
   counters : counters;
   drops : (string, int) Hashtbl.t;
   mutable drop_observer : (cause:string -> now:float -> unit) option;
@@ -52,8 +53,19 @@ let trace t ~actor fmt =
       Netsim.Trace.recordf tr ~time:(Netsim.Engine.now t.engine) ~actor fmt
   | None -> Format.ikfprintf ignore Format.err_formatter fmt
 
+(* Hot-path guard: call sites test this before building an event payload
+   so a disabled observability layer allocates nothing. *)
+let obs_on t =
+  match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
+
+let obs_emit t ~actor ?flow kind =
+  match t.obs with
+  | Some hub ->
+      Obs.Hub.emit hub ~time:(Netsim.Engine.now t.engine) ~actor ?flow kind
+  | None -> ()
+
 let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
-    ?(flow_ttl = 300.0) ?trace () =
+    ?(flow_ttl = 300.0) ?trace ?obs () =
   let by_rloc = Hashtbl.create 64 in
   let routers =
     Array.map
@@ -70,12 +82,29 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
           domain.Topology.Domain.borders)
       internet.Topology.Builder.domains
   in
-  { engine; internet; control_plane; routers; by_rloc;
-    receivers = Hashtbl.create 64; trace;
-    counters =
-      { sent = 0; delivered = 0; dropped = 0; held = 0; encapsulated = 0;
-        decapsulated = 0; intra_domain = 0; delivered_bytes = 0 };
-    drops = Hashtbl.create 8; drop_observer = None }
+  let t =
+    { engine; internet; control_plane; routers; by_rloc;
+      receivers = Hashtbl.create 64; trace; obs;
+      counters =
+        { sent = 0; delivered = 0; dropped = 0; held = 0; encapsulated = 0;
+          decapsulated = 0; intra_domain = 0; delivered_bytes = 0 };
+      drops = Hashtbl.create 8; drop_observer = None }
+  in
+  (match obs with
+  | None -> ()
+  | Some _ ->
+      Array.iter
+        (Array.iter (fun r ->
+             let actor = r.router_domain.Topology.Domain.name ^ "-itr" in
+             Map_cache.set_evict_hook r.cache
+               (Some
+                  (fun mapping ->
+                    if obs_on t then
+                      obs_emit t ~actor
+                        (Obs.Event.Cache_evict
+                           { prefix = mapping.Mapping.eid_prefix })))))
+        routers);
+  t
 
 let routers_of_domain t domain = t.routers.(domain.Topology.Domain.id)
 
@@ -103,10 +132,14 @@ let set_host_receiver t eid receiver =
   | Some f -> Hashtbl.replace t.receivers (Ipv4.addr_to_int eid) f
   | None -> Hashtbl.remove t.receivers (Ipv4.addr_to_int eid)
 
-let record_drop t cause =
+let record_drop t ?packet cause =
   t.counters.dropped <- t.counters.dropped + 1;
   Hashtbl.replace t.drops cause
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops cause));
+  if obs_on t then
+    obs_emit t ~actor:"dp"
+      ?flow:(Option.map (fun p -> Obs.Event.flow_id p.Packet.flow) packet)
+      (Obs.Event.Packet_drop { cause });
   match t.drop_observer with
   | Some f -> f ~cause ~now:(Netsim.Engine.now t.engine)
   | None -> ()
@@ -131,7 +164,7 @@ let wire t ~src ~dst packet k =
     | latency ->
         Topology.Graph.account_path g ~src ~dst ~bytes:(Packet.size packet);
         ignore (Netsim.Engine.schedule t.engine ~delay:latency k)
-    | exception Not_found -> record_drop t "no-route"
+    | exception Not_found -> record_drop t ~packet "no-route"
   end
 
 let host_node_of_eid t eid =
@@ -147,7 +180,7 @@ let host_node_of_eid t eid =
 let deliver_to_host t ~from_node packet =
   let dst_eid = packet.Packet.flow.Flow.dst in
   match host_node_of_eid t dst_eid with
-  | None -> record_drop t "no-such-eid"
+  | None -> record_drop t ~packet "no-such-eid"
   | Some (_domain, host_node) ->
       wire t ~src:from_node ~dst:host_node packet (fun () ->
           match Hashtbl.find_opt t.receivers (Ipv4.addr_to_int dst_eid) with
@@ -156,7 +189,7 @@ let deliver_to_host t ~from_node packet =
               t.counters.delivered_bytes <-
                 t.counters.delivered_bytes + Packet.size packet;
               receiver packet
-          | None -> record_drop t "no-receiver")
+          | None -> record_drop t ~packet "no-receiver")
 
 (* A packet arrived at a border router from the core side. *)
 let etr_receive t router packet =
@@ -173,6 +206,12 @@ let etr_receive t router packet =
   trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-etr")
     "ETR %a received %a" Ipv4.pp_addr router.border.Topology.Domain.rloc
     Packet.pp inner;
+  (match outer_src with
+  | Some outer_src when obs_on t ->
+      obs_emit t ~actor:(router.router_domain.Topology.Domain.name ^ "-etr")
+        ~flow:(Obs.Event.flow_id inner.Packet.flow)
+        (Obs.Event.Decap { outer_src })
+  | Some _ | None -> ());
   t.control_plane.cp_note_etr_packet router ~outer_src inner;
   deliver_to_host t ~from_node:router.border.Topology.Domain.router inner
 
@@ -185,25 +224,29 @@ let deliver_via t router packet ~extra_delay =
 (* Tunnel [packet] from ITR [router] using the given outer header. *)
 let tunnel t router packet ~outer_src ~outer_dst =
   match router_of_rloc t outer_dst with
-  | None -> record_drop t "no-such-rloc"
+  | None -> record_drop t ~packet "no-such-rloc"
   | Some remote
     when not (Topology.Link.is_up remote.border.Topology.Domain.uplink) ->
       (* The RLOC's access link is down: inter-domain routing has no
          path to this locator. *)
-      record_drop t "rloc-unreachable"
+      record_drop t ~packet "rloc-unreachable"
   | Some remote ->
       let encapsulated = Packet.encapsulate packet ~outer_src ~outer_dst in
       t.counters.encapsulated <- t.counters.encapsulated + 1;
       trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
         "ITR %a tunnels %a" Ipv4.pp_addr router.border.Topology.Domain.rloc
         Packet.pp encapsulated;
+      if obs_on t then
+        obs_emit t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
+          ~flow:(Obs.Event.flow_id packet.Packet.flow)
+          (Obs.Event.Encap { outer_src; outer_dst });
       wire t ~src:router.border.Topology.Domain.router
         ~dst:remote.border.Topology.Domain.router encapsulated (fun () ->
           etr_receive t remote encapsulated)
 
 (* Mapping lookup at an ITR: per-flow entry first (PCE tuples, which may
    impose a foreign source RLOC), then the LISP map-cache. *)
-let lookup_outer router ~now flow =
+let lookup_outer t router ~now flow =
   match
     Flow_table.lookup router.flows ~now ~src_eid:flow.Flow.src
       ~dst_eid:flow.Flow.dst
@@ -212,13 +255,24 @@ let lookup_outer router ~now flow =
   | None -> (
       match Map_cache.lookup router.cache ~now flow.Flow.dst with
       | Some mapping ->
+          if obs_on t then
+            obs_emit t
+              ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
+              ~flow:(Obs.Event.flow_id flow)
+              (Obs.Event.Cache_hit { eid = flow.Flow.dst });
           let r = Mapping.select_rloc mapping ~hash:(Flow.hash flow) in
           Some (router.border.Topology.Domain.rloc, r.Mapping.rloc_addr)
-      | None -> None)
+      | None ->
+          if obs_on t then
+            obs_emit t
+              ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
+              ~flow:(Obs.Event.flow_id flow)
+              (Obs.Event.Cache_miss { eid = flow.Flow.dst });
+          None)
 
 let itr_process t router packet =
   let now = Netsim.Engine.now t.engine in
-  match lookup_outer router ~now packet.Packet.flow with
+  match lookup_outer t router ~now packet.Packet.flow with
   | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
   | None -> (
       match t.control_plane.cp_handle_miss router packet with
@@ -226,14 +280,14 @@ let itr_process t router packet =
           trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
             "miss for %a: dropped (%s)" Ipv4.pp_addr packet.Packet.flow.Flow.dst
             cause;
-          record_drop t cause
+          record_drop t ~packet cause
       | Miss_hold -> t.counters.held <- t.counters.held + 1)
 
 let transmit_from_itr t router packet =
   let now = Netsim.Engine.now t.engine in
-  match lookup_outer router ~now packet.Packet.flow with
+  match lookup_outer t router ~now packet.Packet.flow with
   | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
-  | None -> record_drop t "post-resolution-miss"
+  | None -> record_drop t ~packet "post-resolution-miss"
 
 let send_from_host t packet =
   let flow = packet.Packet.flow in

@@ -51,8 +51,13 @@ val create :
   ?cache_capacity:int ->
   ?flow_ttl:float ->
   ?trace:Netsim.Trace.t ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
+(** [obs] is the structured-event hub: when given (and enabled) the
+    data plane emits [Encap]/[Decap], [Cache_hit]/[Cache_miss]/
+    [Cache_evict] and [Packet_drop] events, flow-scoped where a packet
+    is in hand.  A disabled hub costs one boolean test per site. *)
 
 val engine : t -> Netsim.Engine.t
 val internet : t -> Topology.Builder.t

@@ -25,12 +25,16 @@ type t = {
   mutable head : entry option; (* most recently used *)
   mutable tail : entry option; (* least recently used *)
   stats : stats;
+  mutable evict_hook : (Mapping.t -> unit) option;
 }
 
 let create ?(capacity = 10_000) () =
   if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
   { capacity; table = Prefix_table.create (); head = None; tail = None;
-    stats = { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0 } }
+    stats = { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0 };
+    evict_hook = None }
+
+let set_evict_hook t hook = t.evict_hook <- hook
 
 let stats t = t.stats
 let length t = Prefix_table.length t.table
@@ -74,7 +78,10 @@ let evict_lru t =
   match t.tail with
   | Some e ->
       drop_entry t e;
-      t.stats.evictions <- t.stats.evictions + 1
+      t.stats.evictions <- t.stats.evictions + 1;
+      (match t.evict_hook with
+      | Some hook -> hook e.mapping
+      | None -> ())
   | None -> ()
 
 let insert t ~now mapping =

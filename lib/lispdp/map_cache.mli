@@ -43,5 +43,10 @@ type stats = {
 
 val stats : t -> stats
 
+val set_evict_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
+(** Observer invoked with the victim mapping on every LRU eviction
+    (not on TTL expiry or explicit removal); the observability layer
+    uses it to emit [Cache_evict] events. *)
+
 val hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

@@ -1,6 +1,6 @@
 type t = { pull : Pull.t; warm : (int, unit) Hashtbl.t }
 
-let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) () =
+let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?obs () =
   if cache_speedup <= 0.0 || cache_speedup > 1.0 then
     invalid_arg "Cons.create: cache_speedup out of (0, 1]";
   let warm = Hashtbl.create 64 in
@@ -14,7 +14,7 @@ let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) () =
   in
   let pull =
     Pull.create ~engine ~internet ~registry ~alt ~mode:Pull.Drop_while_pending
-      ~name:"cons" ~latency_of ()
+      ~name:"cons" ~latency_of ?obs ()
   in
   { pull; warm }
 

@@ -19,6 +19,7 @@ val create :
   registry:Registry.t ->
   alt:Alt.t ->
   ?cache_speedup:float ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [alt] provides the hierarchy geometry (CONS and ALT share the

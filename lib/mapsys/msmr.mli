@@ -26,6 +26,7 @@ val create :
   ?mode:Pull.mode ->
   ?mr_provider:int ->
   ?ddt_hop_latency:float ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [mode] defaults to [Drop_while_pending]; [mr_provider] (default 0)

@@ -7,15 +7,24 @@ type t = {
   propagation_delay : float;
   stats : Cp_stats.t;
   mutable dataplane : Lispdp.Dataplane.t option;
+  obs : Obs.Hub.t option;
 }
 
 (* Database entries are permanent until replaced; give them an expiry far
    beyond any simulation horizon. *)
 let database_ttl = 1e12
 
-let create ~engine ~internet ~registry ?(propagation_delay = 30.0) () =
+let create ~engine ~internet ~registry ?(propagation_delay = 30.0) ?obs () =
   { engine; internet; registry; propagation_delay; stats = Cp_stats.create ();
-    dataplane = None }
+    dataplane = None; obs }
+
+let obs_on t =
+  match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
+
+let obs_emit t ~actor kind =
+  match t.obs with
+  | Some hub -> Obs.Hub.emit hub ~time:(Netsim.Engine.now t.engine) ~actor kind
+  | None -> ()
 
 let stats t = t.stats
 let database_entries_per_router t = Registry.size t.registry
@@ -48,7 +57,9 @@ let attach t dataplane =
   (* One full-database transfer per router, at its real encoded size. *)
   t.stats.Cp_stats.control_bytes <-
     t.stats.Cp_stats.control_bytes
-    + (routers * Registry.total_wire_bytes t.registry)
+    + (routers * Registry.total_wire_bytes t.registry);
+  if obs_on t then
+    obs_emit t ~actor:"nerd" (Obs.Event.Mapping_push { targets = routers })
 
 let push_update t ~domain mapping =
   Registry.update_mapping t.registry domain mapping;
@@ -59,6 +70,8 @@ let push_update t ~domain mapping =
   t.stats.Cp_stats.push_messages <- t.stats.Cp_stats.push_messages + routers;
   t.stats.Cp_stats.control_bytes <-
     t.stats.Cp_stats.control_bytes + (routers * update_bytes);
+  if obs_on t then
+    obs_emit t ~actor:"nerd" (Obs.Event.Mapping_push { targets = routers });
   ignore
     (Netsim.Engine.schedule t.engine ~delay:t.propagation_delay (fun () ->
          install_everywhere t mapping))

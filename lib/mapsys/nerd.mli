@@ -14,10 +14,12 @@ val create :
   internet:Topology.Builder.t ->
   registry:Registry.t ->
   ?propagation_delay:float ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [propagation_delay] (default 30 s) is how long a database update
-    takes to reach all routers. *)
+    takes to reach all routers.  [obs] receives a [Mapping_push] event
+    (targets = router count) per full push or incremental update. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

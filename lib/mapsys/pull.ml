@@ -33,11 +33,12 @@ type t = {
   cached_at : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   mutable nonce : int;
   mutable dataplane : Lispdp.Dataplane.t option;
+  obs : Obs.Hub.t option;
 }
 
 let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     ?resolution_latency ?(glean_ttl = 60.0) ?(server_processing = 0.0005)
-    ?(smr = false) () =
+    ?(smr = false) ?obs () =
   let latency_of =
     match latency_of with
     | Some f -> f
@@ -48,7 +49,16 @@ let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     latency_of; resolution_latency; glean_ttl; server_processing; smr;
     cached_at = Hashtbl.create 16; stats = Cp_stats.create ();
     glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
-    dataplane = None }
+    dataplane = None; obs }
+
+let obs_on t =
+  match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
+
+let obs_emit t ~actor ?flow kind =
+  match t.obs with
+  | Some hub ->
+      Obs.Hub.emit hub ~time:(Netsim.Engine.now t.engine) ~actor ?flow kind
+  | None -> ()
 
 let attach t dataplane =
   match t.dataplane with
@@ -79,7 +89,7 @@ let authoritative_router t mapping =
   | Some (_, border) -> border
   | None -> invalid_arg "Pull: registry RLOC has no border router"
 
-let start_resolution t router dst_domain mapping =
+let start_resolution t router dst_domain mapping ?flow () =
   let dp = dataplane_exn t in
   let src_id =
     (router.Lispdp.Dataplane.router_domain).Topology.Domain.id
@@ -87,17 +97,24 @@ let start_resolution t router dst_domain mapping =
   let dst_id = dst_domain.Topology.Domain.id in
   t.nonce <- (t.nonce + 1) land 0xFFFFFFFF;
   let nonce = t.nonce in
+  let request_eid =
+    Ipv4.prefix_network
+      (Registry.mapping_of_domain t.registry dst_id).Mapping.eid_prefix
+  in
   let request =
     Wire.Codec.Map_request
       { nonce;
         source_rloc = router.Lispdp.Dataplane.border.Topology.Domain.rloc;
-        eid =
-          Ipv4.prefix_network
-            (Registry.mapping_of_domain t.registry dst_id).Mapping.eid_prefix }
+        eid = request_eid }
   in
   t.stats.Cp_stats.map_requests <- t.stats.Cp_stats.map_requests + 1;
   t.stats.Cp_stats.control_bytes <-
     t.stats.Cp_stats.control_bytes + Wire.Codec.size request;
+  let actor =
+    (router.Lispdp.Dataplane.router_domain).Topology.Domain.name ^ "-itr"
+  in
+  if obs_on t then
+    obs_emit t ~actor ?flow (Obs.Event.Map_request { eid = request_eid });
   Alt.note_request t.alt ~src:src_id ~dst:dst_id;
   let total =
     match t.resolution_latency with
@@ -144,6 +161,9 @@ let start_resolution t router dst_domain mapping =
          t.stats.Cp_stats.control_bytes <-
            t.stats.Cp_stats.control_bytes
            + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping });
+         if obs_on t then
+           obs_emit t ~actor ?flow
+             (Obs.Event.Map_reply { eid = request_eid });
          Lispdp.Dataplane.install_mapping dp router mapping;
          let key =
            (router.Lispdp.Dataplane.border.Topology.Domain.router, dst_id)
@@ -172,7 +192,12 @@ let handle_miss t router packet =
         | None ->
             let r = { queued = [] } in
             Hashtbl.replace t.pending key r;
-            start_resolution t router dst_domain mapping;
+            start_resolution t router dst_domain mapping
+              ?flow:
+                (if obs_on t then
+                   Some (Obs.Event.flow_id packet.Packet.flow)
+                 else None)
+              ();
             r
       in
       match t.mode with

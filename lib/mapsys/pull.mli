@@ -46,6 +46,7 @@ val create :
   ?glean_ttl:float ->
   ?server_processing:float ->
   ?smr:bool ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [latency_of] overrides the map-request transport latency between two
@@ -53,7 +54,9 @@ val create :
     given, replaces the whole request+reply timing computation (used by
     the MS/MR front end, whose reply is proxied rather than sent by the
     authoritative ETR); [glean_ttl] defaults to 60 s;
-    [server_processing] (at the authoritative ETR) to 0.5 ms. *)
+    [server_processing] (at the authoritative ETR) to 0.5 ms.  [obs]
+    receives typed [Map_request]/[Map_reply] events when enabled,
+    flow-scoped with the id of the packet that triggered the miss. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

@@ -1,37 +1,53 @@
 type entry = { time : float; actor : string; event : string }
 
-type t = { mutable entries_rev : entry list; mutable count : int; mutable on : bool }
+type t = {
+  entries : entry Queue.t; (* oldest first; bounded by [capacity] *)
+  capacity : int option;
+  mutable count : int;
+  mutable on : bool;
+}
 
-let create () = { entries_rev = []; count = 0; on = true }
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 ->
+      invalid_arg "Trace.create: capacity must be positive"
+  | Some _ | None -> ());
+  { entries = Queue.create (); capacity; count = 0; on = true }
+
 let enabled t = t.on
 let set_enabled t on = t.on <- on
 
 let record t ~time ~actor event =
   if t.on then begin
-    t.entries_rev <- { time; actor; event } :: t.entries_rev;
+    Queue.push { time; actor; event } t.entries;
+    (match t.capacity with
+    | Some c when Queue.length t.entries > c -> ignore (Queue.pop t.entries)
+    | Some _ | None -> ());
     t.count <- t.count + 1
   end
 
 let recordf t ~time ~actor fmt =
-  Format.kasprintf (fun event -> record t ~time ~actor event) fmt
+  (* Short-circuit before formatting: a disabled trace must not pay the
+     kasprintf rendering/allocation cost on hot paths. *)
+  if t.on then Format.kasprintf (fun event -> record t ~time ~actor event) fmt
+  else Format.ikfprintf ignore Format.err_formatter fmt
 
-let entries t = List.rev t.entries_rev
+let entries t = List.of_seq (Queue.to_seq t.entries)
 let length t = t.count
+let retained t = Queue.length t.entries
 
 let clear t =
-  t.entries_rev <- [];
+  Queue.clear t.entries;
   t.count <- 0
 
 let pp ppf t =
   let actor_width =
-    List.fold_left
-      (fun acc e -> Stdlib.max acc (String.length e.actor))
-      0 t.entries_rev
+    Queue.fold (fun acc e -> Stdlib.max acc (String.length e.actor)) 0 t.entries
   in
-  List.iter
+  Queue.iter
     (fun e ->
       Format.fprintf ppf "t=%10.6fs  %-*s  %s@." e.time actor_width e.actor
         e.event)
-    (entries t)
+    t.entries
 
 let find t ~f = List.find_opt f (entries t)

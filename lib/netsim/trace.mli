@@ -9,7 +9,12 @@ type t
 
 type entry = { time : float; actor : string; event : string }
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the retained entries: once exceeded, recording a
+    new entry discards the oldest one (a ring buffer), so production-
+    scale runs cannot grow the log without bound.  [length] keeps
+    counting every recorded entry; {!entries} returns the retained
+    window.  Raises [Invalid_argument] when [capacity <= 0]. *)
 
 val enabled : t -> bool
 (** Recording can be switched off so that hot benchmark loops skip the
@@ -22,12 +27,22 @@ val record : t -> time:float -> actor:string -> string -> unit
 
 val recordf :
   t -> time:float -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Like {!record} with printf formatting of the event text. *)
+(** Like {!record} with printf formatting of the event text.  When the
+    trace is disabled the format arguments are consumed without any
+    rendering work. *)
 
 val entries : t -> entry list
-(** Entries in chronological (= insertion) order. *)
+(** Retained entries in chronological (= insertion) order.  With a
+    [?capacity] bound this is the most recent window only. *)
 
 val length : t -> int
+(** Total entries ever recorded, including any that a capacity bound
+    has since discarded. *)
+
+val retained : t -> int
+(** Entries currently held (= [length] unless a capacity bound has
+    discarded old ones). *)
+
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit

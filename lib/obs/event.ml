@@ -1,0 +1,165 @@
+open Nettypes
+
+type kind =
+  | Dns_query of { qname : string }
+  | Dns_reply of { qname : string; answered : bool }
+  | Map_request of { eid : Ipv4.addr }
+  | Map_reply of { eid : Ipv4.addr }
+  | Cache_hit of { eid : Ipv4.addr }
+  | Cache_miss of { eid : Ipv4.addr }
+  | Cache_evict of { prefix : Ipv4.prefix }
+  | Mapping_push of { targets : int }
+  | Packet_drop of { cause : string }
+  | Encap of { outer_src : Ipv4.addr; outer_dst : Ipv4.addr }
+  | Decap of { outer_src : Ipv4.addr }
+  | Irc_decision of { rloc : Ipv4.addr }
+  | Link_up of { rloc : Ipv4.addr }
+  | Link_down of { rloc : Ipv4.addr }
+  | Note of string
+
+type t = { time : float; actor : string; flow : int option; kind : kind }
+
+(* Direction-insensitive flow identifier: the SYN and its SYN/ACK (a
+   reversed 4-tuple) must correlate to the same id. *)
+let flow_id (f : Flow.t) =
+  let a = (Ipv4.addr_to_int f.Flow.src * 65536) + f.Flow.src_port in
+  let b = (Ipv4.addr_to_int f.Flow.dst * 65536) + f.Flow.dst_port in
+  let lo = Stdlib.min a b and hi = Stdlib.max a b in
+  let mix acc x = (acc * 0x01000193) lxor x land max_int in
+  List.fold_left mix 0x811C9DC5 [ lo; hi ]
+
+let kind_name = function
+  | Dns_query _ -> "dns_query"
+  | Dns_reply _ -> "dns_reply"
+  | Map_request _ -> "map_request"
+  | Map_reply _ -> "map_reply"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Cache_evict _ -> "cache_evict"
+  | Mapping_push _ -> "mapping_push"
+  | Packet_drop _ -> "packet_drop"
+  | Encap _ -> "encap"
+  | Decap _ -> "decap"
+  | Irc_decision _ -> "irc_decision"
+  | Link_up _ -> "link_up"
+  | Link_down _ -> "link_down"
+  | Note _ -> "note"
+
+let describe_kind = function
+  | Dns_query { qname } -> Printf.sprintf "DNS query %s" qname
+  | Dns_reply { qname; answered } ->
+      Printf.sprintf "DNS reply %s (%s)" qname
+        (if answered then "answered" else "failed")
+  | Map_request { eid } ->
+      Printf.sprintf "map-request for %s" (Ipv4.addr_to_string eid)
+  | Map_reply { eid } ->
+      Printf.sprintf "map-reply for %s" (Ipv4.addr_to_string eid)
+  | Cache_hit { eid } ->
+      Printf.sprintf "map-cache hit %s" (Ipv4.addr_to_string eid)
+  | Cache_miss { eid } ->
+      Printf.sprintf "map-cache miss %s" (Ipv4.addr_to_string eid)
+  | Cache_evict { prefix } ->
+      Printf.sprintf "map-cache evict %s" (Ipv4.prefix_to_string prefix)
+  | Mapping_push { targets } ->
+      Printf.sprintf "mapping push to %d target(s)" targets
+  | Packet_drop { cause } -> Printf.sprintf "packet drop (%s)" cause
+  | Encap { outer_src; outer_dst } ->
+      Printf.sprintf "encap %s -> %s"
+        (Ipv4.addr_to_string outer_src)
+        (Ipv4.addr_to_string outer_dst)
+  | Decap { outer_src } ->
+      Printf.sprintf "decap from %s" (Ipv4.addr_to_string outer_src)
+  | Irc_decision { rloc } ->
+      Printf.sprintf "IRC egress decision: %s" (Ipv4.addr_to_string rloc)
+  | Link_up { rloc } -> Printf.sprintf "link up (RLOC %s)" (Ipv4.addr_to_string rloc)
+  | Link_down { rloc } ->
+      Printf.sprintf "link down (RLOC %s)" (Ipv4.addr_to_string rloc)
+  | Note text -> text
+
+let describe e = describe_kind e.kind
+
+let pp ppf e =
+  Format.fprintf ppf "t=%.6fs %s%s %s" e.time e.actor
+    (match e.flow with
+    | Some id -> Printf.sprintf " flow=%d" id
+    | None -> "")
+    (describe e)
+
+let to_json e =
+  let addr a = Json.String (Ipv4.addr_to_string a) in
+  let payload =
+    match e.kind with
+    | Dns_query { qname } -> [ ("qname", Json.String qname) ]
+    | Dns_reply { qname; answered } ->
+        [ ("qname", Json.String qname); ("answered", Json.Bool answered) ]
+    | Map_request { eid } | Map_reply { eid } -> [ ("eid", addr eid) ]
+    | Cache_hit { eid } | Cache_miss { eid } -> [ ("eid", addr eid) ]
+    | Cache_evict { prefix } ->
+        [ ("prefix", Json.String (Ipv4.prefix_to_string prefix)) ]
+    | Mapping_push { targets } -> [ ("targets", Json.Int targets) ]
+    | Packet_drop { cause } -> [ ("cause", Json.String cause) ]
+    | Encap { outer_src; outer_dst } ->
+        [ ("outer_src", addr outer_src); ("outer_dst", addr outer_dst) ]
+    | Decap { outer_src } -> [ ("outer_src", addr outer_src) ]
+    | Irc_decision { rloc } | Link_up { rloc } | Link_down { rloc } ->
+        [ ("rloc", addr rloc) ]
+    | Note text -> [ ("text", Json.String text) ]
+  in
+  Json.Obj
+    ([ ("time", Json.Float e.time); ("actor", Json.String e.actor);
+       ("kind", Json.String (kind_name e.kind)) ]
+    @ (match e.flow with Some id -> [ ("flow", Json.Int id) ] | None -> [])
+    @ payload)
+
+let of_json json =
+  let ( let* ) x f = match x with Some v -> f v | None -> Error "bad event" in
+  let field name conv = Option.bind (Json.member name json) conv in
+  let* time = field "time" Json.to_float_opt in
+  let* actor = field "actor" Json.to_string_opt in
+  let* kind_str = field "kind" Json.to_string_opt in
+  let flow = field "flow" Json.to_int_opt in
+  let str name = field name Json.to_string_opt in
+  let addr name =
+    match str name with
+    | Some s -> (try Some (Ipv4.addr_of_string s) with _ -> None)
+    | None -> None
+  in
+  let kind =
+    match kind_str with
+    | "dns_query" ->
+        Option.map (fun qname -> Dns_query { qname }) (str "qname")
+    | "dns_reply" -> (
+        match (str "qname", field "answered" Json.to_bool_opt) with
+        | Some qname, Some answered -> Some (Dns_reply { qname; answered })
+        | _ -> None)
+    | "map_request" -> Option.map (fun eid -> Map_request { eid }) (addr "eid")
+    | "map_reply" -> Option.map (fun eid -> Map_reply { eid }) (addr "eid")
+    | "cache_hit" -> Option.map (fun eid -> Cache_hit { eid }) (addr "eid")
+    | "cache_miss" -> Option.map (fun eid -> Cache_miss { eid }) (addr "eid")
+    | "cache_evict" -> (
+        match str "prefix" with
+        | Some s -> (
+            try Some (Cache_evict { prefix = Ipv4.prefix_of_string s })
+            with _ -> None)
+        | None -> None)
+    | "mapping_push" ->
+        Option.map (fun targets -> Mapping_push { targets })
+          (field "targets" Json.to_int_opt)
+    | "packet_drop" ->
+        Option.map (fun cause -> Packet_drop { cause }) (str "cause")
+    | "encap" -> (
+        match (addr "outer_src", addr "outer_dst") with
+        | Some outer_src, Some outer_dst -> Some (Encap { outer_src; outer_dst })
+        | _ -> None)
+    | "decap" ->
+        Option.map (fun outer_src -> Decap { outer_src }) (addr "outer_src")
+    | "irc_decision" ->
+        Option.map (fun rloc -> Irc_decision { rloc }) (addr "rloc")
+    | "link_up" -> Option.map (fun rloc -> Link_up { rloc }) (addr "rloc")
+    | "link_down" -> Option.map (fun rloc -> Link_down { rloc }) (addr "rloc")
+    | "note" -> Option.map (fun text -> Note text) (str "text")
+    | _ -> None
+  in
+  match kind with
+  | Some kind -> Ok { time; actor; flow; kind }
+  | None -> Error (Printf.sprintf "bad or unknown event kind %S" kind_str)

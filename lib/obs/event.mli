@@ -1,0 +1,47 @@
+(** Structured, flow-scoped simulation events.
+
+    Every observable step of a run — DNS resolution, mapping
+    resolution, cache behaviour, tunnelling, TE decisions, failures —
+    is one typed event carrying the simulated time, the emitting actor
+    and, when the step belongs to a flow, a direction-insensitive flow
+    id.  Events reach the outside world through {!Hub} sinks. *)
+
+open Nettypes
+
+type kind =
+  | Dns_query of { qname : string }
+  | Dns_reply of { qname : string; answered : bool }
+  | Map_request of { eid : Ipv4.addr }
+  | Map_reply of { eid : Ipv4.addr }
+  | Cache_hit of { eid : Ipv4.addr }
+  | Cache_miss of { eid : Ipv4.addr }
+  | Cache_evict of { prefix : Ipv4.prefix }
+  | Mapping_push of { targets : int }
+  | Packet_drop of { cause : string }
+  | Encap of { outer_src : Ipv4.addr; outer_dst : Ipv4.addr }
+  | Decap of { outer_src : Ipv4.addr }
+  | Irc_decision of { rloc : Ipv4.addr }
+  | Link_up of { rloc : Ipv4.addr }
+  | Link_down of { rloc : Ipv4.addr }
+  | Note of string  (** free-form bridge for legacy trace text *)
+
+type t = { time : float; actor : string; flow : int option; kind : kind }
+
+val flow_id : Flow.t -> int
+(** Stable flow identifier; a flow and its reverse (the SYN/ACK
+    direction) map to the same id so both tunnel directions correlate. *)
+
+val kind_name : kind -> string
+(** Snake-case tag, also the JSON ["kind"] field. *)
+
+val describe : t -> string
+(** Human-readable one-liner (the string-renderer sink uses this). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Flat object with [time], [actor], [kind], optional [flow], and
+    kind-specific payload fields. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] on unknown kinds or missing fields. *)

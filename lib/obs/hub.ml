@@ -1,0 +1,24 @@
+type sink = Event.t -> unit
+
+type t = { mutable on : bool; mutable sinks : sink list }
+
+let create ?(enabled = false) () = { on = enabled; sinks = [] }
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+let sink_count t = List.length t.sinks
+
+let dispatch t event = List.iter (fun sink -> sink event) t.sinks
+
+let emit t ~time ~actor ?flow kind =
+  if t.on then dispatch t { Event.time; actor; flow; kind }
+
+let memory_sink () =
+  let buffered = ref [] in
+  let sink event = buffered := event :: !buffered in
+  let contents () = List.rev !buffered in
+  (sink, contents)
+
+let trace_sink trace event =
+  Netsim.Trace.record trace ~time:event.Event.time ~actor:event.Event.actor
+    (Event.describe event)

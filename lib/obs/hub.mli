@@ -1,0 +1,36 @@
+(** Event hub: the recording side of the observability layer.
+
+    Each scenario owns one hub; instrumented layers emit typed events
+    into it and any number of sinks (JSONL writer, in-memory buffer,
+    legacy string trace, metrics sampler ticks) consume them.
+
+    The disabled path must be effectively free: {!emit} checks the flag
+    before building the event record, and hot call sites are expected
+    to guard payload construction with {!enabled} so a disabled run
+    does not even allocate the [kind] variant. *)
+
+type sink = Event.t -> unit
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Hubs start disabled by default. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val add_sink : t -> sink -> unit
+(** Sinks run in registration order on every emitted event. *)
+
+val sink_count : t -> int
+
+val emit :
+  t -> time:float -> actor:string -> ?flow:int -> Event.kind -> unit
+(** Record one event; a no-op when the hub is disabled. *)
+
+val memory_sink : unit -> sink * (unit -> Event.t list)
+(** A buffering sink and its accessor (events in emission order). *)
+
+val trace_sink : Netsim.Trace.t -> sink
+(** The string renderer: appends [Event.describe] text to a legacy
+    {!Netsim.Trace} so walkthrough-style output keeps working. *)

@@ -1,0 +1,29 @@
+(** Minimal, dependency-free JSON for the observability exporters.
+
+    Only the shapes the event and metrics exporters produce are
+    supported well; this is not a general-purpose JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render compactly (no whitespace), with string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; rejects trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field of an object, [None] for other shapes or missing keys. *)
+
+val to_float_opt : t -> float option
+(** Numeric value as float (accepts [Int] and [Float]). *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

@@ -1,0 +1,60 @@
+(** Central metrics registry: named counters, gauges and histograms
+    with a snapshot operation.
+
+    Gauges are callback-based so existing subsystem counters
+    ([Lispdp.Dataplane.counters], [Mapsys.Cp_stats], map-cache stats,
+    engine internals) can be exposed without double bookkeeping — a
+    registered gauge costs nothing until a snapshot reads it. *)
+
+type t
+
+type counter
+type histogram
+
+type summary = {
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  hist_mean : float;
+}
+
+type value = Counter of int | Gauge of float | Histogram of summary
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create a named counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val register_gauge : t -> string -> (unit -> float) -> unit
+(** Register a read-on-snapshot gauge.  Raises [Invalid_argument] on a
+    duplicate name. *)
+
+val register_many : t -> string -> (unit -> (string * float) list) -> unit
+(** Register a dynamically-keyed gauge family: each [(key, v)] row the
+    collector returns appears in snapshots as ["prefix.key"].  Used for
+    per-cause drop counts whose key set is not known up front. *)
+
+val histogram : t -> string -> histogram
+(** Get-or-create a named histogram (count/sum/min/max/mean summary). *)
+
+val observe : histogram -> float -> unit
+
+val scalar : value -> float
+(** Flatten a value to one scalar: counter count, gauge value,
+    histogram observation count. *)
+
+val snapshot : t -> (string * value) list
+(** Current value of every metric, sorted by name. *)
+
+val sample : t -> (string * float) list
+(** Like {!snapshot} but flattened to one scalar per metric (counter
+    count, gauge value, histogram observation count) — the shape the
+    periodic sampler stores. *)
+
+val size : t -> int
+(** Number of statically-registered metrics (excludes collector rows). *)

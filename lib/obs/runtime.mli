@@ -1,0 +1,33 @@
+(** Process-wide export wiring for the CLI.
+
+    [repro_cli run --trace-out F --metrics-out F] installs a runtime;
+    while one is installed, every scenario that calls {!attach} (done
+    in [Scenario.build]) gets its hub enabled and connected to the
+    requested exporters.  Without an installed runtime {!attach} is a
+    no-op, so library users and tests are unaffected. *)
+
+type t
+
+val install :
+  ?trace_out:string ->
+  ?metrics_out:string ->
+  ?metrics_interval:float ->
+  unit ->
+  t
+(** Install the runtime (opens [trace_out] immediately).  At most one
+    runtime may be installed at a time. *)
+
+val active : unit -> bool
+
+val attach : ?label:string -> hub:Hub.t -> registry:Registry.t -> unit -> unit
+(** Called by scenario construction: enables [hub] and adds the JSONL
+    sink and/or a metrics sampler according to the installed runtime.
+    No-op when nothing is installed. *)
+
+val finish_run : now:float -> unit
+(** Record the closing metrics sample of the most recently attached
+    run (call after the scenario's engine has drained). *)
+
+val finalize : unit -> unit
+(** Flush and close the event stream, write the metrics file, and
+    uninstall.  No-op when nothing is installed. *)

@@ -1,0 +1,75 @@
+(* Periodic registry snapshots in simulated time.
+
+   The sampler is driven by [tick ~now] rather than by engine events:
+   a self-rescheduling engine event would keep the event loop from ever
+   draining (scenarios run until their heap is empty).  Attaching the
+   tick as a hub sink gives interval-spaced samples whenever the
+   simulation is producing events, which is exactly when the metrics
+   are changing. *)
+
+type row = { at : float; values : (string * float) list }
+
+type t = {
+  interval : float;
+  registry : Registry.t;
+  max_rows : int;
+  mutable next : float;
+  mutable rows_rev : row list;
+  mutable row_count : int;
+  mutable dropped : int;
+}
+
+let create ?(max_rows = 100_000) ~interval ~registry () =
+  if interval <= 0.0 then
+    invalid_arg "Obs.Sampler.create: interval must be positive";
+  { interval; registry; max_rows; next = 0.0; rows_rev = []; row_count = 0;
+    dropped = 0 }
+
+let interval t = t.interval
+
+let record t ~at =
+  if t.row_count >= t.max_rows then t.dropped <- t.dropped + 1
+  else begin
+    t.rows_rev <- { at; values = Registry.sample t.registry } :: t.rows_rev;
+    t.row_count <- t.row_count + 1
+  end
+
+let tick t ~now =
+  while t.next <= now do
+    record t ~at:t.next;
+    t.next <- t.next +. t.interval
+  done
+
+let finalise t ~now =
+  (* One closing sample so end-of-run values always appear, even when
+     the run ended mid-bucket. *)
+  if
+    (match t.rows_rev with
+    | last :: _ -> last.at < now
+    | [] -> true)
+  then record t ~at:now
+
+let rows t = List.rev t.rows_rev
+let row_count t = t.row_count
+let dropped_rows t = t.dropped
+
+let series t name =
+  List.filter_map
+    (fun row ->
+      Option.map (fun v -> (row.at, v)) (List.assoc_opt name row.values))
+    (rows t)
+
+let to_timeseries t name =
+  match rows t with
+  | [] -> None
+  | all ->
+      let horizon =
+        match List.rev all with
+        | last :: _ -> Float.max t.interval (last.at +. t.interval)
+        | [] -> t.interval
+      in
+      let ts = Metrics.Timeseries.create ~bucket:t.interval ~horizon in
+      List.iter
+        (fun (at, v) -> Metrics.Timeseries.add ts ~at ~value:v ())
+        (series t name);
+      Some ts

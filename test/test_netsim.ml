@@ -382,6 +382,42 @@ let test_trace_order_and_disable () =
   Alcotest.(check bool) "find" true
     (Trace.find tr ~f:(fun e -> e.Trace.actor = "b") <> None)
 
+let test_trace_capacity_ring () =
+  let tr = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) ~actor:"a"
+      (Printf.sprintf "event %d" i)
+  done;
+  Alcotest.(check int) "length counts everything recorded" 5 (Trace.length tr);
+  Alcotest.(check int) "only the last [capacity] are retained" 3
+    (Trace.retained tr);
+  Alcotest.(check (list string)) "oldest entries evicted first"
+    [ "event 3"; "event 4"; "event 5" ]
+    (List.map (fun e -> e.Trace.event) (Trace.entries tr));
+  Trace.clear tr;
+  Alcotest.(check int) "clear resets the count" 0 (Trace.length tr);
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let test_trace_recordf_disabled_skips_formatting () =
+  let tr = Trace.create () in
+  Trace.set_enabled tr false;
+  (* A %a formatter that records whether it ran: the disabled
+     short-circuit must never invoke it. *)
+  let formatted = ref false in
+  let pp_probe ppf () =
+    formatted := true;
+    Format.pp_print_string ppf "probe"
+  in
+  Trace.recordf tr ~time:0.0 ~actor:"a" "value %a" pp_probe ();
+  Alcotest.(check bool) "disabled recordf never formats" false !formatted;
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length tr);
+  Trace.set_enabled tr true;
+  Trace.recordf tr ~time:1.0 ~actor:"a" "value %a" pp_probe ();
+  Alcotest.(check bool) "enabled recordf formats" true !formatted;
+  Alcotest.(check int) "one entry recorded" 1 (Trace.length tr)
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -481,7 +517,11 @@ let () =
           Alcotest.test_case "fraction below" `Quick test_histogram_fraction_below;
           Alcotest.test_case "jain" `Quick test_jain;
         ] );
-      ("trace", [ Alcotest.test_case "order and disable" `Quick test_trace_order_and_disable ]);
+      ("trace",
+       [ Alcotest.test_case "order and disable" `Quick test_trace_order_and_disable;
+         Alcotest.test_case "ring-buffer capacity" `Quick test_trace_capacity_ring;
+         Alcotest.test_case "disabled recordf skips formatting" `Quick
+           test_trace_recordf_disabled_skips_formatting ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_engine_drains; prop_summary_mean_bounds;

@@ -1,0 +1,357 @@
+(* The observability layer: typed events and their ordering, flow-id
+   correlation across DNS / map resolution / the data plane, the
+   disabled-path no-op guarantee, the metrics registry, the sampler and
+   the JSONL round-trip. *)
+
+open Core
+open Nettypes
+
+let addr = Ipv4.addr_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Hub basics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hub_disabled_is_noop () =
+  let hub = Obs.Hub.create () in
+  let sink, events = Obs.Hub.memory_sink () in
+  Obs.Hub.add_sink hub sink;
+  Obs.Hub.emit hub ~time:1.0 ~actor:"a" (Obs.Event.Note "dropped");
+  Alcotest.(check int) "disabled hub records nothing" 0
+    (List.length (events ()));
+  Obs.Hub.set_enabled hub true;
+  Obs.Hub.emit hub ~time:2.0 ~actor:"a" (Obs.Event.Note "kept");
+  Obs.Hub.set_enabled hub false;
+  Obs.Hub.emit hub ~time:3.0 ~actor:"a" (Obs.Event.Note "dropped again");
+  Alcotest.(check int) "only the enabled emit lands" 1
+    (List.length (events ()))
+
+let test_hub_sink_order_and_event_order () =
+  let hub = Obs.Hub.create ~enabled:true () in
+  let seen = ref [] in
+  Obs.Hub.add_sink hub (fun e -> seen := ("first", e.Obs.Event.time) :: !seen);
+  Obs.Hub.add_sink hub (fun e -> seen := ("second", e.Obs.Event.time) :: !seen);
+  Obs.Hub.emit hub ~time:1.0 ~actor:"a" (Obs.Event.Note "x");
+  Obs.Hub.emit hub ~time:2.0 ~actor:"a" (Obs.Event.Note "y");
+  Alcotest.(check (list (pair string (float 0.0))))
+    "sinks run in registration order, events in emission order"
+    [ ("first", 1.0); ("second", 1.0); ("first", 2.0); ("second", 2.0) ]
+    (List.rev !seen)
+
+let test_trace_sink_renders_strings () =
+  let hub = Obs.Hub.create ~enabled:true () in
+  let trace = Netsim.Trace.create () in
+  Obs.Hub.add_sink hub (Obs.Hub.trace_sink trace);
+  Obs.Hub.emit hub ~time:0.5 ~actor:"as0-itr"
+    (Obs.Event.Cache_miss { eid = addr "100.0.1.1" });
+  match Netsim.Trace.entries trace with
+  | [ entry ] ->
+      Alcotest.(check string) "actor" "as0-itr" entry.Netsim.Trace.actor;
+      Alcotest.(check string) "rendered text" "map-cache miss 100.0.1.1"
+        entry.Netsim.Trace.event
+  | entries ->
+      Alcotest.failf "expected 1 trace entry, got %d" (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* Flow ids                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_id_direction_insensitive () =
+  let flow =
+    Flow.create ~src:(addr "100.0.0.1") ~dst:(addr "100.0.1.1")
+      ~src_port:5000 ()
+  in
+  Alcotest.(check int) "forward and reverse share one id"
+    (Obs.Event.flow_id flow)
+    (Obs.Event.flow_id (Flow.reverse flow));
+  let other =
+    Flow.create ~src:(addr "100.0.0.1") ~dst:(addr "100.0.1.1")
+      ~src_port:5001 ()
+  in
+  Alcotest.(check bool) "different connections get different ids" true
+    (Obs.Event.flow_id flow <> Obs.Event.flow_id other)
+
+(* The tentpole correlation property: one connection's DNS resolution,
+   map-request/map-reply exchange and first tunneled packet all carry
+   the same flow id. *)
+let test_flow_correlation_across_layers () =
+  let s =
+    Scenario.build
+      { Scenario.default_config with Scenario.cp = Scenario.Cp_pull_drop }
+  in
+  let hub = Scenario.obs s in
+  Obs.Hub.set_enabled hub true;
+  let sink, events = Obs.Hub.memory_sink () in
+  Obs.Hub.add_sink hub sink;
+  let internet = Scenario.internet s in
+  let flow =
+    Flow.create
+      ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+      ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+      ~src_port:7100 ()
+  in
+  ignore (Scenario.open_connection s ~flow ~data_packets:2 ());
+  Scenario.run s;
+  let id = Obs.Event.flow_id flow in
+  let with_kind p =
+    List.filter
+      (fun e -> p e.Obs.Event.kind && e.Obs.Event.flow = Some id)
+      (events ())
+  in
+  let count name p =
+    Alcotest.(check bool)
+      (name ^ " events carry the connection's flow id")
+      true
+      (with_kind p <> [])
+  in
+  count "dns_query" (function Obs.Event.Dns_query _ -> true | _ -> false);
+  count "dns_reply" (function Obs.Event.Dns_reply _ -> true | _ -> false);
+  count "map_request" (function Obs.Event.Map_request _ -> true | _ -> false);
+  count "map_reply" (function Obs.Event.Map_reply _ -> true | _ -> false);
+  count "cache_miss" (function Obs.Event.Cache_miss _ -> true | _ -> false);
+  count "encap" (function Obs.Event.Encap _ -> true | _ -> false);
+  count "decap" (function Obs.Event.Decap _ -> true | _ -> false);
+  (* And they appear in causal order: query before request before the
+     first encap. *)
+  let first p =
+    match with_kind p with
+    | e :: _ -> e.Obs.Event.time
+    | [] -> Alcotest.fail "missing event"
+  in
+  let t_query =
+    first (function Obs.Event.Dns_query _ -> true | _ -> false)
+  in
+  let t_request =
+    first (function Obs.Event.Map_request _ -> true | _ -> false)
+  in
+  let t_encap = first (function Obs.Event.Encap _ -> true | _ -> false) in
+  Alcotest.(check bool) "DNS query precedes map-request" true
+    (t_query <= t_request);
+  Alcotest.(check bool) "map-request precedes first encap" true
+    (t_request <= t_encap)
+
+let test_disabled_hub_emits_nothing_in_scenario () =
+  let s = Scenario.build Scenario.default_config in
+  let sink, events = Obs.Hub.memory_sink () in
+  Obs.Hub.add_sink (Scenario.obs s) sink;
+  let internet = Scenario.internet s in
+  let flow =
+    Flow.create
+      ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+      ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+      ~src_port:7101 ()
+  in
+  ignore (Scenario.open_connection s ~flow ~data_packets:2 ());
+  Scenario.run s;
+  Alcotest.(check int) "hub disabled by default: no events" 0
+    (List.length (events ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_snapshot () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "packets" in
+  Obs.Registry.incr c;
+  Obs.Registry.add c 4;
+  Obs.Registry.register_gauge r "depth" (fun () -> 2.5);
+  Obs.Registry.register_many r "drop" (fun () ->
+      [ ("no-route", 3.0); ("ttl", 1.0) ]);
+  let h = Obs.Registry.histogram r "latency" in
+  Obs.Registry.observe h 0.1;
+  Obs.Registry.observe h 0.3;
+  let snapshot = Obs.Registry.snapshot r in
+  Alcotest.(check (list string)) "sorted names"
+    [ "depth"; "drop.no-route"; "drop.ttl"; "latency"; "packets" ]
+    (List.map fst snapshot);
+  (match List.assoc "packets" snapshot with
+  | Obs.Registry.Counter n -> Alcotest.(check int) "counter value" 5 n
+  | _ -> Alcotest.fail "packets should be a counter");
+  (match List.assoc "latency" snapshot with
+  | Obs.Registry.Histogram summary ->
+      Alcotest.(check int) "histogram count" 2 summary.Obs.Registry.hist_count;
+      Alcotest.(check (float 1e-9)) "histogram mean" 0.2
+        summary.Obs.Registry.hist_mean
+  | _ -> Alcotest.fail "latency should be a histogram");
+  Alcotest.(check (float 1e-9)) "gauge sampled lazily" 2.5
+    (List.assoc "depth" (Obs.Registry.sample r));
+  Alcotest.(check bool) "same counter handle on re-request" true
+    (Obs.Registry.count (Obs.Registry.counter r "packets") = 5);
+  Alcotest.check_raises "duplicate gauge name rejected"
+    (Invalid_argument "Obs.Registry: duplicate metric \"depth\"")
+    (fun () -> Obs.Registry.register_gauge r "depth" (fun () -> 0.0))
+
+let test_scenario_registry_tracks_run () =
+  let s, _ =
+    let s = Scenario.build Scenario.default_config in
+    let internet = Scenario.internet s in
+    let flow =
+      Flow.create
+        ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+        ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+        ~src_port:7102 ()
+    in
+    let c = Scenario.open_connection s ~flow ~data_packets:3 () in
+    Scenario.run s;
+    (s, c)
+  in
+  let sample = Obs.Registry.sample (Scenario.obs_registry s) in
+  let value name =
+    match List.assoc_opt name sample with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing from scenario registry" name
+  in
+  let counters = Lispdp.Dataplane.counters (Scenario.dataplane s) in
+  Alcotest.(check (float 0.0)) "dp.delivered mirrors the live counter"
+    (float_of_int counters.Lispdp.Dataplane.delivered)
+    (value "dp.delivered");
+  Alcotest.(check bool) "engine processed events" true
+    (value "engine.events_processed" > 0.0);
+  Alcotest.(check (float 0.0)) "engine drained" 0.0 (value "engine.pending");
+  Alcotest.(check (float 0.0)) "one DNS resolution measured" 1.0
+    (value "conn.dns_time");
+  Alcotest.(check (float 0.0)) "one setup time measured" 1.0
+    (value "conn.setup_time");
+  Alcotest.(check (float 0.0)) "dns.client_queries" 1.0
+    (value "dns.client_queries")
+
+(* ------------------------------------------------------------------ *)
+(* Sampler                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampler_buckets_and_finalise () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "n" in
+  let sampler = Obs.Sampler.create ~interval:1.0 ~registry:r () in
+  Obs.Registry.add c 1;
+  Obs.Sampler.tick sampler ~now:0.0;
+  Obs.Registry.add c 10;
+  Obs.Sampler.tick sampler ~now:2.5;
+  Obs.Sampler.finalise sampler ~now:2.7;
+  let series = Obs.Sampler.series sampler "n" in
+  Alcotest.(check int) "rows at 0, 1, 2 and the closing sample" 4
+    (List.length series);
+  Alcotest.(check (list (float 0.0))) "sample times"
+    [ 0.0; 1.0; 2.0; 2.7 ]
+    (List.map fst series);
+  (* Ticks at 1.0 and 2.0 both observe the state at tick time (the
+     sampler fires catching-up buckets at once). *)
+  Alcotest.(check (list (float 0.0))) "sampled values"
+    [ 1.0; 11.0; 11.0; 11.0 ]
+    (List.map snd series);
+  Obs.Sampler.finalise sampler ~now:2.7;
+  Alcotest.(check int) "finalise is idempotent at the same instant" 4
+    (Obs.Sampler.row_count sampler)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events =
+  [ { Obs.Event.time = 0.1; actor = "as0-h0"; flow = Some 42;
+      kind = Obs.Event.Dns_query { qname = "h0.as1.net." } };
+    { Obs.Event.time = 0.2; actor = "as0-h0"; flow = Some 42;
+      kind = Obs.Event.Dns_reply { qname = "h0.as1.net."; answered = true } };
+    { Obs.Event.time = 0.3; actor = "as0-itr"; flow = None;
+      kind = Obs.Event.Map_request { eid = addr "100.0.1.0" } };
+    { Obs.Event.time = 0.4; actor = "as0-itr"; flow = None;
+      kind = Obs.Event.Map_reply { eid = addr "100.0.1.0" } };
+    { Obs.Event.time = 0.5; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Cache_hit { eid = addr "100.0.1.1" } };
+    { Obs.Event.time = 0.6; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Cache_miss { eid = addr "100.0.1.1" } };
+    { Obs.Event.time = 0.7; actor = "as0-itr"; flow = None;
+      kind =
+        Obs.Event.Cache_evict { prefix = Ipv4.prefix_of_string "100.0.1.0/24" } };
+    { Obs.Event.time = 0.8; actor = "as1-pce"; flow = None;
+      kind = Obs.Event.Mapping_push { targets = 2 } };
+    { Obs.Event.time = 0.9; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Packet_drop { cause = "mapping-resolution-drop" } };
+    { Obs.Event.time = 1.0; actor = "as0-itr"; flow = Some 42;
+      kind =
+        Obs.Event.Encap
+          { outer_src = addr "10.0.0.1"; outer_dst = addr "12.0.0.1" } };
+    { Obs.Event.time = 1.1; actor = "as1-etr"; flow = Some 42;
+      kind = Obs.Event.Decap { outer_src = addr "10.0.0.1" } };
+    { Obs.Event.time = 1.2; actor = "as0-pce"; flow = Some 42;
+      kind = Obs.Event.Irc_decision { rloc = addr "10.0.0.1" } };
+    { Obs.Event.time = 1.3; actor = "as0-border"; flow = None;
+      kind = Obs.Event.Link_down { rloc = addr "10.0.0.1" } };
+    { Obs.Event.time = 1.4; actor = "as0-border"; flow = None;
+      kind = Obs.Event.Link_up { rloc = addr "10.0.0.1" } };
+    { Obs.Event.time = 1.5; actor = "narrator"; flow = None;
+      kind = Obs.Event.Note "free-form text with \"quotes\" and \\ escapes" } ]
+
+let test_jsonl_round_trip () =
+  List.iter
+    (fun e ->
+      let line = Obs.Export.event_line e in
+      match Obs.Export.parse_event line with
+      | Ok e' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip %s" (Obs.Event.kind_name e.Obs.Event.kind))
+            true (e = e')
+      | Error message ->
+          Alcotest.failf "failed to parse %s: %s" line message)
+    sample_events
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Obs.Export.parse_event line with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" line
+      | Error _ -> ())
+    [ "not json"; "{\"time\":1.0}"; "{}"; "[1,2,3]";
+      "{\"time\":1.0,\"actor\":\"a\",\"kind\":\"no_such_kind\"}";
+      "{\"time\":1.0,\"actor\":\"a\",\"kind\":\"encap\"}" ]
+
+let test_jsonl_file_round_trip () =
+  let file = Filename.temp_file "obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      let hub = Obs.Hub.create ~enabled:true () in
+      Obs.Hub.add_sink hub (Obs.Export.jsonl_sink oc);
+      List.iter
+        (fun e ->
+          Obs.Hub.emit hub ~time:e.Obs.Event.time ~actor:e.Obs.Event.actor
+            ?flow:e.Obs.Event.flow e.Obs.Event.kind)
+        sample_events;
+      close_out oc;
+      let events, errors = Obs.Export.read_jsonl file in
+      Alcotest.(check int) "no parse errors" 0 (List.length errors);
+      Alcotest.(check bool) "all events survive the file round-trip" true
+        (events = sample_events))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "hub",
+        [ Alcotest.test_case "disabled is a no-op" `Quick
+            test_hub_disabled_is_noop;
+          Alcotest.test_case "sink and event ordering" `Quick
+            test_hub_sink_order_and_event_order;
+          Alcotest.test_case "trace sink renders strings" `Quick
+            test_trace_sink_renders_strings ] );
+      ( "flow correlation",
+        [ Alcotest.test_case "direction-insensitive flow id" `Quick
+            test_flow_id_direction_insensitive;
+          Alcotest.test_case "DNS -> map resolution -> first packet" `Quick
+            test_flow_correlation_across_layers;
+          Alcotest.test_case "scenario hub disabled by default" `Quick
+            test_disabled_hub_emits_nothing_in_scenario ] );
+      ( "registry",
+        [ Alcotest.test_case "snapshot correctness" `Quick
+            test_registry_snapshot;
+          Alcotest.test_case "scenario registry tracks a run" `Quick
+            test_scenario_registry_tracks_run ] );
+      ( "sampler",
+        [ Alcotest.test_case "buckets and finalise" `Quick
+            test_sampler_buckets_and_finalise ] );
+      ( "jsonl",
+        [ Alcotest.test_case "event round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_jsonl_rejects_garbage;
+          Alcotest.test_case "file round-trip" `Quick
+            test_jsonl_file_round_trip ] ) ]
