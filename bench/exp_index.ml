@@ -52,6 +52,8 @@ let all : entry list =
       print = Exp_a3.print };
     { exp_id = Exp_v1.id; exp_title = Exp_v1.title; tables = Exp_v1.tables;
       print = Exp_v1.print };
+    { exp_id = Exp_r1.id; exp_title = Exp_r1.title; tables = Exp_r1.tables;
+      print = Exp_r1.print };
     { exp_id = "micro"; exp_title = "Micro-benchmarks (Bechamel)";
       tables = (fun () -> []); print = Bench_micro.print } ]
 

@@ -1,0 +1,64 @@
+(* R1 — control-plane robustness: sweep the control-plane loss rate and
+   compare how the pull, MS/MR and PCE planes degrade.  Pull planes pay
+   for loss with retransmission delay and, past the retry budget,
+   counted resolution-timeout drops; the PCE's pushes are acknowledged,
+   so its setup path degrades more gracefully. *)
+
+open Core
+
+let id = "r1"
+let title = "R1: connection setup under control-plane loss"
+
+let loss_rates = [ 0.0; 0.05; 0.15; 0.3 ]
+
+let cps =
+  [ ("pull-queue", Scenario.Cp_pull_queue 32);
+    ("msmr", Scenario.Cp_msmr);
+    ("pce", Scenario.Cp_pce Pce_control.default_options) ]
+
+let measure cp ~loss =
+  let cp_faults =
+    (* [None] at loss 0 keeps the baseline row on the exact lossless
+       code path the other experiments use. *)
+    if loss > 0.0 then
+      Some { Scenario.default_cp_faults with Scenario.cp_loss = loss }
+    else None
+  in
+  let config =
+    { Scenario.default_config with
+      Scenario.seed = 23;
+      topology =
+        `Random
+          { Topology.Builder.default_params with
+            Topology.Builder.domain_count = 8 };
+      cp; cp_faults }
+  in
+  Harness.run { (Harness.default_spec config) with Harness.flows = 150 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "loss"; "cp"; "established"; "drops"; "retx"; "timeouts";
+          "mean setup"; "p95 setup" ]
+  in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun (label, cp) ->
+          let r = measure cp ~loss in
+          let stats = Harness.cp_stats r in
+          Metrics.Table.add_row table
+            [ Metrics.Table.cell_pct loss; label;
+              Metrics.Table.cell_int r.Harness.established;
+              Metrics.Table.cell_int (Harness.drops r);
+              Metrics.Table.cell_int stats.Mapsys.Cp_stats.retransmissions;
+              Metrics.Table.cell_int stats.Mapsys.Cp_stats.timeouts;
+              Metrics.Table.cell_ms (Harness.mean r.Harness.setups);
+              Metrics.Table.cell_ms
+                (Harness.percentile_or_zero r.Harness.setups 95.0) ])
+        cps)
+    loss_rates;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

@@ -397,7 +397,20 @@ let connect_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the event trace.")
   in
-  let run cp_name verbose =
+  let cp_loss =
+    Arg.(value & opt float 0.0 & info [ "cp-loss" ] ~docv:"P"
+           ~doc:"Control-plane message loss probability (0 disables the \
+                 fault model entirely).")
+  in
+  let cp_retries =
+    Arg.(value & opt int 3 & info [ "cp-retries" ] ~docv:"N"
+           ~doc:"Maximum map-request retransmissions before giving up.")
+  in
+  let cp_rto =
+    Arg.(value & opt float 0.5 & info [ "cp-rto" ] ~docv:"SECONDS"
+           ~doc:"Initial retransmission timeout (doubles per attempt).")
+  in
+  let run cp_name verbose cp_loss cp_retries cp_rto =
     let cp =
       match cp_of_string cp_name with
       | Some cp -> cp
@@ -405,8 +418,28 @@ let connect_cmd =
           Printf.eprintf "unknown control plane: %s\n" cp_name;
           exit 1
     in
+    if cp_loss < 0.0 || cp_loss > 1.0 then begin
+      Printf.eprintf "--cp-loss must be in [0, 1]\n"; exit 1
+    end;
+    if cp_retries < 0 then begin
+      Printf.eprintf "--cp-retries must be non-negative\n"; exit 1
+    end;
+    if cp_rto <= 0.0 then begin
+      Printf.eprintf "--cp-rto must be positive\n"; exit 1
+    end;
     let open Core in
-    let scenario = Scenario.build { Scenario.default_config with Scenario.cp } in
+    (* Loss strictly opt-in: no profile at all unless --cp-loss > 0, so
+       the default run stays bit-identical to the lossless simulator. *)
+    let cp_faults =
+      if cp_loss > 0.0 then
+        Some
+          { Scenario.default_cp_faults with
+            Scenario.cp_loss; cp_retries; cp_rto }
+      else None
+    in
+    let scenario =
+      Scenario.build { Scenario.default_config with Scenario.cp; cp_faults }
+    in
     if verbose then Netsim.Trace.set_enabled (Scenario.trace scenario) true;
     let internet = Scenario.internet scenario in
     let flow =
@@ -431,12 +464,20 @@ let connect_cmd =
     Format.printf "drops         : %d@." counters.Lispdp.Dataplane.dropped;
     List.iter
       (fun (cause, n) -> Format.printf "  %-28s %d@." cause n)
-      (Lispdp.Dataplane.drop_causes (Scenario.dataplane scenario))
+      (Lispdp.Dataplane.drop_causes (Scenario.dataplane scenario));
+    (match Scenario.faults scenario with
+    | None -> ()
+    | Some faults ->
+        let stats = Scenario.cp_stats scenario in
+        Format.printf "cp losses     : %d@." (Netsim.Faults.losses faults);
+        Format.printf "cp retx       : %d@."
+          stats.Mapsys.Cp_stats.retransmissions;
+        Format.printf "cp timeouts   : %d@." stats.Mapsys.Cp_stats.timeouts)
   in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
-    Term.(const run $ cp $ verbose)
+    Term.(const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto)
 
 let () =
   let info =

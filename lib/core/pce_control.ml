@@ -25,6 +25,8 @@ type t = {
   pces : Pce.t array; (* indexed by domain id *)
   resolver_domains : (Topology.Node.id, int) Hashtbl.t;
   stats : Mapsys.Cp_stats.t;
+  faults : Netsim.Faults.t option;
+  push_retry : Netsim.Faults.retry option;
   trace : Netsim.Trace.t option;
   obs : Obs.Hub.t option;
   mutable dataplane : Lispdp.Dataplane.t option;
@@ -79,11 +81,25 @@ let egress_border t pce ~src_eid ~dst_eid =
   | Some node -> Irc.Selector.choose_egress (Pce.selector pce) ~flow ~remote:node ()
   | None -> Irc.Selector.choose_egress (Pce.selector pce) ~flow ()
 
-(* Step 7b: configure the tuple into the ITRs of [pce]'s domain. *)
+(* Step 7b: configure the tuple into the ITRs of [pce]'s domain.
+
+   With a fault model the push is acknowledged per target: each
+   transmission draws against the loss model, a lost configuration is
+   detected by the missing ack when the retry timer fires and is
+   re-sent (with exponential backoff) up to the retry budget, after
+   which the target is given up on.  Acks themselves ride the
+   intra-domain management network and are assumed reliable. *)
 let push_entry t pce entry =
   let dp = dataplane_exn t in
   let domain = Pce.domain pce in
   Pce.remember_entry pce entry;
+  let actor = domain.Topology.Domain.name ^ "-pce" in
+  let account_send () =
+    t.stats.Mapsys.Cp_stats.push_messages <-
+      t.stats.Mapsys.Cp_stats.push_messages + 1;
+    t.stats.Mapsys.Cp_stats.control_bytes <-
+      t.stats.Mapsys.Cp_stats.control_bytes + itr_config_size entry
+  in
   let install router =
     ignore
       (Netsim.Engine.schedule t.engine ~delay:t.options.config_latency
@@ -100,19 +116,46 @@ let push_entry t pce entry =
         in
         [ Lispdp.Dataplane.router_for_border dp border ]
   in
-  List.iter install targets;
-  t.stats.Mapsys.Cp_stats.push_messages <-
-    t.stats.Mapsys.Cp_stats.push_messages + List.length targets;
-  t.stats.Mapsys.Cp_stats.control_bytes <-
-    t.stats.Mapsys.Cp_stats.control_bytes
-    + (List.length targets * itr_config_size entry);
-  tracef t ~actor:(domain.Topology.Domain.name ^ "-pce")
-    "step 7b: push %a to %d ITR(s)" Mapping.pp_flow_entry entry
+  (match t.faults with
+  | None -> List.iter (fun router -> account_send (); install router) targets
+  | Some faults ->
+      let id = domain.Topology.Domain.id in
+      let rec send router ~attempt =
+        account_send ();
+        let now = Netsim.Engine.now t.engine in
+        if Netsim.Faults.drops_message faults ~now ~src:id ~dst:id then begin
+          if obs_on t then
+            obs_emit t ~actor (Obs.Event.Cp_loss { message = "pce-push" });
+          match t.push_retry with
+          | Some retry when attempt <= retry.Netsim.Faults.budget ->
+              t.stats.Mapsys.Cp_stats.retransmissions <-
+                t.stats.Mapsys.Cp_stats.retransmissions + 1;
+              if obs_on t then
+                obs_emit t ~actor
+                  (Obs.Event.Cp_retry { eid = entry.Mapping.dst_eid; attempt });
+              ignore
+                (Netsim.Engine.schedule t.engine
+                   ~delay:(Netsim.Faults.retry_delay retry ~attempt)
+                   (fun () -> send router ~attempt:(attempt + 1)))
+          | Some _ | None ->
+              t.stats.Mapsys.Cp_stats.timeouts <-
+                t.stats.Mapsys.Cp_stats.timeouts + 1;
+              if obs_on t then
+                obs_emit t ~actor
+                  (Obs.Event.Cp_timeout { eid = entry.Mapping.dst_eid })
+        end
+        else
+          ignore
+            (Netsim.Engine.schedule t.engine
+               ~delay:
+                 (t.options.config_latency +. Netsim.Faults.extra_delay faults)
+               (fun () -> Lispdp.Dataplane.install_flow_entry dp router entry))
+      in
+      List.iter (fun router -> send router ~attempt:1) targets);
+  tracef t ~actor "step 7b: push %a to %d ITR(s)" Mapping.pp_flow_entry entry
     (List.length targets);
   if obs_on t then
-    obs_emit t
-      ~actor:(domain.Topology.Domain.name ^ "-pce")
-      (Obs.Event.Mapping_push { targets = List.length targets })
+    obs_emit t ~actor (Obs.Event.Mapping_push { targets = List.length targets })
 
 (* Step 6 handler: PCE_D intercepted the authoritative answer. *)
 let on_intercept t ~dst_pce ctx =
@@ -189,8 +232,8 @@ let on_intercept t ~dst_pce ctx =
                (Netsim.Engine.schedule t.engine ~delay:t.options.ipc_latency
                   ctx.Dnssim.System.tap_complete)))
 
-let create ~engine ~internet ~dns ?(options = default_options) ?rng ?trace
-    ?obs () =
+let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
+    ?push_retry ?trace ?obs () =
   let domains = internet.Topology.Builder.domains in
   let pces =
     Array.map
@@ -207,8 +250,8 @@ let create ~engine ~internet ~dns ?(options = default_options) ?rng ?trace
     domains;
   let t =
     { engine; internet; options; pces; resolver_domains;
-      stats = Mapsys.Cp_stats.create (); trace; obs; dataplane = None;
-      failovers = 0 }
+      stats = Mapsys.Cp_stats.create (); faults; push_retry; trace; obs;
+      dataplane = None; failovers = 0 }
   in
   Array.iter
     (fun domain ->

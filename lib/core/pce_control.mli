@@ -46,6 +46,8 @@ val create :
   dns:Dnssim.System.t ->
   ?options:options ->
   ?rng:Netsim.Rng.t ->
+  ?faults:Netsim.Faults.t ->
+  ?push_retry:Netsim.Faults.retry ->
   ?trace:Netsim.Trace.t ->
   ?obs:Obs.Hub.t ->
   unit ->
@@ -53,7 +55,15 @@ val create :
 (** Installs the DNS observers and taps.  {!attach} must follow before
     any traffic flows.  [obs] receives typed [Mapping_push] events on
     every step-7b configuration and flow-scoped [Irc_decision] events
-    each time the IRC engine picks an egress border. *)
+    each time the IRC engine picks an egress border.
+
+    [faults] makes step-7b pushes unreliable: each per-target
+    transmission draws against the loss model.  With [push_retry] the
+    push is acknowledged — a lost configuration is retransmitted with
+    exponential backoff up to the retry budget (counted in the stats as
+    retransmissions/timeouts and visible as [Cp_loss]/[Cp_retry]/
+    [Cp_timeout] events); without it a lost push is simply gone and the
+    affected ITR misses until the flow entry is pushed again. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 val attach : t -> Lispdp.Dataplane.t -> unit

@@ -20,6 +20,23 @@ let cp_label = function
   | Cp_msmr -> "msmr"
   | Cp_pce _ -> "pce"
 
+type fault_script =
+  | Flap of { at : float; duration : float; domain : int }
+  | Partition of { from_ : float; until : float; a : int; b : int }
+
+type cp_fault_profile = {
+  cp_loss : float;
+  cp_jitter : float;
+  cp_rto : float;
+  cp_backoff : float;
+  cp_retries : int;
+  cp_scripts : fault_script list;
+}
+
+let default_cp_faults =
+  { cp_loss = 0.0; cp_jitter = 0.0; cp_rto = 0.5; cp_backoff = 2.0;
+    cp_retries = 3; cp_scripts = [] }
+
 type config = {
   seed : int;
   topology :
@@ -33,13 +50,15 @@ type config = {
   initial_rto : float;
   data_gap : float;
   nerd_propagation : float;  (** NERD database-update propagation delay *)
+  cp_faults : cp_fault_profile option;
+      (** control-plane loss/retry model; [None] = lossless legacy *)
 }
 
 let default_config =
   { seed = 1; topology = `Figure1; cp = Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
     alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
-    data_gap = 0.002; nerd_propagation = 30.0 }
+    data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None }
 
 type connection = {
   flow : Flow.t;
@@ -74,6 +93,7 @@ type t = {
   tcp : Workload.Tcp.t;
   cp : cp_instance;
   rng : Netsim.Rng.t;
+  faults : Netsim.Faults.t option;
   trace : Netsim.Trace.t;
   obs : Obs.Hub.t;
   obs_registry : Obs.Registry.t;
@@ -89,6 +109,7 @@ let dataplane t = t.dataplane
 let tcp t = t.tcp
 let registry t = t.registry
 let rng t = t.rng
+let faults t = t.faults
 let config t = t.config
 let trace t = t.trace
 let obs t = t.obs
@@ -149,6 +170,31 @@ let build config =
      RNG in the same state — workloads drawn from later splits must be
      identical across control planes. *)
   let cp_rng = Netsim.Rng.split rng in
+  (* The fault model's stream is derived from the seed, NOT split from
+     the scenario RNG: a profile must never shift the workload streams,
+     so loss-free and lossy runs stay comparable flow for flow. *)
+  let faults, retry =
+    match config.cp_faults with
+    | None -> (None, None)
+    | Some profile ->
+        let f =
+          Netsim.Faults.create
+            ~rng:(Netsim.Rng.create (config.seed lxor 0xFA17))
+            ~loss:profile.cp_loss ~jitter:profile.cp_jitter ()
+        in
+        List.iter
+          (function
+            | Flap { at; duration; domain } ->
+                Netsim.Faults.flap f ~at ~duration ~domain
+            | Partition { from_; until; a; b } ->
+                Netsim.Faults.partition f ~from_ ~until ~a ~b)
+          profile.cp_scripts;
+        let r =
+          Netsim.Faults.retry ~rto:profile.cp_rto ~backoff:profile.cp_backoff
+            ~budget:profile.cp_retries ()
+        in
+        (Some f, Some r)
+  in
   let cp, dataplane =
     match config.cp with
     | Cp_pull_drop | Cp_pull_queue _ | Cp_pull_smr _ | Cp_pull_detour ->
@@ -165,7 +211,7 @@ let build config =
         in
         let pull =
           Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?name ~smr
-            ~obs ()
+            ?faults ?retry ~obs ()
         in
         let dp = make_dataplane (Mapsys.Pull.control_plane pull) in
         Mapsys.Pull.attach pull dp;
@@ -173,25 +219,31 @@ let build config =
     | Cp_nerd ->
         let nerd =
           Mapsys.Nerd.create ~engine ~internet ~registry
-            ~propagation_delay:config.nerd_propagation ~obs ()
+            ~propagation_delay:config.nerd_propagation ?faults ~obs ()
         in
         let dp = make_dataplane (Mapsys.Nerd.control_plane nerd) in
         Mapsys.Nerd.attach nerd dp;
         (Nerd_instance nerd, dp)
     | Cp_cons ->
-        let cons = Mapsys.Cons.create ~engine ~internet ~registry ~alt ~obs () in
+        let cons =
+          Mapsys.Cons.create ~engine ~internet ~registry ~alt ?faults ?retry
+            ~obs ()
+        in
         let dp = make_dataplane (Mapsys.Cons.control_plane cons) in
         Mapsys.Cons.attach cons dp;
         (Cons_instance cons, dp)
     | Cp_msmr ->
-        let msmr = Mapsys.Msmr.create ~engine ~internet ~registry ~alt ~obs () in
+        let msmr =
+          Mapsys.Msmr.create ~engine ~internet ~registry ~alt ?faults ?retry
+            ~obs ()
+        in
         let dp = make_dataplane (Mapsys.Msmr.control_plane msmr) in
         Mapsys.Msmr.attach msmr dp;
         (Msmr_instance msmr, dp)
     | Cp_pce options ->
         let pce_control =
           Pce_control.create ~engine ~internet ~dns ~options ~rng:cp_rng
-            ~trace ~obs ()
+            ?faults ?push_retry:retry ~trace ~obs ()
         in
         let dp = make_dataplane (Pce_control.control_plane pce_control) in
         Pce_control.attach pce_control dp;
@@ -230,6 +282,7 @@ let build config =
         ("insertions", fi s.Lispdp.Map_cache.insertions);
         ("evictions", fi s.Lispdp.Map_cache.evictions);
         ("expirations", fi s.Lispdp.Map_cache.expirations);
+        ("invalidations", fi s.Lispdp.Map_cache.invalidations);
         ( "hit_ratio",
           if lookups = 0 then 0.0
           else fi s.Lispdp.Map_cache.hits /. fi lookups ) ]);
@@ -248,6 +301,14 @@ let build config =
   gauge "cp.detoured_packets" (fun () ->
       fi cps.Mapsys.Cp_stats.detoured_packets);
   gauge "cp.resolutions" (fun () -> fi cps.Mapsys.Cp_stats.resolutions);
+  gauge "cp.retransmissions" (fun () ->
+      fi cps.Mapsys.Cp_stats.retransmissions);
+  gauge "cp.timeouts" (fun () -> fi cps.Mapsys.Cp_stats.timeouts);
+  (match faults with
+  | None -> ()
+  | Some f ->
+      gauge "faults.losses" (fun () -> fi (Netsim.Faults.losses f));
+      gauge "faults.blocked" (fun () -> fi (Netsim.Faults.blocked f)));
   let dnsc = Dnssim.System.counters dns in
   gauge "dns.client_queries" (fun () -> fi dnsc.Dnssim.System.client_queries);
   gauge "dns.iterative_queries" (fun () ->
@@ -262,8 +323,9 @@ let build config =
      an installed runtime this is a no-op and the hub stays disabled. *)
   Obs.Runtime.attach ~label:(cp_label config.cp) ~hub:obs
     ~registry:obs_registry ();
-  { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; trace;
-    obs; obs_registry; dns_time_hist; setup_time_hist; connections_rev = [] }
+  { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; faults;
+    trace; obs; obs_registry; dns_time_hist; setup_time_hist;
+    connections_rev = [] }
 
 let open_connection t ~flow ?data_packets ?data_bytes ?on_established
     ?on_complete () =

@@ -24,6 +24,37 @@ type cp_kind =
 
 val cp_label : cp_kind -> string
 
+(** Scheduled control-plane outages, applied to the scenario's
+    {!Netsim.Faults} model (endpoints are domain ids). *)
+type fault_script =
+  | Flap of { at : float; duration : float; domain : int }
+      (** the domain's control-plane reachability drops for [duration]
+          seconds starting at [at] *)
+  | Partition of { from_ : float; until : float; a : int; b : int }
+      (** control messages between the two domains are cut for the
+          window *)
+
+(** Control-plane robustness model.  When a profile is present, control
+    messages (map-requests/replies, PCE pushes, NERD updates) are
+    subject to Bernoulli loss [cp_loss] and delay jitter [cp_jitter],
+    retransmission runs with initial RTO [cp_rto], exponential backoff
+    [cp_backoff] and at most [cp_retries] retransmissions, and
+    [cp_scripts] schedules deterministic outages.  The fault RNG is
+    derived from the config seed independently of the workload streams,
+    so enabling faults never changes which flows arrive when. *)
+type cp_fault_profile = {
+  cp_loss : float;
+  cp_jitter : float;
+  cp_rto : float;
+  cp_backoff : float;
+  cp_retries : int;
+  cp_scripts : fault_script list;
+}
+
+val default_cp_faults : cp_fault_profile
+(** No loss, no jitter, 0.5 s RTO, factor-2 backoff, 3 retransmissions,
+    no scripts — a starting point for [{ default_cp_faults with ... }]. *)
+
 type config = {
   seed : int;
   topology :
@@ -37,12 +68,16 @@ type config = {
   initial_rto : float;
   data_gap : float;
   nerd_propagation : float;  (** NERD database-update propagation delay *)
+  cp_faults : cp_fault_profile option;
+      (** control-plane loss/retry model; [None] (the default) keeps the
+          control plane lossless and bit-identical to the legacy
+          behaviour *)
 }
 
 val default_config : config
 (** Figure-1 topology, PCE control plane with default options, 60 s
     mapping TTL, 3600 s DNS TTL, ALT fanout 2 at 20 ms/hop, 1 s RTO,
-    30 s NERD propagation. *)
+    30 s NERD propagation, no control-plane faults. *)
 
 type connection = {
   flow : Nettypes.Flow.t;
@@ -67,6 +102,12 @@ val dataplane : t -> Lispdp.Dataplane.t
 val tcp : t -> Workload.Tcp.t
 val registry : t -> Mapsys.Registry.t
 val rng : t -> Netsim.Rng.t
+
+val faults : t -> Netsim.Faults.t option
+(** The scenario's control-plane fault model, when [config.cp_faults]
+    is set — exposes the loss/blocked counters and allows experiments to
+    script additional windows or change the loss rate mid-run. *)
+
 val config : t -> config
 val trace : t -> Netsim.Trace.t
 
@@ -80,9 +121,12 @@ val obs : t -> Obs.Hub.t
 val obs_registry : t -> Obs.Registry.t
 (** The scenario's metrics registry.  Pre-registered at build time:
     [engine.*] internals, [dp.*] dataplane counters and [dp.drop.*]
-    per-cause drops, [cache.*] aggregate map-cache statistics,
-    [cp.*] control-plane statistics, [dns.*] resolver counters, and the
-    [conn.dns_time] / [conn.setup_time] histograms. *)
+    per-cause drops, [cache.*] aggregate map-cache statistics
+    (including [cache.invalidations]), [cp.*] control-plane statistics
+    (including [cp.retransmissions] / [cp.timeouts]), [dns.*] resolver
+    counters, the [conn.dns_time] / [conn.setup_time] histograms, and —
+    when a fault profile is configured — [faults.losses] /
+    [faults.blocked]. *)
 
 val cp_stats : t -> Mapsys.Cp_stats.t
 

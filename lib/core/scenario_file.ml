@@ -34,6 +34,7 @@ type state = {
   mutable mapping_ttl : float;
   mutable dns_ttl : float;
   mutable cache_capacity : int;
+  mutable cp_faults : Scenario.cp_fault_profile option;
   mutable workload : workload;
 }
 
@@ -41,7 +42,7 @@ let fresh_state () =
   { seed = 1; figure1 = false; domains = 16; providers = 4; borders = 2;
     hosts = 4; tier1 = None; cp = Scenario.Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_ttl = 3600.0; cache_capacity = 10_000;
-    workload = default.workload }
+    cp_faults = None; workload = default.workload }
 
 let cp_of_string = function
   | "pce" -> Some (Scenario.Cp_pce Pce_control.default_options)
@@ -70,6 +71,22 @@ let float_field line key value ~min =
   | Some _ -> fail line (Printf.sprintf "%s must be at least %g" key min)
   | None -> fail line (Printf.sprintf "%s expects a number, got %S" key value)
 
+let probability_field line key value =
+  match float_of_string_opt value with
+  | Some v when v >= 0.0 && v <= 1.0 -> v
+  | Some _ -> fail line (Printf.sprintf "%s must be in [0, 1]" key)
+  | None -> fail line (Printf.sprintf "%s expects a number, got %S" key value)
+
+(* A fault-script value carries several space-separated numbers. *)
+let fields_of value =
+  String.split_on_char ' ' value |> List.filter (fun s -> s <> "")
+
+(* cp-* keys accumulate into one fault profile, created on first use. *)
+let fault_profile state =
+  match state.cp_faults with
+  | Some p -> p
+  | None -> Scenario.default_cp_faults
+
 let apply state line key value =
   match key with
   | "seed" -> state.seed <- int_field line key value ~min:0 ~max:max_int
@@ -91,6 +108,61 @@ let apply state line key value =
   | "dns-ttl" -> state.dns_ttl <- float_field line key value ~min:0.001
   | "cache-capacity" ->
       state.cache_capacity <- int_field line key value ~min:1 ~max:1_000_000
+  | "cp-loss" ->
+      state.cp_faults <-
+        Some
+          { (fault_profile state) with
+            Scenario.cp_loss = probability_field line key value }
+  | "cp-jitter" ->
+      state.cp_faults <-
+        Some
+          { (fault_profile state) with
+            Scenario.cp_jitter = float_field line key value ~min:0.0 }
+  | "cp-rto" ->
+      state.cp_faults <-
+        Some
+          { (fault_profile state) with
+            Scenario.cp_rto = float_field line key value ~min:0.001 }
+  | "cp-backoff" ->
+      state.cp_faults <-
+        Some
+          { (fault_profile state) with
+            Scenario.cp_backoff = float_field line key value ~min:1.0 }
+  | "cp-retries" ->
+      state.cp_faults <-
+        Some
+          { (fault_profile state) with
+            Scenario.cp_retries = int_field line key value ~min:0 ~max:100 }
+  | "cp-flap" -> (
+      (* cp-flap <domain> <at> <duration> *)
+      match fields_of value with
+      | [ d; at; duration ] ->
+          let script =
+            Scenario.Flap
+              { at = float_field line key at ~min:0.0;
+                duration = float_field line key duration ~min:0.0;
+                domain = int_field line key d ~min:0 ~max:9_999 }
+          in
+          let p = fault_profile state in
+          state.cp_faults <-
+            Some { p with Scenario.cp_scripts = p.Scenario.cp_scripts @ [ script ] }
+      | _ -> fail line "cp-flap expects '<domain> <at> <duration>'")
+  | "cp-partition" -> (
+      (* cp-partition <domain-a> <domain-b> <from> <until> *)
+      match fields_of value with
+      | [ a; b; from_; until ] ->
+          let from_ = float_field line key from_ ~min:0.0 in
+          let until = float_field line key until ~min:0.0 in
+          if until < from_ then fail line "cp-partition window ends before it starts";
+          let script =
+            Scenario.Partition
+              { from_; until; a = int_field line key a ~min:0 ~max:9_999;
+                b = int_field line key b ~min:0 ~max:9_999 }
+          in
+          let p = fault_profile state in
+          state.cp_faults <-
+            Some { p with Scenario.cp_scripts = p.Scenario.cp_scripts @ [ script ] }
+      | _ -> fail line "cp-partition expects '<domain-a> <domain-b> <from> <until>'")
   | "flows" ->
       state.workload <-
         { state.workload with flows = int_field line key value ~min:1 ~max:1_000_000 }
@@ -134,7 +206,7 @@ let finish state =
       { Scenario.default_config with
         Scenario.seed = state.seed; topology; cp = state.cp;
         mapping_ttl = state.mapping_ttl; dns_record_ttl = state.dns_ttl;
-        cache_capacity = state.cache_capacity };
+        cache_capacity = state.cache_capacity; cp_faults = state.cp_faults };
     workload = state.workload }
 
 let strip_comment line =

@@ -146,6 +146,11 @@ let record_drop t ?packet cause =
 
 let set_drop_observer t observer = t.drop_observer <- observer
 
+(* A control plane gave up on packets it had answered [Miss_hold] for:
+   they leave the simulation here so abandoned hold queues show up in
+   drop accounting instead of leaking. *)
+let drop_held t packet ~cause = record_drop t ~packet cause
+
 let drop_causes t =
   Hashtbl.fold (fun cause n acc -> (cause, n) :: acc) t.drops []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
@@ -316,7 +321,7 @@ let send_from_host t packet =
 let cache_stats_totals t =
   let acc =
     { Map_cache.hits = 0; misses = 0; insertions = 0; evictions = 0;
-      expirations = 0 }
+      expirations = 0; invalidations = 0 }
   in
   Array.iter
     (Array.iter (fun r ->
@@ -325,6 +330,8 @@ let cache_stats_totals t =
          acc.Map_cache.misses <- acc.Map_cache.misses + s.Map_cache.misses;
          acc.Map_cache.insertions <- acc.Map_cache.insertions + s.Map_cache.insertions;
          acc.Map_cache.evictions <- acc.Map_cache.evictions + s.Map_cache.evictions;
-         acc.Map_cache.expirations <- acc.Map_cache.expirations + s.Map_cache.expirations))
+         acc.Map_cache.expirations <- acc.Map_cache.expirations + s.Map_cache.expirations;
+         acc.Map_cache.invalidations <-
+           acc.Map_cache.invalidations + s.Map_cache.invalidations))
     t.routers;
   acc

@@ -120,5 +120,11 @@ val set_drop_observer : t -> (cause:string -> now:float -> unit) option -> unit
 (** Callback invoked on every drop — failure experiments use it to build
     drop timelines. *)
 
+val drop_held : t -> Nettypes.Packet.t -> cause:string -> unit
+(** A control plane abandons a packet it had answered [Miss_hold] for
+    (resolution timeout, unreachable destination): the packet is counted
+    as a regular drop under [cause], with the usual event and observer
+    side effects. *)
+
 val cache_stats_totals : t -> Map_cache.stats
 (** Aggregate map-cache statistics over all routers. *)

@@ -17,6 +17,7 @@ type stats = {
   mutable insertions : int;
   mutable evictions : int;
   mutable expirations : int;
+  mutable invalidations : int;
 }
 
 type t = {
@@ -31,7 +32,9 @@ type t = {
 let create ?(capacity = 10_000) () =
   if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
   { capacity; table = Prefix_table.create (); head = None; tail = None;
-    stats = { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0 };
+    stats =
+      { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0;
+        invalidations = 0 };
     evict_hook = None }
 
 let set_evict_hook t hook = t.evict_hook <- hook
@@ -56,9 +59,16 @@ let drop_entry t e =
   unlink t e;
   Prefix_table.remove t.table e.mapping.Mapping.eid_prefix
 
+(* Explicit removal: count as an invalidation and tell the hook, so the
+   SMR invalidation path is visible to the observability layer. *)
+let invalidate t e =
+  drop_entry t e;
+  t.stats.invalidations <- t.stats.invalidations + 1;
+  match t.evict_hook with Some hook -> hook e.mapping | None -> ()
+
 let remove t prefix =
   match Prefix_table.find_exact t.table prefix with
-  | Some e -> drop_entry t e
+  | Some e -> invalidate t e
   | None -> ()
 
 let remove_covered t prefix =
@@ -66,13 +76,19 @@ let remove_covered t prefix =
     Prefix_table.fold t.table ~init:[] ~f:(fun p e acc ->
         if Ipv4.prefix_subsumes prefix p then e :: acc else acc)
   in
-  List.iter (drop_entry t) victims;
+  List.iter (invalidate t) victims;
   List.length victims
 
 let clear t =
   Prefix_table.clear t.table;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.insertions <- 0;
+  t.stats.evictions <- 0;
+  t.stats.expirations <- 0;
+  t.stats.invalidations <- 0
 
 let evict_lru t =
   match t.tail with
@@ -85,14 +101,24 @@ let evict_lru t =
   | None -> ()
 
 let insert t ~now mapping =
-  remove t mapping.Mapping.eid_prefix;
+  (* A refresh replaces the old entry silently: it is neither an
+     invalidation (nothing was lost) nor a new insertion, which keeps
+     the balance insertions = live + evictions + expirations +
+     invalidations exact. *)
+  let refreshed =
+    match Prefix_table.find_exact t.table mapping.Mapping.eid_prefix with
+    | Some e ->
+        drop_entry t e;
+        true
+    | None -> false
+  in
   if length t >= t.capacity then evict_lru t;
   let e =
     { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None; next = None }
   in
   Prefix_table.add t.table mapping.Mapping.eid_prefix e;
   push_front t e;
-  t.stats.insertions <- t.stats.insertions + 1
+  if not refreshed then t.stats.insertions <- t.stats.insertions + 1
 
 (* Longest-prefix match skipping (and reaping) expired entries. *)
 let rec live_lookup t ~now addr =

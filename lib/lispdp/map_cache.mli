@@ -12,7 +12,8 @@ val create : ?capacity:int -> unit -> t
 
 val insert : t -> now:float -> Nettypes.Mapping.t -> unit
 (** Cache a mapping; its expiry is [now + ttl].  Re-inserting a mapping
-    for the same EID prefix refreshes it.  May evict the LRU entry. *)
+    for the same EID prefix refreshes it (counted neither as an
+    insertion nor an invalidation).  May evict the LRU entry. *)
 
 val lookup : t -> now:float -> Nettypes.Ipv4.addr -> Nettypes.Mapping.t option
 (** Longest-prefix match among live entries; refreshes the entry's LRU
@@ -22,16 +23,21 @@ val contains : t -> now:float -> Nettypes.Ipv4.addr -> bool
 (** Like {!lookup} without touching LRU order. *)
 
 val remove : t -> Nettypes.Ipv4.prefix -> unit
+(** Remove the exact entry if present; counted as an invalidation and
+    reported to the evict hook. *)
 
 val remove_covered : t -> Nettypes.Ipv4.prefix -> int
 (** Remove the exact entry {e and} every more-specific entry inside the
     prefix (e.g. gleaned /32 host routes under a re-registered site
-    prefix — the entries a Solicit-Map-Request invalidates).  Returns
-    the number of entries removed. *)
+    prefix — the entries a Solicit-Map-Request invalidates).  Each
+    victim counts as an invalidation and is reported to the evict hook.
+    Returns the number of entries removed. *)
 
 val length : t -> int
 val capacity : t -> int
+
 val clear : t -> unit
+(** Empty the cache and reset all statistics to zero. *)
 
 type stats = {
   mutable hits : int;
@@ -39,14 +45,20 @@ type stats = {
   mutable insertions : int;
   mutable evictions : int;  (** LRU evictions due to capacity *)
   mutable expirations : int;  (** entries dropped because their TTL lapsed *)
+  mutable invalidations : int;
+      (** entries removed explicitly ({!remove}, {!remove_covered} — the
+          SMR invalidation path) *)
 }
 
 val stats : t -> stats
+(** Live counters balance as
+    [insertions = length + evictions + expirations + invalidations]
+    (refreshes count on neither side). *)
 
 val set_evict_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
-(** Observer invoked with the victim mapping on every LRU eviction
-    (not on TTL expiry or explicit removal); the observability layer
-    uses it to emit [Cache_evict] events. *)
+(** Observer invoked with the victim mapping on every LRU eviction and
+    every explicit removal (not on TTL expiry or refresh); the
+    observability layer uses it to emit [Cache_evict] events. *)
 
 val hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

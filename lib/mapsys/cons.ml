@@ -1,6 +1,7 @@
 type t = { pull : Pull.t; warm : (int, unit) Hashtbl.t }
 
-let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?obs () =
+let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?faults
+    ?retry ?obs () =
   if cache_speedup <= 0.0 || cache_speedup > 1.0 then
     invalid_arg "Cons.create: cache_speedup out of (0, 1]";
   let warm = Hashtbl.create 64 in
@@ -14,7 +15,7 @@ let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?obs () =
   in
   let pull =
     Pull.create ~engine ~internet ~registry ~alt ~mode:Pull.Drop_while_pending
-      ~name:"cons" ~latency_of ?obs ()
+      ~name:"cons" ~latency_of ?faults ?retry ?obs ()
   in
   { pull; warm }
 

@@ -19,13 +19,15 @@ val create :
   registry:Registry.t ->
   alt:Alt.t ->
   ?cache_speedup:float ->
+  ?faults:Netsim.Faults.t ->
+  ?retry:Netsim.Faults.retry ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [alt] provides the hierarchy geometry (CONS and ALT share the
     aggregation-tree shape); [cache_speedup] (default 0.5) multiplies
     the resolution latency once a destination's mapping is warm anywhere
-    in the hierarchy. *)
+    in the hierarchy.  [faults]/[retry] behave as in {!Pull.create}. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 val attach : t -> Lispdp.Dataplane.t -> unit

@@ -5,11 +5,13 @@ type t = {
   mutable control_bytes : int;
   mutable detoured_packets : int;
   mutable resolutions : int;
+  mutable retransmissions : int;
+  mutable timeouts : int;
 }
 
 let create () =
   { map_requests = 0; map_replies = 0; push_messages = 0; control_bytes = 0;
-    detoured_packets = 0; resolutions = 0 }
+    detoured_packets = 0; resolutions = 0; retransmissions = 0; timeouts = 0 }
 
 let message_total t = t.map_requests + t.map_replies + t.push_messages
 
@@ -19,10 +21,12 @@ let merge a b =
     push_messages = a.push_messages + b.push_messages;
     control_bytes = a.control_bytes + b.control_bytes;
     detoured_packets = a.detoured_packets + b.detoured_packets;
-    resolutions = a.resolutions + b.resolutions }
+    resolutions = a.resolutions + b.resolutions;
+    retransmissions = a.retransmissions + b.retransmissions;
+    timeouts = a.timeouts + b.timeouts }
 
 let pp ppf t =
   Format.fprintf ppf
-    "req=%d rep=%d push=%d bytes=%d detour=%d resolved=%d" t.map_requests
-    t.map_replies t.push_messages t.control_bytes t.detoured_packets
-    t.resolutions
+    "req=%d rep=%d push=%d bytes=%d detour=%d resolved=%d retx=%d timeout=%d"
+    t.map_requests t.map_replies t.push_messages t.control_bytes
+    t.detoured_packets t.resolutions t.retransmissions t.timeouts

@@ -8,6 +8,10 @@ type t = {
   mutable control_bytes : int;  (** bytes of all control messages *)
   mutable detoured_packets : int;  (** data packets carried over the CP *)
   mutable resolutions : int;  (** completed EID-to-RLOC resolutions *)
+  mutable retransmissions : int;
+      (** control messages re-sent after a retry timer fired *)
+  mutable timeouts : int;
+      (** resolutions/pushes abandoned after the retry budget ran out *)
 }
 
 val create : unit -> t

@@ -26,13 +26,17 @@ val create :
   ?mode:Pull.mode ->
   ?mr_provider:int ->
   ?ddt_hop_latency:float ->
+  ?faults:Netsim.Faults.t ->
+  ?retry:Netsim.Faults.retry ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [mode] defaults to [Drop_while_pending]; [mr_provider] (default 0)
     is the provider whose core hosts the MR/MS complex;
     [ddt_hop_latency] (default 10 ms) is the per-delegation-hop lookup
-    cost inside the mapping system. *)
+    cost inside the mapping system.  [faults]/[retry] behave as in
+    {!Pull.create} (the MR front end inherits the same loss and
+    retransmission model). *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

@@ -6,6 +6,7 @@ type t = {
   registry : Registry.t;
   propagation_delay : float;
   stats : Cp_stats.t;
+  faults : Netsim.Faults.t option;
   mutable dataplane : Lispdp.Dataplane.t option;
   obs : Obs.Hub.t option;
 }
@@ -14,9 +15,10 @@ type t = {
    beyond any simulation horizon. *)
 let database_ttl = 1e12
 
-let create ~engine ~internet ~registry ?(propagation_delay = 30.0) ?obs () =
+let create ~engine ~internet ~registry ?(propagation_delay = 30.0) ?faults ?obs
+    () =
   { engine; internet; registry; propagation_delay; stats = Cp_stats.create ();
-    dataplane = None; obs }
+    faults; dataplane = None; obs }
 
 let obs_on t =
   match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
@@ -74,7 +76,29 @@ let push_update t ~domain mapping =
     obs_emit t ~actor:"nerd" (Obs.Event.Mapping_push { targets = routers });
   ignore
     (Netsim.Engine.schedule t.engine ~delay:t.propagation_delay (fun () ->
-         install_everywhere t mapping))
+         match t.faults with
+         | None -> install_everywhere t mapping
+         | Some faults ->
+             (* Per-domain delivery: a domain that loses the update keeps
+                serving the stale mapping (NERD distribution has no
+                acknowledgement; the next full refresh repairs it). *)
+             let dp = dataplane_exn t in
+             let now = Netsim.Engine.now t.engine in
+             Array.iter
+               (fun d ->
+                 let id = d.Topology.Domain.id in
+                 if
+                   id <> domain
+                   && Netsim.Faults.drops_message faults ~now ~src:domain
+                        ~dst:id
+                 then begin
+                   if obs_on t then
+                     obs_emit t ~actor:"nerd"
+                       (Obs.Event.Cp_loss { message = "nerd-push" })
+                 end
+                 else
+                   Lispdp.Dataplane.install_mapping_all dp d (eternal mapping))
+               t.internet.Topology.Builder.domains))
 
 let choose_egress ~src_domain flow =
   let borders = src_domain.Topology.Domain.borders in

@@ -14,12 +14,17 @@ val create :
   internet:Topology.Builder.t ->
   registry:Registry.t ->
   ?propagation_delay:float ->
+  ?faults:Netsim.Faults.t ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [propagation_delay] (default 30 s) is how long a database update
     takes to reach all routers.  [obs] receives a [Mapping_push] event
-    (targets = router count) per full push or incremental update. *)
+    (targets = router count) per full push or incremental update.
+    [faults] applies to incremental updates only: each destination
+    domain draws once per update, and a lost update leaves that domain's
+    routers on the stale mapping (the initial full transfer at
+    {!attach} is treated as a reliable bootstrap). *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

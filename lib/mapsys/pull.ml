@@ -8,8 +8,16 @@ let mode_name = function
   | Detour_via_cp -> "pull-detour"
 
 (* One in-flight resolution: an ITR (identified by its router node)
-   waiting for the mapping of a destination domain. *)
-type resolution = { mutable queued : Packet.t list (* newest first *) }
+   waiting for the mapping of a destination domain.  The key it was
+   inserted under is stored so every removal path uses the same one. *)
+type resolution = {
+  key : int * int;
+  mutable queued : Packet.t list; (* newest first *)
+  mutable queued_len : int; (* |queued|, kept for an O(1) overflow check *)
+  mutable attempts : int; (* map-requests sent, including retransmissions *)
+  mutable timer : Netsim.Engine.handle option; (* armed retry timer *)
+  mutable abandoned : bool;
+}
 
 type t = {
   engine : Netsim.Engine.t;
@@ -28,6 +36,8 @@ type t = {
   glean : Glean.t;
   pending : (int * int, resolution) Hashtbl.t; (* router node, dst domain *)
   smr : bool;
+  faults : Netsim.Faults.t option;
+  retry : Netsim.Faults.retry option;
   (* Which remote ITRs (by RLOC) cache each domain's mapping — learned
      from the tunnel headers at the domain's ETRs, used by SMR. *)
   cached_at : (int, (int, unit) Hashtbl.t) Hashtbl.t;
@@ -38,7 +48,7 @@ type t = {
 
 let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     ?resolution_latency ?(glean_ttl = 60.0) ?(server_processing = 0.0005)
-    ?(smr = false) ?obs () =
+    ?(smr = false) ?faults ?retry ?obs () =
   let latency_of =
     match latency_of with
     | Some f -> f
@@ -47,7 +57,7 @@ let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
   { engine; internet; registry; alt; mode;
     name = Option.value name ~default:(mode_name mode);
     latency_of; resolution_latency; glean_ttl; server_processing; smr;
-    cached_at = Hashtbl.create 16; stats = Cp_stats.create ();
+    faults; retry; cached_at = Hashtbl.create 16; stats = Cp_stats.create ();
     glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
     dataplane = None; obs }
 
@@ -89,11 +99,48 @@ let authoritative_router t mapping =
   | Some (_, border) -> border
   | None -> invalid_arg "Pull: registry RLOC has no border router"
 
-let start_resolution t router dst_domain mapping ?flow () =
+let cancel_timer t resolution =
+  match resolution.timer with
+  | Some handle ->
+      Netsim.Engine.cancel t.engine handle;
+      resolution.timer <- None
+  | None -> ()
+
+(* Give up: remove the resolution and drain anything it held as counted
+   drops — the pre-fix behaviour left such packets held forever. *)
+let abandon t resolution ~cause =
+  if not resolution.abandoned then begin
+    resolution.abandoned <- true;
+    cancel_timer t resolution;
+    Hashtbl.remove t.pending resolution.key;
+    let queued = List.rev resolution.queued in
+    resolution.queued <- [];
+    resolution.queued_len <- 0;
+    match queued with
+    | [] -> ()
+    | _ :: _ ->
+        let dp = dataplane_exn t in
+        List.iter (fun p -> Lispdp.Dataplane.drop_held dp p ~cause) queued
+  end
+
+let complete t resolution router =
+  cancel_timer t resolution;
+  Hashtbl.remove t.pending resolution.key;
+  t.stats.Cp_stats.resolutions <- t.stats.Cp_stats.resolutions + 1;
   let dp = dataplane_exn t in
-  let src_id =
-    (router.Lispdp.Dataplane.router_domain).Topology.Domain.id
-  in
+  let queued = List.rev resolution.queued in
+  resolution.queued <- [];
+  resolution.queued_len <- 0;
+  List.iter (Lispdp.Dataplane.transmit_from_itr dp router) queued
+
+(* One transmission of the map-request (initial or retransmitted).  The
+   path latency is recomputed per attempt so a retransmission succeeds
+   once a partition heals; the fault model is consulted for both the
+   request and the reply leg at send time. *)
+let rec send_attempt t resolution router dst_domain mapping ~flow () =
+  let dp = dataplane_exn t in
+  resolution.attempts <- resolution.attempts + 1;
+  let src_id = (router.Lispdp.Dataplane.router_domain).Topology.Domain.id in
   let dst_id = dst_domain.Topology.Domain.id in
   t.nonce <- (t.nonce + 1) land 0xFFFFFFFF;
   let nonce = t.nonce in
@@ -147,34 +194,79 @@ let start_resolution t router dst_domain mapping ?flow () =
         in
         request_latency +. t.server_processing +. reply_latency
   in
-  if total = infinity then
-    (* The whole domain is cut off; abandon the resolution (packets are
-       already dropping, and a later miss will retry). *)
-    Hashtbl.remove t.pending
-      (router.Lispdp.Dataplane.border.Topology.Domain.router,
-       dst_id)
-  else
-  ignore
-    (Netsim.Engine.schedule t.engine ~delay:total (fun () ->
-         t.stats.Cp_stats.map_replies <- t.stats.Cp_stats.map_replies + 1;
-         t.stats.Cp_stats.resolutions <- t.stats.Cp_stats.resolutions + 1;
-         t.stats.Cp_stats.control_bytes <-
-           t.stats.Cp_stats.control_bytes
-           + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping });
-         if obs_on t then
-           obs_emit t ~actor ?flow
-             (Obs.Event.Map_reply { eid = request_eid });
-         Lispdp.Dataplane.install_mapping dp router mapping;
-         let key =
-           (router.Lispdp.Dataplane.border.Topology.Domain.router, dst_id)
-         in
-         match Hashtbl.find_opt t.pending key with
-         | Some resolution ->
-             Hashtbl.remove t.pending key;
-             List.iter
-               (Lispdp.Dataplane.transmit_from_itr dp router)
-               (List.rev resolution.queued)
-         | None -> ()))
+  let lost =
+    match t.faults with
+    | Some faults when total < infinity ->
+        let now = Netsim.Engine.now t.engine in
+        if Netsim.Faults.drops_message faults ~now ~src:src_id ~dst:dst_id
+        then begin
+          if obs_on t then
+            obs_emit t ~actor ?flow
+              (Obs.Event.Cp_loss { message = "map-request" });
+          true
+        end
+        else if
+          Netsim.Faults.drops_message faults ~now ~src:dst_id ~dst:src_id
+        then begin
+          if obs_on t then
+            obs_emit t ~actor ?flow (Obs.Event.Cp_loss { message = "map-reply" });
+          true
+        end
+        else false
+    | Some _ | None -> false
+  in
+  if total < infinity && not lost then begin
+    let jitter =
+      match t.faults with
+      | Some faults -> Netsim.Faults.extra_delay faults
+      | None -> 0.0
+    in
+    ignore
+      (Netsim.Engine.schedule t.engine ~delay:(total +. jitter) (fun () ->
+           t.stats.Cp_stats.map_replies <- t.stats.Cp_stats.map_replies + 1;
+           t.stats.Cp_stats.control_bytes <-
+             t.stats.Cp_stats.control_bytes
+             + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping });
+           if obs_on t then
+             obs_emit t ~actor ?flow (Obs.Event.Map_reply { eid = request_eid });
+           Lispdp.Dataplane.install_mapping dp router mapping;
+           match Hashtbl.find_opt t.pending resolution.key with
+           | Some r when r == resolution -> complete t resolution router
+           | Some _ | None ->
+               (* A late or duplicate reply: the mapping is installed but
+                  there is no (or a newer) resolution to complete. *)
+               ()))
+  end;
+  match t.retry with
+  | None ->
+      if total = infinity || lost then
+        (* No reply will ever come and retransmission is off: give up
+           now.  Queued packets become counted drops (pre-fix they were
+           silently held forever) and a later miss starts over. *)
+        abandon t resolution ~cause:"resolution-abandoned"
+  | Some retry ->
+      let delay = Netsim.Faults.retry_delay retry ~attempt:resolution.attempts in
+      resolution.timer <-
+        Some
+          (Netsim.Engine.schedule t.engine ~delay (fun () ->
+               resolution.timer <- None;
+               if not resolution.abandoned then
+                 if resolution.attempts > retry.Netsim.Faults.budget then begin
+                   t.stats.Cp_stats.timeouts <- t.stats.Cp_stats.timeouts + 1;
+                   if obs_on t then
+                     obs_emit t ~actor ?flow
+                       (Obs.Event.Cp_timeout { eid = request_eid });
+                   abandon t resolution ~cause:"resolution-timeout"
+                 end
+                 else begin
+                   t.stats.Cp_stats.retransmissions <-
+                     t.stats.Cp_stats.retransmissions + 1;
+                   if obs_on t then
+                     obs_emit t ~actor ?flow
+                       (Obs.Event.Cp_retry
+                          { eid = request_eid; attempt = resolution.attempts });
+                   send_attempt t resolution router dst_domain mapping ~flow ()
+                 end))
 
 let handle_miss t router packet =
   let dst = packet.Packet.flow.Flow.dst in
@@ -190,10 +282,13 @@ let handle_miss t router packet =
         match Hashtbl.find_opt t.pending key with
         | Some r -> r
         | None ->
-            let r = { queued = [] } in
+            let r =
+              { key; queued = []; queued_len = 0; attempts = 0; timer = None;
+                abandoned = false }
+            in
             Hashtbl.replace t.pending key r;
-            start_resolution t router dst_domain mapping
-              ?flow:
+            send_attempt t r router dst_domain mapping
+              ~flow:
                 (if obs_on t then
                    Some (Obs.Event.flow_id packet.Packet.flow)
                  else None)
@@ -203,10 +298,15 @@ let handle_miss t router packet =
       match t.mode with
       | Drop_while_pending -> Lispdp.Dataplane.Miss_drop "mapping-resolution-drop"
       | Queue_while_pending limit ->
-          if List.length resolution.queued >= limit then
+          (* [send_attempt] may have abandoned synchronously (unreachable
+             destination, no retry): never queue into a dead record. *)
+          if resolution.abandoned then
+            Lispdp.Dataplane.Miss_drop "resolution-abandoned"
+          else if resolution.queued_len >= limit then
             Lispdp.Dataplane.Miss_drop "resolution-queue-overflow"
           else begin
             resolution.queued <- packet :: resolution.queued;
+            resolution.queued_len <- resolution.queued_len + 1;
             Lispdp.Dataplane.Miss_hold
           end
       | Detour_via_cp ->

@@ -46,6 +46,8 @@ val create :
   ?glean_ttl:float ->
   ?server_processing:float ->
   ?smr:bool ->
+  ?faults:Netsim.Faults.t ->
+  ?retry:Netsim.Faults.retry ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
@@ -56,7 +58,21 @@ val create :
     authoritative ETR); [glean_ttl] defaults to 60 s;
     [server_processing] (at the authoritative ETR) to 0.5 ms.  [obs]
     receives typed [Map_request]/[Map_reply] events when enabled,
-    flow-scoped with the id of the packet that triggered the miss. *)
+    flow-scoped with the id of the packet that triggered the miss.
+
+    [faults], when given, is consulted once per request leg and once per
+    reply leg of every transmission; lost messages never produce a
+    reply.  [retry] enables map-request retransmission: after each
+    transmission an RTO timer ({!Netsim.Faults.retry_delay}) is armed;
+    when it fires with the resolution still pending the request is
+    retransmitted (recomputing the path, so requests succeed once a
+    partition heals) up to [budget] times, after which the resolution
+    times out and any queued packets are dropped under cause
+    ["resolution-timeout"].  Without [retry], an unreachable destination
+    abandons the resolution immediately and queued packets drop under
+    ["resolution-abandoned"].  With neither option the behaviour (and
+    event-for-event timing) of the lossless control plane is
+    unchanged. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

@@ -15,6 +15,9 @@ type kind =
   | Irc_decision of { rloc : Ipv4.addr }
   | Link_up of { rloc : Ipv4.addr }
   | Link_down of { rloc : Ipv4.addr }
+  | Cp_loss of { message : string }
+  | Cp_retry of { eid : Ipv4.addr; attempt : int }
+  | Cp_timeout of { eid : Ipv4.addr }
   | Note of string
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
@@ -43,6 +46,9 @@ let kind_name = function
   | Irc_decision _ -> "irc_decision"
   | Link_up _ -> "link_up"
   | Link_down _ -> "link_down"
+  | Cp_loss _ -> "cp_loss"
+  | Cp_retry _ -> "cp_retry"
+  | Cp_timeout _ -> "cp_timeout"
   | Note _ -> "note"
 
 let describe_kind = function
@@ -74,6 +80,12 @@ let describe_kind = function
   | Link_up { rloc } -> Printf.sprintf "link up (RLOC %s)" (Ipv4.addr_to_string rloc)
   | Link_down { rloc } ->
       Printf.sprintf "link down (RLOC %s)" (Ipv4.addr_to_string rloc)
+  | Cp_loss { message } -> Printf.sprintf "control message lost (%s)" message
+  | Cp_retry { eid; attempt } ->
+      Printf.sprintf "retransmission %d for %s" attempt
+        (Ipv4.addr_to_string eid)
+  | Cp_timeout { eid } ->
+      Printf.sprintf "resolution timeout for %s" (Ipv4.addr_to_string eid)
   | Note text -> text
 
 let describe e = describe_kind e.kind
@@ -103,6 +115,10 @@ let to_json e =
     | Decap { outer_src } -> [ ("outer_src", addr outer_src) ]
     | Irc_decision { rloc } | Link_up { rloc } | Link_down { rloc } ->
         [ ("rloc", addr rloc) ]
+    | Cp_loss { message } -> [ ("message", Json.String message) ]
+    | Cp_retry { eid; attempt } ->
+        [ ("eid", addr eid); ("attempt", Json.Int attempt) ]
+    | Cp_timeout { eid } -> [ ("eid", addr eid) ]
     | Note text -> [ ("text", Json.String text) ]
   in
   Json.Obj
@@ -157,6 +173,12 @@ let of_json json =
         Option.map (fun rloc -> Irc_decision { rloc }) (addr "rloc")
     | "link_up" -> Option.map (fun rloc -> Link_up { rloc }) (addr "rloc")
     | "link_down" -> Option.map (fun rloc -> Link_down { rloc }) (addr "rloc")
+    | "cp_loss" -> Option.map (fun message -> Cp_loss { message }) (str "message")
+    | "cp_retry" -> (
+        match (addr "eid", field "attempt" Json.to_int_opt) with
+        | Some eid, Some attempt -> Some (Cp_retry { eid; attempt })
+        | _ -> None)
+    | "cp_timeout" -> Option.map (fun eid -> Cp_timeout { eid }) (addr "eid")
     | "note" -> Option.map (fun text -> Note text) (str "text")
     | _ -> None
   in

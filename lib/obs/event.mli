@@ -23,6 +23,14 @@ type kind =
   | Irc_decision of { rloc : Ipv4.addr }
   | Link_up of { rloc : Ipv4.addr }
   | Link_down of { rloc : Ipv4.addr }
+  | Cp_loss of { message : string }
+      (** a control message ("map-request", "map-reply", "pce-push",
+          "nerd-push") was lost to the fault model *)
+  | Cp_retry of { eid : Ipv4.addr; attempt : int }
+      (** retry timer fired; [attempt] numbers the retransmission (1 =
+          first retransmit) *)
+  | Cp_timeout of { eid : Ipv4.addr }
+      (** retry budget exhausted; the resolution/push was abandoned *)
   | Note of string  (** free-form bridge for legacy trace text *)
 
 type t = { time : float; actor : string; flow : int option; kind : kind }

@@ -557,6 +557,33 @@ let test_scenario_file_full () =
       | `Figure1 | `Figure1_scaled _ -> Alcotest.fail "expected random topology")
   | Error m -> Alcotest.fail m
 
+let test_scenario_file_cp_faults () =
+  let text =
+    "cp pull-queue\ncp-loss 0.1\ncp-jitter 0.002\ncp-rto 0.25\n\
+     cp-backoff 1.5\ncp-retries 5\ncp-flap 3 10 2.5\ncp-partition 0 1 5 8\n"
+  in
+  match Scenario_file.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok t -> (
+      match t.Scenario_file.config.Scenario.cp_faults with
+      | None -> Alcotest.fail "expected a fault profile"
+      | Some p ->
+          Alcotest.(check (float 1e-9)) "loss" 0.1 p.Scenario.cp_loss;
+          Alcotest.(check (float 1e-9)) "jitter" 0.002 p.Scenario.cp_jitter;
+          Alcotest.(check (float 1e-9)) "rto" 0.25 p.Scenario.cp_rto;
+          Alcotest.(check (float 1e-9)) "backoff" 1.5 p.Scenario.cp_backoff;
+          Alcotest.(check int) "retries" 5 p.Scenario.cp_retries;
+          Alcotest.(check int) "two scripts" 2
+            (List.length p.Scenario.cp_scripts);
+          (match p.Scenario.cp_scripts with
+          | [ Scenario.Flap f; Scenario.Partition q ] ->
+              Alcotest.(check int) "flap domain" 3 f.domain;
+              Alcotest.(check (float 1e-9)) "flap at" 10.0 f.at;
+              Alcotest.(check (float 1e-9)) "flap duration" 2.5 f.duration;
+              Alcotest.(check int) "partition a" 0 q.a;
+              Alcotest.(check (float 1e-9)) "partition until" 8.0 q.until
+          | _ -> Alcotest.fail "script order/shape wrong"))
+
 let test_scenario_file_errors () =
   List.iter
     (fun (text, fragment) ->
@@ -573,6 +600,9 @@ let test_scenario_file_errors () =
           Alcotest.(check bool) (fragment ^ " in error") true contains)
     [ ("bogus-key 3", "unknown key");
       ("cp teleport", "unknown control plane");
+      ("cp-loss 1.5", "must be in [0, 1]");
+      ("cp-flap 3 10", "cp-flap expects");
+      ("cp-partition 0 1 8 5", "ends before it starts");
       ("domains many", "expects an integer");
       ("hosts 0", "out of");
       ("seed", "expected 'key value'");
@@ -741,6 +771,7 @@ let () =
         [
           Alcotest.test_case "defaults" `Quick test_scenario_file_defaults;
           Alcotest.test_case "full parse" `Quick test_scenario_file_full;
+          Alcotest.test_case "cp faults" `Quick test_scenario_file_cp_faults;
           Alcotest.test_case "errors" `Quick test_scenario_file_errors;
           Alcotest.test_case "runs" `Quick test_scenario_file_runs;
         ] );

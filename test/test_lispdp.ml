@@ -99,6 +99,77 @@ let test_cache_remove_covered () =
   Alcotest.(check int) "idempotent" 0
     (Map_cache.remove_covered c (pfx "100.0.1.0/24"))
 
+let test_cache_invalidation_stats_and_hook () =
+  let c = Map_cache.create () in
+  let evicted = ref [] in
+  Map_cache.set_evict_hook c
+    (Some (fun m -> evicted := m.Mapping.eid_prefix :: !evicted));
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.7/32" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.2.0/24" ());
+  Map_cache.remove c (pfx "100.0.2.0/24");
+  Alcotest.(check int) "remove counted" 1
+    (Map_cache.stats c).Map_cache.invalidations;
+  ignore (Map_cache.remove_covered c (pfx "100.0.1.0/24"));
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "remove_covered counted" 3 s.Map_cache.invalidations;
+  Alcotest.(check int) "hook fired per victim" 3 (List.length !evicted);
+  Alcotest.(check bool) "hook saw the removed prefix" true
+    (List.mem (pfx "100.0.2.0/24") !evicted);
+  (* A refresh is silent on both sides of the ledger. *)
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.3.0/24" ());
+  let before = Map_cache.stats c in
+  let insertions = before.Map_cache.insertions in
+  Map_cache.insert c ~now:1.0 (mapping ~prefix:"100.0.3.0/24" ());
+  let after = Map_cache.stats c in
+  Alcotest.(check int) "refresh not an insertion" insertions
+    after.Map_cache.insertions;
+  Alcotest.(check int) "refresh not an invalidation" 3
+    after.Map_cache.invalidations;
+  Alcotest.(check int) "hook silent on refresh" 3 (List.length !evicted)
+
+let test_cache_clear_resets_stats () =
+  let c = Map_cache.create ~capacity:1 () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:1.0 ());
+  ignore (Map_cache.lookup c ~now:0.5 (addr "100.0.1.1"));
+  ignore (Map_cache.lookup c ~now:2.0 (addr "100.0.1.1"));
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.2.0/24" ());
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.3.0/24" ());
+  Map_cache.remove c (pfx "100.0.3.0/24");
+  Map_cache.clear c;
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "hits" 0 s.Map_cache.hits;
+  Alcotest.(check int) "misses" 0 s.Map_cache.misses;
+  Alcotest.(check int) "insertions" 0 s.Map_cache.insertions;
+  Alcotest.(check int) "evictions" 0 s.Map_cache.evictions;
+  Alcotest.(check int) "expirations" 0 s.Map_cache.expirations;
+  Alcotest.(check int) "invalidations" 0 s.Map_cache.invalidations
+
+(* Every entry that ever entered the cache is accounted for exactly
+   once: still live, LRU-evicted, TTL-reaped, or explicitly removed. *)
+let prop_cache_stats_balance =
+  QCheck.Test.make ~name:"stats balance: ins = live + evic + exp + inval"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(1 -- 80) (pair (int_bound 3) (int_bound 12))))
+    (fun (capacity, ops) ->
+      let c = Map_cache.create ~capacity () in
+      List.iteri
+        (fun i (op, third) ->
+          let now = float_of_int i in
+          let prefix = Printf.sprintf "100.0.%d.0/24" third in
+          match op with
+          | 0 -> Map_cache.insert c ~now (mapping ~prefix ~ttl:3.0 ())
+          | 1 -> ignore (Map_cache.lookup c ~now (addr (Printf.sprintf "100.0.%d.9" third)))
+          | 2 -> Map_cache.remove c (pfx prefix)
+          | _ -> ignore (Map_cache.remove_covered c (pfx "100.0.0.0/16")))
+        ops;
+      let s = Map_cache.stats c in
+      s.Map_cache.insertions
+      = Map_cache.length c + s.Map_cache.evictions + s.Map_cache.expirations
+        + s.Map_cache.invalidations)
+
 let prop_cache_never_exceeds_capacity =
   QCheck.Test.make ~name:"cache never exceeds capacity" ~count:100
     QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 60) (int_bound 200)))
@@ -393,6 +464,10 @@ let () =
           Alcotest.test_case "longest prefix" `Quick test_cache_longest_prefix;
           Alcotest.test_case "remove and clear" `Quick test_cache_remove_and_clear;
           Alcotest.test_case "remove covered" `Quick test_cache_remove_covered;
+          Alcotest.test_case "invalidation stats and hook" `Quick
+            test_cache_invalidation_stats_and_hook;
+          Alcotest.test_case "clear resets stats" `Quick
+            test_cache_clear_resets_stats;
         ] );
       ( "flow_table",
         [
@@ -413,5 +488,6 @@ let () =
           Alcotest.test_case "uplink accounting" `Quick test_dataplane_uplink_accounting;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_cache_never_exceeds_capacity ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cache_never_exceeds_capacity; prop_cache_stats_balance ] );
     ]

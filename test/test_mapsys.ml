@@ -446,6 +446,123 @@ let test_glean_roundtrip () =
   Alcotest.(check int) "cleared" 0 (Mapsys.Glean.entries g)
 
 (* ------------------------------------------------------------------ *)
+(* Control-plane loss and retransmission                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [make_pull_world], but exposes the pull instance and threads a
+   fault model / retry policy through. *)
+let make_faulty_pull_world ?faults ?retry ~mode () =
+  let engine = Netsim.Engine.create () in
+  let internet = Topology.Builder.figure1 () in
+  let registry = Mapsys.Registry.create ~internet ~ttl:60.0 in
+  let alt = Mapsys.Alt.create ~domains:2 ~hop_latency:0.020 () in
+  let pull =
+    Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?faults ?retry ()
+  in
+  let dataplane =
+    Lispdp.Dataplane.create ~engine ~internet
+      ~control_plane:(Mapsys.Pull.control_plane pull) ()
+  in
+  Mapsys.Pull.attach pull dataplane;
+  (pull,
+   { engine; internet; dataplane; stats = (fun () -> Mapsys.Pull.stats pull) })
+
+(* Regression: an unreachable destination used to leave the resolution
+   and its queued packets held forever, invisible to every counter.  Now
+   the resolution is abandoned and the packets are counted drops. *)
+let test_pull_partitioned_destination_counted () =
+  let pull, w =
+    make_faulty_pull_world ~mode:(Mapsys.Pull.Queue_while_pending 8) ()
+  in
+  let as_d = w.internet.Topology.Builder.domains.(1) in
+  Array.iter
+    (fun b ->
+      Topology.Graph.set_link_up w.internet.Topology.Builder.graph
+        b.Topology.Domain.uplink false)
+    as_d.Topology.Domain.borders;
+  let flow = world_flow w ~port:2000 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst (Some ignore);
+  for _ = 1 to 3 do
+    send w flow (Packet.Data 100)
+  done;
+  Netsim.Engine.run w.engine;
+  Alcotest.(check (option int)) "abandoned drops counted" (Some 3)
+    (List.assoc_opt "resolution-abandoned" (Lispdp.Dataplane.drop_causes w.dataplane));
+  Alcotest.(check int) "total drop counter agrees" 3
+    (Lispdp.Dataplane.counters w.dataplane).Lispdp.Dataplane.dropped;
+  Alcotest.(check int) "no leaked resolution" 0
+    (Mapsys.Pull.pending_resolutions pull)
+
+(* Deterministic backoff schedule: with every request lost, attempts go
+   out at t_miss, t_miss + rto, t_miss + rto(1 + backoff); the timeout
+   fires one more backoff step later. *)
+let test_pull_retry_deterministic_timing () =
+  let faults =
+    Netsim.Faults.create ~rng:(Netsim.Rng.create 5) ~loss:1.0 ()
+  in
+  let retry = Netsim.Faults.retry ~rto:0.5 ~backoff:2.0 ~budget:2 () in
+  let pull, w =
+    make_faulty_pull_world ~faults ~retry
+      ~mode:(Mapsys.Pull.Queue_while_pending 8) ()
+  in
+  let flow = world_flow w ~port:2001 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst (Some ignore);
+  send w flow Packet.Syn;
+  send w flow (Packet.Data 100);
+  Netsim.Engine.run w.engine;
+  let s = w.stats () in
+  Alcotest.(check int) "three transmissions" 3 s.Mapsys.Cp_stats.map_requests;
+  Alcotest.(check int) "two retransmissions" 2 s.Mapsys.Cp_stats.retransmissions;
+  Alcotest.(check int) "one timeout" 1 s.Mapsys.Cp_stats.timeouts;
+  Alcotest.(check int) "no reply ever" 0 s.Mapsys.Cp_stats.map_replies;
+  Alcotest.(check int) "all losses drawn" 3 (Netsim.Faults.losses faults);
+  Alcotest.(check (option int)) "queued packets dropped at timeout" (Some 2)
+    (List.assoc_opt "resolution-timeout" (Lispdp.Dataplane.drop_causes w.dataplane));
+  Alcotest.(check int) "no leaked resolution" 0
+    (Mapsys.Pull.pending_resolutions pull);
+  (* Exact schedule: the miss happens when the first packet crosses the
+     host-to-ITR wire; the timeout 0.5 + 1.0 + 2.0 seconds later is the
+     final event of the run. *)
+  let as_s = w.internet.Topology.Builder.domains.(0) in
+  let borders = as_s.Topology.Domain.borders in
+  let egress = borders.(Flow.hash flow mod Array.length borders) in
+  let t_miss =
+    Topology.Graph.latency_between w.internet.Topology.Builder.graph
+      (Topology.Domain.host_of_eid as_s flow.Flow.src
+      |> Option.get
+      |> Array.get as_s.Topology.Domain.hosts)
+      egress.Topology.Domain.router
+  in
+  Alcotest.(check (float 1e-9)) "timeout at t_miss + 3.5"
+    (t_miss +. 3.5) (Netsim.Engine.now w.engine)
+
+(* A retransmission sent after an outage window heals must succeed and
+   release the held packets. *)
+let test_pull_retransmit_after_heal () =
+  let faults = Netsim.Faults.create ~rng:(Netsim.Rng.create 5) () in
+  Netsim.Faults.add_window faults ~from_:0.0 ~until:0.3 Netsim.Faults.All;
+  let retry = Netsim.Faults.retry ~rto:0.5 ~backoff:2.0 ~budget:3 () in
+  let _pull, w =
+    make_faulty_pull_world ~faults ~retry
+      ~mode:(Mapsys.Pull.Queue_while_pending 8) ()
+  in
+  let flow = world_flow w ~port:2002 in
+  let received = ref 0 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst
+    (Some (fun _ -> incr received));
+  send w flow Packet.Syn;
+  Netsim.Engine.run w.engine;
+  let s = w.stats () in
+  Alcotest.(check int) "first attempt blocked by window" 1
+    (Netsim.Faults.blocked faults);
+  Alcotest.(check int) "one retransmission" 1 s.Mapsys.Cp_stats.retransmissions;
+  Alcotest.(check int) "no timeout" 0 s.Mapsys.Cp_stats.timeouts;
+  Alcotest.(check int) "resolved on retry" 1 s.Mapsys.Cp_stats.resolutions;
+  Alcotest.(check int) "held packet delivered" 1 !received;
+  Alcotest.(check int) "no drops" 0
+    (Lispdp.Dataplane.counters w.dataplane).Lispdp.Dataplane.dropped
+
+(* ------------------------------------------------------------------ *)
 (* Cp_stats                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -492,6 +609,15 @@ let () =
           Alcotest.test_case "detour delivers" `Quick test_pull_detour_delivers_slowly;
           Alcotest.test_case "pending coalesced" `Quick test_pull_pending_coalesced;
           Alcotest.test_case "symmetric return" `Quick test_pull_symmetric_return;
+        ] );
+      ( "cp-faults",
+        [
+          Alcotest.test_case "partitioned destination counted" `Quick
+            test_pull_partitioned_destination_counted;
+          Alcotest.test_case "deterministic retry timing" `Quick
+            test_pull_retry_deterministic_timing;
+          Alcotest.test_case "retransmit after heal" `Quick
+            test_pull_retransmit_after_heal;
         ] );
       ( "nerd",
         [

@@ -468,6 +468,108 @@ let prop_jain_range =
       let n = float_of_int (Array.length a) in
       j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_deterministic () =
+  let run () =
+    let f = Faults.create ~rng:(Rng.create 99) ~loss:0.5 () in
+    List.init 200 (fun i -> Faults.drops_message f ~now:0.0 ~src:i ~dst:(i + 1))
+  in
+  Alcotest.(check (list bool)) "same seed, same fate" (run ()) (run ())
+
+let test_faults_zero_loss_no_draws () =
+  let rng = Rng.create 7 in
+  let witness = Rng.copy rng in
+  let f = Faults.create ~rng () in
+  for i = 0 to 99 do
+    Alcotest.(check bool) "never drops" false
+      (Faults.drops_message f ~now:(float_of_int i) ~src:0 ~dst:1)
+  done;
+  check_float "no jitter draw either" 0.0 (Faults.extra_delay f);
+  (* The stream must be untouched: loss 0 takes no Bernoulli draw. *)
+  Alcotest.(check int) "rng stream untouched" (Rng.int witness 1_000_000)
+    (Rng.int rng 1_000_000);
+  Alcotest.(check int) "no losses counted" 0 (Faults.losses f)
+
+let test_faults_window_blocking () =
+  let f = Faults.create ~rng:(Rng.create 1) () in
+  Faults.flap f ~at:1.0 ~duration:1.0 ~domain:3;
+  Alcotest.(check bool) "before window" false
+    (Faults.drops_message f ~now:0.5 ~src:3 ~dst:7);
+  Alcotest.(check bool) "inside window, domain as src" true
+    (Faults.drops_message f ~now:1.5 ~src:3 ~dst:7);
+  Alcotest.(check bool) "inside window, domain as dst" true
+    (Faults.drops_message f ~now:1.5 ~src:7 ~dst:3);
+  Alcotest.(check bool) "other pair unaffected" false
+    (Faults.drops_message f ~now:1.5 ~src:4 ~dst:7);
+  Alcotest.(check bool) "until is exclusive" false
+    (Faults.drops_message f ~now:2.0 ~src:3 ~dst:7);
+  Alcotest.(check int) "blocked counted" 2 (Faults.blocked f);
+  Alcotest.(check int) "not counted as random loss" 0 (Faults.losses f)
+
+let test_faults_partition_window () =
+  let f = Faults.create ~rng:(Rng.create 1) () in
+  Faults.partition f ~from_:0.0 ~until:5.0 ~a:1 ~b:2;
+  Alcotest.(check bool) "a -> b cut" true
+    (Faults.drops_message f ~now:2.0 ~src:1 ~dst:2);
+  Alcotest.(check bool) "b -> a cut" true
+    (Faults.drops_message f ~now:2.0 ~src:2 ~dst:1);
+  Alcotest.(check bool) "third party fine" false
+    (Faults.drops_message f ~now:2.0 ~src:1 ~dst:3)
+
+let test_faults_pair_loss_override () =
+  let f = Faults.create ~rng:(Rng.create 1) () in
+  Faults.set_pair_loss f ~a:2 ~b:5 1.0;
+  Alcotest.(check bool) "lossy pair drops" true
+    (Faults.drops_message f ~now:0.0 ~src:5 ~dst:2);
+  Alcotest.(check bool) "global stays lossless" false
+    (Faults.drops_message f ~now:0.0 ~src:2 ~dst:3);
+  Alcotest.(check int) "counted as loss" 1 (Faults.losses f)
+
+let test_faults_loss_frequency () =
+  let f = Faults.create ~rng:(Rng.create 42) ~loss:0.3 () in
+  let n = 10_000 in
+  let lost = ref 0 in
+  for _ = 1 to n do
+    if Faults.drops_message f ~now:0.0 ~src:0 ~dst:1 then incr lost
+  done;
+  let rate = float_of_int !lost /. float_of_int n in
+  Alcotest.(check bool) "empirical rate near 0.3" true
+    (abs_float (rate -. 0.3) < 0.02);
+  Alcotest.(check int) "losses counter agrees" !lost (Faults.losses f)
+
+let test_faults_retry_delay () =
+  let r = Faults.retry ~rto:0.5 ~backoff:2.0 ~budget:3 () in
+  check_float "attempt 1" 0.5 (Faults.retry_delay r ~attempt:1);
+  check_float "attempt 2" 1.0 (Faults.retry_delay r ~attempt:2);
+  check_float "attempt 3" 2.0 (Faults.retry_delay r ~attempt:3);
+  let flat = Faults.retry ~rto:0.2 ~backoff:1.0 ~budget:1 () in
+  check_float "no backoff" 0.2 (Faults.retry_delay flat ~attempt:4)
+
+let test_faults_validation () =
+  let rng = Rng.create 1 in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "loss > 1" true
+    (raises (fun () -> Faults.create ~rng ~loss:1.5 ()));
+  Alcotest.(check bool) "negative jitter" true
+    (raises (fun () -> Faults.create ~rng ~jitter:(-0.1) ()));
+  Alcotest.(check bool) "zero rto" true
+    (raises (fun () -> Faults.retry ~rto:0.0 ()));
+  Alcotest.(check bool) "backoff < 1" true
+    (raises (fun () -> Faults.retry ~backoff:0.5 ()));
+  Alcotest.(check bool) "negative budget" true
+    (raises (fun () -> Faults.retry ~budget:(-1) ()));
+  Alcotest.(check bool) "inverted window" true
+    (raises (fun () ->
+         Faults.add_window (Faults.create ~rng ()) ~from_:2.0 ~until:1.0
+           Faults.All))
+
 let () =
   Alcotest.run "netsim"
     [
@@ -516,6 +618,18 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "fraction below" `Quick test_histogram_fraction_below;
           Alcotest.test_case "jain" `Quick test_jain;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "zero loss takes no draws" `Quick
+            test_faults_zero_loss_no_draws;
+          Alcotest.test_case "flap window" `Quick test_faults_window_blocking;
+          Alcotest.test_case "partition window" `Quick test_faults_partition_window;
+          Alcotest.test_case "pair override" `Quick test_faults_pair_loss_override;
+          Alcotest.test_case "loss frequency" `Quick test_faults_loss_frequency;
+          Alcotest.test_case "retry delays" `Quick test_faults_retry_delay;
+          Alcotest.test_case "validation" `Quick test_faults_validation;
         ] );
       ("trace",
        [ Alcotest.test_case "order and disable" `Quick test_trace_order_and_disable;

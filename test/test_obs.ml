@@ -280,7 +280,13 @@ let sample_events =
       kind = Obs.Event.Link_down { rloc = addr "10.0.0.1" } };
     { Obs.Event.time = 1.4; actor = "as0-border"; flow = None;
       kind = Obs.Event.Link_up { rloc = addr "10.0.0.1" } };
-    { Obs.Event.time = 1.5; actor = "narrator"; flow = None;
+    { Obs.Event.time = 1.5; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Cp_loss { message = "map-request" } };
+    { Obs.Event.time = 1.6; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Cp_retry { eid = addr "100.0.1.0"; attempt = 2 } };
+    { Obs.Event.time = 1.7; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Cp_timeout { eid = addr "100.0.1.0" } };
+    { Obs.Event.time = 1.8; actor = "narrator"; flow = None;
       kind = Obs.Event.Note "free-form text with \"quotes\" and \\ escapes" } ]
 
 let test_jsonl_round_trip () =
