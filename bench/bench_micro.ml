@@ -135,6 +135,52 @@ let test_trace_disabled =
              ~actor:"bench" "event %d of %s run" i "benchmark"
          done))
 
+(* The workload generator's hot paths: one Zipf draw per flow (Walker
+   alias, O(1)) and one collector add per measured quantity. *)
+
+let zipf_for_bench = Netsim.Rng.Zipf.create ~n:100_000 ~alpha:0.9
+
+let test_zipf =
+  Test.make ~name:"rng: 10k zipf draws (n=100k)"
+    (Staged.stage (fun () ->
+         let rng = Netsim.Rng.create 7 in
+         for _ = 1 to 10_000 do
+           ignore (Netsim.Rng.Zipf.sample zipf_for_bench rng)
+         done))
+
+let test_samples_exact =
+  Test.make ~name:"stats: 10k adds + p99 (exact)"
+    (Staged.stage (fun () ->
+         let s = Netsim.Stats.Samples.create () in
+         let rng = Netsim.Rng.create 8 in
+         for _ = 1 to 10_000 do
+           Netsim.Stats.Samples.add s (Netsim.Rng.float rng)
+         done;
+         ignore (Netsim.Stats.Samples.percentile s 99.0)))
+
+let test_samples_reservoir =
+  Test.make ~name:"stats: 10k adds + p99 (reservoir 1k)"
+    (Staged.stage (fun () ->
+         let s =
+           Netsim.Stats.Samples.create
+             ~mode:(Netsim.Stats.Samples.Reservoir 1024) ()
+         in
+         let rng = Netsim.Rng.create 8 in
+         for _ = 1 to 10_000 do
+           Netsim.Stats.Samples.add s (Netsim.Rng.float rng)
+         done;
+         ignore (Netsim.Stats.Samples.percentile s 99.0)))
+
+let test_p2 =
+  Test.make ~name:"stats: 10k adds + p99 (P2)"
+    (Staged.stage (fun () ->
+         let s = Netsim.Stats.P2.create ~p:99.0 in
+         let rng = Netsim.Rng.create 8 in
+         for _ = 1 to 10_000 do
+           Netsim.Stats.P2.add s (Netsim.Rng.float rng)
+         done;
+         ignore (Netsim.Stats.P2.quantile s)))
+
 let disabled_hub = Obs.Hub.create ()
 
 let test_hub_disabled =
@@ -148,7 +194,8 @@ let test_hub_disabled =
 
 let tests =
   [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
-    test_wire_encode; test_wire_decode; test_trace_disabled; test_hub_disabled ]
+    test_wire_encode; test_wire_decode; test_zipf; test_samples_exact;
+    test_samples_reservoir; test_p2; test_trace_disabled; test_hub_disabled ]
 
 let print () =
   let ols =

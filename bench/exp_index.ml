@@ -54,7 +54,15 @@ let all : entry list =
       print = Exp_v1.print };
     { exp_id = Exp_r1.id; exp_title = Exp_r1.title; tables = Exp_r1.tables;
       print = Exp_r1.print };
+    { exp_id = Exp_s1.id; exp_title = Exp_s1.title; tables = Exp_s1.tables;
+      print = Exp_s1.print };
+    { exp_id = Exp_s2.id; exp_title = Exp_s2.title; tables = Exp_s2.tables;
+      print = Exp_s2.print };
     { exp_id = "micro"; exp_title = "Micro-benchmarks (Bechamel)";
       tables = (fun () -> []); print = Bench_micro.print } ]
+
+(* 100k-flow cells: minutes, not seconds.  `main.exe` runs these only
+   when they are named explicitly. *)
+let scale_ids = [ Exp_s1.id; Exp_s2.id ]
 
 let find id = List.find_opt (fun e -> e.exp_id = id) all

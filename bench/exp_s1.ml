@@ -1,0 +1,71 @@
+(* S1 — scale-out: 100k-flow workloads as the internet grows.
+
+   The crossover claims (i)–(iii) are only meaningful at cache-pressure
+   regimes that need internet-scale destination sets (Coras et al. on
+   LISP map-cache scalability); this experiment drives the same harness
+   the T/F series uses, but at 100 000 flows per cell with
+   reservoir-sampled collectors so memory stays bounded.  Simulated
+   quantities printed here are deterministic; real wall-clock and
+   events/sec for each run land in BENCH.json via the runner. *)
+
+open Core
+
+let id = "s1"
+let title = "S1: scale-out: 100k flows vs internet size"
+let flows = 100_000
+let rate = 2000.0
+
+let cps =
+  [ ("pull-drop", Scenario.Cp_pull_drop);
+    ("pce", Scenario.Cp_pce Pce_control.default_options) ]
+
+let spec_for cp domains =
+  let params =
+    { Topology.Builder.default_params with
+      Topology.Builder.domain_count = domains; provider_count = 8;
+      borders_per_domain = 2; hosts_per_domain = 4 }
+  in
+  let config =
+    { Scenario.default_config with
+      Scenario.cp; topology = `Random params; seed = 42; mapping_ttl = 60.0 }
+  in
+  { (Harness.default_spec config) with
+    Harness.flows; rate; zipf_alpha = 0.9; data_packets = `Fixed 2;
+    sample_reservoir = Some 4096 }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "cp"; "domains"; "flows"; "established"; "failed"; "drops/flow";
+          "cache-hit"; "median-setup"; "p99-setup"; "samples-kept"; "events" ]
+  in
+  List.iter
+    (fun (label, cp) ->
+      List.iter
+        (fun domains ->
+          let r = Harness.run ~label (spec_for cp domains) in
+          Metrics.Table.add_row table
+            [ label; Metrics.Table.cell_int domains;
+              Metrics.Table.cell_int r.Harness.opened;
+              Metrics.Table.cell_pct
+                (float_of_int r.Harness.established
+                /. float_of_int (Stdlib.max 1 r.Harness.opened));
+              Metrics.Table.cell_int r.Harness.failed;
+              Metrics.Table.cell_float (Harness.drops_per_flow r);
+              Metrics.Table.cell_pct (Harness.cache_hit_ratio r);
+              Metrics.Table.cell_ms
+                (Harness.percentile_or_zero r.Harness.setups 50.0);
+              Metrics.Table.cell_ms
+                (Harness.percentile_or_zero r.Harness.setups 99.0);
+              Printf.sprintf "%d/%d"
+                (Netsim.Stats.Samples.retained r.Harness.setups)
+                (Netsim.Stats.Samples.count r.Harness.setups);
+              Metrics.Table.cell_int
+                (Netsim.Engine.events_processed
+                   (Scenario.engine r.Harness.scenario)) ])
+        [ 16; 32; 64 ])
+    cps;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

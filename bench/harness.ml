@@ -36,13 +36,17 @@ type spec = {
   pre_run : (Scenario.t -> unit) option;
       (* invoked after the scenario is built, before arrivals are
          scheduled: background-traffic injectors, fault scripts, ... *)
+  sample_reservoir : int option;
+      (* [Some k]: collect timing samples into a k-slot reservoir so
+         collector memory stays O(k) — the scale experiments' mode.
+         [None] (default) stores every sample exactly. *)
 }
 
 let default_spec config =
   { config; flows = 500; rate = 50.0; zipf_alpha = 0.9; hotspots = None;
     sources = None; data_packets = `Fixed 8; data_bytes = 1200;
     monitor = true; rebalance = false; monitor_interval = 1.0;
-    arrival_delay = 0.0; pre_run = None }
+    arrival_delay = 0.0; pre_run = None; sample_reservoir = None }
 
 type result = {
   label : string;
@@ -125,10 +129,11 @@ let run ?(label = "") spec =
   let opened = ref 0 in
   let arrivals_rng = Netsim.Rng.split (Scenario.rng scenario) in
   let start_arrivals () =
-    ignore
-      (Workload.Arrivals.poisson ~engine:(Scenario.engine scenario)
-         ~rng:arrivals_rng ~rate:spec.rate ~duration
-         ~f:(fun _ ->
+    (* The streaming generator keeps the engine heap O(1) in the window
+       size, which is what lets the S1/S2 cells schedule 100k+ flows. *)
+    Workload.Arrivals.poisson_stream ~engine:(Scenario.engine scenario)
+      ~rng:arrivals_rng ~rate:spec.rate ~duration
+      ~f:(fun _ ->
            let src_domain = pick_source () in
            let flow = Workload.Traffic.random_flow traffic ?src_domain () in
            let data_packets =
@@ -143,16 +148,22 @@ let run ?(label = "") spec =
            incr opened;
            ignore
              (Scenario.open_connection scenario ~flow ~data_packets
-                ~data_bytes:spec.data_bytes ())))
+                ~data_bytes:spec.data_bytes ()))
   in
   ignore
     (Netsim.Engine.schedule (Scenario.engine scenario)
        ~delay:spec.arrival_delay start_arrivals);
   Scenario.run scenario;
-  let dns_times = Netsim.Stats.Samples.create () in
-  let handshakes = Netsim.Stats.Samples.create () in
-  let setups = Netsim.Stats.Samples.create () in
-  let first_packet_delays = Netsim.Stats.Samples.create () in
+  let samples () =
+    match spec.sample_reservoir with
+    | None -> Netsim.Stats.Samples.create ()
+    | Some k ->
+        Netsim.Stats.Samples.create ~mode:(Netsim.Stats.Samples.Reservoir k) ()
+  in
+  let dns_times = samples () in
+  let handshakes = samples () in
+  let setups = samples () in
+  let first_packet_delays = samples () in
   let established = ref 0 in
   let failed = ref 0 in
   let syn_retx = ref 0 in

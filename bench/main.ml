@@ -1,7 +1,12 @@
 (* The experiment harness: regenerates every table and figure of
-   EXPERIMENTS.md.  Run all with `dune exec bench/main.exe`, or a subset
-   with experiment ids as arguments, e.g.
-   `dune exec bench/main.exe -- t1 t4 micro`. *)
+   EXPERIMENTS.md.  Run all with `dune exec bench/main.exe`, a subset
+   with experiment ids as arguments, and in parallel with `--jobs N`
+   (one worker process per experiment; output is reassembled in
+   deterministic order, byte-identical to a serial run).
+
+   Per-experiment wall-clock, events/sec and peak RSS always land in
+   BENCH.json (see doc/performance.md); timing chatter goes to stderr so
+   stdout stays deterministic. *)
 
 let experiments : (string * string * (unit -> unit)) list =
   List.map
@@ -11,39 +16,97 @@ let experiments : (string * string * (unit -> unit)) list =
     Experiments.Exp_index.all
 
 let usage () =
-  print_endline "usage: main.exe [experiment-id ...]";
+  print_endline
+    "usage: main.exe [--jobs N] [--bench-json FILE] [experiment-id ...]";
+  print_endline "  --jobs N          run N experiment workers in parallel (default 1)";
+  print_endline "  --bench-json FILE write the machine-readable perf record there";
+  print_endline "                    (default BENCH.json)";
   print_endline "available experiments:";
-  List.iter (fun (id, title, _) -> Printf.printf "  %-6s %s\n" id title) experiments
+  List.iter
+    (fun (id, title, _) ->
+      Printf.printf "  %-6s %s%s\n" id title
+        (if List.mem id Experiments.Exp_index.scale_ids then
+           "  [scale: only runs when named]"
+         else ""))
+    experiments
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when List.mem "--help" args || List.mem "-h" args ->
+let bad_usage fmt =
+  Printf.ksprintf
+    (fun message ->
+      prerr_endline message;
+      usage ();
+      exit 1)
+    fmt
+
+let parse_args args =
+  let jobs = ref 1 in
+  let bench_json = ref "BENCH.json" in
+  let ids = ref [] in
+  let rec loop = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
-    | _ :: args -> args
-    | [] -> []
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | Some _ | None -> bad_usage "--jobs expects a positive integer");
+        loop rest
+    | [ "--jobs" ] -> bad_usage "--jobs expects a value"
+    | "--bench-json" :: path :: rest ->
+        bench_json := path;
+        loop rest
+    | [ "--bench-json" ] -> bad_usage "--bench-json expects a value"
+    | arg :: rest when String.length arg >= 7 && String.sub arg 0 7 = "--jobs=" ->
+        loop ("--jobs" :: String.sub arg 7 (String.length arg - 7) :: rest)
+    | arg :: rest
+      when String.length arg >= 13 && String.sub arg 0 13 = "--bench-json=" ->
+        loop
+          ("--bench-json" :: String.sub arg 13 (String.length arg - 13) :: rest)
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        bad_usage "unknown option: %s" arg
+    | id :: rest ->
+        ids := id :: !ids;
+        loop rest
+  in
+  loop args;
+  (!jobs, !bench_json, List.rev !ids)
+
+let () =
+  let jobs, bench_json, requested =
+    parse_args (List.tl (Array.to_list Sys.argv))
   in
   let selected =
-    if requested = [] then experiments
+    if requested = [] then
+      (* The scale experiments (S1/S2, 100k-flow cells) only run when
+         named: the default sweep stays under a minute per core. *)
+      List.filter
+        (fun (id, _, _) -> not (List.mem id Experiments.Exp_index.scale_ids))
+        experiments
     else
       List.map
         (fun id ->
           match List.find_opt (fun (i, _, _) -> i = id) experiments with
           | Some e -> e
-          | None ->
-              Printf.eprintf "unknown experiment id: %s\n" id;
-              usage ();
-              exit 1)
+          | None -> bad_usage "unknown experiment id: %s" id)
         requested
   in
   Printf.printf
-    "LISP PCE control-plane reproduction - experiment harness (%d experiments)\n\n"
+    "LISP PCE control-plane reproduction - experiment harness (%d experiments)\n\n%!"
     (List.length selected);
-  List.iter
-    (fun (id, title, print) ->
-      Printf.printf ">>> [%s] %s\n%!" id title;
-      let t0 = Unix.gettimeofday () in
-      print ();
-      Printf.printf "    (generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0))
-    selected
+  let tasks =
+    List.map
+      (fun (id, title, print) ->
+        { Experiments.Runner.task_id = id; task_title = title;
+          task_run = print })
+      selected
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Experiments.Runner.run ~jobs tasks in
+  let total_wall = Unix.gettimeofday () -. t0 in
+  Experiments.Runner.write_bench_json ~path:bench_json ~jobs ~total_wall
+    outcomes;
+  Printf.eprintf "    total %.1fs wall (%d jobs); perf record: %s\n%!"
+    total_wall jobs bench_json;
+  if List.exists (fun o -> not o.Experiments.Runner.out_ok) outcomes then
+    exit 1

@@ -1,0 +1,230 @@
+(* Scale-out experiment runner.
+
+   Forks one worker process per task, captures each worker's stdout in a
+   temporary file, and replays the outputs on the parent's [emit] stream
+   in task order — so the bytes emitted are identical whatever the
+   worker count or completion order.  Per-task wall-clock, engine
+   events/sec and peak RSS come back over a pipe (a small marshalled
+   summary; the bulk output never crosses the pipe, so no writer can
+   block) and feed the BENCH.json perf trajectory. *)
+
+type task = {
+  task_id : string;
+  task_title : string;
+  task_run : unit -> unit;  (* prints its report to stdout *)
+}
+
+type outcome = {
+  out_id : string;
+  out_title : string;
+  out_text : string;  (* captured stdout of the worker *)
+  out_wall : float;  (* seconds of real time in the worker *)
+  out_events : int;  (* engine events fired by the worker *)
+  out_peak_rss_kb : int;  (* worker VmHWM; 0 when unavailable *)
+  out_ok : bool;
+}
+
+(* Summary record marshalled from worker to parent: plain scalars only,
+   so marshalling is closure-free and version-safe within one binary. *)
+type summary = { s_wall : float; s_events : int; s_rss_kb : int; s_ok : bool }
+
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status, in kB; Linux-only by construction. *)
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              try Scanf.sscanf rest " %d" (fun v -> v) with _ -> 0
+            else scan ()
+        | exception End_of_file -> 0
+      in
+      let v = scan () in
+      close_in ic;
+      v
+
+let flush_std () =
+  Format.pp_print_flush Format.std_formatter ();
+  flush stdout;
+  flush stderr
+
+let header task = Printf.sprintf ">>> [%s] %s\n" task.task_id task.task_title
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type worker = {
+  w_task : task;
+  w_index : int;
+  w_pid : int;
+  w_pipe : Unix.file_descr;  (* read end of the summary pipe *)
+  w_out_file : string;
+}
+
+let spawn index task =
+  let out_file = Filename.temp_file "bench-worker" ".out" in
+  let pipe_r, pipe_w = Unix.pipe () in
+  (* Anything buffered now would otherwise be flushed twice, once per
+     process, corrupting the deterministic stream. *)
+  flush_std ();
+  match Unix.fork () with
+  | 0 ->
+      (* Worker: stdout goes to the capture file; stderr stays shared
+         (progress/diagnostics are allowed to interleave). *)
+      Unix.close pipe_r;
+      let out_fd =
+        Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      Unix.dup2 out_fd Unix.stdout;
+      Unix.close out_fd;
+      let t0 = Unix.gettimeofday () in
+      let events0 = Netsim.Engine.total_events_processed () in
+      let ok =
+        try
+          task.task_run ();
+          true
+        with exn ->
+          Printf.eprintf "[%s] worker failed: %s\n%!" task.task_id
+            (Printexc.to_string exn);
+          false
+      in
+      let summary =
+        { s_wall = Unix.gettimeofday () -. t0;
+          s_events = Netsim.Engine.total_events_processed () - events0;
+          s_rss_kb = peak_rss_kb (); s_ok = ok }
+      in
+      flush_std ();
+      let blob = Marshal.to_bytes summary [] in
+      let rec write_all off =
+        if off < Bytes.length blob then
+          let n = Unix.write pipe_w blob off (Bytes.length blob - off) in
+          write_all (off + n)
+      in
+      (try write_all 0 with Unix.Unix_error _ -> ());
+      (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+      (* _exit, not exit: at_exit handlers belong to the parent. *)
+      Unix._exit (if ok then 0 else 1)
+  | pid ->
+      Unix.close pipe_w;
+      { w_task = task; w_index = index; w_pid = pid; w_pipe = pipe_r;
+        w_out_file = out_file }
+
+let drain_pipe fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  Buffer.to_bytes buf
+
+let collect w =
+  let blob = drain_pipe w.w_pipe in
+  Unix.close w.w_pipe;
+  let summary =
+    if Bytes.length blob = 0 then
+      (* Worker died before reporting (segfault, kill): synthesise. *)
+      { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false }
+    else (Marshal.from_bytes blob 0 : summary)
+  in
+  let text = try read_file w.w_out_file with Sys_error _ -> "" in
+  (try Sys.remove w.w_out_file with Sys_error _ -> ());
+  { out_id = w.w_task.task_id; out_title = w.w_task.task_title;
+    out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
+    out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok }
+
+let log_line o =
+  let rate =
+    if o.out_wall > 0.0 then float_of_int o.out_events /. o.out_wall else 0.0
+  in
+  Printf.sprintf "    [%s] %.1fs wall, %d events (%.0f kev/s), peak RSS %d MB%s\n"
+    o.out_id o.out_wall o.out_events (rate /. 1e3)
+    (o.out_peak_rss_kb / 1024)
+    (if o.out_ok then "" else " — FAILED")
+
+(* Run every task, [jobs] workers at a time, emitting the deterministic
+   stream (headers + captured outputs, task order) on [emit] and the
+   timing lines on [log].  Returns the outcomes in task order. *)
+let run ?(jobs = 1) ?(emit = print_string) ?(log = prerr_string) tasks =
+  if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let outcomes : outcome option array = Array.make n None in
+  let running = ref [] in
+  let next = ref 0 in
+  let emitted = ref 0 in
+  let emit_ready () =
+    while !emitted < n && outcomes.(!emitted) <> None do
+      (match outcomes.(!emitted) with
+      | Some o ->
+          emit (header tasks.(!emitted));
+          emit o.out_text;
+          emit "\n";
+          log (log_line o)
+      | None -> assert false);
+      incr emitted
+    done
+  in
+  while !next < n || !running <> [] do
+    (* Keep the worker pool full... *)
+    while !next < n && List.length !running < jobs do
+      running := spawn !next tasks.(!next) :: !running;
+      incr next
+    done;
+    (* ...then wait for any worker to finish and bank its outcome. *)
+    match Unix.wait () with
+    | pid, _status ->
+        (match List.partition (fun w -> w.w_pid = pid) !running with
+        | [ w ], rest ->
+            running := rest;
+            outcomes.(w.w_index) <- Some (collect w);
+            emit_ready ()
+        | _ -> (* not one of ours (shouldn't happen): ignore *) ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  emit_ready ();
+  Array.to_list (Array.map Option.get outcomes)
+
+(* BENCH.json: the machine-readable perf record, one object per
+   experiment plus run-level totals.  Schema documented in
+   doc/performance.md. *)
+let bench_json ~jobs ~total_wall outcomes =
+  let experiment o =
+    Obs.Json.Obj
+      [ ("id", Obs.Json.String o.out_id);
+        ("title", Obs.Json.String o.out_title);
+        ("ok", Obs.Json.Bool o.out_ok);
+        ("wall_s", Obs.Json.Float o.out_wall);
+        ("events", Obs.Json.Int o.out_events);
+        ( "events_per_sec",
+          Obs.Json.Float
+            (if o.out_wall > 0.0 then float_of_int o.out_events /. o.out_wall
+             else 0.0) );
+        ("peak_rss_kb", Obs.Json.Int o.out_peak_rss_kb) ]
+  in
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.String "lisp-pce-bench/1");
+      ("jobs", Obs.Json.Int jobs);
+      ("total_wall_s", Obs.Json.Float total_wall);
+      ( "total_events",
+        Obs.Json.Int (List.fold_left (fun a o -> a + o.out_events) 0 outcomes)
+      );
+      ("experiments", Obs.Json.List (List.map experiment outcomes)) ]
+
+let write_bench_json ~path ~jobs ~total_wall outcomes =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (bench_json ~jobs ~total_wall outcomes));
+  output_char oc '\n';
+  close_out oc

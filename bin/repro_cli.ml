@@ -338,7 +338,7 @@ let obs_cmd =
       events;
     let sorted tbl =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-      |> List.sort (fun (_, a) (_, b) -> compare (b : int) a)
+      |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
     in
     let table =
       Metrics.Table.create

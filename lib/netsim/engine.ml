@@ -23,9 +23,15 @@ let create ?(start = 0.0) () =
   { clock = start; heap = Array.make 64 dummy_event; size = 0; next_seq = 0;
     live = 0; fired = 0 }
 
+(* Process-wide event count, across every engine instance: the bench
+   runner's workers report events/sec from it, and an experiment may
+   build one engine per (control plane × parameter) cell. *)
+let total_fired = ref 0
+
 let now t = t.clock
 let pending t = t.live
 let events_processed t = t.fired
+let total_events_processed () = !total_fired
 
 let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -121,6 +127,7 @@ let step t =
     t.clock <- e.time;
     t.live <- t.live - 1;
     t.fired <- t.fired + 1;
+    incr total_fired;
     (* Mark as no longer live so cancelling an already-fired handle is a
        harmless no-op rather than corrupting the live count. *)
     e.cancelled <- true;

@@ -46,3 +46,9 @@ val step : t -> bool
 val events_processed : t -> int
 (** Total callbacks fired since [create] — a cheap progress/efficiency
     metric for benches. *)
+
+val total_events_processed : unit -> int
+(** Process-wide total of callbacks fired across every engine instance
+    ever created.  The bench runner reads the delta around an experiment
+    to report events/sec even when the experiment builds one engine per
+    cell. *)

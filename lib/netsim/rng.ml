@@ -75,7 +75,11 @@ let choice t a =
   a.(int t (Array.length a))
 
 module Zipf = struct
-  type dist = { cumulative : float array; masses : float array }
+  (* Walker's alias method (Vose's construction): the table costs O(n)
+     to build like the old cumulative array, but each draw is O(1)
+     instead of an O(log n) bisection — the workload generator draws one
+     destination per flow, millions of times in the scale experiments. *)
+  type dist = { masses : float array; prob : float array; alias : int array }
 
   let create ~n ~alpha =
     if n <= 0 then invalid_arg "Rng.Zipf.create: n must be positive";
@@ -83,27 +87,59 @@ module Zipf = struct
     let masses = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** alpha)) in
     let total = Array.fold_left ( +. ) 0.0 masses in
     let masses = Array.map (fun m -> m /. total) masses in
-    let cumulative = Array.make n 0.0 in
-    let acc = ref 0.0 in
+    let prob = Array.make n 0.0 in
+    let alias = Array.init n (fun i -> i) in
+    let scaled = Array.map (fun m -> m *. float_of_int n) masses in
+    (* Worklists of under- and over-full columns, kept as stacks. *)
+    let small = Array.make n 0 and large = Array.make n 0 in
+    let ns = ref 0 and nl = ref 0 in
     Array.iteri
-      (fun k m ->
-        acc := !acc +. m;
-        cumulative.(k) <- !acc)
-      masses;
-    cumulative.(n - 1) <- 1.0;
-    { cumulative; masses }
+      (fun i s ->
+        if s < 1.0 then begin
+          small.(!ns) <- i;
+          incr ns
+        end
+        else begin
+          large.(!nl) <- i;
+          incr nl
+        end)
+      scaled;
+    while !ns > 0 && !nl > 0 do
+      decr ns;
+      let l = small.(!ns) in
+      decr nl;
+      let g = large.(!nl) in
+      prob.(l) <- scaled.(l);
+      alias.(l) <- g;
+      scaled.(g) <- scaled.(g) +. scaled.(l) -. 1.0;
+      if scaled.(g) < 1.0 then begin
+        small.(!ns) <- g;
+        incr ns
+      end
+      else begin
+        large.(!nl) <- g;
+        incr nl
+      end
+    done;
+    (* Leftovers are exactly full up to rounding error. *)
+    while !nl > 0 do
+      decr nl;
+      prob.(large.(!nl)) <- 1.0
+    done;
+    while !ns > 0 do
+      decr ns;
+      prob.(small.(!ns)) <- 1.0
+    done;
+    { masses; prob; alias }
 
-  let support d = Array.length d.cumulative
+  let support d = Array.length d.masses
   let probability d k = d.masses.(k)
 
   let sample d t =
-    let u = float t in
-    (* Least index whose cumulative mass exceeds [u]. *)
-    let rec search lo hi =
-      if lo >= hi then lo
-      else
-        let mid = (lo + hi) / 2 in
-        if d.cumulative.(mid) > u then search lo mid else search (mid + 1) hi
-    in
-    search 0 (Array.length d.cumulative - 1)
+    let n = Array.length d.prob in
+    (* One uniform draw selects both the column and the coin flip. *)
+    let u = float t *. float_of_int n in
+    let i = int_of_float u in
+    let i = if i >= n then n - 1 else i in
+    if u -. float_of_int i < d.prob.(i) then i else d.alias.(i)
 end

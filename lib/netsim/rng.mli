@@ -64,8 +64,9 @@ val choice : t -> 'a array -> 'a
 
 module Zipf : sig
   (** Zipf-distributed ranks over a finite universe, used for destination
-      popularity in workloads.  Sampling is O(log n) by inverting a
-      precomputed cumulative distribution. *)
+      popularity in workloads.  Sampling is O(1) per draw via Walker's
+      alias method (one uniform variate per sample); table construction
+      is O(n). *)
 
   type dist
 

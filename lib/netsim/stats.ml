@@ -31,42 +31,69 @@ module Summary = struct
 end
 
 module Samples = struct
+  type mode = Exact | Reservoir of int
+
   type t = {
-    mutable data : float array;
-    mutable size : int;
-    mutable sorted : float array option; (* cache invalidated by [add] *)
+    mode : mode;
+    mutable data : floatarray;
+    mutable size : int;  (* observations retained in [data] *)
+    mutable seen : int;  (* observations offered via [add] *)
+    mutable sum : float;
+    mutable sorted : floatarray option; (* cache invalidated by [add] *)
+    res_rng : Rng.t;  (* reservoir replacement stream; fixed seed for
+                         run-to-run determinism *)
   }
 
-  let create () = { data = Array.make 16 0.0; size = 0; sorted = None }
+  let create ?(mode = Exact) () =
+    let initial =
+      match mode with
+      | Exact -> 16
+      | Reservoir capacity ->
+          if capacity <= 0 then
+            invalid_arg "Stats.Samples.create: reservoir capacity must be > 0";
+          Stdlib.min capacity 16
+    in
+    { mode; data = Float.Array.make initial 0.0; size = 0; seen = 0; sum = 0.0;
+      sorted = None; res_rng = Rng.create 0x5EED }
 
-  let add t x =
-    if t.size = Array.length t.data then begin
-      let bigger = Array.make (2 * Array.length t.data) 0.0 in
-      Array.blit t.data 0 bigger 0 t.size;
+  let store t i x =
+    if i >= Float.Array.length t.data then begin
+      let bigger = Float.Array.make (2 * Float.Array.length t.data) 0.0 in
+      Float.Array.blit t.data 0 bigger 0 t.size;
       t.data <- bigger
     end;
-    t.data.(t.size) <- x;
-    t.size <- t.size + 1;
+    Float.Array.set t.data i x
+
+  let add t x =
+    t.seen <- t.seen + 1;
+    t.sum <- t.sum +. x;
+    (match t.mode with
+    | Exact ->
+        store t t.size x;
+        t.size <- t.size + 1
+    | Reservoir capacity ->
+        if t.size < capacity then begin
+          store t t.size x;
+          t.size <- t.size + 1
+        end
+        else begin
+          (* Algorithm R: keep each of the [seen] observations with equal
+             probability capacity/seen. *)
+          let j = Rng.int t.res_rng t.seen in
+          if j < capacity then Float.Array.set t.data j x
+        end);
     t.sorted <- None
 
-  let count t = t.size
-
-  let mean t =
-    if t.size = 0 then 0.0
-    else begin
-      let acc = ref 0.0 in
-      for i = 0 to t.size - 1 do
-        acc := !acc +. t.data.(i)
-      done;
-      !acc /. float_of_int t.size
-    end
+  let count t = t.seen
+  let retained t = t.size
+  let mean t = if t.seen = 0 then 0.0 else t.sum /. float_of_int t.seen
 
   let sorted t =
     match t.sorted with
     | Some a -> a
     | None ->
-        let a = Array.sub t.data 0 t.size in
-        Array.sort compare a;
+        let a = Float.Array.sub t.data 0 t.size in
+        Float.Array.sort Float.compare a;
         t.sorted <- Some a;
         a
 
@@ -75,14 +102,15 @@ module Samples = struct
     if p < 0.0 || p > 100.0 then
       invalid_arg "Stats.Samples.percentile: p out of [0, 100]";
     let a = sorted t in
-    let n = Array.length a in
-    if n = 1 then a.(0)
+    let n = Float.Array.length a in
+    if n = 1 then Float.Array.get a 0
     else begin
       let rank = p /. 100.0 *. float_of_int (n - 1) in
       let lo = int_of_float (Float.floor rank) in
       let hi = Stdlib.min (lo + 1) (n - 1) in
       let frac = rank -. float_of_int lo in
-      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+      Float.Array.get a lo
+      +. (frac *. (Float.Array.get a hi -. Float.Array.get a lo))
     end
 
   let median t = percentile t 50.0
@@ -91,14 +119,109 @@ module Samples = struct
     if t.size = 0 then []
     else begin
       let a = sorted t in
-      let n = Array.length a in
+      let n = Float.Array.length a in
       let steps = Stdlib.min points n in
       List.init steps (fun i ->
           let idx = (i + 1) * n / steps - 1 in
-          (a.(idx), float_of_int (idx + 1) /. float_of_int n))
+          (Float.Array.get a idx, float_of_int (idx + 1) /. float_of_int n))
     end
 
-  let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+  let to_list t = Float.Array.to_list (Float.Array.sub t.data 0 t.size)
+end
+
+module P2 = struct
+  (* Jain & Chlamtac's P² algorithm: one quantile tracked with five
+     markers, O(1) memory and O(1) per observation. *)
+  type t = {
+    p : float;  (* target, as a fraction in (0, 1) *)
+    q : floatarray;  (* marker heights *)
+    n : float array;  (* marker positions (1-based counts, stored as float) *)
+    np : float array;  (* desired marker positions *)
+    dn : float array;  (* desired position increments *)
+    mutable count : int;
+  }
+
+  let create ~p =
+    if p <= 0.0 || p >= 100.0 then
+      invalid_arg "Stats.P2.create: p must be in (0, 100)";
+    let p = p /. 100.0 in
+    { p; q = Float.Array.make 5 0.0;
+      n = [| 0.0; 1.0; 2.0; 3.0; 4.0 |];
+      np = [| 0.0; 2.0 *. p; 4.0 *. p; 2.0 +. (2.0 *. p); 4.0 |];
+      dn = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+      count = 0 }
+
+  let count t = t.count
+
+  let add t x =
+    if t.count < 5 then begin
+      Float.Array.set t.q t.count x;
+      t.count <- t.count + 1;
+      if t.count = 5 then Float.Array.sort Float.compare t.q
+    end
+    else begin
+      let q i = Float.Array.get t.q i in
+      let k =
+        if x < q 0 then begin
+          Float.Array.set t.q 0 x;
+          0
+        end
+        else if x >= q 4 then begin
+          Float.Array.set t.q 4 x;
+          3
+        end
+        else begin
+          let rec find i = if x < q (i + 1) then i else find (i + 1) in
+          find 0
+        end
+      in
+      for i = k + 1 to 4 do
+        t.n.(i) <- t.n.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.np.(i) <- t.np.(i) +. t.dn.(i)
+      done;
+      for i = 1 to 3 do
+        let d = t.np.(i) -. t.n.(i) in
+        if
+          (d >= 1.0 && t.n.(i + 1) -. t.n.(i) > 1.0)
+          || (d <= -1.0 && t.n.(i - 1) -. t.n.(i) < -1.0)
+        then begin
+          let s = if d >= 0.0 then 1.0 else -1.0 in
+          let qi = q i and qm = q (i - 1) and qp = q (i + 1) in
+          let ni = t.n.(i) and nm = t.n.(i - 1) and np1 = t.n.(i + 1) in
+          let parabolic =
+            qi
+            +. s /. (np1 -. nm)
+               *. (((ni -. nm +. s) *. (qp -. qi) /. (np1 -. ni))
+                  +. ((np1 -. ni -. s) *. (qi -. qm) /. (ni -. nm)))
+          in
+          let adjusted =
+            if qm < parabolic && parabolic < qp then parabolic
+            else if s > 0.0 then qi +. ((qp -. qi) /. (np1 -. ni))
+            else qi -. ((qm -. qi) /. (nm -. ni))
+          in
+          Float.Array.set t.q i adjusted;
+          t.n.(i) <- ni +. s
+        end
+      done;
+      t.count <- t.count + 1
+    end
+
+  let quantile t =
+    if t.count = 0 then invalid_arg "Stats.P2.quantile: empty";
+    if t.count >= 5 then Float.Array.get t.q 2
+    else begin
+      (* Fewer observations than markers: exact interpolated quantile. *)
+      let a = Float.Array.sub t.q 0 t.count in
+      Float.Array.sort Float.compare a;
+      let rank = t.p *. float_of_int (t.count - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (t.count - 1) in
+      let frac = rank -. float_of_int lo in
+      Float.Array.get a lo
+      +. (frac *. (Float.Array.get a hi -. Float.Array.get a lo))
+    end
 end
 
 module Histogram = struct
@@ -108,21 +231,26 @@ module Histogram = struct
     width : float;
     bins : int array;
     mutable count : int;
+    mutable nan : int;
   }
 
   let create ~lo ~hi ~bins =
     if bins <= 0 then invalid_arg "Stats.Histogram.create: bins must be > 0";
     if not (hi > lo) then invalid_arg "Stats.Histogram.create: hi must be > lo";
     { lo; hi; width = (hi -. lo) /. float_of_int bins; bins = Array.make bins 0;
-      count = 0 }
+      count = 0; nan = 0 }
 
   let add t x =
-    let raw = int_of_float ((x -. t.lo) /. t.width) in
-    let idx = Stdlib.max 0 (Stdlib.min (Array.length t.bins - 1) raw) in
-    t.bins.(idx) <- t.bins.(idx) + 1;
-    t.count <- t.count + 1
+    if Float.is_nan x then t.nan <- t.nan + 1
+    else begin
+      let raw = int_of_float ((x -. t.lo) /. t.width) in
+      let idx = Stdlib.max 0 (Stdlib.min (Array.length t.bins - 1) raw) in
+      t.bins.(idx) <- t.bins.(idx) + 1;
+      t.count <- t.count + 1
+    end
 
   let count t = t.count
+  let nan_count t = t.nan
   let bin_count t = Array.length t.bins
 
   let bin t i =

@@ -1,10 +1,11 @@
 (** Online statistics for simulation measurements.
 
-    Three collectors cover the experiments' needs: {!Summary} for
-    streaming mean/variance, {!Samples} for exact quantiles and CDF
-    export over a bounded number of observations, and {!Histogram} for
-    fixed-bin densities.  {!jain_index} computes the fairness metric used
-    by the traffic-engineering experiments. *)
+    Four collectors cover the experiments' needs: {!Summary} for
+    streaming mean/variance, {!Samples} for quantiles and CDF export
+    (exact by default, bounded-memory reservoir sampling for
+    million-flow runs), {!P2} for O(1)-memory single-quantile tracking,
+    and {!Histogram} for fixed-bin densities.  {!jain_index} computes
+    the fairness metric used by the traffic-engineering experiments. *)
 
 module Summary : sig
   (** Welford's streaming mean and variance. *)
@@ -31,46 +32,99 @@ module Summary : sig
 end
 
 module Samples : sig
-  (** Exact quantiles over stored observations. *)
+  (** Quantiles over observations, stored unboxed ([floatarray]).
+
+      [Exact] mode (the default) stores every observation and reports
+      exact order statistics.  [Reservoir k] keeps a uniform random
+      sample of at most [k] observations (Vitter's algorithm R, with a
+      deterministic internal stream so runs are reproducible): memory
+      stays O(k) while count and mean remain exact, and quantiles become
+      unbiased estimates — the mode the 100k–1M-flow scale experiments
+      run in. *)
 
   type t
 
-  val create : unit -> t
+  type mode = Exact | Reservoir of int
+
+  val create : ?mode:mode -> unit -> t
+  (** Default [Exact].  Raises [Invalid_argument] when the reservoir
+      capacity is not positive. *)
+
   val add : t -> float -> unit
+
   val count : t -> int
+  (** Observations offered, regardless of how many were retained. *)
+
+  val retained : t -> int
+  (** Observations currently stored: equal to {!count} in [Exact] mode,
+      bounded by the capacity in [Reservoir] mode. *)
+
   val mean : t -> float
+  (** Exact streaming mean over every observation, in both modes. *)
 
   val percentile : t -> float -> float
   (** [percentile t p] with [p] in [\[0, 100\]], linear interpolation
-      between order statistics.  Raises [Invalid_argument] when empty or
-      [p] out of range. *)
+      between order statistics of the retained observations (exact in
+      [Exact] mode, estimated in [Reservoir] mode).  Raises
+      [Invalid_argument] when empty or [p] out of range. *)
 
   val median : t -> float
 
   val cdf : ?points:int -> t -> (float * float) list
   (** [(value, fraction <= value)] pairs suitable for plotting; [points]
-      (default 50) evenly spaced in rank.  Empty list when empty. *)
+      (default 50) evenly spaced in rank over the retained observations.
+      Empty list when empty. *)
 
   val to_list : t -> float list
-  (** All observations in insertion order. *)
+  (** Retained observations in storage order (insertion order in [Exact]
+      mode). *)
+end
+
+module P2 : sig
+  (** The P² algorithm (Jain & Chlamtac, 1985): tracks one quantile with
+      five markers — O(1) memory and O(1) update, no samples stored.
+      Typical estimation error is well under a percent of the value
+      range once a few hundred observations have arrived. *)
+
+  type t
+
+  val create : p:float -> t
+  (** [create ~p] tracks the [p]-th percentile, [p] in (0, 100)
+      exclusive.  Raises [Invalid_argument] otherwise. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val quantile : t -> float
+  (** Current estimate; exact while fewer than five observations have
+      been seen.  Raises [Invalid_argument] when empty. *)
 end
 
 module Histogram : sig
   (** Fixed-width bins over [\[lo, hi)]; out-of-range values are clamped
-      into the edge bins so nothing is silently dropped. *)
+      into the edge bins so nothing is silently dropped.  NaN samples are
+      counted separately — they land in no bin and are excluded from
+      {!count} and {!fraction_below}. *)
 
   type t
 
   val create : lo:float -> hi:float -> bins:int -> t
   val add : t -> float -> unit
+
   val count : t -> int
+  (** Binned (non-NaN) observations. *)
+
+  val nan_count : t -> int
+  (** NaN observations rejected by {!add}. *)
+
   val bin_count : t -> int
 
   val bin : t -> int -> float * float * int
   (** [bin t i] is [(lower_edge, upper_edge, occupancy)]. *)
 
   val fraction_below : t -> float -> float
-  (** Fraction of observations in bins entirely below the given value. *)
+  (** Fraction of binned observations in bins entirely below the given
+      value. *)
 end
 
 val jain_index : float array -> float

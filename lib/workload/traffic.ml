@@ -8,7 +8,8 @@ type t = {
   rng : Netsim.Rng.t;
   internet : Topology.Builder.t;
   popularity : popularity;
-  mutable next_port : int;
+  mutable next_src_port : int;
+  mutable next_dst_port : int;
 }
 
 let create ~rng ~internet ?(zipf_alpha = 0.9) ?hotspots () =
@@ -34,7 +35,26 @@ let create ~rng ~internet ?(zipf_alpha = 0.9) ?hotspots () =
         Hotspots { ids; cumulative }
     | Some _ | None -> Zipf (Netsim.Rng.Zipf.create ~n ~alpha:zipf_alpha)
   in
-  { rng; internet; popularity; next_port = 1024 }
+  { rng; internet; popularity; next_src_port = 1024; next_dst_port = 80 }
+
+(* Source ports march through [1024, 65535] (the ephemeral range; also
+   the range [Wire.Buf.Writer.u16] can encode).  A run beyond the ~64k
+   ports in that range wraps the source port and steps the destination
+   port instead, so the full (src, dst, src_port, dst_port) tuple stays
+   unique for ~4 billion flows rather than colliding — or overflowing
+   u16 — after 64512. *)
+let next_ports t =
+  let src = t.next_src_port + 1 in
+  if src > 65535 then begin
+    t.next_src_port <- 1024;
+    t.next_dst_port <-
+      (if t.next_dst_port >= 65535 then 80 else t.next_dst_port + 1);
+    (1024, t.next_dst_port)
+  end
+  else begin
+    t.next_src_port <- src;
+    (src, t.next_dst_port)
+  end
 
 (* Popularity rank r corresponds to domain id r: domain 0 is the most
    popular destination of a Zipf workload. *)
@@ -46,11 +66,17 @@ let draw_destination t =
   | Zipf dist -> destination_rank t (Netsim.Rng.Zipf.sample dist t.rng)
   | Hotspots { ids; cumulative } ->
       let u = Netsim.Rng.float t.rng in
-      let rec search i =
-        if i >= Array.length cumulative - 1 || cumulative.(i) > u then ids.(i)
-        else search (i + 1)
+      (* Least index whose cumulative weight exceeds [u] (the last one
+         when rounding left the total just below 1), found by bisection
+         rather than a linear scan — hotspot lists are small today, but
+         the TE experiments sweep them wider at scale. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if cumulative.(mid) > u then search lo mid else search (mid + 1) hi
       in
-      search 0
+      ids.(search 0 (Array.length cumulative - 1))
 
 let random_flow t ?src_domain ?dst_domain () =
   let domains = t.internet.Topology.Builder.domains in
@@ -75,11 +101,11 @@ let random_flow t ?src_domain ?dst_domain () =
   let src_dom = domains.(src_id) and dst_dom = domains.(dst_id) in
   let src_host = Netsim.Rng.int t.rng (Array.length src_dom.Topology.Domain.hosts) in
   let dst_host = Netsim.Rng.int t.rng (Array.length dst_dom.Topology.Domain.hosts) in
-  t.next_port <- t.next_port + 1;
+  let src_port, dst_port = next_ports t in
   Flow.create
     ~src:(Topology.Domain.host_eid src_dom src_host)
     ~dst:(Topology.Domain.host_eid dst_dom dst_host)
-    ~src_port:t.next_port ~dst_port:80 ()
+    ~src_port ~dst_port ()
 
 let flow_size_packets t ?(mean = 12.0) () =
   let shape = 1.3 in

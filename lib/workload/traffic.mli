@@ -2,8 +2,11 @@
 
     Draws flows whose destination-domain popularity is Zipf-distributed
     (cache-friendliness knob of experiments T1/F3) and whose sizes are
-    Pareto-heavy-tailed.  Source ports are allocated sequentially so
-    every generated flow is unique. *)
+    Pareto-heavy-tailed.  Source ports are allocated sequentially within
+    the ephemeral range [1024, 65535]; when they wrap (runs past ~64k
+    flows) the destination port is stepped instead, so the full
+    (src, dst, src_port, dst_port) tuple keeps every generated flow
+    unique well past a billion flows. *)
 
 type t
 
@@ -21,8 +24,9 @@ val create :
 
 val random_flow : t -> ?src_domain:int -> ?dst_domain:int -> unit -> Nettypes.Flow.t
 (** Draw a flow: source domain uniform (unless fixed), destination by
-    popularity (unless fixed), hosts uniform, fresh source port.  The
-    destination domain always differs from the source domain. *)
+    popularity (unless fixed), hosts uniform, fresh (src_port, dst_port)
+    pair.  The destination domain always differs from the source
+    domain. *)
 
 val destination_rank : t -> int -> int
 (** Popularity rank that maps to the given draw index — exposed for

@@ -204,6 +204,24 @@ let test_zipf_alpha_zero_uniform () =
     check_float "uniform mass" 0.25 (Rng.Zipf.probability d k)
   done
 
+let test_zipf_alias_matches_masses () =
+  (* The alias table must reproduce the declared distribution, not just
+     its skew: empirical frequency of every rank within 1% of its mass. *)
+  let d = Rng.Zipf.create ~n:10 ~alpha:1.0 in
+  let rng = Rng.create 14 in
+  let n = 100_000 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to n do
+    let k = Rng.Zipf.sample d rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 9 do
+    let f = float_of_int counts.(k) /. float_of_int n in
+    if Float.abs (f -. Rng.Zipf.probability d k) > 0.01 then
+      Alcotest.failf "rank %d: frequency %f vs mass %f" k f
+        (Rng.Zipf.probability d k)
+  done
+
 let test_rng_copy_independent () =
   let a = Rng.create 11 in
   ignore (Rng.int64 a);
@@ -363,6 +381,79 @@ let test_jain () =
   check_float "empty" 1.0 (Stats.jain_index [||]);
   check_float "all zero" 1.0 (Stats.jain_index [| 0.0; 0.0 |])
 
+let test_samples_reservoir_bounded () =
+  let res = Stats.Samples.create ~mode:(Stats.Samples.Reservoir 512) () in
+  let exact = Stats.Samples.create () in
+  let rng = Rng.create 17 in
+  for _ = 1 to 20_000 do
+    let x = Rng.float rng in
+    Stats.Samples.add res x;
+    Stats.Samples.add exact x
+  done;
+  Alcotest.(check int) "count sees every observation" 20_000
+    (Stats.Samples.count res);
+  Alcotest.(check int) "retained bounded by capacity" 512
+    (Stats.Samples.retained res);
+  check_float "mean stays exact in reservoir mode" (Stats.Samples.mean exact)
+    (Stats.Samples.mean res);
+  List.iter
+    (fun p ->
+      let e = Stats.Samples.percentile exact p in
+      let r = Stats.Samples.percentile res p in
+      if Float.abs (r -. e) > 0.08 then
+        Alcotest.failf "p%g: reservoir %f vs exact %f" p r e)
+    [ 10.0; 50.0; 90.0; 99.0 ];
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Stats.Samples.create: reservoir capacity must be > 0")
+    (fun () -> ignore (Stats.Samples.create ~mode:(Stats.Samples.Reservoir 0) ()))
+
+let test_samples_retained_exact_mode () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "exact mode retains everything" 100
+    (Stats.Samples.retained s);
+  Alcotest.(check int) "and counts the same" 100 (Stats.Samples.count s)
+
+let test_samples_sort_total_order () =
+  (* Float.compare gives a total order: a NaN observation sorts first
+     instead of corrupting the sort, and order statistics of the real
+     values survive. *)
+  let s = Stats.Samples.create () in
+  List.iter (Stats.Samples.add s) [ 2.0; Float.nan; 1.0 ];
+  check_float "max still found" 2.0 (Stats.Samples.percentile s 100.0)
+
+let test_p2_tracks_exact () =
+  let p2 = Stats.P2.create ~p:95.0 in
+  let exact = Stats.Samples.create () in
+  let rng = Rng.create 23 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Stats.P2.add p2 x;
+    Stats.Samples.add exact x
+  done;
+  Alcotest.(check int) "count" 10_000 (Stats.P2.count p2);
+  let e = Stats.Samples.percentile exact 95.0 in
+  if Float.abs (Stats.P2.quantile p2 -. e) > 0.02 then
+    Alcotest.failf "p95: P2 %f vs exact %f" (Stats.P2.quantile p2) e
+
+let test_p2_small_n_exact () =
+  let p2 = Stats.P2.create ~p:50.0 in
+  List.iter (Stats.P2.add p2) [ 3.0; 1.0; 2.0 ];
+  check_float "median of three is exact" 2.0 (Stats.P2.quantile p2);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.P2.create: p must be in (0, 100)") (fun () ->
+      ignore (Stats.P2.create ~p:100.0))
+
+let test_histogram_nan () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stats.Histogram.add h) [ 1.0; Float.nan; 5.0; Float.nan; Float.nan ];
+  Alcotest.(check int) "count excludes NaN" 2 (Stats.Histogram.count h);
+  Alcotest.(check int) "NaN counted separately" 3 (Stats.Histogram.nan_count h);
+  check_float "fraction_below over binned values only" 0.5
+    (Stats.Histogram.fraction_below h 2.0)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -467,6 +558,39 @@ let prop_jain_range =
       let j = Stats.jain_index a in
       let n = float_of_int (Array.length a) in
       j >= (1.0 /. n) -. 1e-9 && j <= 1.0 +. 1e-9)
+
+let prop_reservoir_tracks_exact =
+  QCheck.Test.make ~name:"reservoir median tracks exact within tolerance"
+    ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 2000 8000))
+    (fun (seed, n) ->
+      let exact = Stats.Samples.create () in
+      let res = Stats.Samples.create ~mode:(Stats.Samples.Reservoir 512) () in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let x = Rng.float rng in
+        Stats.Samples.add exact x;
+        Stats.Samples.add res x
+      done;
+      Stats.Samples.retained res = 512
+      && Stats.Samples.count res = n
+      && Float.abs (Stats.Samples.median res -. Stats.Samples.median exact)
+         < 0.1)
+
+let prop_p2_tracks_exact =
+  QCheck.Test.make ~name:"p2 estimate tracks exact within tolerance" ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 1000 5000))
+    (fun (seed, n) ->
+      let exact = Stats.Samples.create () in
+      let p2 = Stats.P2.create ~p:90.0 in
+      let rng = Rng.create seed in
+      for _ = 1 to n do
+        let x = Rng.float rng in
+        Stats.Samples.add exact x;
+        Stats.P2.add p2 x
+      done;
+      Float.abs (Stats.P2.quantile p2 -. Stats.Samples.percentile exact 90.0)
+      < 0.05)
 
 (* ------------------------------------------------------------------ *)
 (* Faults                                                              *)
@@ -608,6 +732,8 @@ let () =
           Alcotest.test_case "masses" `Quick test_zipf_masses;
           Alcotest.test_case "sampling skew" `Quick test_zipf_sampling_skew;
           Alcotest.test_case "alpha zero" `Quick test_zipf_alpha_zero_uniform;
+          Alcotest.test_case "alias matches masses" `Quick
+            test_zipf_alias_matches_masses;
         ] );
       ( "stats",
         [
@@ -618,6 +744,14 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "fraction below" `Quick test_histogram_fraction_below;
           Alcotest.test_case "jain" `Quick test_jain;
+          Alcotest.test_case "reservoir bounded" `Quick
+            test_samples_reservoir_bounded;
+          Alcotest.test_case "retained in exact mode" `Quick
+            test_samples_retained_exact_mode;
+          Alcotest.test_case "sort is total" `Quick test_samples_sort_total_order;
+          Alcotest.test_case "p2 tracks exact" `Quick test_p2_tracks_exact;
+          Alcotest.test_case "p2 small n" `Quick test_p2_small_n_exact;
+          Alcotest.test_case "histogram nan" `Quick test_histogram_nan;
         ] );
       ( "faults",
         [
@@ -640,5 +774,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_engine_drains; prop_summary_mean_bounds;
             prop_percentile_monotone; prop_jain_range;
-            prop_shuffle_permutation ] );
+            prop_shuffle_permutation; prop_reservoir_tracks_exact;
+            prop_p2_tracks_exact ] );
     ]

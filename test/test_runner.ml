@@ -1,0 +1,116 @@
+(* Tests for the scale-out experiment runner: forked workers must
+   produce a byte-identical emitted stream whatever the worker count,
+   outcomes must come back in task order with failures flagged, and the
+   BENCH.json document must carry one record per experiment. *)
+
+let task id body =
+  { Experiments.Runner.task_id = id; task_title = "task " ^ id;
+    task_run = body }
+
+(* Workers print through both buffered stdout and Format.std_formatter
+   (the Metrics.Table path), so the runner's capture must handle both. *)
+let chatty id () =
+  Printf.printf "report for %s\n" id;
+  Format.printf "formatted line (%s)@." id
+
+let run_to_string ~jobs tasks =
+  let buf = Buffer.create 256 in
+  let outcomes =
+    Experiments.Runner.run ~jobs ~emit:(Buffer.add_string buf)
+      ~log:(fun _ -> ()) tasks
+  in
+  (Buffer.contents buf, outcomes)
+
+let ids = [ "a"; "b"; "c"; "d"; "e" ]
+let tasks () = List.map (fun id -> task id (chatty id)) ids
+
+let test_serial_parallel_identical () =
+  let serial, _ = run_to_string ~jobs:1 (tasks ()) in
+  let parallel, _ = run_to_string ~jobs:3 (tasks ()) in
+  Alcotest.(check string) "byte-identical output" serial parallel
+
+let test_output_in_task_order () =
+  let out, outcomes = run_to_string ~jobs:2 (tasks ()) in
+  Alcotest.(check (list string)) "outcomes in task order" ids
+    (List.map (fun o -> o.Experiments.Runner.out_id) outcomes);
+  let expected =
+    String.concat ""
+      (List.map
+         (fun id ->
+           Printf.sprintf ">>> [%s] task %s\nreport for %s\nformatted line (%s)\n\n"
+             id id id id)
+         ids)
+  in
+  Alcotest.(check string) "headers + captured output, task order" expected out
+
+let test_failure_flagged () =
+  let ts =
+    [ task "fine" (chatty "fine"); task "boom" (fun () -> failwith "boom") ]
+  in
+  let _, outcomes = run_to_string ~jobs:2 ts in
+  match outcomes with
+  | [ a; b ] ->
+      Alcotest.(check bool) "healthy task ok" true a.Experiments.Runner.out_ok;
+      Alcotest.(check bool) "failing task flagged" false
+        b.Experiments.Runner.out_ok
+  | _ -> Alcotest.fail "expected two outcomes"
+
+let test_jobs_validated () =
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Runner.run: jobs must be >= 1") (fun () ->
+      ignore (Experiments.Runner.run ~jobs:0 []))
+
+let test_bench_json_shape () =
+  let _, outcomes = run_to_string ~jobs:1 (tasks ()) in
+  match Experiments.Runner.bench_json ~jobs:1 ~total_wall:1.5 outcomes with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema tag" true
+        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/1");
+      Alcotest.(check bool) "jobs recorded" true
+        (List.assoc "jobs" fields = Obs.Json.Int 1);
+      (match List.assoc "experiments" fields with
+      | Obs.Json.List l ->
+          Alcotest.(check int) "one record per task" (List.length ids)
+            (List.length l);
+          List.iter2
+            (fun id record ->
+              match record with
+              | Obs.Json.Obj fs ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "record %s carries its id" id)
+                    true
+                    (List.assoc "id" fs = Obs.Json.String id)
+              | _ -> Alcotest.fail "experiment record not an object")
+            ids l
+      | _ -> Alcotest.fail "experiments not a list")
+  | _ -> Alcotest.fail "bench_json not an object"
+
+let prop_output_independent_of_jobs =
+  QCheck.Test.make ~name:"emitted bytes independent of job count" ~count:8
+    QCheck.(pair (int_range 2 4) (int_range 1 6))
+    (fun (jobs, n) ->
+      let mk () =
+        List.init n (fun i ->
+            let id = Printf.sprintf "t%d" i in
+            task id (chatty id))
+      in
+      let serial, _ = run_to_string ~jobs:1 (mk ()) in
+      let multi, _ = run_to_string ~jobs (mk ()) in
+      String.equal serial multi)
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "serial = parallel" `Quick
+            test_serial_parallel_identical;
+          Alcotest.test_case "task order" `Quick test_output_in_task_order;
+          Alcotest.test_case "failure flagged" `Quick test_failure_flagged;
+          Alcotest.test_case "jobs validated" `Quick test_jobs_validated;
+          Alcotest.test_case "bench json" `Quick test_bench_json_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_output_independent_of_jobs ]
+      );
+    ]

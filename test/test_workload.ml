@@ -206,6 +206,31 @@ let test_burst () =
   Alcotest.(check int) "all at once" 7 !fired;
   Alcotest.(check (float 1e-9)) "at time zero" 0.0 (Netsim.Engine.now engine)
 
+let test_poisson_stream_matches_eager () =
+  (* The self-scheduling stream (O(1) pending events) must fire at
+     exactly the instants the eager scheduler would, with the same
+     indices: same RNG stream, same floating-point accumulation. *)
+  let collect run =
+    let engine = Netsim.Engine.create () in
+    let fired = ref [] in
+    run ~engine ~rng:(Netsim.Rng.create 5) ~rate:50.0 ~duration:2.0
+      ~f:(fun i -> fired := (i, Netsim.Engine.now engine) :: !fired);
+    Netsim.Engine.run engine;
+    List.rev !fired
+  in
+  let eager =
+    collect (fun ~engine ~rng ~rate ~duration ~f ->
+        ignore (Workload.Arrivals.poisson ~engine ~rng ~rate ~duration ~f))
+  in
+  let streamed = collect Workload.Arrivals.poisson_stream in
+  Alcotest.(check int) "same arrival count" (List.length eager)
+    (List.length streamed);
+  List.iter2
+    (fun (i1, t1) (i2, t2) ->
+      Alcotest.(check int) "same index" i1 i2;
+      Alcotest.(check (float 0.0)) "bit-identical arrival time" t1 t2)
+    eager streamed
+
 (* ------------------------------------------------------------------ *)
 (* Traffic                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -288,6 +313,24 @@ let test_traffic_flow_sizes () =
   Alcotest.(check bool) "heavy-tailed mean in a plausible band" true
     (mean > 4.0 && mean < 40.0)
 
+let test_traffic_port_wraparound_70k () =
+  (* Regression for the >64k-flow bug: the 64 512 ephemeral source ports
+     run out before 70k flows, so the allocator must wrap back to 1024
+     (never handing Wire an un-encodable port) while the stepped
+     destination port keeps every (src, dst, ports) tuple distinct. *)
+  let _, traffic = make_traffic 14 in
+  let n = 70_000 in
+  let seen = ref Flow.Set.empty in
+  for _ = 1 to n do
+    let flow = Workload.Traffic.random_flow traffic () in
+    if flow.Flow.src_port < 1024 || flow.Flow.src_port > 65535 then
+      Alcotest.failf "src port %d outside the ephemeral range"
+        flow.Flow.src_port;
+    seen := Flow.Set.add flow !seen
+  done;
+  Alcotest.(check int) "all flows distinct past the 64k wrap" n
+    (Flow.Set.cardinal !seen)
+
 let test_traffic_host_name () =
   let internet, traffic = make_traffic 13 in
   let flow = Workload.Traffic.random_flow traffic ~src_domain:0 ~dst_domain:3 () in
@@ -306,6 +349,21 @@ let prop_flow_sizes_at_least_one =
         if Workload.Traffic.flow_size_packets traffic () < 1 then ok := false
       done;
       !ok)
+
+let prop_port_wrap_preserves_uniqueness =
+  QCheck.Test.make ~name:"port wraparound preserves flow uniqueness" ~count:3
+    QCheck.(pair (int_range 1 100) (int_range 65_000 68_000))
+    (fun (seed, n) ->
+      let _, traffic = make_traffic seed in
+      let seen = ref Flow.Set.empty in
+      let in_range = ref true in
+      for _ = 1 to n do
+        let flow = Workload.Traffic.random_flow traffic () in
+        if flow.Flow.src_port < 1024 || flow.Flow.src_port > 65535 then
+          in_range := false;
+        seen := Flow.Set.add flow !seen
+      done;
+      !in_range && Flow.Set.cardinal !seen = n)
 
 let prop_poisson_schedules_what_it_returns =
   QCheck.Test.make ~name:"poisson fires exactly its return count" ~count:50
@@ -338,6 +396,8 @@ let () =
           Alcotest.test_case "poisson order" `Quick test_poisson_indices_ordered;
           Alcotest.test_case "uniform spread" `Quick test_uniform_spread;
           Alcotest.test_case "burst" `Quick test_burst;
+          Alcotest.test_case "stream matches eager" `Quick
+            test_poisson_stream_matches_eager;
         ] );
       ( "traffic",
         [
@@ -347,9 +407,12 @@ let () =
           Alcotest.test_case "hotspots" `Quick test_traffic_hotspots;
           Alcotest.test_case "fixed endpoints" `Quick test_traffic_fixed_endpoints;
           Alcotest.test_case "flow sizes" `Quick test_traffic_flow_sizes;
+          Alcotest.test_case "port wraparound at 70k" `Quick
+            test_traffic_port_wraparound_70k;
           Alcotest.test_case "host name" `Quick test_traffic_host_name;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_flow_sizes_at_least_one; prop_poisson_schedules_what_it_returns ] );
+          [ prop_flow_sizes_at_least_one; prop_poisson_schedules_what_it_returns;
+            prop_port_wrap_preserves_uniqueness ] );
     ]
