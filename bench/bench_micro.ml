@@ -192,10 +192,27 @@ let test_hub_disabled =
                (Obs.Event.Mapping_push { targets = i })
          done))
 
+(* The span-source events (connection/handshake lifecycle) sit on the
+   TCP fast path, so their guarded emit sites must also collapse to one
+   boolean test when the hub is off. *)
+let test_spans_disabled =
+  Test.make ~name:"obs: 10k span-event emit (disabled)"
+    (Staged.stage (fun () ->
+         for i = 1 to 10_000 do
+           if Obs.Hub.enabled disabled_hub then begin
+             Obs.Hub.emit disabled_hub ~time:(float_of_int i) ~actor:"bench"
+               ~flow:i
+               (Obs.Event.Syn_sent { attempt = 1 });
+             Obs.Hub.emit disabled_hub ~time:(float_of_int i) ~actor:"bench"
+               ~flow:i Obs.Event.Conn_established
+           end
+         done))
+
 let tests =
   [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
     test_wire_encode; test_wire_decode; test_zipf; test_samples_exact;
-    test_samples_reservoir; test_p2; test_trace_disabled; test_hub_disabled ]
+    test_samples_reservoir; test_p2; test_trace_disabled; test_hub_disabled;
+    test_spans_disabled ]
 
 let print () =
   let ols =

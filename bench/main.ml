@@ -21,6 +21,8 @@ let usage () =
   print_endline "  --jobs N          run N experiment workers in parallel (default 1)";
   print_endline "  --bench-json FILE write the machine-readable perf record there";
   print_endline "                    (default BENCH.json)";
+  print_endline "  --no-latency      skip the per-flow latency decomposition";
+  print_endline "                    (drops the \"latency\" block from BENCH.json)";
   print_endline "available experiments:";
   List.iter
     (fun (id, title, _) ->
@@ -41,6 +43,7 @@ let bad_usage fmt =
 let parse_args args =
   let jobs = ref 1 in
   let bench_json = ref "BENCH.json" in
+  let latency = ref true in
   let ids = ref [] in
   let rec loop = function
     | [] -> ()
@@ -53,6 +56,9 @@ let parse_args args =
         | Some _ | None -> bad_usage "--jobs expects a positive integer");
         loop rest
     | [ "--jobs" ] -> bad_usage "--jobs expects a value"
+    | "--no-latency" :: rest ->
+        latency := false;
+        loop rest
     | "--bench-json" :: path :: rest ->
         bench_json := path;
         loop rest
@@ -70,10 +76,10 @@ let parse_args args =
         loop rest
   in
   loop args;
-  (!jobs, !bench_json, List.rev !ids)
+  (!jobs, !bench_json, !latency, List.rev !ids)
 
 let () =
-  let jobs, bench_json, requested =
+  let jobs, bench_json, latency, requested =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
   let selected =
@@ -102,7 +108,7 @@ let () =
       selected
   in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Experiments.Runner.run ~jobs tasks in
+  let outcomes = Experiments.Runner.run ~jobs ~latency tasks in
   let total_wall = Unix.gettimeofday () -. t0 in
   Experiments.Runner.write_bench_json ~path:bench_json ~jobs ~total_wall
     outcomes;

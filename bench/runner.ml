@@ -22,11 +22,21 @@ type outcome = {
   out_events : int;  (* engine events fired by the worker *)
   out_peak_rss_kb : int;  (* worker VmHWM; 0 when unavailable *)
   out_ok : bool;
+  out_latency : (string * (string * float) list) list;
+      (* per-run latency decomposition, attach order; derived from
+         simulated time only, so identical whatever the job count *)
 }
 
-(* Summary record marshalled from worker to parent: plain scalars only,
-   so marshalling is closure-free and version-safe within one binary. *)
-type summary = { s_wall : float; s_events : int; s_rss_kb : int; s_ok : bool }
+(* Summary record marshalled from worker to parent: plain scalars and
+   strings only, so marshalling is closure-free and version-safe within
+   one binary. *)
+type summary = {
+  s_wall : float;
+  s_events : int;
+  s_rss_kb : int;
+  s_ok : bool;
+  s_latency : (string * (string * float) list) list;
+}
 
 let peak_rss_kb () =
   (* VmHWM from /proc/self/status, in kB; Linux-only by construction. *)
@@ -68,7 +78,7 @@ type worker = {
   w_out_file : string;
 }
 
-let spawn index task =
+let spawn ~latency index task =
   let out_file = Filename.temp_file "bench-worker" ".out" in
   let pipe_r, pipe_w = Unix.pipe () in
   (* Anything buffered now would otherwise be flushed twice, once per
@@ -84,6 +94,13 @@ let spawn index task =
       in
       Unix.dup2 out_fd Unix.stdout;
       Unix.close out_fd;
+      (* Latency decomposition rides on the Obs hub: install a runtime
+         with no exporters so every scenario the task builds feeds a
+         Latency analyzer.  Simulated time only — the numbers cannot
+         depend on worker scheduling.  Skipped when a runtime is
+         already active (the task owns the wiring then). *)
+      let observe = latency && not (Obs.Runtime.active ()) in
+      if observe then ignore (Obs.Runtime.install ~latency:true ());
       let t0 = Unix.gettimeofday () in
       let events0 = Netsim.Engine.total_events_processed () in
       let ok =
@@ -95,10 +112,12 @@ let spawn index task =
             (Printexc.to_string exn);
           false
       in
+      let lat = if observe then Obs.Runtime.latency_reports () else [] in
+      if observe then Obs.Runtime.finalize ();
       let summary =
         { s_wall = Unix.gettimeofday () -. t0;
           s_events = Netsim.Engine.total_events_processed () - events0;
-          s_rss_kb = peak_rss_kb (); s_ok = ok }
+          s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat }
       in
       flush_std ();
       let blob = Marshal.to_bytes summary [] in
@@ -136,14 +155,15 @@ let collect w =
   let summary =
     if Bytes.length blob = 0 then
       (* Worker died before reporting (segfault, kill): synthesise. *)
-      { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false }
+      { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false; s_latency = [] }
     else (Marshal.from_bytes blob 0 : summary)
   in
   let text = try read_file w.w_out_file with Sys_error _ -> "" in
   (try Sys.remove w.w_out_file with Sys_error _ -> ());
   { out_id = w.w_task.task_id; out_title = w.w_task.task_title;
     out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
-    out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok }
+    out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok;
+    out_latency = summary.s_latency }
 
 let log_line o =
   let rate =
@@ -157,7 +177,8 @@ let log_line o =
 (* Run every task, [jobs] workers at a time, emitting the deterministic
    stream (headers + captured outputs, task order) on [emit] and the
    timing lines on [log].  Returns the outcomes in task order. *)
-let run ?(jobs = 1) ?(emit = print_string) ?(log = prerr_string) tasks =
+let run ?(jobs = 1) ?(latency = true) ?(emit = print_string)
+    ?(log = prerr_string) tasks =
   if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
@@ -180,7 +201,7 @@ let run ?(jobs = 1) ?(emit = print_string) ?(log = prerr_string) tasks =
   while !next < n || !running <> [] do
     (* Keep the worker pool full... *)
     while !next < n && List.length !running < jobs do
-      running := spawn !next tasks.(!next) :: !running;
+      running := spawn ~latency !next tasks.(!next) :: !running;
       incr next
     done;
     (* ...then wait for any worker to finish and bank its outcome. *)
@@ -201,6 +222,13 @@ let run ?(jobs = 1) ?(emit = print_string) ?(log = prerr_string) tasks =
    experiment plus run-level totals.  Schema documented in
    doc/performance.md. *)
 let bench_json ~jobs ~total_wall outcomes =
+  let latency_run (label, metrics) =
+    (* A list of objects, not one object: run labels can repeat when an
+       experiment replays the same scenario config. *)
+    Obs.Json.Obj
+      (("run", Obs.Json.String label)
+      :: List.map (fun (k, v) -> (k, Obs.Json.Float v)) metrics)
+  in
   let experiment o =
     Obs.Json.Obj
       [ ("id", Obs.Json.String o.out_id);
@@ -212,10 +240,11 @@ let bench_json ~jobs ~total_wall outcomes =
           Obs.Json.Float
             (if o.out_wall > 0.0 then float_of_int o.out_events /. o.out_wall
              else 0.0) );
-        ("peak_rss_kb", Obs.Json.Int o.out_peak_rss_kb) ]
+        ("peak_rss_kb", Obs.Json.Int o.out_peak_rss_kb);
+        ("latency", Obs.Json.List (List.map latency_run o.out_latency)) ]
   in
   Obs.Json.Obj
-    [ ("schema", Obs.Json.String "lisp-pce-bench/1");
+    [ ("schema", Obs.Json.String "lisp-pce-bench/2");
       ("jobs", Obs.Json.Int jobs);
       ("total_wall_s", Obs.Json.Float total_wall);
       ( "total_events",

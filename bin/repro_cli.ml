@@ -5,6 +5,8 @@
                 [--trace-out FILE]      ... exporting structured events (JSONL)
                 [--metrics-out FILE]    ... and metrics (JSON, or CSV by suffix)
      repro_cli obs FILE                 summarise an exported event stream
+     repro_cli spans FILE               per-run latency decomposition
+                [--chrome FILE]        ... plus a Perfetto-loadable trace
      repro_cli trace                    print the Figure-1 walkthrough
      repro_cli topology [-d N] [-p N]   describe a generated internet
      repro_cli connect [--cp NAME]      one measured connection end-to-end *)
@@ -375,6 +377,134 @@ let obs_cmd =
     Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Split a multi-run JSONL stream at its run_start markers.  Streams
+   written before the markers existed fall into one unlabelled
+   segment. *)
+let segment_runs events =
+  let rec go label current_rev acc = function
+    | [] -> List.rev ((label, List.rev current_rev) :: acc)
+    | e :: rest -> (
+        match e.Obs.Event.kind with
+        | Obs.Event.Run_start { label = next } ->
+            go next [] ((label, List.rev current_rev) :: acc) rest
+        | _ -> go label (e :: current_rev) acc rest)
+  in
+  match go "(unlabelled)" [] [] events with
+  | ("(unlabelled)", []) :: (_ :: _ as rest) -> rest
+  | segments -> segments
+
+let spans_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL event stream written by $(b,run --trace-out).")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ])
+           `Table
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,table), $(b,json) or $(b,csv).")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also write the span trees as a Chrome trace_event file \
+                 (open in Perfetto or chrome://tracing).")
+  in
+  let run file format chrome =
+    let events, errors = Obs.Export.read_jsonl file in
+    if events = [] && errors = [] then begin
+      Printf.printf "%s: empty event stream\n" file;
+      exit 0
+    end;
+    let segments = segment_runs events in
+    let segment_end evs =
+      List.fold_left (fun acc e -> Float.max acc e.Obs.Event.time) 0.0 evs
+    in
+    let reports =
+      List.map
+        (fun (label, evs) ->
+          let lat = Obs.Latency.create () in
+          List.iter (Obs.Latency.feed lat) evs;
+          Obs.Latency.close lat ~now:(segment_end evs);
+          (label, Obs.Latency.summary lat))
+        segments
+    in
+    (match chrome with
+    | None -> ()
+    | Some out ->
+        let trees =
+          List.map
+            (fun (label, evs) ->
+              let b = Obs.Span.create_builder () in
+              List.iter (Obs.Span.feed b) evs;
+              Obs.Span.finish b ~now:(segment_end evs);
+              (label, Obs.Span.roots b))
+            segments
+        in
+        Obs.Span.write_chrome_trace ~file:out trees);
+    (match format with
+    | `Json ->
+        let json =
+          Obs.Json.Obj
+            [ ("file", Obs.Json.String file);
+              ("parse_errors", Obs.Json.Int (List.length errors));
+              ( "runs",
+                Obs.Json.List
+                  (List.map
+                     (fun (label, summary) ->
+                       Obs.Json.Obj
+                         (("run", Obs.Json.String label)
+                         :: List.map
+                              (fun (k, v) -> (k, Obs.Json.Float v))
+                              summary))
+                     reports) ) ]
+        in
+        print_endline (Obs.Json.to_string json)
+    | `Table | `Csv ->
+        let table =
+          Metrics.Table.create
+            ~title:
+              (Printf.sprintf "latency decomposition: %s"
+                 (Filename.basename file))
+            ~columns:("metric" :: List.map fst reports)
+        in
+        let metric_names =
+          match reports with (_, s) :: _ -> List.map fst s | [] -> []
+        in
+        List.iter
+          (fun name ->
+            Metrics.Table.add_row table
+              (name
+              :: List.map
+                   (fun (_, summary) ->
+                     let v = List.assoc name summary in
+                     if Float.is_integer v && Float.abs v < 1e9 then
+                       Printf.sprintf "%.0f" v
+                     else Printf.sprintf "%.6f" v)
+                   reports))
+          metric_names;
+        (match format with
+        | `Csv -> print_string (Metrics.Table.to_csv table)
+        | _ -> Metrics.Table.print table));
+    (* stderr: stdout must stay machine-readable under --format json/csv *)
+    Option.iter (Printf.eprintf "(chrome trace written to %s)\n") chrome;
+    List.iter
+      (fun (line, message) ->
+        Printf.eprintf "%s:%d: unparseable event: %s\n" file line message)
+      errors;
+    if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:"Stitch an exported event stream into causal span trees and \
+             report each run's setup-latency decomposition (T_DNS, \
+             T_map_resol, first-packet wait, handshake) in the paper's \
+             terms.")
+    Term.(const run $ file $ format $ chrome)
+
+(* ------------------------------------------------------------------ *)
 (* connect                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -488,4 +618,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; trace_cmd; topology_cmd; connect_cmd; simulate_cmd;
-         compare_cmd; obs_cmd ]))
+         compare_cmd; obs_cmd; spans_cmd ]))

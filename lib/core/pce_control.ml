@@ -132,7 +132,9 @@ let push_entry t pce entry =
                 t.stats.Mapsys.Cp_stats.retransmissions + 1;
               if obs_on t then
                 obs_emit t ~actor
-                  (Obs.Event.Cp_retry { eid = entry.Mapping.dst_eid; attempt });
+                  (Obs.Event.Cp_retry
+                     { eid = entry.Mapping.dst_eid; attempt;
+                       message = "pce-push" });
               ignore
                 (Netsim.Engine.schedule t.engine
                    ~delay:(Netsim.Faults.retry_delay retry ~attempt)
@@ -142,7 +144,8 @@ let push_entry t pce entry =
                 t.stats.Mapsys.Cp_stats.timeouts + 1;
               if obs_on t then
                 obs_emit t ~actor
-                  (Obs.Event.Cp_timeout { eid = entry.Mapping.dst_eid })
+                  (Obs.Event.Cp_timeout
+                     { eid = entry.Mapping.dst_eid; message = "pce-push" })
         end
         else
           ignore

@@ -251,7 +251,7 @@ let build config =
   in
   let tcp =
     Workload.Tcp.create ~engine ~dataplane ~initial_rto:config.initial_rto
-      ~data_gap:config.data_gap ()
+      ~data_gap:config.data_gap ~obs ()
   in
   (* Every layer's live counters, exposed as read-on-snapshot gauges so
      there is no double bookkeeping anywhere. *)
@@ -357,6 +357,13 @@ let open_connection t ~flow ?data_packets ?data_bytes ?on_established
       resolution_failed = false; tcp = None }
   in
   t.connections_rev <- connection :: t.connections_rev;
+  (* Root marker for the span layer: setup starts here, with the DNS
+     lookup; the matching close is Conn_established / Conn_failed. *)
+  if Obs.Hub.enabled t.obs then
+    Obs.Hub.emit t.obs ~time:connection.opened_at
+      ~actor:(src_domain.Topology.Domain.name ^ "-host")
+      ~flow:(Obs.Event.flow_id flow)
+      (Obs.Event.Conn_open { dst = flow.Flow.dst });
   let established _ =
     (match total_setup_time connection with
     | Some setup -> Obs.Registry.observe t.setup_time_hist setup
@@ -374,7 +381,13 @@ let open_connection t ~flow ?data_packets ?data_bytes ?on_established
       connection.dns_time <- Some dns_time;
       Obs.Registry.observe t.dns_time_hist dns_time;
       match answer with
-      | None -> connection.resolution_failed <- true
+      | None ->
+          connection.resolution_failed <- true;
+          if Obs.Hub.enabled t.obs then
+            Obs.Hub.emit t.obs ~time:(Netsim.Engine.now t.engine)
+              ~actor:(src_domain.Topology.Domain.name ^ "-host")
+              ~flow:(Obs.Event.flow_id flow)
+              (Obs.Event.Conn_failed { reason = "resolution-failed" })
       | Some _addr ->
           let tcp_conn =
             Workload.Tcp.start_connection t.tcp ~flow ?data_packets

@@ -255,7 +255,8 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
                    t.stats.Cp_stats.timeouts <- t.stats.Cp_stats.timeouts + 1;
                    if obs_on t then
                      obs_emit t ~actor ?flow
-                       (Obs.Event.Cp_timeout { eid = request_eid });
+                       (Obs.Event.Cp_timeout
+                          { eid = request_eid; message = "map-request" });
                    abandon t resolution ~cause:"resolution-timeout"
                  end
                  else begin
@@ -264,7 +265,8 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
                    if obs_on t then
                      obs_emit t ~actor ?flow
                        (Obs.Event.Cp_retry
-                          { eid = request_eid; attempt = resolution.attempts });
+                          { eid = request_eid; attempt = resolution.attempts;
+                            message = "map-request" });
                    send_attempt t resolution router dst_domain mapping ~flow ()
                  end))
 

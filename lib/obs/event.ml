@@ -16,8 +16,14 @@ type kind =
   | Link_up of { rloc : Ipv4.addr }
   | Link_down of { rloc : Ipv4.addr }
   | Cp_loss of { message : string }
-  | Cp_retry of { eid : Ipv4.addr; attempt : int }
-  | Cp_timeout of { eid : Ipv4.addr }
+  | Cp_retry of { eid : Ipv4.addr; attempt : int; message : string }
+  | Cp_timeout of { eid : Ipv4.addr; message : string }
+  | Conn_open of { dst : Ipv4.addr }
+  | Conn_established
+  | Conn_failed of { reason : string }
+  | Syn_sent of { attempt : int }
+  | Syn_received
+  | Run_start of { label : string }
   | Note of string
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
@@ -49,6 +55,12 @@ let kind_name = function
   | Cp_loss _ -> "cp_loss"
   | Cp_retry _ -> "cp_retry"
   | Cp_timeout _ -> "cp_timeout"
+  | Conn_open _ -> "conn_open"
+  | Conn_established -> "conn_established"
+  | Conn_failed _ -> "conn_failed"
+  | Syn_sent _ -> "syn_sent"
+  | Syn_received -> "syn_received"
+  | Run_start _ -> "run_start"
   | Note _ -> "note"
 
 let describe_kind = function
@@ -81,11 +93,18 @@ let describe_kind = function
   | Link_down { rloc } ->
       Printf.sprintf "link down (RLOC %s)" (Ipv4.addr_to_string rloc)
   | Cp_loss { message } -> Printf.sprintf "control message lost (%s)" message
-  | Cp_retry { eid; attempt } ->
-      Printf.sprintf "retransmission %d for %s" attempt
+  | Cp_retry { eid; attempt; message } ->
+      Printf.sprintf "retransmission %d of %s for %s" attempt message
         (Ipv4.addr_to_string eid)
-  | Cp_timeout { eid } ->
-      Printf.sprintf "resolution timeout for %s" (Ipv4.addr_to_string eid)
+  | Cp_timeout { eid; message } ->
+      Printf.sprintf "%s timeout for %s" message (Ipv4.addr_to_string eid)
+  | Conn_open { dst } ->
+      Printf.sprintf "connection open to %s" (Ipv4.addr_to_string dst)
+  | Conn_established -> "connection established"
+  | Conn_failed { reason } -> Printf.sprintf "connection failed (%s)" reason
+  | Syn_sent { attempt } -> Printf.sprintf "SYN sent (transmission %d)" attempt
+  | Syn_received -> "first SYN reached the responder"
+  | Run_start { label } -> Printf.sprintf "run start: %s" label
   | Note text -> text
 
 let describe e = describe_kind e.kind
@@ -116,9 +135,17 @@ let to_json e =
     | Irc_decision { rloc } | Link_up { rloc } | Link_down { rloc } ->
         [ ("rloc", addr rloc) ]
     | Cp_loss { message } -> [ ("message", Json.String message) ]
-    | Cp_retry { eid; attempt } ->
-        [ ("eid", addr eid); ("attempt", Json.Int attempt) ]
-    | Cp_timeout { eid } -> [ ("eid", addr eid) ]
+    | Cp_retry { eid; attempt; message } ->
+        [ ("eid", addr eid); ("attempt", Json.Int attempt);
+          ("message", Json.String message) ]
+    | Cp_timeout { eid; message } ->
+        [ ("eid", addr eid); ("message", Json.String message) ]
+    | Conn_open { dst } -> [ ("dst", addr dst) ]
+    | Conn_established -> []
+    | Conn_failed { reason } -> [ ("reason", Json.String reason) ]
+    | Syn_sent { attempt } -> [ ("attempt", Json.Int attempt) ]
+    | Syn_received -> []
+    | Run_start { label } -> [ ("label", Json.String label) ]
     | Note text -> [ ("text", Json.String text) ]
   in
   Json.Obj
@@ -175,10 +202,24 @@ let of_json json =
     | "link_down" -> Option.map (fun rloc -> Link_down { rloc }) (addr "rloc")
     | "cp_loss" -> Option.map (fun message -> Cp_loss { message }) (str "message")
     | "cp_retry" -> (
+        (* [message] is absent in pre-span JSONL streams: default it so
+           old files keep parsing. *)
+        let message = Option.value ~default:"map-request" (str "message") in
         match (addr "eid", field "attempt" Json.to_int_opt) with
-        | Some eid, Some attempt -> Some (Cp_retry { eid; attempt })
+        | Some eid, Some attempt -> Some (Cp_retry { eid; attempt; message })
         | _ -> None)
-    | "cp_timeout" -> Option.map (fun eid -> Cp_timeout { eid }) (addr "eid")
+    | "cp_timeout" ->
+        let message = Option.value ~default:"map-request" (str "message") in
+        Option.map (fun eid -> Cp_timeout { eid; message }) (addr "eid")
+    | "conn_open" -> Option.map (fun dst -> Conn_open { dst }) (addr "dst")
+    | "conn_established" -> Some Conn_established
+    | "conn_failed" ->
+        Option.map (fun reason -> Conn_failed { reason }) (str "reason")
+    | "syn_sent" ->
+        Option.map (fun attempt -> Syn_sent { attempt })
+          (field "attempt" Json.to_int_opt)
+    | "syn_received" -> Some Syn_received
+    | "run_start" -> Option.map (fun label -> Run_start { label }) (str "label")
     | "note" -> Option.map (fun text -> Note text) (str "text")
     | _ -> None
   in

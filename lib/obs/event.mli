@@ -26,11 +26,23 @@ type kind =
   | Cp_loss of { message : string }
       (** a control message ("map-request", "map-reply", "pce-push",
           "nerd-push") was lost to the fault model *)
-  | Cp_retry of { eid : Ipv4.addr; attempt : int }
+  | Cp_retry of { eid : Ipv4.addr; attempt : int; message : string }
       (** retry timer fired; [attempt] numbers the retransmission (1 =
-          first retransmit) *)
-  | Cp_timeout of { eid : Ipv4.addr }
+          first retransmit) and [message] names the originating control
+          message ("map-request", "pce-push", ...) *)
+  | Cp_timeout of { eid : Ipv4.addr; message : string }
       (** retry budget exhausted; the resolution/push was abandoned *)
+  | Conn_open of { dst : Ipv4.addr }
+      (** a workload flow starts connection setup (DNS lookup begins) *)
+  | Conn_established  (** three-way handshake completed at the initiator *)
+  | Conn_failed of { reason : string }
+      (** connection setup abandoned ("resolution-failed",
+          "syn-retries-exhausted") *)
+  | Syn_sent of { attempt : int }
+      (** initiator (re)transmitted its SYN; [attempt] is 1-based *)
+  | Syn_received  (** the first SYN copy reached the responder *)
+  | Run_start of { label : string }
+      (** stream marker separating runs in a multi-run JSONL trace *)
   | Note of string  (** free-form bridge for legacy trace text *)
 
 type t = { time : float; actor : string; flow : int option; kind : kind }

@@ -1,0 +1,130 @@
+(* Per-flow latency decomposition, folded from span trees.
+
+   The paper's connection-setup budget is
+
+     T_setup = T_DNS + T_map_resol + 2 OWD(S,D) + OWD(D,S)
+
+   and its two weaknesses are the T_map_resol term and first packets
+   dying while the ITR waits on a mapping.  This analyzer reduces each
+   finished span tree (via the builder's root-close callback, so
+   memory stays O(1) per flow) into exactly those quantities: phase
+   sums plus P2 percentiles for the means, and wait-drop counts.
+
+   Only flows whose setup completed (root outcome Ok) feed the phase
+   distributions — an abandoned flow has no meaningful "setup time".
+   A flow with no map_resolution span contributes 0 to T_map_resol,
+   which is what makes the PCE scenario's decomposition read ~0. *)
+
+module P2 = Netsim.Stats.P2
+
+type dist = { mutable sum : float; mutable n : int; p50 : P2.t; p95 : P2.t }
+
+let new_dist () =
+  { sum = 0.0; n = 0; p50 = P2.create ~p:50.0; p95 = P2.create ~p:95.0 }
+
+let dist_add d v =
+  d.sum <- d.sum +. v;
+  d.n <- d.n + 1;
+  P2.add d.p50 v;
+  P2.add d.p95 v
+
+let dist_mean d = if d.n = 0 then 0.0 else d.sum /. float_of_int d.n
+let dist_p50 d = if d.n = 0 then 0.0 else P2.quantile d.p50
+let dist_p95 d = if d.n = 0 then 0.0 else P2.quantile d.p95
+
+type agg = {
+  mutable flows : int;
+  mutable established : int;
+  mutable failed : int;
+  mutable unfinished : int;
+  mutable wait_drops : int;
+  t_dns : dist;
+  t_map : dist;
+  t_wait : dist;
+  t_handshake : dist;
+  t_setup : dist;
+  mutable drops : int;
+  mutable cp_retries : int;
+  mutable cp_timeouts : int;
+  mutable cp_losses : int;
+}
+
+type t = { agg : agg; builder : Span.builder }
+
+let observe_root agg (root : Span.t) =
+  match root.Span.flow with
+  | None -> ()  (* control-plane instant span; counted at event level *)
+  | Some _ ->
+      agg.flows <- agg.flows + 1;
+      (match root.Span.outcome with
+      | Span.Ok -> agg.established <- agg.established + 1
+      | Span.Failed -> agg.failed <- agg.failed + 1
+      | _ -> agg.unfinished <- agg.unfinished + 1);
+      let dns = ref 0.0 and map = ref 0.0 and wait = ref 0.0 in
+      let handshake = ref 0.0 in
+      Span.iter
+        (fun s ->
+          match s.Span.name with
+          | "dns_resolution" -> dns := !dns +. Span.duration s
+          | "map_resolution" -> map := !map +. Span.duration s
+          | "first_packet_wait" ->
+              wait := !wait +. Span.duration s;
+              (* Lost: dropped outright (drop mode, no-mapping).
+                 Timeout: the held packet died when the resolution
+                 timed out (queue mode).  Either way the flow's first
+                 packet never came out of the wait. *)
+              (match s.Span.outcome with
+              | Span.Lost | Span.Timeout ->
+                  agg.wait_drops <- agg.wait_drops + 1
+              | _ -> ())
+          | "handshake" -> handshake := !handshake +. Span.duration s
+          | _ -> ())
+        root;
+      if root.Span.outcome = Span.Ok then begin
+        dist_add agg.t_dns !dns;
+        dist_add agg.t_map !map;
+        dist_add agg.t_wait !wait;
+        dist_add agg.t_handshake !handshake;
+        dist_add agg.t_setup (Span.duration root)
+      end
+
+let create () =
+  let agg =
+    { flows = 0; established = 0; failed = 0; unfinished = 0; wait_drops = 0;
+      t_dns = new_dist (); t_map = new_dist (); t_wait = new_dist ();
+      t_handshake = new_dist (); t_setup = new_dist (); drops = 0;
+      cp_retries = 0; cp_timeouts = 0; cp_losses = 0 }
+  in
+  { agg; builder = Span.create_builder ~on_root_close:(observe_root agg) () }
+
+let feed t (e : Event.t) =
+  (match e.Event.kind with
+  | Event.Packet_drop _ -> t.agg.drops <- t.agg.drops + 1
+  | Event.Cp_retry _ -> t.agg.cp_retries <- t.agg.cp_retries + 1
+  | Event.Cp_timeout _ -> t.agg.cp_timeouts <- t.agg.cp_timeouts + 1
+  | Event.Cp_loss _ -> t.agg.cp_losses <- t.agg.cp_losses + 1
+  | _ -> ());
+  Span.feed t.builder e
+
+let close t ~now = Span.finish t.builder ~now
+
+let summary t =
+  let a = t.agg in
+  let phase name d =
+    [ (name ^ "_mean", dist_mean d); (name ^ "_p50", dist_p50 d);
+      (name ^ "_p95", dist_p95 d) ]
+  in
+  [ ("flows", float_of_int a.flows);
+    ("established", float_of_int a.established);
+    ("failed", float_of_int a.failed);
+    ("unfinished", float_of_int a.unfinished) ]
+  @ phase "t_dns" a.t_dns
+  @ phase "t_map_resol" a.t_map
+  @ phase "t_first_packet_wait" a.t_wait
+  @ phase "t_handshake" a.t_handshake
+  @ phase "t_setup" a.t_setup
+  @ [ ("wait_drops", float_of_int a.wait_drops);
+      ("drops", float_of_int a.drops);
+      ("cp_retries", float_of_int a.cp_retries);
+      ("cp_timeouts", float_of_int a.cp_timeouts);
+      ("cp_losses", float_of_int a.cp_losses) ]

@@ -1,0 +1,27 @@
+(** Aggregate latency decomposition in the paper's terms.
+
+    Feeds the event stream through a {!Span} builder and folds each
+    finished flow tree into the budget of the paper's formula
+    [T_setup = T_DNS + T_map_resol + 2 OWD(S,D) + OWD(D,S)]: per-phase
+    means and P² percentiles ([t_dns], [t_map_resol],
+    [t_first_packet_wait], [t_handshake], [t_setup]) over established
+    flows, plus wait-drop / retry / timeout counters over all flows.
+    Memory is O(1) per finished flow. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Event.t -> unit
+(** Usable directly as a {!Hub} sink ([fun e -> feed t e]). *)
+
+val close : t -> now:float -> unit
+(** Flush still-open flows (counted [unfinished]).  Call once, after
+    the run drained. *)
+
+val summary : t -> (string * float) list
+(** Metric pairs in a fixed, documented order: [flows], [established],
+    [failed], [unfinished]; then [_mean]/[_p50]/[_p95] for [t_dns],
+    [t_map_resol], [t_first_packet_wait], [t_handshake], [t_setup]
+    (seconds, established flows only, absent phases count 0); then
+    [wait_drops], [drops], [cp_retries], [cp_timeouts], [cp_losses]. *)

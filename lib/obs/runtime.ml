@@ -10,20 +10,23 @@ type t = {
   trace_channel : out_channel option;
   metrics_file : string option;
   interval : float;
+  latency : bool;
   mutable runs_rev : Export.run list;
+  mutable latency_rev : (string * Latency.t) list;
   mutable run_seq : int;
 }
 
 let current : t option ref = ref None
 
-let install ?trace_out ?metrics_out ?(metrics_interval = 1.0) () =
+let install ?trace_out ?metrics_out ?(metrics_interval = 1.0)
+    ?(latency = false) () =
   if !current <> None then invalid_arg "Obs.Runtime.install: already installed";
   if metrics_interval <= 0.0 then
     invalid_arg "Obs.Runtime.install: metrics interval must be positive";
   let t =
     { trace_channel = Option.map open_out trace_out;
-      metrics_file = metrics_out; interval = metrics_interval; runs_rev = [];
-      run_seq = 0 }
+      metrics_file = metrics_out; interval = metrics_interval; latency;
+      runs_rev = []; latency_rev = []; run_seq = 0 }
   in
   current := Some t;
   t
@@ -42,8 +45,18 @@ let attach ?label ~hub ~registry () =
         | None -> Printf.sprintf "run-%d" t.run_seq
       in
       (match t.trace_channel with
-      | Some oc -> Hub.add_sink hub (Export.jsonl_sink oc)
+      | Some oc ->
+          Hub.add_sink hub (Export.jsonl_sink oc);
+          (* Stream marker so a multi-run JSONL file can be split back
+             into per-run segments by [repro_cli spans]. *)
+          Hub.emit hub ~time:0.0 ~actor:"runtime"
+            (Event.Run_start { label = run_label })
       | None -> ());
+      if t.latency then begin
+        let analyzer = Latency.create () in
+        Hub.add_sink hub (fun e -> Latency.feed analyzer e);
+        t.latency_rev <- (run_label, analyzer) :: t.latency_rev
+      end;
       let sampler =
         match t.metrics_file with
         | None -> None
@@ -59,11 +72,22 @@ let attach ?label ~hub ~registry () =
 let finish_run ~now =
   match !current with
   | None -> ()
-  | Some t -> (
-      match t.runs_rev with
+  | Some t ->
+      (match t.runs_rev with
       | { Export.sampler = Some sampler; _ } :: _ ->
           Sampler.finalise sampler ~now
-      | _ -> ())
+      | _ -> ());
+      (match t.latency_rev with
+      | (_, analyzer) :: _ -> Latency.close analyzer ~now
+      | [] -> ())
+
+let latency_reports () =
+  match !current with
+  | None -> []
+  | Some t ->
+      List.rev_map
+        (fun (label, analyzer) -> (label, Latency.summary analyzer))
+        t.latency_rev
 
 let finalize () =
   match !current with

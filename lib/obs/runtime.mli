@@ -12,10 +12,13 @@ val install :
   ?trace_out:string ->
   ?metrics_out:string ->
   ?metrics_interval:float ->
+  ?latency:bool ->
   unit ->
   t
 (** Install the runtime (opens [trace_out] immediately).  At most one
-    runtime may be installed at a time. *)
+    runtime may be installed at a time.  With [~latency:true] every
+    attached run also feeds a {!Latency} analyzer; read the results
+    with {!latency_reports} before {!finalize}. *)
 
 val active : unit -> bool
 
@@ -25,8 +28,13 @@ val attach : ?label:string -> hub:Hub.t -> registry:Registry.t -> unit -> unit
     No-op when nothing is installed. *)
 
 val finish_run : now:float -> unit
-(** Record the closing metrics sample of the most recently attached
-    run (call after the scenario's engine has drained). *)
+(** Record the closing metrics sample and flush the latency analyzer
+    of the most recently attached run (call after the scenario's
+    engine has drained). *)
+
+val latency_reports : unit -> (string * (string * float) list) list
+(** Per-run latency decompositions ([(run label, Latency.summary)]) in
+    attach order; empty unless installed with [~latency:true]. *)
 
 val finalize : unit -> unit
 (** Flush and close the event stream, write the metrics file, and

@@ -13,7 +13,7 @@ type t = {
   interval : float;
   registry : Registry.t;
   max_rows : int;
-  mutable next : float;
+  mutable tick_no : int;
   mutable rows_rev : row list;
   mutable row_count : int;
   mutable dropped : int;
@@ -22,7 +22,7 @@ type t = {
 let create ?(max_rows = 100_000) ~interval ~registry () =
   if interval <= 0.0 then
     invalid_arg "Obs.Sampler.create: interval must be positive";
-  { interval; registry; max_rows; next = 0.0; rows_rev = []; row_count = 0;
+  { interval; registry; max_rows; tick_no = 0; rows_rev = []; row_count = 0;
     dropped = 0 }
 
 let interval t = t.interval
@@ -34,10 +34,17 @@ let record t ~at =
     t.row_count <- t.row_count + 1
   end
 
+(* Tick boundaries are [n * interval], not [last + interval]: repeated
+   float addition drifts (0.1 added 1000 times is 99.9999999999986, so
+   a sample lands just before t=100 and workers' series desynchronise
+   on long runs).  An integer tick counter keeps every boundary the
+   nearest float to [n * interval]. *)
+let boundary t n = float_of_int n *. t.interval
+
 let tick t ~now =
-  while t.next <= now do
-    record t ~at:t.next;
-    t.next <- t.next +. t.interval
+  while boundary t t.tick_no <= now do
+    record t ~at:(boundary t t.tick_no);
+    t.tick_no <- t.tick_no + 1
   done
 
 let finalise t ~now =

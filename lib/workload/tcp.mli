@@ -20,10 +20,14 @@ val create :
   ?initial_rto:float ->
   ?max_syn_retries:int ->
   ?data_gap:float ->
+  ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [initial_rto] defaults to 1 s, [max_syn_retries] to 6 (RFC 6298
-    style doubling), [data_gap] (pacing between data packets) to 2 ms. *)
+    style doubling), [data_gap] (pacing between data packets) to 2 ms.
+    With [?obs], handshake milestones ([Syn_sent], [Syn_received],
+    [Conn_established], [Conn_failed]) are emitted for the span layer;
+    a disabled hub costs one boolean test per site. *)
 
 type conn = {
   flow : Nettypes.Flow.t;

@@ -244,6 +244,25 @@ let test_sampler_buckets_and_finalise () =
   Alcotest.(check int) "finalise is idempotent at the same instant" 4
     (Obs.Sampler.row_count sampler)
 
+(* Regression: boundaries are n * interval, not repeated addition.
+   0.1 added 1000 times is 99.9999999999986, which used to shift every
+   late sample one ulp-cluster early and desynchronise workers. *)
+let test_sampler_no_interval_drift () =
+  let r = Obs.Registry.create () in
+  ignore (Obs.Registry.counter r "n");
+  let sampler = Obs.Sampler.create ~interval:0.1 ~registry:r () in
+  Obs.Sampler.tick sampler ~now:100.0;
+  let times = List.map (fun row -> row.Obs.Sampler.at) (Obs.Sampler.rows sampler) in
+  Alcotest.(check int) "1001 aligned rows" 1001 (List.length times);
+  Alcotest.(check (float 0.0)) "row 1000 sits exactly on t=100" 100.0
+    (List.nth times 1000);
+  List.iteri
+    (fun n at ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "row %d on the grid" n)
+        (float_of_int n *. 0.1) at)
+    times
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -283,10 +302,29 @@ let sample_events =
     { Obs.Event.time = 1.5; actor = "as0-itr"; flow = Some 42;
       kind = Obs.Event.Cp_loss { message = "map-request" } };
     { Obs.Event.time = 1.6; actor = "as0-itr"; flow = Some 42;
-      kind = Obs.Event.Cp_retry { eid = addr "100.0.1.0"; attempt = 2 } };
+      kind =
+        Obs.Event.Cp_retry
+          { eid = addr "100.0.1.0"; attempt = 2; message = "map-request" } };
     { Obs.Event.time = 1.7; actor = "as0-itr"; flow = Some 42;
-      kind = Obs.Event.Cp_timeout { eid = addr "100.0.1.0" } };
-    { Obs.Event.time = 1.8; actor = "narrator"; flow = None;
+      kind =
+        Obs.Event.Cp_timeout { eid = addr "100.0.1.0"; message = "map-request" } };
+    { Obs.Event.time = 1.75; actor = "as1-pce"; flow = None;
+      kind =
+        Obs.Event.Cp_retry
+          { eid = addr "100.0.1.0"; attempt = 1; message = "pce-push" } };
+    { Obs.Event.time = 1.8; actor = "as0-h0"; flow = Some 42;
+      kind = Obs.Event.Conn_open { dst = addr "100.0.1.1" } };
+    { Obs.Event.time = 1.81; actor = "as0-h0"; flow = Some 42;
+      kind = Obs.Event.Syn_sent { attempt = 1 } };
+    { Obs.Event.time = 1.82; actor = "as1-h0"; flow = Some 42;
+      kind = Obs.Event.Syn_received };
+    { Obs.Event.time = 1.83; actor = "as0-h0"; flow = Some 42;
+      kind = Obs.Event.Conn_established };
+    { Obs.Event.time = 1.84; actor = "as0-h0"; flow = Some 43;
+      kind = Obs.Event.Conn_failed { reason = "resolution-failed" } };
+    { Obs.Event.time = 1.85; actor = "runtime"; flow = None;
+      kind = Obs.Event.Run_start { label = "pull-drop" } };
+    { Obs.Event.time = 1.9; actor = "narrator"; flow = None;
       kind = Obs.Event.Note "free-form text with \"quotes\" and \\ escapes" } ]
 
 let test_jsonl_round_trip () =
@@ -301,6 +339,22 @@ let test_jsonl_round_trip () =
       | Error message ->
           Alcotest.failf "failed to parse %s: %s" line message)
     sample_events
+
+(* Pre-span JSONL lines carry no "message" field on cp_retry/cp_timeout;
+   they must keep parsing (defaulting to "map-request"). *)
+let test_jsonl_old_cp_lines_still_parse () =
+  let check_line line expected =
+    match Obs.Export.parse_event line with
+    | Ok e -> Alcotest.(check bool) ("compat: " ^ line) true (e.Obs.Event.kind = expected)
+    | Error m -> Alcotest.failf "old line rejected (%s): %s" m line
+  in
+  check_line
+    "{\"time\":1.0,\"actor\":\"a\",\"kind\":\"cp_retry\",\"eid\":\"100.0.1.0\",\"attempt\":2}"
+    (Obs.Event.Cp_retry
+       { eid = addr "100.0.1.0"; attempt = 2; message = "map-request" });
+  check_line
+    "{\"time\":1.0,\"actor\":\"a\",\"kind\":\"cp_timeout\",\"eid\":\"100.0.1.0\"}"
+    (Obs.Event.Cp_timeout { eid = addr "100.0.1.0"; message = "map-request" })
 
 let test_jsonl_rejects_garbage () =
   List.iter
@@ -354,9 +408,13 @@ let () =
             test_scenario_registry_tracks_run ] );
       ( "sampler",
         [ Alcotest.test_case "buckets and finalise" `Quick
-            test_sampler_buckets_and_finalise ] );
+            test_sampler_buckets_and_finalise;
+          Alcotest.test_case "no interval drift" `Quick
+            test_sampler_no_interval_drift ] );
       ( "jsonl",
         [ Alcotest.test_case "event round-trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "old cp lines still parse" `Quick
+            test_jsonl_old_cp_lines_still_parse;
           Alcotest.test_case "garbage rejected" `Quick
             test_jsonl_rejects_garbage;
           Alcotest.test_case "file round-trip" `Quick

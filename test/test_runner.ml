@@ -65,7 +65,7 @@ let test_bench_json_shape () =
   match Experiments.Runner.bench_json ~jobs:1 ~total_wall:1.5 outcomes with
   | Obs.Json.Obj fields ->
       Alcotest.(check bool) "schema tag" true
-        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/1");
+        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/2");
       Alcotest.(check bool) "jobs recorded" true
         (List.assoc "jobs" fields = Obs.Json.Int 1);
       (match List.assoc "experiments" fields with
@@ -79,11 +79,71 @@ let test_bench_json_shape () =
                   Alcotest.(check bool)
                     (Printf.sprintf "record %s carries its id" id)
                     true
-                    (List.assoc "id" fs = Obs.Json.String id)
+                    (List.assoc "id" fs = Obs.Json.String id);
+                  (* These tasks build no scenario, so the latency list
+                     is present but empty. *)
+                  Alcotest.(check bool)
+                    (Printf.sprintf "record %s carries a latency list" id)
+                    true
+                    (match List.assoc_opt "latency" fs with
+                    | Some (Obs.Json.List _) -> true
+                    | _ -> false)
               | _ -> Alcotest.fail "experiment record not an object")
             ids l
       | _ -> Alcotest.fail "experiments not a list")
   | _ -> Alcotest.fail "bench_json not an object"
+
+(* A task that builds a real scenario must come back with the latency
+   decomposition of every run it attached — measured in the forked
+   worker via the Obs runtime, marshalled home in the summary — and
+   nothing when the decomposition is switched off. *)
+let scenario_task id =
+  task id (fun () ->
+      let s =
+        Core.Scenario.build
+          { Core.Scenario.default_config with
+            Core.Scenario.cp = Core.Scenario.Cp_pce Core.Pce_control.default_options }
+      in
+      let internet = Core.Scenario.internet s in
+      let flow =
+        Nettypes.Flow.create
+          ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+          ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+          ~src_port:1 ()
+      in
+      ignore (Core.Scenario.open_connection s ~flow ~data_packets:2 ());
+      Core.Scenario.run s;
+      print_endline "done")
+
+let test_latency_block () =
+  let _, outcomes = run_to_string ~jobs:1 [ scenario_task "pce1" ] in
+  match outcomes with
+  | [ o ] ->
+      (match o.Experiments.Runner.out_latency with
+      | [ (label, metrics) ] ->
+          Alcotest.(check string) "labelled by control plane" "pce" label;
+          let get k = List.assoc k metrics in
+          Alcotest.(check (float 0.0)) "one flow" 1.0 (get "flows");
+          Alcotest.(check (float 0.0)) "established" 1.0 (get "established");
+          Alcotest.(check bool) "setup time measured" true
+            (get "t_setup_mean" > 0.0);
+          Alcotest.(check (float 0.0)) "pce pays no resolution" 0.0
+            (get "t_map_resol_mean")
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected one latency run, got %d" (List.length l)))
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_latency_disabled () =
+  let outcomes =
+    Experiments.Runner.run ~jobs:1 ~latency:false ~emit:ignore ~log:ignore
+      [ scenario_task "pce1" ]
+  in
+  match outcomes with
+  | [ o ] ->
+      Alcotest.(check int) "no latency block" 0
+        (List.length o.Experiments.Runner.out_latency)
+  | _ -> Alcotest.fail "expected one outcome"
 
 let prop_output_independent_of_jobs =
   QCheck.Test.make ~name:"emitted bytes independent of job count" ~count:8
@@ -109,6 +169,8 @@ let () =
           Alcotest.test_case "failure flagged" `Quick test_failure_flagged;
           Alcotest.test_case "jobs validated" `Quick test_jobs_validated;
           Alcotest.test_case "bench json" `Quick test_bench_json_shape;
+          Alcotest.test_case "latency block" `Quick test_latency_block;
+          Alcotest.test_case "latency disabled" `Quick test_latency_disabled;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_output_independent_of_jobs ]

@@ -1,0 +1,354 @@
+(* Span assembly and latency decomposition: hand-written event
+   sequences for the paper's interesting paths (retry, wait-drop,
+   timeout, piggybacked-PCE), plus qcheck properties that arbitrary
+   event streams produce trees where every event is attributed exactly
+   once and spans nest without overlap. *)
+
+open Nettypes
+
+let addr = Ipv4.addr_of_string
+let eid = addr "100.0.1.1"
+
+let ev ?flow time kind = { Obs.Event.time; actor = "test"; flow; kind }
+let fev time kind = ev ~flow:42 time kind
+
+(* A pull-mode connection whose map-request needs one retransmission. *)
+let retry_sequence =
+  [ fev 0.0 (Obs.Event.Conn_open { dst = eid });
+    fev 0.0 (Obs.Event.Dns_query { qname = "h0.as1.net." });
+    fev 0.05 (Obs.Event.Dns_reply { qname = "h0.as1.net."; answered = true });
+    fev 0.05 (Obs.Event.Syn_sent { attempt = 1 });
+    fev 0.06 (Obs.Event.Cache_miss { eid });
+    fev 0.06 (Obs.Event.Map_request { eid });
+    fev 0.56 (Obs.Event.Cp_retry { eid; attempt = 1; message = "map-request" });
+    fev 0.66 (Obs.Event.Map_reply { eid });
+    fev 0.67 Obs.Event.Syn_received;
+    fev 0.70 Obs.Event.Conn_established ]
+
+let build events =
+  let b = Obs.Span.create_builder () in
+  List.iter (Obs.Span.feed b) events;
+  Obs.Span.finish b ~now:10.0;
+  b
+
+let find_span root name =
+  let found = ref None in
+  Obs.Span.iter
+    (fun s -> if s.Obs.Span.name = name && !found = None then found := Some s)
+    root;
+  !found
+
+let get_span root name =
+  match find_span root name with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s missing" name
+
+let the_root b =
+  match Obs.Span.roots b with
+  | [ r ] -> r
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let check_span root name ~t0 ~t1 ~outcome =
+  let s = get_span root name in
+  Alcotest.(check (float 1e-9)) (name ^ " t0") t0 s.Obs.Span.t0;
+  Alcotest.(check (float 1e-9)) (name ^ " t1") t1 s.Obs.Span.t1;
+  Alcotest.(check string) (name ^ " outcome")
+    (Obs.Span.outcome_name outcome)
+    (Obs.Span.outcome_name s.Obs.Span.outcome)
+
+let test_retry_tree () =
+  let b = build retry_sequence in
+  let root = the_root b in
+  check_span root "connection_setup" ~t0:0.0 ~t1:0.70 ~outcome:Obs.Span.Ok;
+  check_span root "dns_resolution" ~t0:0.0 ~t1:0.05 ~outcome:Obs.Span.Ok;
+  check_span root "handshake" ~t0:0.05 ~t1:0.70 ~outcome:Obs.Span.Ok;
+  check_span root "map_resolution" ~t0:0.06 ~t1:0.66 ~outcome:Obs.Span.Ok;
+  check_span root "first_packet_wait" ~t0:0.06 ~t1:0.66 ~outcome:Obs.Span.Ok;
+  check_span root "attempt-1" ~t0:0.06 ~t1:0.56 ~outcome:Obs.Span.Lost;
+  check_span root "attempt-2" ~t0:0.56 ~t1:0.66 ~outcome:Obs.Span.Ok;
+  (* The wait hangs off the resolution, the attempts off the wait. *)
+  let resolution = get_span root "map_resolution" in
+  Alcotest.(check (list string)) "wait is the resolution's child"
+    [ "first_packet_wait" ]
+    (List.map (fun s -> s.Obs.Span.name) (Obs.Span.children resolution));
+  let wait = get_span root "first_packet_wait" in
+  Alcotest.(check (list string)) "attempts are the wait's children"
+    [ "attempt-1"; "attempt-2" ]
+    (List.map (fun s -> s.Obs.Span.name) (Obs.Span.children wait));
+  Alcotest.(check int) "all events attributed"
+    (List.length retry_sequence)
+    (Obs.Span.assigned b);
+  Alcotest.(check int) "nothing unattributed" 0 (Obs.Span.unattributed b)
+
+(* Drop-while-pending: the first packet dies at the ITR, a later SYN
+   finds the cache warm. *)
+let test_wait_drop_tree () =
+  let b =
+    build
+      [ fev 0.0 (Obs.Event.Conn_open { dst = eid });
+        fev 0.0 (Obs.Event.Dns_query { qname = "h0.as1.net." });
+        fev 0.05 (Obs.Event.Dns_reply { qname = "h0.as1.net."; answered = true });
+        fev 0.05 (Obs.Event.Syn_sent { attempt = 1 });
+        fev 0.06 (Obs.Event.Cache_miss { eid });
+        fev 0.06 (Obs.Event.Map_request { eid });
+        fev 0.06 (Obs.Event.Packet_drop { cause = "mapping-resolution-drop" });
+        fev 0.16 (Obs.Event.Map_reply { eid });
+        fev 1.05 (Obs.Event.Syn_sent { attempt = 2 });
+        fev 1.06 (Obs.Event.Cache_hit { eid });
+        fev 1.07 Obs.Event.Syn_received;
+        fev 1.10 Obs.Event.Conn_established ]
+  in
+  let root = the_root b in
+  check_span root "connection_setup" ~t0:0.0 ~t1:1.10 ~outcome:Obs.Span.Ok;
+  check_span root "first_packet_wait" ~t0:0.06 ~t1:0.06 ~outcome:Obs.Span.Lost;
+  (* The resolution outlives the dropped packet: drop mode still sends
+     the map-request and the reply warms the cache, so the resolution
+     span runs on until the map-reply. *)
+  check_span root "map_resolution" ~t0:0.06 ~t1:0.16 ~outcome:Obs.Span.Ok;
+  Alcotest.(check int) "nothing unattributed" 0 (Obs.Span.unattributed b)
+
+let test_timeout_tree () =
+  let b =
+    build
+      [ fev 0.0 (Obs.Event.Conn_open { dst = eid });
+        fev 0.0 (Obs.Event.Dns_query { qname = "h0.as1.net." });
+        fev 0.05 (Obs.Event.Dns_reply { qname = "h0.as1.net."; answered = true });
+        fev 0.05 (Obs.Event.Syn_sent { attempt = 1 });
+        fev 0.06 (Obs.Event.Cache_miss { eid });
+        fev 0.06 (Obs.Event.Map_request { eid });
+        fev 0.56 (Obs.Event.Cp_retry { eid; attempt = 1; message = "map-request" });
+        fev 1.56 (Obs.Event.Cp_timeout { eid; message = "map-request" });
+        fev 1.56 (Obs.Event.Packet_drop { cause = "resolution-timeout" });
+        fev 63.0 (Obs.Event.Conn_failed { reason = "syn-retries-exhausted" }) ]
+  in
+  let root = the_root b in
+  check_span root "connection_setup" ~t0:0.0 ~t1:63.0 ~outcome:Obs.Span.Failed;
+  check_span root "map_resolution" ~t0:0.06 ~t1:1.56 ~outcome:Obs.Span.Timeout;
+  check_span root "attempt-2" ~t0:0.56 ~t1:1.56 ~outcome:Obs.Span.Timeout;
+  (* The held packet dies with the resolution: the cascade closes the
+     wait as timed out, which the analyzer counts as a wait drop. *)
+  check_span root "first_packet_wait" ~t0:0.06 ~t1:1.56
+    ~outcome:Obs.Span.Timeout;
+  Alcotest.(check int) "nothing unattributed" 0 (Obs.Span.unattributed b)
+
+(* PCE: the mapping rode the DNS reply, so there is no resolution span
+   at all — the paper's removed T_map_resol term. *)
+let pce_sequence =
+  [ fev 0.0 (Obs.Event.Conn_open { dst = eid });
+    fev 0.0 (Obs.Event.Dns_query { qname = "h0.as1.net." });
+    fev 0.05 (Obs.Event.Dns_reply { qname = "h0.as1.net."; answered = true });
+    fev 0.05 (Obs.Event.Syn_sent { attempt = 1 });
+    fev 0.06 (Obs.Event.Cache_hit { eid });
+    fev 0.07 Obs.Event.Syn_received;
+    fev 0.10 Obs.Event.Conn_established ]
+
+let test_pce_fast_path_tree () =
+  let b = build pce_sequence in
+  let root = the_root b in
+  check_span root "connection_setup" ~t0:0.0 ~t1:0.10 ~outcome:Obs.Span.Ok;
+  Alcotest.(check bool) "no map_resolution span" true
+    (find_span root "map_resolution" = None);
+  Alcotest.(check bool) "no first_packet_wait span" true
+    (find_span root "first_packet_wait" = None);
+  Alcotest.(check int) "nothing unattributed" 0 (Obs.Span.unattributed b)
+
+let test_unfinished_flush_and_instants () =
+  let b = Obs.Span.create_builder () in
+  List.iter (Obs.Span.feed b)
+    [ fev 0.0 (Obs.Event.Conn_open { dst = eid });
+      fev 0.0 (Obs.Event.Dns_query { qname = "h0.as1.net." });
+      ev 0.5 (Obs.Event.Cp_retry { eid; attempt = 1; message = "pce-push" }) ];
+  Obs.Span.finish b ~now:2.0;
+  match Obs.Span.roots b with
+  | [ instant; root ] ->
+      Alcotest.(check string) "control-plane instant span" "cp_retry:pce-push"
+        instant.Obs.Span.name;
+      Alcotest.(check (float 0.0)) "instant has no duration" 0.0
+        (Obs.Span.duration instant);
+      check_span root "connection_setup" ~t0:0.0 ~t1:2.0
+        ~outcome:Obs.Span.Unfinished;
+      check_span root "dns_resolution" ~t0:0.0 ~t1:2.0
+        ~outcome:Obs.Span.Unfinished
+  | roots -> Alcotest.failf "expected 2 roots, got %d" (List.length roots)
+
+(* ------------------------------------------------------------------ *)
+(* Latency decomposition                                               *)
+(* ------------------------------------------------------------------ *)
+
+let summary_of events ~now =
+  let lat = Obs.Latency.create () in
+  List.iter (Obs.Latency.feed lat) events;
+  Obs.Latency.close lat ~now;
+  Obs.Latency.summary lat
+
+let value summary name =
+  match List.assoc_opt name summary with
+  | Some v -> v
+  | None -> Alcotest.failf "summary key %s missing" name
+
+let test_latency_decomposition_retry () =
+  let s = summary_of retry_sequence ~now:1.0 in
+  Alcotest.(check (float 0.0)) "flows" 1.0 (value s "flows");
+  Alcotest.(check (float 0.0)) "established" 1.0 (value s "established");
+  Alcotest.(check (float 1e-9)) "t_dns mean" 0.05 (value s "t_dns_mean");
+  Alcotest.(check (float 1e-9)) "t_map_resol mean" 0.60
+    (value s "t_map_resol_mean");
+  Alcotest.(check (float 1e-9)) "t_first_packet_wait mean" 0.60
+    (value s "t_first_packet_wait_mean");
+  Alcotest.(check (float 1e-9)) "t_handshake mean" 0.65
+    (value s "t_handshake_mean");
+  Alcotest.(check (float 1e-9)) "t_setup mean" 0.70 (value s "t_setup_mean");
+  Alcotest.(check (float 0.0)) "one cp retry" 1.0 (value s "cp_retries");
+  Alcotest.(check (float 0.0)) "no wait drops" 0.0 (value s "wait_drops")
+
+let test_latency_decomposition_pce () =
+  let s = summary_of pce_sequence ~now:1.0 in
+  Alcotest.(check (float 0.0)) "established" 1.0 (value s "established");
+  Alcotest.(check (float 0.0)) "PCE pays no map-resolution time" 0.0
+    (value s "t_map_resol_mean");
+  Alcotest.(check (float 1e-9)) "but still pays DNS" 0.05
+    (value s "t_dns_mean")
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: arbitrary streams                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Random flow-scoped event streams with monotone times over a handful
+   of flows.  The builder must attribute every event exactly once and
+   produce trees whose children are contained in their parents and
+   whose siblings do not overlap, whatever the order of kinds. *)
+
+let arbitrary_stream =
+  let open QCheck in
+  let kind_gen =
+    Gen.oneof
+      [ Gen.return (Obs.Event.Conn_open { dst = eid });
+        Gen.return (Obs.Event.Dns_query { qname = "q." });
+        Gen.map
+          (fun answered -> Obs.Event.Dns_reply { qname = "q."; answered })
+          Gen.bool;
+        Gen.map (fun attempt -> Obs.Event.Syn_sent { attempt }) (Gen.int_range 1 4);
+        Gen.return (Obs.Event.Cache_miss { eid });
+        Gen.return (Obs.Event.Cache_hit { eid });
+        Gen.return (Obs.Event.Map_request { eid });
+        Gen.map
+          (fun attempt ->
+            Obs.Event.Cp_retry { eid; attempt; message = "map-request" })
+          (Gen.int_range 1 4);
+        Gen.return (Obs.Event.Map_reply { eid });
+        Gen.return (Obs.Event.Cp_timeout { eid; message = "map-request" });
+        Gen.oneofl
+          [ Obs.Event.Packet_drop { cause = "mapping-resolution-drop" };
+            Obs.Event.Packet_drop { cause = "no-route" } ];
+        Gen.return Obs.Event.Syn_received;
+        Gen.return Obs.Event.Conn_established;
+        Gen.return (Obs.Event.Conn_failed { reason = "x" });
+        Gen.return
+          (Obs.Event.Encap
+             { outer_src = addr "10.0.0.1"; outer_dst = addr "12.0.0.1" }) ]
+  in
+  let step_gen = Gen.triple (Gen.int_range 1 3) (Gen.float_range 0.0 0.5) kind_gen in
+  let stream_gen =
+    Gen.map
+      (fun steps ->
+        let now = ref 0.0 in
+        List.map
+          (fun (flow, dt, kind) ->
+            now := !now +. dt;
+            ev ~flow !now kind)
+          steps)
+      (Gen.list_size (Gen.int_range 0 120) step_gen)
+  in
+  make ~print:(Print.list (fun e -> Obs.Event.kind_name e.Obs.Event.kind))
+    stream_gen
+
+let rec well_nested s =
+  let children = Obs.Span.children s in
+  List.for_all
+    (fun c ->
+      c.Obs.Span.t0 >= s.Obs.Span.t0 && c.Obs.Span.t1 <= s.Obs.Span.t1)
+    children
+  && (let rec siblings_ordered = function
+        | a :: (b :: _ as rest) ->
+            a.Obs.Span.t1 <= b.Obs.Span.t0 && siblings_ordered rest
+        | _ -> true
+      in
+      siblings_ordered children)
+  && List.for_all well_nested children
+
+let prop_every_event_in_exactly_one_span =
+  QCheck.Test.make ~name:"every event attributed exactly once" ~count:300
+    arbitrary_stream (fun events ->
+      let b = Obs.Span.create_builder () in
+      List.iter (Obs.Span.feed b) events;
+      Obs.Span.finish b ~now:1e9;
+      let spans = ref 0 in
+      List.iter
+        (Obs.Span.iter (fun s -> spans := !spans + s.Obs.Span.events))
+        (Obs.Span.roots b);
+      Obs.Span.fed b = List.length events
+      && Obs.Span.fed b = Obs.Span.assigned b + Obs.Span.unattributed b
+      && !spans = Obs.Span.assigned b)
+
+let prop_spans_nest_without_overlap =
+  QCheck.Test.make ~name:"spans nest without overlap" ~count:300
+    arbitrary_stream (fun events ->
+      let b = Obs.Span.create_builder () in
+      List.iter (Obs.Span.feed b) events;
+      Obs.Span.finish b ~now:1e9;
+      List.for_all well_nested (Obs.Span.roots b))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_well_formed () =
+  let b = build retry_sequence in
+  let file = Filename.temp_file "spans_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Obs.Span.write_chrome_trace ~file [ ("pull", Obs.Span.roots b) ];
+      let ic = open_in file in
+      let body = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.of_string (String.trim body) with
+      | Error m -> Alcotest.failf "trace is not valid JSON: %s" m
+      | Ok json -> (
+          match Obs.Json.member "traceEvents" json with
+          | Some (Obs.Json.List evs) ->
+              Alcotest.(check bool) "has events" true (List.length evs > 0);
+              List.iter
+                (fun e ->
+                  let has k = Obs.Json.member k e <> None in
+                  Alcotest.(check bool) "required trace fields" true
+                    (has "name" && has "ph" && has "pid" && has "tid"
+                   && has "ts"))
+                evs
+          | _ -> Alcotest.fail "traceEvents missing"))
+
+let () =
+  Alcotest.run "spans"
+    [ ( "tree builder",
+        [ Alcotest.test_case "retry attempts nest in resolution" `Quick
+            test_retry_tree;
+          Alcotest.test_case "wait-drop closes the wait as lost" `Quick
+            test_wait_drop_tree;
+          Alcotest.test_case "timeout closes resolution and attempts" `Quick
+            test_timeout_tree;
+          Alcotest.test_case "PCE fast path has no resolution span" `Quick
+            test_pce_fast_path_tree;
+          Alcotest.test_case "finish flushes; instants for non-flow cp" `Quick
+            test_unfinished_flush_and_instants ] );
+      ( "latency",
+        [ Alcotest.test_case "retry decomposition" `Quick
+            test_latency_decomposition_retry;
+          Alcotest.test_case "PCE pays no T_map_resol" `Quick
+            test_latency_decomposition_pce ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_every_event_in_exactly_one_span;
+            prop_spans_nest_without_overlap ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace is well-formed JSON" `Quick
+            test_chrome_trace_well_formed ] ) ]
