@@ -54,6 +54,8 @@ let all : entry list =
       print = Exp_v1.print };
     { exp_id = Exp_r1.id; exp_title = Exp_r1.title; tables = Exp_r1.tables;
       print = Exp_r1.print };
+    { exp_id = Exp_r2.id; exp_title = Exp_r2.title; tables = Exp_r2.tables;
+      print = Exp_r2.print };
     { exp_id = Exp_s1.id; exp_title = Exp_s1.title; tables = Exp_s1.tables;
       print = Exp_s1.print };
     { exp_id = Exp_s2.id; exp_title = Exp_s2.title; tables = Exp_s2.tables;

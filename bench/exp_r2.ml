@@ -1,0 +1,75 @@
+(* R2 — PCE availability: sweep the fraction of the run each domain's
+   PCE spends crashed and measure how connection setup degrades.  The
+   crash windows are staggered across domains so at most one PCE is
+   down at a time; while a PCE_D is down its DNS server bypasses it
+   after the watchdog, and ITR misses degrade to pull resolutions —
+   the run completes, but pays the T_map_resol the PCE path was
+   designed to remove. *)
+
+open Core
+
+let id = "r2"
+let title = "R2: connection setup vs PCE availability"
+
+let downtimes = [ 0.0; 0.1; 0.25; 0.5 ]
+let domain_count = 8
+let flow_count = 150
+let rate = 50.0
+
+let measure ~downtime =
+  let duration = float_of_int flow_count /. rate in
+  (* [None] at downtime 0 keeps the baseline row on the exact
+     lifecycle-free code path every other experiment uses. *)
+  let node_faults =
+    if downtime > 0.0 then
+      Some
+        { Scenario.default_node_faults with
+          Scenario.node_windows =
+            List.init domain_count (fun d ->
+                let from_ =
+                  float_of_int d *. duration /. float_of_int domain_count
+                in
+                (Netsim.Lifecycle.Pce d, from_, from_ +. (downtime *. duration))) }
+    else None
+  in
+  let config =
+    { Scenario.default_config with
+      Scenario.seed = 23;
+      topology =
+        `Random
+          { Topology.Builder.default_params with
+            Topology.Builder.domain_count };
+      cp = Scenario.Cp_pce Pce_control.default_options; node_faults }
+  in
+  Harness.run { (Harness.default_spec config) with Harness.flows = flow_count; rate }
+
+let tables () =
+  let table =
+    Metrics.Table.create ~title
+      ~columns:
+        [ "downtime"; "established"; "failed"; "bypasses"; "recoveries";
+          "pull-resolved"; "mean setup"; "p95 setup" ]
+  in
+  List.iter
+    (fun downtime ->
+      let r = measure ~downtime in
+      let stats = Harness.cp_stats r in
+      let pull_resolved =
+        match Scenario.fallback_pull r.Harness.scenario with
+        | Some pull -> (Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions
+        | None -> 0
+      in
+      Metrics.Table.add_row table
+        [ Metrics.Table.cell_pct downtime;
+          Metrics.Table.cell_int r.Harness.established;
+          Metrics.Table.cell_int r.Harness.failed;
+          Metrics.Table.cell_int stats.Mapsys.Cp_stats.bypasses;
+          Metrics.Table.cell_int stats.Mapsys.Cp_stats.recoveries;
+          Metrics.Table.cell_int pull_resolved;
+          Metrics.Table.cell_ms (Harness.mean r.Harness.setups);
+          Metrics.Table.cell_ms
+            (Harness.percentile_or_zero r.Harness.setups 95.0) ])
+    downtimes;
+  [ table ]
+
+let print () = List.iter Metrics.Table.print (tables ())

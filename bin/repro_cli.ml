@@ -231,6 +231,24 @@ let simulate_cmd =
             [ "control messages";
               string_of_int
                 (Mapsys.Cp_stats.message_total (Experiments.Harness.cp_stats r)) ] ];
+        (match Core.Scenario.lifecycle r.Experiments.Harness.scenario with
+        | Some _ ->
+            let stats = Experiments.Harness.cp_stats r in
+            let pull_resolved =
+              match
+                Core.Scenario.fallback_pull r.Experiments.Harness.scenario
+              with
+              | Some pull ->
+                  (Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions
+              | None -> 0
+            in
+            Metrics.Table.add_rows table
+              [ [ "pce bypasses";
+                  string_of_int stats.Mapsys.Cp_stats.bypasses ];
+                [ "pce recoveries";
+                  string_of_int stats.Mapsys.Cp_stats.recoveries ];
+                [ "pull fallback"; string_of_int pull_resolved ] ]
+        | None -> ());
         List.iter
           (fun (cause, n) ->
             Metrics.Table.add_row table
@@ -540,7 +558,15 @@ let connect_cmd =
     Arg.(value & opt float 0.5 & info [ "cp-rto" ] ~docv:"SECONDS"
            ~doc:"Initial retransmission timeout (doubles per attempt).")
   in
-  let run cp_name verbose cp_loss cp_retries cp_rto =
+  let pce_crash =
+    Arg.(value & opt_all string [] & info [ "pce-crash" ] ~docv:"DOMAIN:T0:T1"
+           ~doc:"Crash the PCE of $(i,DOMAIN) from $(i,T0) to $(i,T1) \
+                 seconds of simulated time (repeatable; use $(b,inf) for \
+                 a PCE that never restarts).  Enables the node-lifecycle \
+                 fault layer: DNS answers bypass dead PCEs after a \
+                 watchdog and cache misses degrade to pull resolution.")
+  in
+  let run cp_name verbose cp_loss cp_retries cp_rto pce_crash =
     let cp =
       match cp_of_string cp_name with
       | Some cp -> cp
@@ -557,6 +583,32 @@ let connect_cmd =
     if cp_rto <= 0.0 then begin
       Printf.eprintf "--cp-rto must be positive\n"; exit 1
     end;
+    let crash_windows =
+      List.map
+        (fun spec ->
+          let bad reason =
+            Printf.eprintf "--pce-crash %s: %s\n" spec reason;
+            exit 1
+          in
+          match String.split_on_char ':' spec with
+          | [ d; t0; t1 ] -> (
+              match
+                (int_of_string_opt d, float_of_string_opt t0,
+                 float_of_string_opt t1)
+              with
+              | Some domain, Some from_, Some until ->
+                  if domain < 0 then bad "negative domain id"
+                  else if from_ < 0.0 then bad "negative crash time"
+                  else if until <= from_ then
+                    bad
+                      (Printf.sprintf
+                         "inverted window (recovers at %g, crashes at %g)"
+                         until from_)
+                  else (Netsim.Lifecycle.Pce domain, from_, until)
+              | _, _, _ -> bad "expected DOMAIN:T0:T1 (numbers)")
+          | _ -> bad "expected DOMAIN:T0:T1")
+        pce_crash
+    in
     let open Core in
     (* Loss strictly opt-in: no profile at all unless --cp-loss > 0, so
        the default run stays bit-identical to the lossless simulator. *)
@@ -567,8 +619,17 @@ let connect_cmd =
             Scenario.cp_loss; cp_retries; cp_rto }
       else None
     in
+    (* The node-fault layer follows the same opt-in rule: no lifecycle
+       exists at all unless a crash window was requested. *)
+    let node_faults =
+      match crash_windows with
+      | [] -> None
+      | windows ->
+          Some { Scenario.default_node_faults with Scenario.node_windows = windows }
+    in
     let scenario =
-      Scenario.build { Scenario.default_config with Scenario.cp; cp_faults }
+      Scenario.build
+        { Scenario.default_config with Scenario.cp; cp_faults; node_faults }
     in
     if verbose then Netsim.Trace.set_enabled (Scenario.trace scenario) true;
     let internet = Scenario.internet scenario in
@@ -602,12 +663,23 @@ let connect_cmd =
         Format.printf "cp losses     : %d@." (Netsim.Faults.losses faults);
         Format.printf "cp retx       : %d@."
           stats.Mapsys.Cp_stats.retransmissions;
-        Format.printf "cp timeouts   : %d@." stats.Mapsys.Cp_stats.timeouts)
+        Format.printf "cp timeouts   : %d@." stats.Mapsys.Cp_stats.timeouts);
+    (match Scenario.lifecycle scenario with
+    | None -> ()
+    | Some _ ->
+        let stats = Scenario.cp_stats scenario in
+        Format.printf "pce bypasses  : %d@." stats.Mapsys.Cp_stats.bypasses;
+        Format.printf "pce recoveries: %d@." stats.Mapsys.Cp_stats.recoveries;
+        match Scenario.fallback_pull scenario with
+        | None -> ()
+        | Some pull ->
+            Format.printf "pull fallback : %d resolution(s)@."
+              (Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions)
   in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
-    Term.(const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto)
+    Term.(const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto $ pce_crash)
 
 let () =
   let info =

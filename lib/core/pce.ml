@@ -34,6 +34,18 @@ let create ~domain ~graph ~policy ?ewma_alpha ?hysteresis ?noise ?rng () =
 let domain t = t.domain
 let selector t = t.selector
 
+(* A crash loses everything held in memory: pending observations, the
+   flow database, learned names, advertisement bookkeeping.  The IRC
+   selector's EWMA load state survives only because the restarted PCE
+   immediately re-observes load; resetting it too would be equally
+   defensible but would perturb TE decisions for flows the crash never
+   touched. *)
+let reset t =
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.names;
+  Hashtbl.reset t.advertised
+
 let pair_flow ~src_eid ~dst_eid =
   Flow.create ~src:src_eid ~dst:dst_eid ~src_port:0 ~dst_port:0 ()
 

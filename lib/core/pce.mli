@@ -38,6 +38,13 @@ val create :
 val domain : t -> Topology.Domain.t
 val selector : t -> Irc.Selector.t
 
+val reset : t -> unit
+(** Crash state-loss: empty the pending-query table, the flow database,
+    the learned-name cache and the advertisement bookkeeping, as if the
+    PCE process restarted with a cold in-memory image.  The IRC
+    selector's load estimate is kept (it is re-observed immediately on
+    restart). *)
+
 val note_client_query :
   t -> now:float -> client_eid:Nettypes.Ipv4.addr -> qname:Dnssim.Name.t -> unit
 (** Step 1: record that [client_eid] asked for [qname] and pick RLOC_S

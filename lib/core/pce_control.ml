@@ -27,6 +27,10 @@ type t = {
   stats : Mapsys.Cp_stats.t;
   faults : Netsim.Faults.t option;
   push_retry : Netsim.Faults.retry option;
+  lifecycle : Netsim.Lifecycle.t option;
+  fallback : Mapsys.Pull.t option;
+  watchdog : float;
+  registry : Mapsys.Registry.t option;
   trace : Netsim.Trace.t option;
   obs : Obs.Hub.t option;
   mutable dataplane : Lispdp.Dataplane.t option;
@@ -61,6 +65,16 @@ let dataplane_exn t =
   | None -> invalid_arg "Pce_control: used before attach"
 
 let graph t = t.internet.Topology.Builder.graph
+
+(* Is the domain's PCE inside one of its scheduled crash windows?
+   Always false without a lifecycle, so the zero-profile run never
+   takes this branch. *)
+let pce_down t id =
+  match t.lifecycle with
+  | Some lc ->
+      Netsim.Lifecycle.is_down lc ~role:(Netsim.Lifecycle.Pce id)
+        ~now:(Netsim.Engine.now t.engine)
+  | None -> false
 
 (* Resolve a remote locator to its border-router node, for latency-aware
    egress decisions. *)
@@ -196,6 +210,29 @@ let on_intercept t ~dst_pce ctx =
     (Netsim.Engine.schedule t.engine ~delay:transit (fun () ->
          match Hashtbl.find_opt t.resolver_domains ctx.Dnssim.System.tap_resolver with
          | None -> ctx.Dnssim.System.tap_complete ()
+         | Some src_domain_id when pce_down t src_domain_id ->
+             (* PCE_S is crashed: nobody listens on port P, so the
+                encapsulated answer is never decapsulated and no tuples
+                are configured.  DNS_S's watchdog recovers the inner
+                answer after the timeout; the mapping is simply lost
+                (the ITR will degrade to pull on the miss). *)
+             let actor =
+               t.internet.Topology.Builder.domains.(src_domain_id)
+                 .Topology.Domain.name ^ "-dns"
+             in
+             t.stats.Mapsys.Cp_stats.bypasses <-
+               t.stats.Mapsys.Cp_stats.bypasses + 1;
+             tracef t ~actor
+               "PCE_S down: answer for %s recovered after %gs watchdog"
+               (Dnssim.Name.to_string ctx.Dnssim.System.tap_qname) t.watchdog;
+             if obs_on t then
+               obs_emit t ~actor
+                 (Obs.Event.Pce_bypass
+                    { qname =
+                        Dnssim.Name.to_string ctx.Dnssim.System.tap_qname });
+             ignore
+               (Netsim.Engine.schedule t.engine ~delay:t.watchdog
+                  ctx.Dnssim.System.tap_complete)
          | Some src_domain_id ->
              (* Step 7: PCE_S decapsulates the port-P message. *)
              let qname, e_d, rloc_d =
@@ -236,7 +273,8 @@ let on_intercept t ~dst_pce ctx =
                   ctx.Dnssim.System.tap_complete)))
 
 let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
-    ?push_retry ?trace ?obs () =
+    ?push_retry ?lifecycle ?fallback ?(watchdog = 0.25) ?registry ?trace ?obs
+    () =
   let domains = internet.Topology.Builder.domains in
   let pces =
     Array.map
@@ -253,8 +291,9 @@ let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
     domains;
   let t =
     { engine; internet; options; pces; resolver_domains;
-      stats = Mapsys.Cp_stats.create (); faults; push_retry; trace; obs;
-      dataplane = None; failovers = 0 }
+      stats = Mapsys.Cp_stats.create (); faults; push_retry; lifecycle;
+      fallback; watchdog; registry; trace; obs; dataplane = None;
+      failovers = 0 }
   in
   Array.iter
     (fun domain ->
@@ -263,6 +302,7 @@ let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
       Dnssim.System.set_query_observer dns ~resolver:domain.Topology.Domain.dns
         (Some
            (fun ~client_eid ~qname ->
+             if not (pce_down t id) then begin
              tracef t ~actor:(domain.Topology.Domain.name ^ "-pce")
                "step 1: IPC reveals query %s from %a"
                (Dnssim.Name.to_string qname) Ipv4.pp_addr client_eid;
@@ -285,10 +325,31 @@ let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
                        t.stats.Mapsys.Cp_stats.resolutions + 1;
                      push_entry t pce entry)
                    (Pce.take_pending pce ~qname)
-             | None -> ()));
+             | None -> ()
+             end));
       (* Step 6: PCE_D sits on the authoritative server's wire. *)
       Dnssim.System.set_response_tap dns ~server:domain.Topology.Domain.dns
-        (Some (fun ctx -> on_intercept t ~dst_pce:t.pces.(id) ctx)))
+        (Some (fun ctx -> on_intercept t ~dst_pce:t.pces.(id) ctx));
+      (* With a lifecycle, guard the tap: while PCE_D is crashed the
+         DNS server bypasses it after the watchdog and the answer goes
+         out un-piggybacked. *)
+      match t.lifecycle with
+      | None -> ()
+      | Some _ ->
+          Dnssim.System.set_tap_guard dns ~server:domain.Topology.Domain.dns
+            (Some
+               { Dnssim.System.guard_down = (fun () -> pce_down t id);
+                 guard_watchdog = watchdog;
+                 guard_on_bypass =
+                   Some
+                     (fun ~qname ->
+                       let actor = domain.Topology.Domain.name ^ "-dns" in
+                       t.stats.Mapsys.Cp_stats.bypasses <-
+                         t.stats.Mapsys.Cp_stats.bypasses + 1;
+                       if obs_on t then
+                         obs_emit t ~actor
+                           (Obs.Event.Pce_bypass
+                              { qname = Dnssim.Name.to_string qname })) }))
     domains;
   t
 
@@ -376,11 +437,29 @@ let miss_cause packet =
   | Packet.Syn | Packet.Ack | Packet.Data _ | Packet.Fin ->
       "pce-no-mapping-forward"
 
+(* A miss under the pure paper model is a drop (the push should have
+   beaten the first packet).  With a pull fallback configured (the
+   crash-recovery profile), the ITR degrades gracefully instead: the
+   mapping is fetched from the pull mapping system, at the cost of the
+   T_map_resol the PCE path was designed to avoid. *)
+let handle_miss t router packet =
+  match t.fallback with
+  | None -> Lispdp.Dataplane.Miss_drop (miss_cause packet)
+  | Some pull ->
+      let domain = router.Lispdp.Dataplane.router_domain in
+      let actor = domain.Topology.Domain.name ^ "-itr" in
+      tracef t ~actor "miss for %a: degrading to pull resolution"
+        Ipv4.pp_addr packet.Packet.flow.Flow.dst;
+      if obs_on t then
+        obs_emit t ~actor
+          ~flow:(Obs.Event.flow_id packet.Packet.flow)
+          (Obs.Event.Degraded_to_pull { eid = packet.Packet.flow.Flow.dst });
+      Mapsys.Pull.handle_miss pull router packet
+
 let control_plane t =
   { Lispdp.Dataplane.cp_name = "pce";
     cp_choose_egress = (fun ~src_domain flow -> choose_egress t ~src_domain flow);
-    cp_handle_miss =
-      (fun _router packet -> Lispdp.Dataplane.Miss_drop (miss_cause packet));
+    cp_handle_miss = (fun router packet -> handle_miss t router packet);
     cp_note_etr_packet =
       (fun router ~outer_src packet -> note_etr_packet t router ~outer_src packet) }
 
@@ -509,3 +588,94 @@ let reroutes t =
   Array.fold_left
     (fun acc pce -> acc + Irc.Selector.moved_flows (Pce.selector pce))
     0 t.pces
+
+(* -------------------------------------------------------------------
+   Crash-recovery (node lifecycle).
+
+   A crash is pure state loss: the PCE's in-memory databases vanish
+   and, for the duration of its window, the step-1 observer, the
+   step-6/7 tap path and the port-P listener all fall silent (guarded
+   by [pce_down] at each hook).  Restart is a warm recovery: the
+   process comes back with an empty flow database and resynchronizes
+   from ground truth it can still reach — the flow tables of its own
+   domain's ITRs — then re-registers the domain mapping with the pull
+   registry so the fallback path keeps answering for it. *)
+
+let handle_node_crash t ~domain_id =
+  let pce = t.pces.(domain_id) in
+  let actor = (Pce.domain pce).Topology.Domain.name ^ "-pce" in
+  let role = Netsim.Lifecycle.role_label (Netsim.Lifecycle.Pce domain_id) in
+  tracef t ~actor "crash: in-memory state lost (%d flow entries)"
+    (Pce.entry_count pce);
+  Pce.reset pce;
+  if obs_on t then obs_emit t ~actor (Obs.Event.Node_crash { role })
+
+let handle_node_restart t ~domain_id =
+  let pce = t.pces.(domain_id) in
+  let domain = Pce.domain pce in
+  let actor = domain.Topology.Domain.name ^ "-pce" in
+  let role = Netsim.Lifecycle.role_label (Netsim.Lifecycle.Pce domain_id) in
+  if obs_on t then obs_emit t ~actor (Obs.Event.Node_restart { role });
+  t.stats.Mapsys.Cp_stats.recoveries <-
+    t.stats.Mapsys.Cp_stats.recoveries + 1;
+  (* Resync: one query per local ITR, answered with its live flow
+     entries; every recovered tuple goes back into the PCE database. *)
+  let recovered = ref 0 in
+  (match t.dataplane with
+  | None -> ()
+  | Some dp ->
+      let now = Netsim.Engine.now t.engine in
+      Array.iter
+        (fun router ->
+          t.stats.Mapsys.Cp_stats.map_requests <-
+            t.stats.Mapsys.Cp_stats.map_requests + 1;
+          Lispdp.Flow_table.iter router.Lispdp.Dataplane.flows ~now
+            ~f:(fun entry ->
+              incr recovered;
+              t.stats.Mapsys.Cp_stats.control_bytes <-
+                t.stats.Mapsys.Cp_stats.control_bytes
+                + itr_config_size entry;
+              Pce.remember_entry pce entry))
+        (Lispdp.Dataplane.routers_of_domain dp domain));
+  (* Re-register with the mapping registry (data no-op: the registry
+     survived, but a real PCE cannot know that). *)
+  (match t.registry with
+  | None -> ()
+  | Some registry ->
+      let mapping = Mapsys.Registry.mapping_of_domain registry domain_id in
+      t.stats.Mapsys.Cp_stats.push_messages <-
+        t.stats.Mapsys.Cp_stats.push_messages + 1;
+      t.stats.Mapsys.Cp_stats.control_bytes <-
+        t.stats.Mapsys.Cp_stats.control_bytes
+        + Wire.Codec.size (Wire.Codec.Database_push { mappings = [ mapping ] });
+      Mapsys.Registry.update_mapping registry domain_id mapping);
+  tracef t ~actor "warm recovery: %d flow entries resynced from ITRs"
+    !recovered;
+  if obs_on t then
+    obs_emit t ~actor
+      (Obs.Event.Note
+         (Printf.sprintf "warm recovery: %d flow entries resynced" !recovered))
+
+let schedule_lifecycle t =
+  match t.lifecycle with
+  | None -> ()
+  | Some lc ->
+      List.iter
+        (fun (role, from_, until) ->
+          match role with
+          | Netsim.Lifecycle.Pce id ->
+              ignore
+                (Netsim.Engine.schedule_at t.engine ~time:from_ (fun () ->
+                     handle_node_crash t ~domain_id:id));
+              (* Never schedule the restart of a window that ends at
+                 infinity: the engine drains its whole queue, so an
+                 event at t=inf would run the simulation forever. *)
+              if until < infinity then
+                ignore
+                  (Netsim.Engine.schedule_at t.engine ~time:until (fun () ->
+                       handle_node_restart t ~domain_id:id))
+          | Netsim.Lifecycle.Dns_server _ | Netsim.Lifecycle.Map_server ->
+              (* Not this control plane's nodes: the scenario layer
+                 owns their transitions. *)
+              ())
+        (Netsim.Lifecycle.windows lc)

@@ -48,6 +48,10 @@ val create :
   ?rng:Netsim.Rng.t ->
   ?faults:Netsim.Faults.t ->
   ?push_retry:Netsim.Faults.retry ->
+  ?lifecycle:Netsim.Lifecycle.t ->
+  ?fallback:Mapsys.Pull.t ->
+  ?watchdog:float ->
+  ?registry:Mapsys.Registry.t ->
   ?trace:Netsim.Trace.t ->
   ?obs:Obs.Hub.t ->
   unit ->
@@ -63,7 +67,23 @@ val create :
     exponential backoff up to the retry budget (counted in the stats as
     retransmissions/timeouts and visible as [Cp_loss]/[Cp_retry]/
     [Cp_timeout] events); without it a lost push is simply gone and the
-    affected ITR misses until the flow entry is pushed again. *)
+    affected ITR misses until the flow entry is pushed again.
+
+    [lifecycle] enables crash-recovery semantics (strictly opt-in;
+    without it, or with an empty schedule, behaviour is byte-identical
+    to before): while a domain's PCE is inside a crash window its
+    step-1 observer is deaf, its response tap is bypassed by the DNS
+    server after [watchdog] seconds (default 0.25 s, counted in
+    [bypasses] and visible as [Pce_bypass] events), and an
+    encapsulated answer arriving at a crashed PCE_S is likewise
+    recovered by DNS_S after the watchdog — resolutions complete but
+    no mapping is configured.  Call {!schedule_lifecycle} after
+    [create] to arm the crash/restart transitions.
+
+    [fallback] makes ITR cache misses degrade gracefully to the pull
+    mapping system (emitting flow-scoped [Degraded_to_pull] events)
+    instead of dropping; [registry] lets a restarting PCE re-register
+    its domain mapping during warm recovery. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 val attach : t -> Lispdp.Dataplane.t -> unit
@@ -92,3 +112,22 @@ val failovers : t -> int
 
 val reroutes : t -> int
 (** Flow assignments moved by TE rebalancing across all domains. *)
+
+val handle_node_crash : t -> domain_id:int -> unit
+(** The domain's PCE process dies: its pending-query table, flow
+    database, learned names and advertisement bookkeeping are lost
+    ({!Pce.reset}); a [Node_crash] event is emitted.  While the
+    lifecycle window is open the hooks stay silent via the window
+    check, so this only performs the state loss. *)
+
+val handle_node_restart : t -> domain_id:int -> unit
+(** Warm recovery: re-query the domain's ITR flow tables (one
+    map-request per ITR, [itr_config_size] bytes per recovered entry),
+    repopulate the PCE database, and re-register the domain mapping
+    with the pull registry when one was given.  Counted in
+    [recoveries]; emits [Node_restart] plus a summary [Note]. *)
+
+val schedule_lifecycle : t -> unit
+(** Schedule {!handle_node_crash}/{!handle_node_restart} engine events
+    for every [Pce] window of the lifecycle passed to [create] (windows
+    ending at [infinity] never restart).  No-op without a lifecycle. *)

@@ -37,6 +37,15 @@ let default_cp_faults =
   { cp_loss = 0.0; cp_jitter = 0.0; cp_rto = 0.5; cp_backoff = 2.0;
     cp_retries = 3; cp_scripts = [] }
 
+type node_fault_profile = {
+  node_windows : (Netsim.Lifecycle.role * float * float) list;
+  pce_watchdog : float;
+  fallback_queue : int;
+}
+
+let default_node_faults =
+  { node_windows = []; pce_watchdog = 0.25; fallback_queue = 32 }
+
 type config = {
   seed : int;
   topology :
@@ -52,13 +61,16 @@ type config = {
   nerd_propagation : float;  (** NERD database-update propagation delay *)
   cp_faults : cp_fault_profile option;
       (** control-plane loss/retry model; [None] = lossless legacy *)
+  node_faults : node_fault_profile option;
+      (** node crash/restart schedule; [None] = every node always up *)
 }
 
 let default_config =
   { seed = 1; topology = `Figure1; cp = Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
     alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
-    data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None }
+    data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None;
+    node_faults = None }
 
 type connection = {
   flow : Flow.t;
@@ -94,6 +106,8 @@ type t = {
   cp : cp_instance;
   rng : Netsim.Rng.t;
   faults : Netsim.Faults.t option;
+  lifecycle : Netsim.Lifecycle.t option;
+  fallback_pull : Mapsys.Pull.t option;
   trace : Netsim.Trace.t;
   obs : Obs.Hub.t;
   obs_registry : Obs.Registry.t;
@@ -110,6 +124,8 @@ let tcp t = t.tcp
 let registry t = t.registry
 let rng t = t.rng
 let faults t = t.faults
+let lifecycle t = t.lifecycle
+let fallback_pull t = t.fallback_pull
 let config t = t.config
 let trace t = t.trace
 let obs t = t.obs
@@ -195,6 +211,21 @@ let build config =
         in
         (Some f, Some r)
   in
+  (* The node-lifecycle schedule, like the loss model, exists only
+     under its opt-in profile: without it no lifecycle value is ever
+     created and every hook keeps its pre-profile behaviour. *)
+  let lifecycle =
+    match config.node_faults with
+    | None -> None
+    | Some profile ->
+        let lc = Netsim.Lifecycle.create () in
+        List.iter
+          (fun (role, from_, until) ->
+            Netsim.Lifecycle.add_window lc ~role ~from_ ~until)
+          profile.node_windows;
+        Some lc
+  in
+  let fallback_pull = ref None in
   let cp, dataplane =
     match config.cp with
     | Cp_pull_drop | Cp_pull_queue _ | Cp_pull_smr _ | Cp_pull_detour ->
@@ -211,7 +242,7 @@ let build config =
         in
         let pull =
           Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?name ~smr
-            ?faults ?retry ~obs ()
+            ?faults ?retry ?lifecycle ~obs ()
         in
         let dp = make_dataplane (Mapsys.Pull.control_plane pull) in
         Mapsys.Pull.attach pull dp;
@@ -241,18 +272,88 @@ let build config =
         Mapsys.Msmr.attach msmr dp;
         (Msmr_instance msmr, dp)
     | Cp_pce options ->
+        (* Under the node-fault profile the PCE gets a pull fallback:
+           cache misses the crashed control plane can no longer prevent
+           resolve through the ordinary mapping system instead of
+           dropping. *)
+        let fallback, watchdog =
+          match (lifecycle, config.node_faults) with
+          | Some lc, Some profile ->
+              ( Some
+                  (Mapsys.Pull.create ~engine ~internet ~registry ~alt
+                     ~mode:
+                       (Mapsys.Pull.Queue_while_pending profile.fallback_queue)
+                     ~name:"pce-pull-fallback" ?faults ?retry ~lifecycle:lc
+                     ~obs ()),
+                profile.pce_watchdog )
+          | _ -> (None, 0.25)
+        in
+        fallback_pull := fallback;
         let pce_control =
           Pce_control.create ~engine ~internet ~dns ~options ~rng:cp_rng
-            ?faults ?push_retry:retry ~trace ~obs ()
+            ?faults ?push_retry:retry ?lifecycle ?fallback ~watchdog ~registry
+            ~trace ~obs ()
         in
         let dp = make_dataplane (Pce_control.control_plane pce_control) in
         Pce_control.attach pce_control dp;
+        (match fallback with
+        | Some pull -> Mapsys.Pull.attach pull dp
+        | None -> ());
+        Pce_control.schedule_lifecycle pce_control;
         (Pce_instance pce_control, dp)
   in
   let tcp =
     Workload.Tcp.create ~engine ~dataplane ~initial_rto:config.initial_rto
       ~data_gap:config.data_gap ~obs ()
   in
+  (match lifecycle with
+  | None -> ()
+  | Some lc ->
+      (* DNS-node outages: queries to a crashed server/resolver die and
+         fail at the querier after the outage timeout. *)
+      List.iter
+        (fun (role, _, _) ->
+          match role with
+          | Netsim.Lifecycle.Dns_server d ->
+              let node =
+                internet.Topology.Builder.domains.(d).Topology.Domain.dns
+              in
+              Dnssim.System.set_server_outage dns ~server:node
+                (Some
+                   (fun () ->
+                     Netsim.Lifecycle.is_down lc ~role
+                       ~now:(Netsim.Engine.now engine)))
+          | Netsim.Lifecycle.Pce _ | Netsim.Lifecycle.Map_server -> ())
+        (Netsim.Lifecycle.windows lc);
+      (* Crash/restart markers for non-PCE roles; PCE transitions (and
+         their state-loss/recovery side effects) are scheduled by
+         [Pce_control.schedule_lifecycle]. *)
+      List.iter
+        (fun (role, from_, until) ->
+          match role with
+          | Netsim.Lifecycle.Pce _ -> ()
+          | Netsim.Lifecycle.Dns_server _ | Netsim.Lifecycle.Map_server ->
+              let actor =
+                match role with
+                | Netsim.Lifecycle.Dns_server d ->
+                    internet.Topology.Builder.domains.(d).Topology.Domain.name
+                    ^ "-dns"
+                | Netsim.Lifecycle.Map_server | Netsim.Lifecycle.Pce _ ->
+                    "map-server"
+              in
+              let label = Netsim.Lifecycle.role_label role in
+              let emit kind =
+                if Obs.Hub.enabled obs then
+                  Obs.Hub.emit obs ~time:(Netsim.Engine.now engine) ~actor kind
+              in
+              ignore
+                (Netsim.Engine.schedule_at engine ~time:from_ (fun () ->
+                     emit (Obs.Event.Node_crash { role = label })));
+              if until < infinity then
+                ignore
+                  (Netsim.Engine.schedule_at engine ~time:until (fun () ->
+                       emit (Obs.Event.Node_restart { role = label }))))
+        (Netsim.Lifecycle.windows lc));
   (* Every layer's live counters, exposed as read-on-snapshot gauges so
      there is no double bookkeeping anywhere. *)
   let obs_registry = Obs.Registry.create () in
@@ -317,6 +418,21 @@ let build config =
   gauge "dns.cache_hits" (fun () -> fi dnsc.Dnssim.System.cache_hits);
   gauge "dns.cache_misses" (fun () -> fi dnsc.Dnssim.System.cache_misses);
   gauge "dns.wire_bytes" (fun () -> fi dnsc.Dnssim.System.wire_bytes);
+  (match config.node_faults with
+  | None -> ()
+  | Some _ ->
+      gauge "cp.bypasses" (fun () -> fi cps.Mapsys.Cp_stats.bypasses);
+      gauge "cp.recoveries" (fun () -> fi cps.Mapsys.Cp_stats.recoveries);
+      gauge "dns.tap_bypasses" (fun () ->
+          fi dnsc.Dnssim.System.tap_bypasses);
+      gauge "dns.outage_failures" (fun () ->
+          fi dnsc.Dnssim.System.outage_failures);
+      (match !fallback_pull with
+      | None -> ()
+      | Some pull ->
+          let ps = Mapsys.Pull.stats pull in
+          gauge "cp.fallback_resolutions" (fun () ->
+              fi ps.Mapsys.Cp_stats.resolutions)));
   let dns_time_hist = Obs.Registry.histogram obs_registry "conn.dns_time" in
   let setup_time_hist = Obs.Registry.histogram obs_registry "conn.setup_time" in
   (* Exporters installed by the CLI pick the scenario up here; without
@@ -324,8 +440,8 @@ let build config =
   Obs.Runtime.attach ~label:(cp_label config.cp) ~hub:obs
     ~registry:obs_registry ();
   { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; faults;
-    trace; obs; obs_registry; dns_time_hist; setup_time_hist;
-    connections_rev = [] }
+    lifecycle; fallback_pull = !fallback_pull; trace; obs; obs_registry;
+    dns_time_hist; setup_time_hist; connections_rev = [] }
 
 let open_connection t ~flow ?data_packets ?data_bytes ?on_established
     ?on_complete () =

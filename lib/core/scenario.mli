@@ -55,6 +55,19 @@ val default_cp_faults : cp_fault_profile
 (** No loss, no jitter, 0.5 s RTO, factor-2 backoff, 3 retransmissions,
     no scripts — a starting point for [{ default_cp_faults with ... }]. *)
 
+type node_fault_profile = {
+  node_windows : (Netsim.Lifecycle.role * float * float) list;
+      (** crash windows [(role, from, until)]; [until] may be [infinity] *)
+  pce_watchdog : float;
+      (** seconds a DNS server waits on a dead PCE before bypassing it *)
+  fallback_queue : int;
+      (** held-packet queue depth of the PCE's pull fallback *)
+}
+
+val default_node_faults : node_fault_profile
+(** No windows, 0.25 s watchdog, 32-packet fallback queue — a starting
+    point for [{ default_node_faults with ... }]. *)
+
 type config = {
   seed : int;
   topology :
@@ -72,6 +85,13 @@ type config = {
       (** control-plane loss/retry model; [None] (the default) keeps the
           control plane lossless and bit-identical to the legacy
           behaviour *)
+  node_faults : node_fault_profile option;
+      (** node crash/restart schedule; [None] (the default) keeps every
+          node permanently up and behaviour bit-identical to the legacy
+          runs.  With a profile, a [Cp_pce] scenario additionally gets a
+          pull fallback for degraded misses and the bypass watchdog on
+          every DNS tap, and crash/restart transitions are scheduled as
+          engine events. *)
 }
 
 val default_config : config
@@ -107,6 +127,14 @@ val faults : t -> Netsim.Faults.t option
 (** The scenario's control-plane fault model, when [config.cp_faults]
     is set — exposes the loss/blocked counters and allows experiments to
     script additional windows or change the loss rate mid-run. *)
+
+val lifecycle : t -> Netsim.Lifecycle.t option
+(** The node-lifecycle schedule, when [config.node_faults] is set. *)
+
+val fallback_pull : t -> Mapsys.Pull.t option
+(** The PCE scenario's pull fallback (its stats count the degraded
+    resolutions), when [config.node_faults] is set and [config.cp] is
+    [Cp_pce]. *)
 
 val config : t -> config
 val trace : t -> Netsim.Trace.t

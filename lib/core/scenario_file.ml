@@ -35,6 +35,10 @@ type state = {
   mutable dns_ttl : float;
   mutable cache_capacity : int;
   mutable cp_faults : Scenario.cp_fault_profile option;
+  mutable node_faults : Scenario.node_fault_profile option;
+  (* pce-crash-at windows still waiting for their pce-recover-at, with
+     the line the crash appeared on (for error reporting) *)
+  mutable open_crashes : (int * float * int) list; (* domain, from, line *)
   mutable workload : workload;
 }
 
@@ -42,7 +46,8 @@ let fresh_state () =
   { seed = 1; figure1 = false; domains = 16; providers = 4; borders = 2;
     hosts = 4; tier1 = None; cp = Scenario.Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_ttl = 3600.0; cache_capacity = 10_000;
-    cp_faults = None; workload = default.workload }
+    cp_faults = None; node_faults = None; open_crashes = [];
+    workload = default.workload }
 
 let cp_of_string = function
   | "pce" -> Some (Scenario.Cp_pce Pce_control.default_options)
@@ -86,6 +91,12 @@ let fault_profile state =
   match state.cp_faults with
   | Some p -> p
   | None -> Scenario.default_cp_faults
+
+(* pce-* node keys accumulate the same way. *)
+let node_profile state =
+  match state.node_faults with
+  | Some p -> p
+  | None -> Scenario.default_node_faults
 
 let apply state line key value =
   match key with
@@ -163,6 +174,59 @@ let apply state line key value =
           state.cp_faults <-
             Some { p with Scenario.cp_scripts = p.Scenario.cp_scripts @ [ script ] }
       | _ -> fail line "cp-partition expects '<domain-a> <domain-b> <from> <until>'")
+  | "pce-crash-at" -> (
+      (* pce-crash-at <domain> <time>: opens a crash window, closed by a
+         later pce-recover-at for the same domain (or left open, i.e.
+         the PCE never restarts). *)
+      match fields_of value with
+      | [ d; at ] ->
+          let domain = int_field line key d ~min:0 ~max:9_999 in
+          let at = float_field line key at ~min:0.0 in
+          if List.exists (fun (od, _, _) -> od = domain) state.open_crashes
+          then
+            fail line
+              (Printf.sprintf
+                 "pce-crash-at: domain %d already has an open crash window"
+                 domain);
+          state.open_crashes <- (domain, at, line) :: state.open_crashes
+      | _ -> fail line "pce-crash-at expects '<domain> <time>'")
+  | "pce-recover-at" -> (
+      (* pce-recover-at <domain> <time>: closes the open window. *)
+      match fields_of value with
+      | [ d; at ] ->
+          let domain = int_field line key d ~min:0 ~max:9_999 in
+          let until = float_field line key at ~min:0.0 in
+          let opened, rest =
+            List.partition (fun (od, _, _) -> od = domain) state.open_crashes
+          in
+          let from_ =
+            match opened with
+            | [ (_, from_, _) ] -> from_
+            | _ ->
+                fail line
+                  (Printf.sprintf
+                     "pce-recover-at: no pce-crash-at for domain %d" domain)
+          in
+          if until <= from_ then
+            fail line
+              (Printf.sprintf
+                 "pce-recover-at: inverted window for domain %d \
+                  (recovers at %g, crashed at %g)"
+                 domain until from_);
+          state.open_crashes <- rest;
+          let p = node_profile state in
+          state.node_faults <-
+            Some
+              { p with
+                Scenario.node_windows =
+                  p.Scenario.node_windows
+                  @ [ (Netsim.Lifecycle.Pce domain, from_, until) ] }
+      | _ -> fail line "pce-recover-at expects '<domain> <time>'")
+  | "pce-watchdog" ->
+      state.node_faults <-
+        Some
+          { (node_profile state) with
+            Scenario.pce_watchdog = float_field line key value ~min:0.001 }
   | "flows" ->
       state.workload <-
         { state.workload with flows = int_field line key value ~min:1 ~max:1_000_000 }
@@ -202,11 +266,40 @@ let finish state =
   | Some d when (not state.figure1) && d >= state.domains ->
       fail 0 (Printf.sprintf "hotspot domain %d does not exist" d)
   | Some _ | None -> ());
+  (* Unclosed crash windows mean the PCE never restarts. *)
+  let node_faults =
+    match (state.node_faults, state.open_crashes) with
+    | profile, [] -> profile
+    | profile, open_ ->
+        let p =
+          Option.value profile ~default:Scenario.default_node_faults
+        in
+        let extra =
+          List.rev_map
+            (fun (d, from_, _) -> (Netsim.Lifecycle.Pce d, from_, infinity))
+            open_
+        in
+        Some
+          { p with Scenario.node_windows = p.Scenario.node_windows @ extra }
+  in
+  (match node_faults with
+  | Some p ->
+      let domain_count = if state.figure1 then 2 else state.domains in
+      List.iter
+        (fun (role, _, _) ->
+          match role with
+          | Netsim.Lifecycle.Pce d when d >= domain_count ->
+              fail 0
+                (Printf.sprintf "pce-crash-at: domain %d does not exist" d)
+          | _ -> ())
+        p.Scenario.node_windows
+  | None -> ());
   { config =
       { Scenario.default_config with
         Scenario.seed = state.seed; topology; cp = state.cp;
         mapping_ttl = state.mapping_ttl; dns_record_ttl = state.dns_ttl;
-        cache_capacity = state.cache_capacity; cp_faults = state.cp_faults };
+        cache_capacity = state.cache_capacity; cp_faults = state.cp_faults;
+        node_faults };
     workload = state.workload }
 
 let strip_comment line =

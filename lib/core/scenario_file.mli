@@ -22,6 +22,13 @@
     hotspot     0             # optional: aim all traffic at one domain
     v}
 
+    Control-plane faults ([cp-loss], [cp-jitter], [cp-rto],
+    [cp-backoff], [cp-retries], [cp-flap], [cp-partition]) and node
+    failures ([pce-crash-at <domain> <t>], [pce-recover-at <domain>
+    <t>], [pce-watchdog <s>]) are documented in [doc/protocol.md]; a
+    crash with no matching recovery means the PCE never restarts, and
+    windows must close after they open.
+
     Unknown keys, malformed values and out-of-range numbers are
     reported with their line number.  Omitted keys take the defaults
     above ({!default}). *)

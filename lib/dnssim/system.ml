@@ -26,6 +26,17 @@ type counters = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable wire_bytes : int;
+  mutable tap_bypasses : int;
+  mutable outage_failures : int;
+}
+
+(* Watchdog that lets a server answer around a crashed response tap
+   (the PCE bypass path): while [guard_down] holds, the final answer
+   is delivered un-tapped after [guard_watchdog] seconds. *)
+type tap_guard = {
+  guard_down : unit -> bool;
+  guard_watchdog : float;
+  guard_on_bypass : (qname:Name.t -> unit) option;
 }
 
 type t = {
@@ -34,6 +45,9 @@ type t = {
   zones : (Topology.Node.id, Zone.t) Hashtbl.t;
   resolvers : (Topology.Node.id, resolver) Hashtbl.t;
   taps : (Topology.Node.id, tap_context -> unit) Hashtbl.t;
+  tap_guards : (Topology.Node.id, tap_guard) Hashtbl.t;
+  outages : (Topology.Node.id, unit -> bool) Hashtbl.t;
+  outage_timeout : float;
   server_processing : float;
   trace : Netsim.Trace.t option;
   obs : Obs.Hub.t option;
@@ -93,13 +107,15 @@ let populate t ~record_ttl =
     internet.Topology.Builder.domains
 
 let create ~engine ~internet ?(record_ttl = 3600.0) ?(server_processing = 0.0005)
-    ?trace ?obs () =
+    ?(outage_timeout = 2.0) ?trace ?obs () =
   let t =
     { engine; internet; zones = Hashtbl.create 16; resolvers = Hashtbl.create 16;
-      taps = Hashtbl.create 4; server_processing; trace; obs;
+      taps = Hashtbl.create 4; tap_guards = Hashtbl.create 4;
+      outages = Hashtbl.create 4; outage_timeout; server_processing; trace; obs;
       counters =
         { client_queries = 0; iterative_queries = 0; responses = 0;
-          cache_hits = 0; cache_misses = 0; wire_bytes = 0 } }
+          cache_hits = 0; cache_misses = 0; wire_bytes = 0; tap_bypasses = 0;
+          outage_failures = 0 } }
   in
   populate t ~record_ttl;
   t
@@ -110,6 +126,21 @@ let set_response_tap t ~server tap =
   match tap with
   | Some f -> Hashtbl.replace t.taps server f
   | None -> Hashtbl.remove t.taps server
+
+let set_tap_guard t ~server guard =
+  match guard with
+  | Some g -> Hashtbl.replace t.tap_guards server g
+  | None -> Hashtbl.remove t.tap_guards server
+
+let set_server_outage t ~server down =
+  match down with
+  | Some pred -> Hashtbl.replace t.outages server pred
+  | None -> Hashtbl.remove t.outages server
+
+let node_down t node =
+  match Hashtbl.find_opt t.outages node with
+  | Some pred -> pred ()
+  | None -> false
 
 let resolver_exn t node =
   match Hashtbl.find_opt t.resolvers node with
@@ -190,6 +221,18 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
       trace t ~actor:(node_label t resolver_id) "iterative query %s -> %s"
         (Name.to_string qname) (node_label t server);
       send t ~src:resolver_id ~dst:server ~bytes:(query_size qname) (fun () ->
+          if node_down t server then begin
+            (* Crashed authoritative server: the query dies and the
+               resolver gives up on the whole resolution after its
+               query timeout. *)
+            t.counters.outage_failures <- t.counters.outage_failures + 1;
+            trace t ~actor:(node_label t server)
+              "server down: query %s unanswered" (Name.to_string qname);
+            ignore
+              (Netsim.Engine.schedule t.engine ~delay:t.outage_timeout
+                 (fun () -> answer_client None))
+          end
+          else
           (* Server-side processing, then answer. *)
           ignore
             (Netsim.Engine.schedule t.engine ~delay:t.server_processing
@@ -218,16 +261,37 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
                        answer_client (Some addr)
                      in
                      match Hashtbl.find_opt t.taps server with
-                     | Some tap ->
-                         trace t ~actor:(node_label t server)
-                           "final answer for %s intercepted by tap (step 6)"
-                           (Name.to_string qname);
-                         t.counters.wire_bytes <- t.counters.wire_bytes + bytes;
-                         tap
-                           { tap_qname = qname; tap_answer = addr;
-                             tap_server = server; tap_resolver = resolver_id;
-                             tap_wire_latency = wire_latency;
-                             tap_complete = complete }
+                     | Some tap -> (
+                         match Hashtbl.find_opt t.tap_guards server with
+                         | Some g when g.guard_down () ->
+                             (* The tap's PCE is crashed: wait out the
+                                watchdog, then answer past it,
+                                un-piggybacked. *)
+                             t.counters.tap_bypasses <-
+                               t.counters.tap_bypasses + 1;
+                             trace t ~actor:(node_label t server)
+                               "tap dead for %s: bypass after %gs watchdog"
+                               (Name.to_string qname) g.guard_watchdog;
+                             (match g.guard_on_bypass with
+                             | Some f -> f ~qname
+                             | None -> ());
+                             ignore
+                               (Netsim.Engine.schedule t.engine
+                                  ~delay:g.guard_watchdog (fun () ->
+                                    send t ~src:server ~dst:resolver_id ~bytes
+                                      complete))
+                         | Some _ | None ->
+                             trace t ~actor:(node_label t server)
+                               "final answer for %s intercepted by tap (step 6)"
+                               (Name.to_string qname);
+                             t.counters.wire_bytes <-
+                               t.counters.wire_bytes + bytes;
+                             tap
+                               { tap_qname = qname; tap_answer = addr;
+                                 tap_server = server;
+                                 tap_resolver = resolver_id;
+                                 tap_wire_latency = wire_latency;
+                                 tap_complete = complete })
                      | None -> send t ~src:server ~dst:resolver_id ~bytes complete)
                  | Zone.Referral (child_apex, child_server) ->
                      send t ~src:server ~dst:resolver_id ~bytes (fun () ->
@@ -244,6 +308,21 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
   in
   (* Client -> resolver wire, then observer + cache check. *)
   send t ~src:client ~dst:resolver_id ~bytes:(query_size qname) (fun () ->
+      if node_down t resolver_id then begin
+        (* Crashed resolver: the client's query is never answered; it
+           observes a failed resolution after its own timeout. *)
+        t.counters.outage_failures <- t.counters.outage_failures + 1;
+        trace t ~actor:(node_label t resolver_id)
+          "resolver down: query %s unanswered" (Name.to_string qname);
+        ignore
+          (Netsim.Engine.schedule t.engine ~delay:t.outage_timeout (fun () ->
+               if obs_on t then
+                 obs_emit t ~actor:(node_label t client) ?flow
+                   (Obs.Event.Dns_reply
+                      { qname = Name.to_string qname; answered = false });
+               callback None))
+      end
+      else begin
       (match resolver.observer with
       | Some f -> f ~client_eid ~qname
       | None -> ());
@@ -255,4 +334,5 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
           answer_client (Some addr)
       | None ->
           t.counters.cache_misses <- t.counters.cache_misses + 1;
-          iterate (starting_server t resolver qname) 16)
+          iterate (starting_server t resolver qname) 16
+      end)

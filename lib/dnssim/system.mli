@@ -22,13 +22,16 @@ val create :
   internet:Topology.Builder.t ->
   ?record_ttl:float ->
   ?server_processing:float ->
+  ?outage_timeout:float ->
   ?trace:Netsim.Trace.t ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [record_ttl] defaults to 3600 s; [server_processing] (per query, at
-    each server) to 0.5 ms.  [obs] receives typed [Dns_query]/
-    [Dns_reply] events when enabled. *)
+    each server) to 0.5 ms; [outage_timeout] (how long a querier waits
+    on a crashed node before giving up, see {!set_server_outage}) to
+    2 s.  [obs] receives typed [Dns_query]/[Dns_reply] events when
+    enabled. *)
 
 val engine : t -> Netsim.Engine.t
 val internet : t -> Topology.Builder.t
@@ -50,6 +53,33 @@ type tap_context = {
 val set_response_tap : t -> server:Topology.Node.id -> (tap_context -> unit) option -> unit
 (** Install/remove the tap for final answers emitted by a server.
     Referrals and errors are never tapped. *)
+
+type tap_guard = {
+  guard_down : unit -> bool;
+      (** is the tap's owner (the PCE) currently crashed? *)
+  guard_watchdog : float;
+      (** seconds the server waits on a dead tap before bypassing it *)
+  guard_on_bypass : (qname:Name.t -> unit) option;
+      (** notification hook fired (at watchdog expiry decision time)
+          for each bypassed answer *)
+}
+
+val set_tap_guard : t -> server:Topology.Node.id -> tap_guard option -> unit
+(** Guard the server's response tap with a liveness check: when
+    [guard_down ()] holds at interception time, the answer is {e not}
+    handed to the tap — after [guard_watchdog] seconds it is sent to
+    the resolver on the ordinary wire path, un-piggybacked (the
+    resolution completes; whatever the tap would have added does not
+    happen).  Without a guard, tap behaviour is byte-identical to
+    before.  [set_response_tap ... None] does not remove the guard. *)
+
+val set_server_outage :
+  t -> server:Topology.Node.id -> (unit -> bool) option -> unit
+(** Declare a liveness predicate for a DNS node (authoritative server
+    or resolver).  While the predicate holds, queries reaching the node
+    die: the querier observes a failed resolution after
+    [outage_timeout] seconds (counted in [outage_failures]).  Without a
+    predicate the node is permanently up and behaviour is untouched. *)
 
 val set_query_observer :
   t ->
@@ -83,6 +113,10 @@ type counters = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable wire_bytes : int;
+  mutable tap_bypasses : int;
+      (** final answers delivered past a dead tap by a {!tap_guard} *)
+  mutable outage_failures : int;
+      (** resolutions failed because a crashed node never answered *)
 }
 
 val counters : t -> counters

@@ -96,13 +96,14 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
       Array.iter
         (Array.iter (fun r ->
              let actor = r.router_domain.Topology.Domain.name ^ "-itr" in
-             Map_cache.set_evict_hook r.cache
-               (Some
-                  (fun mapping ->
-                    if obs_on t then
-                      obs_emit t ~actor
-                        (Obs.Event.Cache_evict
-                           { prefix = mapping.Mapping.eid_prefix })))))
+             let emit_death mapping =
+               if obs_on t then
+                 obs_emit t ~actor
+                   (Obs.Event.Cache_evict
+                      { prefix = mapping.Mapping.eid_prefix })
+             in
+             Map_cache.set_evict_hook r.cache (Some emit_death);
+             Map_cache.set_expire_hook r.cache (Some emit_death)))
         routers);
   t
 

@@ -27,6 +27,7 @@ type t = {
   mutable tail : entry option; (* least recently used *)
   stats : stats;
   mutable evict_hook : (Mapping.t -> unit) option;
+  mutable expire_hook : (Mapping.t -> unit) option;
 }
 
 let create ?(capacity = 10_000) () =
@@ -35,9 +36,10 @@ let create ?(capacity = 10_000) () =
     stats =
       { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0;
         invalidations = 0 };
-    evict_hook = None }
+    evict_hook = None; expire_hook = None }
 
 let set_evict_hook t hook = t.evict_hook <- hook
+let set_expire_hook t hook = t.expire_hook <- hook
 
 let stats t = t.stats
 let length t = Prefix_table.length t.table
@@ -129,6 +131,9 @@ let rec live_lookup t ~now addr =
       else begin
         drop_entry t e;
         t.stats.expirations <- t.stats.expirations + 1;
+        (match t.expire_hook with
+        | Some hook -> hook e.mapping
+        | None -> ());
         live_lookup t ~now addr
       end
 

@@ -57,8 +57,15 @@ val stats : t -> stats
 
 val set_evict_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
 (** Observer invoked with the victim mapping on every LRU eviction and
-    every explicit removal (not on TTL expiry or refresh); the
-    observability layer uses it to emit [Cache_evict] events. *)
+    every explicit removal (not on TTL expiry — see {!set_expire_hook}
+    — or refresh); the observability layer uses it to emit
+    [Cache_evict] events. *)
+
+val set_expire_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
+(** Observer invoked with the dead mapping each time a lookup reaps a
+    TTL-expired entry.  Together with {!set_evict_hook} the two hooks
+    see every entry death except silent refreshes:
+    [hook invocations = evictions + invalidations + expirations]. *)
 
 val hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

@@ -7,11 +7,14 @@ type t = {
   mutable resolutions : int;
   mutable retransmissions : int;
   mutable timeouts : int;
+  mutable bypasses : int;
+  mutable recoveries : int;
 }
 
 let create () =
   { map_requests = 0; map_replies = 0; push_messages = 0; control_bytes = 0;
-    detoured_packets = 0; resolutions = 0; retransmissions = 0; timeouts = 0 }
+    detoured_packets = 0; resolutions = 0; retransmissions = 0; timeouts = 0;
+    bypasses = 0; recoveries = 0 }
 
 let message_total t = t.map_requests + t.map_replies + t.push_messages
 
@@ -23,10 +26,14 @@ let merge a b =
     detoured_packets = a.detoured_packets + b.detoured_packets;
     resolutions = a.resolutions + b.resolutions;
     retransmissions = a.retransmissions + b.retransmissions;
-    timeouts = a.timeouts + b.timeouts }
+    timeouts = a.timeouts + b.timeouts;
+    bypasses = a.bypasses + b.bypasses;
+    recoveries = a.recoveries + b.recoveries }
 
 let pp ppf t =
   Format.fprintf ppf
-    "req=%d rep=%d push=%d bytes=%d detour=%d resolved=%d retx=%d timeout=%d"
+    "req=%d rep=%d push=%d bytes=%d detour=%d resolved=%d retx=%d timeout=%d \
+     bypass=%d recover=%d"
     t.map_requests t.map_replies t.push_messages t.control_bytes
-    t.detoured_packets t.resolutions t.retransmissions t.timeouts
+    t.detoured_packets t.resolutions t.retransmissions t.timeouts t.bypasses
+    t.recoveries

@@ -12,6 +12,10 @@ type t = {
       (** control messages re-sent after a retry timer fired *)
   mutable timeouts : int;
       (** resolutions/pushes abandoned after the retry budget ran out *)
+  mutable bypasses : int;
+      (** DNS answers delivered past a crashed PCE (un-piggybacked) *)
+  mutable recoveries : int;
+      (** warm recoveries performed by restarting PCEs *)
 }
 
 val create : unit -> t

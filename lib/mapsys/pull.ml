@@ -38,6 +38,7 @@ type t = {
   smr : bool;
   faults : Netsim.Faults.t option;
   retry : Netsim.Faults.retry option;
+  lifecycle : Netsim.Lifecycle.t option;
   (* Which remote ITRs (by RLOC) cache each domain's mapping — learned
      from the tunnel headers at the domain's ETRs, used by SMR. *)
   cached_at : (int, (int, unit) Hashtbl.t) Hashtbl.t;
@@ -48,7 +49,7 @@ type t = {
 
 let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     ?resolution_latency ?(glean_ttl = 60.0) ?(server_processing = 0.0005)
-    ?(smr = false) ?faults ?retry ?obs () =
+    ?(smr = false) ?faults ?retry ?lifecycle ?obs () =
   let latency_of =
     match latency_of with
     | Some f -> f
@@ -57,7 +58,8 @@ let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
   { engine; internet; registry; alt; mode;
     name = Option.value name ~default:(mode_name mode);
     latency_of; resolution_latency; glean_ttl; server_processing; smr;
-    faults; retry; cached_at = Hashtbl.create 16; stats = Cp_stats.create ();
+    faults; retry; lifecycle; cached_at = Hashtbl.create 16;
+    stats = Cp_stats.create ();
     glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
     dataplane = None; obs }
 
@@ -194,8 +196,21 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
         in
         request_latency +. t.server_processing +. reply_latency
   in
+  (* Lifecycle windows are consulted before any fault draw so that a
+     run whose crash schedule is empty takes exactly the same RNG
+     stream as one with no lifecycle at all. *)
+  let server_down =
+    match t.lifecycle with
+    | Some lc when total < infinity ->
+        Netsim.Lifecycle.is_down lc ~role:Netsim.Lifecycle.Map_server
+          ~now:(Netsim.Engine.now t.engine)
+    | Some _ | None -> false
+  in
+  if server_down && obs_on t then
+    obs_emit t ~actor ?flow (Obs.Event.Cp_loss { message = "map-server-down" });
   let lost =
-    match t.faults with
+    if server_down then true
+    else match t.faults with
     | Some faults when total < infinity ->
         let now = Netsim.Engine.now t.engine in
         if Netsim.Faults.drops_message faults ~now ~src:src_id ~dst:dst_id

@@ -48,6 +48,7 @@ val create :
   ?smr:bool ->
   ?faults:Netsim.Faults.t ->
   ?retry:Netsim.Faults.retry ->
+  ?lifecycle:Netsim.Lifecycle.t ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
@@ -72,9 +73,21 @@ val create :
     abandons the resolution immediately and queued packets drop under
     ["resolution-abandoned"].  With neither option the behaviour (and
     event-for-event timing) of the lossless control plane is
-    unchanged. *)
+    unchanged.
+
+    [lifecycle], when given, is consulted (before any fault draw, so an
+    empty schedule perturbs nothing) for the {!Netsim.Lifecycle.Map_server}
+    role at each transmission: while the map-server is down the attempt
+    is lost outright (emitted as [Cp_loss "map-server-down"]) and the
+    normal retry machinery carries the resolution across the outage. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
+
+val handle_miss :
+  t -> Lispdp.Dataplane.router -> Nettypes.Packet.t -> Lispdp.Dataplane.miss_decision
+(** The miss path of {!control_plane}, exposed so a degraded PCE
+    control plane can delegate unresolvable misses to a pull
+    fallback. *)
 
 val attach : t -> Lispdp.Dataplane.t -> unit
 (** Must be called once, with the dataplane built over

@@ -1,0 +1,31 @@
+type role = Pce of int | Dns_server of int | Map_server
+
+type window = { role : role; from_ : float; until : float }
+
+type t = { mutable windows : window list (* insertion order, kept reversed *) }
+
+let create () = { windows = [] }
+
+let role_label = function
+  | Pce d -> Printf.sprintf "pce(%d)" d
+  | Dns_server d -> Printf.sprintf "dns(%d)" d
+  | Map_server -> "map-server"
+
+let add_window t ~role ~from_ ~until =
+  if from_ < 0.0 then invalid_arg "Lifecycle.add_window: negative crash time";
+  if until <= from_ then
+    invalid_arg
+      (Printf.sprintf
+         "Lifecycle.add_window: %s window [%g, %g) ends before it starts"
+         (role_label role) from_ until);
+  t.windows <- { role; from_; until } :: t.windows
+
+let is_down t ~role ~now =
+  List.exists
+    (fun w -> w.role = role && now >= w.from_ && now < w.until)
+    t.windows
+
+let windows t =
+  List.rev_map (fun w -> (w.role, w.from_, w.until)) t.windows
+
+let window_count t = List.length t.windows

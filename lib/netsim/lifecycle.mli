@@ -1,0 +1,45 @@
+(** Node-lifecycle fault injection: scheduled crash/restart windows.
+
+    Where {!Faults} loses individual {e messages}, a [Lifecycle.t]
+    takes whole {e nodes} down for declared intervals of simulated
+    time, with state-loss semantics decided by the component that owns
+    the node's state (a crashed PCE loses its in-memory flow database;
+    a crashed DNS server simply stops answering; a crashed map-server
+    stops replying to map-requests).
+
+    The model itself is passive and purely deterministic: it answers
+    {!is_down} queries and enumerates its {!windows} so the scenario
+    layer can schedule the crash and restart transitions as engine
+    events.  It draws no randomness and keeps no counters, so wiring
+    an empty lifecycle into a run perturbs nothing — the strict
+    opt-in discipline of the message-loss layer applies here too.
+
+    Roles are topology-agnostic, mirroring {!Faults} endpoints: PCE
+    and DNS-server roles carry the domain id; the (global) map-server
+    of the pull mapping system is a singleton role. *)
+
+type role =
+  | Pce of int  (** the PCE co-located with domain [id]'s DNS server *)
+  | Dns_server of int  (** domain [id]'s DNS server / resolver *)
+  | Map_server  (** the pull mapping system's server side *)
+
+type t
+
+val create : unit -> t
+(** No windows: every role is permanently up. *)
+
+val add_window : t -> role:role -> from_:float -> until:float -> unit
+(** The role is down (crashed) for [from_ <= now < until].  [until] may
+    be [infinity] (never restarts).  Raises [Invalid_argument] on an
+    inverted window ([until <= from_]) or a negative [from_]. *)
+
+val is_down : t -> role:role -> now:float -> bool
+
+val windows : t -> (role * float * float) list
+(** All windows in insertion order, for scheduling crash/restart
+    transitions as engine events. *)
+
+val window_count : t -> int
+
+val role_label : role -> string
+(** ["pce(3)"], ["dns(0)"], ["map-server"] — for traces and errors. *)

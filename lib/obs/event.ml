@@ -25,6 +25,10 @@ type kind =
   | Syn_received
   | Run_start of { label : string }
   | Note of string
+  | Node_crash of { role : string }
+  | Node_restart of { role : string }
+  | Pce_bypass of { qname : string }
+  | Degraded_to_pull of { eid : Ipv4.addr }
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
 
@@ -62,6 +66,10 @@ let kind_name = function
   | Syn_received -> "syn_received"
   | Run_start _ -> "run_start"
   | Note _ -> "note"
+  | Node_crash _ -> "node_crash"
+  | Node_restart _ -> "node_restart"
+  | Pce_bypass _ -> "pce_bypass"
+  | Degraded_to_pull _ -> "degraded_to_pull"
 
 let describe_kind = function
   | Dns_query { qname } -> Printf.sprintf "DNS query %s" qname
@@ -106,6 +114,13 @@ let describe_kind = function
   | Syn_received -> "first SYN reached the responder"
   | Run_start { label } -> Printf.sprintf "run start: %s" label
   | Note text -> text
+  | Node_crash { role } -> Printf.sprintf "node crash: %s" role
+  | Node_restart { role } -> Printf.sprintf "node restart: %s" role
+  | Pce_bypass { qname } ->
+      Printf.sprintf "DNS bypassed dead PCE for %s" qname
+  | Degraded_to_pull { eid } ->
+      Printf.sprintf "degraded to pull resolution for %s"
+        (Ipv4.addr_to_string eid)
 
 let describe e = describe_kind e.kind
 
@@ -147,6 +162,10 @@ let to_json e =
     | Syn_received -> []
     | Run_start { label } -> [ ("label", Json.String label) ]
     | Note text -> [ ("text", Json.String text) ]
+    | Node_crash { role } | Node_restart { role } ->
+        [ ("role", Json.String role) ]
+    | Pce_bypass { qname } -> [ ("qname", Json.String qname) ]
+    | Degraded_to_pull { eid } -> [ ("eid", addr eid) ]
   in
   Json.Obj
     ([ ("time", Json.Float e.time); ("actor", Json.String e.actor);
@@ -221,6 +240,13 @@ let of_json json =
     | "syn_received" -> Some Syn_received
     | "run_start" -> Option.map (fun label -> Run_start { label }) (str "label")
     | "note" -> Option.map (fun text -> Note text) (str "text")
+    | "node_crash" -> Option.map (fun role -> Node_crash { role }) (str "role")
+    | "node_restart" ->
+        Option.map (fun role -> Node_restart { role }) (str "role")
+    | "pce_bypass" ->
+        Option.map (fun qname -> Pce_bypass { qname }) (str "qname")
+    | "degraded_to_pull" ->
+        Option.map (fun eid -> Degraded_to_pull { eid }) (addr "eid")
     | _ -> None
   in
   match kind with

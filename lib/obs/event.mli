@@ -44,6 +44,18 @@ type kind =
   | Run_start of { label : string }
       (** stream marker separating runs in a multi-run JSONL trace *)
   | Note of string  (** free-form bridge for legacy trace text *)
+  | Node_crash of { role : string }
+      (** a node went down per the lifecycle schedule; [role] is
+          {!Netsim.Lifecycle.role_label} output ("pce(1)", "dns(0)",
+          "map-server") *)
+  | Node_restart of { role : string }
+      (** the node came back up (warm recovery begins for PCEs) *)
+  | Pce_bypass of { qname : string }
+      (** a DNS server's watchdog expired waiting on its dead PCE; the
+          answer for [qname] was delivered un-piggybacked *)
+  | Degraded_to_pull of { eid : Ipv4.addr }
+      (** an ITR cache miss could not be served by PCE push and fell
+          back to the pull mapping system *)
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
 

@@ -47,6 +47,8 @@ type agg = {
   mutable cp_retries : int;
   mutable cp_timeouts : int;
   mutable cp_losses : int;
+  mutable pce_bypasses : int;
+  mutable degraded : int;
 }
 
 type t = { agg : agg; builder : Span.builder }
@@ -93,7 +95,8 @@ let create () =
     { flows = 0; established = 0; failed = 0; unfinished = 0; wait_drops = 0;
       t_dns = new_dist (); t_map = new_dist (); t_wait = new_dist ();
       t_handshake = new_dist (); t_setup = new_dist (); drops = 0;
-      cp_retries = 0; cp_timeouts = 0; cp_losses = 0 }
+      cp_retries = 0; cp_timeouts = 0; cp_losses = 0; pce_bypasses = 0;
+      degraded = 0 }
   in
   { agg; builder = Span.create_builder ~on_root_close:(observe_root agg) () }
 
@@ -103,6 +106,8 @@ let feed t (e : Event.t) =
   | Event.Cp_retry _ -> t.agg.cp_retries <- t.agg.cp_retries + 1
   | Event.Cp_timeout _ -> t.agg.cp_timeouts <- t.agg.cp_timeouts + 1
   | Event.Cp_loss _ -> t.agg.cp_losses <- t.agg.cp_losses + 1
+  | Event.Pce_bypass _ -> t.agg.pce_bypasses <- t.agg.pce_bypasses + 1
+  | Event.Degraded_to_pull _ -> t.agg.degraded <- t.agg.degraded + 1
   | _ -> ());
   Span.feed t.builder e
 
@@ -127,4 +132,6 @@ let summary t =
       ("drops", float_of_int a.drops);
       ("cp_retries", float_of_int a.cp_retries);
       ("cp_timeouts", float_of_int a.cp_timeouts);
-      ("cp_losses", float_of_int a.cp_losses) ]
+      ("cp_losses", float_of_int a.cp_losses);
+      ("pce_bypasses", float_of_int a.pce_bypasses);
+      ("degraded_to_pull", float_of_int a.degraded) ]

@@ -24,4 +24,5 @@ val summary : t -> (string * float) list
     [failed], [unfinished]; then [_mean]/[_p50]/[_p95] for [t_dns],
     [t_map_resol], [t_first_packet_wait], [t_handshake], [t_setup]
     (seconds, established flows only, absent phases count 0); then
-    [wait_drops], [drops], [cp_retries], [cp_timeouts], [cp_losses]. *)
+    [wait_drops], [drops], [cp_retries], [cp_timeouts], [cp_losses],
+    [pce_bypasses], [degraded_to_pull]. *)

@@ -184,6 +184,12 @@ let feed b (e : Event.t) =
       instant b ~name:("cp_retry:" ^ message) ~actor ~time ~outcome:Ok
   | None, Event.Cp_timeout { message; _ } ->
       instant b ~name:("cp_timeout:" ^ message) ~actor ~time ~outcome:Timeout
+  | None, Event.Node_crash { role } ->
+      instant b ~name:("node_crash:" ^ role) ~actor ~time ~outcome:Lost
+  | None, Event.Node_restart { role } ->
+      instant b ~name:("node_restart:" ^ role) ~actor ~time ~outcome:Ok
+  | None, Event.Pce_bypass _ ->
+      instant b ~name:"pce_bypass" ~actor ~time ~outcome:Ok
   | None, _ -> drop_event b
   | Some id, kind -> (
       match (Hashtbl.find_opt b.conns id, kind) with
@@ -245,6 +251,11 @@ let feed b (e : Event.t) =
               with
               | Some s -> assign b s
               | None -> assign b (top conn))
+          | Event.Degraded_to_pull _ ->
+              (* The PCE push path is gone; the pull resolution that
+                 follows belongs to the same map_resolution phase. *)
+              assign b
+                (ensure_open conn ~name:"map_resolution" ~actor ~flow ~time)
           | Event.Packet_drop { cause } -> (
               match
                 if is_no_resolution_drop cause then

@@ -584,6 +584,28 @@ let test_scenario_file_cp_faults () =
               Alcotest.(check (float 1e-9)) "partition until" 8.0 q.until
           | _ -> Alcotest.fail "script order/shape wrong"))
 
+let test_scenario_file_node_faults () =
+  let text =
+    "topology figure1\npce-watchdog 0.4\npce-crash-at 1 2\n\
+     pce-recover-at 1 9\npce-crash-at 0 12\n"
+  in
+  match Scenario_file.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok t -> (
+      match t.Scenario_file.config.Scenario.node_faults with
+      | None -> Alcotest.fail "expected a node-fault profile"
+      | Some p ->
+          Alcotest.(check (float 1e-9)) "watchdog" 0.4 p.Scenario.pce_watchdog;
+          (match p.Scenario.node_windows with
+          | [ (Netsim.Lifecycle.Pce 1, from1, until1);
+              (Netsim.Lifecycle.Pce 0, from0, until0) ] ->
+              Alcotest.(check (float 1e-9)) "closed from" 2.0 from1;
+              Alcotest.(check (float 1e-9)) "closed until" 9.0 until1;
+              Alcotest.(check (float 1e-9)) "open from" 12.0 from0;
+              Alcotest.(check bool) "unclosed crash never restarts" true
+                (until0 = infinity)
+          | _ -> Alcotest.fail "window list shape wrong"))
+
 let test_scenario_file_errors () =
   List.iter
     (fun (text, fragment) ->
@@ -607,7 +629,11 @@ let test_scenario_file_errors () =
       ("hosts 0", "out of");
       ("seed", "expected 'key value'");
       ("domains 4\nhotspot 9", "does not exist");
-      ("topology pentagon", "unknown topology") ]
+      ("topology pentagon", "unknown topology");
+      ("pce-recover-at 1 5", "no pce-crash-at");
+      ("pce-crash-at 1 8\npce-recover-at 1 3", "inverted window");
+      ("pce-crash-at 1 2\npce-crash-at 1 4", "already has an open crash");
+      ("topology figure1\npce-crash-at 5 2", "does not exist") ]
 
 let test_scenario_file_runs () =
   match
@@ -772,6 +798,8 @@ let () =
           Alcotest.test_case "defaults" `Quick test_scenario_file_defaults;
           Alcotest.test_case "full parse" `Quick test_scenario_file_full;
           Alcotest.test_case "cp faults" `Quick test_scenario_file_cp_faults;
+          Alcotest.test_case "node faults" `Quick
+            test_scenario_file_node_faults;
           Alcotest.test_case "errors" `Quick test_scenario_file_errors;
           Alcotest.test_case "runs" `Quick test_scenario_file_runs;
         ] );

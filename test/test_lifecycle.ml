@@ -1,0 +1,302 @@
+(* Node-lifecycle fault injection: window semantics, the PCE_D
+   crash/bypass/degrade-to-pull path on the Figure-1 scenario, warm
+   recovery, and determinism of crash runs. *)
+
+open Core
+open Nettypes
+
+let addr = Ipv4.addr_of_string
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_window_validation () =
+  let lc = Netsim.Lifecycle.create () in
+  Alcotest.check_raises "inverted window rejected"
+    (Invalid_argument
+       "Lifecycle.add_window: pce(0) window [3, 1) ends before it starts")
+    (fun () ->
+      Netsim.Lifecycle.add_window lc ~role:(Netsim.Lifecycle.Pce 0) ~from_:3.0
+        ~until:1.0);
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument
+       "Lifecycle.add_window: pce(0) window [2, 2) ends before it starts")
+    (fun () ->
+      Netsim.Lifecycle.add_window lc ~role:(Netsim.Lifecycle.Pce 0) ~from_:2.0
+        ~until:2.0);
+  Alcotest.check_raises "negative start rejected"
+    (Invalid_argument "Lifecycle.add_window: negative crash time")
+    (fun () ->
+      Netsim.Lifecycle.add_window lc ~role:(Netsim.Lifecycle.Pce 0)
+        ~from_:(-1.0) ~until:1.0);
+  Alcotest.(check int) "nothing recorded" 0 (Netsim.Lifecycle.window_count lc);
+  (* [infinity] means "never restarts" and is legal. *)
+  Netsim.Lifecycle.add_window lc ~role:Netsim.Lifecycle.Map_server ~from_:1.0
+    ~until:infinity;
+  Alcotest.(check bool) "down forever" true
+    (Netsim.Lifecycle.is_down lc ~role:Netsim.Lifecycle.Map_server ~now:1e9)
+
+let test_is_down_boundaries () =
+  let lc = Netsim.Lifecycle.create () in
+  let role = Netsim.Lifecycle.Pce 1 in
+  Netsim.Lifecycle.add_window lc ~role ~from_:2.0 ~until:5.0;
+  let down now = Netsim.Lifecycle.is_down lc ~role ~now in
+  Alcotest.(check bool) "up before" false (down 1.999);
+  Alcotest.(check bool) "crash instant is down" true (down 2.0);
+  Alcotest.(check bool) "mid-window down" true (down 3.5);
+  Alcotest.(check bool) "restart instant is up" false (down 5.0);
+  (* Other roles are unaffected, including the same role kind for a
+     different domain. *)
+  Alcotest.(check bool) "other domain's PCE up" false
+    (Netsim.Lifecycle.is_down lc ~role:(Netsim.Lifecycle.Pce 0) ~now:3.0);
+  Alcotest.(check bool) "DNS server up" false
+    (Netsim.Lifecycle.is_down lc ~role:(Netsim.Lifecycle.Dns_server 1) ~now:3.0);
+  Alcotest.(check string) "pce label" "pce(1)"
+    (Netsim.Lifecycle.role_label role);
+  Alcotest.(check string) "dns label" "dns(0)"
+    (Netsim.Lifecycle.role_label (Netsim.Lifecycle.Dns_server 0));
+  Alcotest.(check string) "map-server label" "map-server"
+    (Netsim.Lifecycle.role_label Netsim.Lifecycle.Map_server)
+
+(* ------------------------------------------------------------------ *)
+(* Crash/bypass/degradation on the Figure-1 scenario                   *)
+(* ------------------------------------------------------------------ *)
+
+let crash_config windows =
+  { Scenario.default_config with
+    Scenario.cp = Scenario.Cp_pce Pce_control.default_options;
+    node_faults =
+      Some { Scenario.default_node_faults with Scenario.node_windows = windows }
+  }
+
+let run_crash_connection ?(data_packets = 3) ~port config =
+  let s = Scenario.build config in
+  Obs.Hub.set_enabled (Scenario.obs s) true;
+  let sink, events = Obs.Hub.memory_sink () in
+  Obs.Hub.add_sink (Scenario.obs s) sink;
+  let internet = Scenario.internet s in
+  let flow =
+    Flow.create
+      ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+      ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+      ~src_port:port ()
+  in
+  let c = Scenario.open_connection s ~flow ~data_packets () in
+  Scenario.run s;
+  (s, c, events)
+
+let has_kind events p = List.exists (fun e -> p e.Obs.Event.kind) events
+
+(* The ISSUE's acceptance scenario: AS_D's PCE is down for the whole
+   resolution.  The DNS server answers un-piggybacked after the
+   watchdog, the ITR miss degrades to a pull resolution, and the flow
+   still completes — paying T_map_resol the PCE path normally hides. *)
+let test_pce_crash_bypass_and_degradation () =
+  let s, c, events =
+    run_crash_connection
+      (crash_config [ (Netsim.Lifecycle.Pce 1, 0.0, 10.0) ])
+      ~port:6500
+  in
+  (match c.Scenario.tcp with
+  | Some conn ->
+      Alcotest.(check bool) "flow established despite the crash" true
+        (conn.Workload.Tcp.established_at <> None)
+  | None -> Alcotest.fail "connection never started");
+  Alcotest.(check int) "no packet ever dropped" 0
+    (Lispdp.Dataplane.counters (Scenario.dataplane s)).Lispdp.Dataplane.dropped;
+  let stats = Scenario.cp_stats s in
+  Alcotest.(check bool) "DNS bypassed the dead tap" true
+    (stats.Mapsys.Cp_stats.bypasses >= 1);
+  (match Scenario.fallback_pull s with
+  | Some pull ->
+      Alcotest.(check bool) "miss resolved by the pull fallback" true
+        ((Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions >= 1);
+      Alcotest.(check int) "no resolution left pending" 0
+        (Mapsys.Pull.pending_resolutions pull)
+  | None -> Alcotest.fail "node-fault profile should build a fallback pull");
+  let events = events () in
+  Alcotest.(check bool) "pce_bypass event emitted" true
+    (has_kind events (function Obs.Event.Pce_bypass _ -> true | _ -> false));
+  Alcotest.(check bool) "degraded_to_pull event emitted" true
+    (has_kind events (function
+      | Obs.Event.Degraded_to_pull _ -> true
+      | _ -> false));
+  (* The latency decomposition attributes the extra wait to
+     T_map_resol, which a healthy PCE run keeps at zero. *)
+  let lat = Obs.Latency.create () in
+  List.iter (Obs.Latency.feed lat) events;
+  Obs.Latency.close lat ~now:(Netsim.Engine.now (Scenario.engine s));
+  let summary = Obs.Latency.summary lat in
+  let metric name =
+    match List.assoc_opt name summary with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing from latency summary" name
+  in
+  Alcotest.(check bool) "degradation counted" true
+    (metric "degraded_to_pull" >= 1.0);
+  Alcotest.(check bool) "T_map_resol became visible" true
+    (metric "t_map_resol_mean" > 0.0)
+
+let test_crash_and_restart_recovers () =
+  let s, c, events =
+    run_crash_connection
+      (crash_config [ (Netsim.Lifecycle.Pce 1, 0.0, 10.0) ])
+      ~port:6501
+  in
+  Alcotest.(check bool) "flow established" true
+    (Option.bind c.Scenario.tcp Workload.Tcp.handshake_time <> None);
+  let stats = Scenario.cp_stats s in
+  Alcotest.(check int) "one warm recovery" 1 stats.Mapsys.Cp_stats.recoveries;
+  let events = events () in
+  let crash_role = ref None and restart_role = ref None in
+  List.iter
+    (fun e ->
+      match e.Obs.Event.kind with
+      | Obs.Event.Node_crash { role } -> crash_role := Some role
+      | Obs.Event.Node_restart { role } -> restart_role := Some role
+      | _ -> ())
+    events;
+  Alcotest.(check (option string)) "crash event names the role"
+    (Some "pce(1)") !crash_role;
+  Alcotest.(check (option string)) "restart event names the role"
+    (Some "pce(1)") !restart_role
+
+(* A window that never closes schedules no restart, so the run still
+   drains (the engine would otherwise wait forever on a restart at
+   [infinity]). *)
+let test_infinite_window_drains () =
+  let s, c, _ =
+    run_crash_connection
+      (crash_config [ (Netsim.Lifecycle.Pce 1, 0.0, infinity) ])
+      ~port:6502
+  in
+  Alcotest.(check bool) "flow established via bypass + pull" true
+    (Option.bind c.Scenario.tcp Workload.Tcp.handshake_time <> None);
+  Alcotest.(check int) "no recovery without a restart" 0
+    (Scenario.cp_stats s).Mapsys.Cp_stats.recoveries
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let crash_run_lines () =
+  let _, c, events =
+    run_crash_connection
+      (crash_config
+         [ (Netsim.Lifecycle.Pce 1, 0.0, 0.3);
+           (Netsim.Lifecycle.Pce 0, 0.5, 1.0) ])
+      ~port:6503
+  in
+  Alcotest.(check bool) "flow established" true
+    (Option.bind c.Scenario.tcp Workload.Tcp.handshake_time <> None);
+  List.map Obs.Export.event_line (events ())
+
+let test_crash_run_deterministic () =
+  let first = crash_run_lines () in
+  let second = crash_run_lines () in
+  Alcotest.(check bool) "crash run emitted events" true (first <> []);
+  Alcotest.(check (list string))
+    "identical seed + schedule give byte-identical JSONL" first second
+
+(* Strict opt-in: a profile with zero crash windows emits exactly the
+   event stream of a run with no profile at all. *)
+let test_empty_profile_is_inert () =
+  let run config port =
+    let _, c, events = run_crash_connection config ~port in
+    Alcotest.(check bool) "flow established" true
+      (Option.bind c.Scenario.tcp Workload.Tcp.handshake_time <> None);
+    List.map Obs.Export.event_line (events ())
+  in
+  let without =
+    run
+      { Scenario.default_config with
+        Scenario.cp = Scenario.Cp_pce Pce_control.default_options }
+      6504
+  in
+  let with_empty = run (crash_config []) 6504 in
+  Alcotest.(check (list string))
+    "empty window list perturbs nothing" without with_empty
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Any crash schedule on an otherwise lossless run degrades gracefully:
+   the engine drains, the connection establishes, no resolution is
+   stranded in the fallback pull, and the control-plane ledger stays
+   consistent. *)
+let prop_crash_schedule_harmless =
+  QCheck.Test.make ~name:"any PCE crash schedule degrades gracefully"
+    ~count:25
+    QCheck.(
+      list_of_size Gen.(1 -- 3)
+        (triple (int_bound 1) (int_bound 40) (int_range 1 60)))
+    (fun specs ->
+      (* Windows per domain must not overlap; stagger them instead of
+         discarding, so every generated case exercises the layer. *)
+      let next_free = Array.make 2 0.0 in
+      let windows =
+        List.map
+          (fun (domain, from_tenths, dur_tenths) ->
+            let from_ =
+              Float.max
+                (float_of_int from_tenths /. 10.0)
+                next_free.(domain)
+            in
+            let until = from_ +. (float_of_int dur_tenths /. 10.0) in
+            next_free.(domain) <- until;
+            (Netsim.Lifecycle.Pce domain, from_, until))
+          specs
+      in
+      let s = Scenario.build (crash_config windows) in
+      let internet = Scenario.internet s in
+      let flow =
+        Flow.create
+          ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+          ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+          ~src_port:6600 ()
+      in
+      let c = Scenario.open_connection s ~flow ~data_packets:2 () in
+      Scenario.run s;
+      let established =
+        Option.bind c.Scenario.tcp Workload.Tcp.handshake_time <> None
+      in
+      let stranded =
+        match Scenario.fallback_pull s with
+        | Some pull -> Mapsys.Pull.pending_resolutions pull
+        | None -> 0
+      in
+      let stats = Scenario.cp_stats s in
+      established && stranded = 0
+      && stats.Mapsys.Cp_stats.bypasses >= 0
+      && stats.Mapsys.Cp_stats.recoveries >= 0
+      && stats.Mapsys.Cp_stats.map_replies <= stats.Mapsys.Cp_stats.map_requests
+      && (Lispdp.Dataplane.counters (Scenario.dataplane s)).Lispdp.Dataplane
+           .dropped
+         = 0)
+
+let () =
+  ignore addr;
+  Alcotest.run "lifecycle"
+    [ ( "model",
+        [ Alcotest.test_case "window validation" `Quick test_window_validation;
+          Alcotest.test_case "is_down boundaries" `Quick test_is_down_boundaries;
+        ] );
+      ( "crash-recovery",
+        [ Alcotest.test_case "bypass and degradation" `Quick
+            test_pce_crash_bypass_and_degradation;
+          Alcotest.test_case "crash and restart" `Quick
+            test_crash_and_restart_recovers;
+          Alcotest.test_case "infinite window drains" `Quick
+            test_infinite_window_drains;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "byte-identical replay" `Quick
+            test_crash_run_deterministic;
+          Alcotest.test_case "empty profile inert" `Quick
+            test_empty_profile_is_inert;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_crash_schedule_harmless ] );
+    ]

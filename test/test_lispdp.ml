@@ -128,6 +128,31 @@ let test_cache_invalidation_stats_and_hook () =
     after.Map_cache.invalidations;
   Alcotest.(check int) "hook silent on refresh" 3 (List.length !evicted)
 
+let test_cache_expire_hook () =
+  let c = Map_cache.create () in
+  let expired = ref [] in
+  let evicted = ref [] in
+  Map_cache.set_evict_hook c
+    (Some (fun m -> evicted := m.Mapping.eid_prefix :: !evicted));
+  Map_cache.set_expire_hook c
+    (Some (fun m -> expired := m.Mapping.eid_prefix :: !expired));
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:10.0 ());
+  (* A refresh extends the lease without a death on either hook. *)
+  Map_cache.insert c ~now:5.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:10.0 ());
+  Alcotest.(check int) "refresh silent" 0 (List.length !expired);
+  ignore (Map_cache.lookup c ~now:20.0 (addr "100.0.1.1"));
+  Alcotest.(check int) "TTL reap fires expire hook" 1 (List.length !expired);
+  Alcotest.(check int) "TTL reap skips evict hook" 0 (List.length !evicted);
+  Alcotest.(check bool) "hook saw the reaped prefix" true
+    (List.mem (pfx "100.0.1.0/24") !expired);
+  Alcotest.(check int) "reap counted as expiration" 1
+    (Map_cache.stats c).Map_cache.expirations;
+  (* Explicit removal is the evict hook's business, not the expire hook's. *)
+  Map_cache.insert c ~now:20.0 (mapping ~prefix:"100.0.2.0/24" ());
+  Map_cache.remove c (pfx "100.0.2.0/24");
+  Alcotest.(check int) "remove skips expire hook" 1 (List.length !expired);
+  Alcotest.(check int) "remove fires evict hook" 1 (List.length !evicted)
+
 let test_cache_clear_resets_stats () =
   let c = Map_cache.create ~capacity:1 () in
   Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:1.0 ());
@@ -146,7 +171,9 @@ let test_cache_clear_resets_stats () =
   Alcotest.(check int) "invalidations" 0 s.Map_cache.invalidations
 
 (* Every entry that ever entered the cache is accounted for exactly
-   once: still live, LRU-evicted, TTL-reaped, or explicitly removed. *)
+   once: still live, LRU-evicted, TTL-reaped, or explicitly removed.
+   With both death hooks installed, the hooks together witness exactly
+   the non-live side of that ledger. *)
 let prop_cache_stats_balance =
   QCheck.Test.make ~name:"stats balance: ins = live + evic + exp + inval"
     ~count:200
@@ -155,6 +182,9 @@ let prop_cache_stats_balance =
         (list_of_size Gen.(1 -- 80) (pair (int_bound 3) (int_bound 12))))
     (fun (capacity, ops) ->
       let c = Map_cache.create ~capacity () in
+      let deaths = ref 0 in
+      Map_cache.set_evict_hook c (Some (fun _ -> incr deaths));
+      Map_cache.set_expire_hook c (Some (fun _ -> incr deaths));
       List.iteri
         (fun i (op, third) ->
           let now = float_of_int i in
@@ -168,7 +198,10 @@ let prop_cache_stats_balance =
       let s = Map_cache.stats c in
       s.Map_cache.insertions
       = Map_cache.length c + s.Map_cache.evictions + s.Map_cache.expirations
-        + s.Map_cache.invalidations)
+        + s.Map_cache.invalidations
+      && !deaths
+         = s.Map_cache.evictions + s.Map_cache.expirations
+           + s.Map_cache.invalidations)
 
 let prop_cache_never_exceeds_capacity =
   QCheck.Test.make ~name:"cache never exceeds capacity" ~count:100
@@ -466,6 +499,7 @@ let () =
           Alcotest.test_case "remove covered" `Quick test_cache_remove_covered;
           Alcotest.test_case "invalidation stats and hook" `Quick
             test_cache_invalidation_stats_and_hook;
+          Alcotest.test_case "expire hook" `Quick test_cache_expire_hook;
           Alcotest.test_case "clear resets stats" `Quick
             test_cache_clear_resets_stats;
         ] );

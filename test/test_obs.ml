@@ -325,7 +325,15 @@ let sample_events =
     { Obs.Event.time = 1.85; actor = "runtime"; flow = None;
       kind = Obs.Event.Run_start { label = "pull-drop" } };
     { Obs.Event.time = 1.9; actor = "narrator"; flow = None;
-      kind = Obs.Event.Note "free-form text with \"quotes\" and \\ escapes" } ]
+      kind = Obs.Event.Note "free-form text with \"quotes\" and \\ escapes" };
+    { Obs.Event.time = 2.0; actor = "as1-pce"; flow = None;
+      kind = Obs.Event.Node_crash { role = "pce(1)" } };
+    { Obs.Event.time = 2.1; actor = "as1-pce"; flow = None;
+      kind = Obs.Event.Node_restart { role = "pce(1)" } };
+    { Obs.Event.time = 2.2; actor = "as1-dns"; flow = None;
+      kind = Obs.Event.Pce_bypass { qname = "h0.as1.net." } };
+    { Obs.Event.time = 2.3; actor = "as0-itr"; flow = Some 42;
+      kind = Obs.Event.Degraded_to_pull { eid = addr "100.0.1.1" } } ]
 
 let test_jsonl_round_trip () =
   List.iter
