@@ -208,11 +208,62 @@ let test_spans_disabled =
            end
          done))
 
+(* The self-profiler's disabled path: every instrumentation site in the
+   engine, DNS, map-resolution, PCE and dataplane hot paths pays this
+   when profiling is off, so it must collapse to a flag test — same
+   contract as the disabled trace/hub above.  print () pauses the
+   profiler around the whole suite, so these run with it genuinely
+   off even under `bench` (which profiles the experiments). *)
+
+let ph_bench = Netsim.Prof.phase "micro-disabled"
+let ctr_bench = Netsim.Prof.counter "micro-disabled"
+
+let test_prof_disabled =
+  Test.make ~name:"prof: 10k enter/leave + incr (disabled)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 10_000 do
+           Netsim.Prof.enter ph_bench;
+           Netsim.Prof.incr ctr_bench;
+           Netsim.Prof.leave ph_bench
+         done))
+
+let test_prof_wrap_disabled =
+  Test.make ~name:"prof: 10k wrap (disabled)"
+    (Staged.stage (fun () ->
+         for _ = 1 to 10_000 do
+           (Netsim.Prof.wrap ph_bench ignore) ()
+         done))
+
+(* Direct allocation proof, reported alongside the timing rows: a
+   Gc.minor_words delta across 100k disabled enter/leave+incr cycles.
+   Zero words means the disabled path never touches the heap. *)
+let prof_disabled_alloc_words () =
+  for _ = 1 to 1_000 do
+    Netsim.Prof.enter ph_bench;
+    Netsim.Prof.incr ctr_bench;
+    Netsim.Prof.leave ph_bench
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Netsim.Prof.enter ph_bench;
+    Netsim.Prof.incr ctr_bench;
+    Netsim.Prof.leave ph_bench
+  done;
+  Gc.minor_words () -. w0
+
 let tests =
   [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
     test_wire_encode; test_wire_decode; test_zipf; test_samples_exact;
     test_samples_reservoir; test_p2; test_trace_disabled; test_hub_disabled;
-    test_spans_disabled ]
+    test_spans_disabled; test_prof_disabled; test_prof_wrap_disabled ]
+
+(* Run [f] with the profiler paused: measured loops must not pay
+   profiler overhead, and the "(disabled)" benches must be honest even
+   under `bench`, which enables the profiler around every
+   experiment. *)
+let unprofiled f =
+  Obs.Prof.pause ();
+  Fun.protect ~finally:Obs.Prof.resume f
 
 let print () =
   let ols =
@@ -223,8 +274,9 @@ let print () =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
   let raw =
-    Benchmark.all cfg [ instance ]
-      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests)
+    unprofiled (fun () ->
+        Benchmark.all cfg [ instance ]
+          (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests))
   in
   let results = Analyze.all ols instance raw in
   let table =
@@ -247,4 +299,7 @@ let print () =
   List.iter
     (fun (name, cell) -> Metrics.Table.add_row table [ name; cell ])
     (List.sort compare !rows);
+  Metrics.Table.add_row table
+    [ "prof: minor words / 100k disabled cycles";
+      Printf.sprintf "%.0f words" (unprofiled prof_disabled_alloc_words) ];
   Metrics.Table.print table

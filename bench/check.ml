@@ -1,0 +1,432 @@
+(* `bench --check`: the perf ratchet.
+
+   Compares a freshly written BENCH.json against the committed
+   bench/BASELINE.json, with thresholds auto-derived from the baseline
+   (threshold = baseline scaled by the tolerance band), and exits
+   non-zero with a human-readable diff table when the comparison
+   fails.  Two classes of field:
+
+   - Strict fields are properties of the *simulation*, independent of
+     host speed: experiment success, simulated event counts, the
+     latency decomposition (simulated seconds), and self-profile
+     sanity (coverage, share ranges).  These always hard-fail — a
+     drifted value means nondeterminism or a broken profiler, not a
+     slow runner.
+
+   - Perf fields (events/s, peak RSS) depend on the machine.  They
+     fail outside the tolerance band; [--soft] downgrades them to
+     warnings (GitHub annotation format) for shared CI runners while
+     strict fields keep their teeth. *)
+
+type failure_class = Strict | Perf
+
+type finding = {
+  f_exp : string;
+  f_field : string;
+  f_base : string;
+  f_cur : string;
+  f_threshold : string;
+  f_class : failure_class;
+  f_ok : bool;
+  f_note : string;
+}
+
+(* Perf band: fail when throughput drops below 70% of baseline (or RSS
+   grows past 130%).  Wide enough for same-machine run-to-run jitter;
+   cross-machine noise is what [--soft] is for. *)
+let default_tolerance = 0.3
+
+(* Latency metrics are simulated time but travel through the JSON
+   float printer (%.12g), so equality is up to a relative epsilon. *)
+let rel_eps = 1e-9
+
+let approx_equal a b =
+  let scale = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= rel_eps *. Float.max scale 1.0
+
+let read_json path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Obs.Json.of_string s
+
+let member_or name json ~default =
+  match Obs.Json.member name json with Some v -> v | None -> default
+
+let experiments_of doc =
+  match Obs.Json.member "experiments" doc with
+  | Some (Obs.Json.List l) ->
+      List.filter_map
+        (fun e ->
+          match
+            Option.bind (Obs.Json.member "id" e) Obs.Json.to_string_opt
+          with
+          | Some id -> Some (id, e)
+          | None -> None)
+        l
+  | _ -> []
+
+let fnum json name =
+  Option.bind (Obs.Json.member name json) Obs.Json.to_float_opt
+
+let latency_runs json =
+  match Obs.Json.member "latency" json with
+  | Some (Obs.Json.List runs) ->
+      Some
+        (List.map
+           (fun run ->
+             let label =
+               match
+                 Option.bind (Obs.Json.member "run" run)
+                   Obs.Json.to_string_opt
+               with
+               | Some l -> l
+               | None -> "?"
+             in
+             let metrics =
+               match run with
+               | Obs.Json.Obj fields ->
+                   List.filter_map
+                     (fun (k, v) ->
+                       if k = "run" then None
+                       else
+                         Option.map (fun f -> (k, f))
+                           (Obs.Json.to_float_opt v))
+                     fields
+               | _ -> []
+             in
+             (label, metrics))
+           runs)
+  | _ -> None
+
+let f3 v = Printf.sprintf "%.3g" v
+
+(* ------------------------------------------------------------------ *)
+(* Per-experiment comparisons                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_experiment ~tolerance ~id ~base ~cur =
+  let findings = ref [] in
+  let push f = findings := f :: !findings in
+  (* Success flag: the experiment must still pass. *)
+  let ok_cur =
+    match Option.bind (Obs.Json.member "ok" cur) Obs.Json.to_bool_opt with
+    | Some b -> b
+    | None -> false
+  in
+  push
+    { f_exp = id; f_field = "ok"; f_base = "true";
+      f_cur = string_of_bool ok_cur; f_threshold = "= true";
+      f_class = Strict; f_ok = ok_cur; f_note = "experiment success" };
+  (* Simulated event count: exact determinism check. *)
+  (match
+     ( Option.bind (Obs.Json.member "events" base) Obs.Json.to_int_opt,
+       Option.bind (Obs.Json.member "events" cur) Obs.Json.to_int_opt )
+   with
+  | Some be, Some ce ->
+      push
+        { f_exp = id; f_field = "events"; f_base = string_of_int be;
+          f_cur = string_of_int ce; f_threshold = "exact";
+          f_class = Strict; f_ok = be = ce;
+          f_note = "simulated event count (deterministic)" }
+  | _ -> ());
+  (* Latency decomposition: simulated seconds, must match the baseline
+     label-by-label and metric-by-metric. *)
+  (match (latency_runs base, latency_runs cur) with
+  | Some bruns, Some cruns when bruns <> [] ->
+      let ok, note =
+        if List.length bruns <> List.length cruns then
+          (false,
+           Printf.sprintf "run count %d -> %d" (List.length bruns)
+             (List.length cruns))
+        else
+          List.fold_left2
+            (fun (ok, note) (blabel, bm) (clabel, cm) ->
+              if not ok then (ok, note)
+              else if blabel <> clabel then
+                (false, Printf.sprintf "run %S became %S" blabel clabel)
+              else
+                List.fold_left
+                  (fun (ok, note) (k, bv) ->
+                    if not ok then (ok, note)
+                    else
+                      match List.assoc_opt k cm with
+                      | None ->
+                          (false, Printf.sprintf "%s: %s missing" blabel k)
+                      | Some cv when not (approx_equal bv cv) ->
+                          ( false,
+                            Printf.sprintf "%s: %s %.9g -> %.9g" blabel k
+                              bv cv )
+                      | Some _ -> (ok, note))
+                  (ok, note) bm)
+            (true, "") bruns cruns
+      in
+      push
+        { f_exp = id; f_field = "latency"; f_base = "(simulated)";
+          f_cur = (if ok then "(identical)" else "(drifted)");
+          f_threshold = Printf.sprintf "rel %.0e" rel_eps;
+          f_class = Strict; f_ok = ok;
+          f_note =
+            (if note = "" then "latency percentiles (simulated time)"
+             else note) }
+  | _ -> ());
+  (* Self-profile sanity on the current run: phase accounting must
+     cover >= 95% of wall time and shares must be well-formed. *)
+  (match Obs.Json.member "prof" cur with
+  | Some (Obs.Json.Obj _ as prof) -> (
+      match Obs.Prof.report_of_json prof with
+      | Error msg ->
+          push
+            { f_exp = id; f_field = "prof"; f_base = "-"; f_cur = "(bad)";
+              f_threshold = "well-formed"; f_class = Strict; f_ok = false;
+              f_note = msg }
+      | Ok (_, _) ->
+          let coverage =
+            match fnum prof "coverage" with Some c -> c | None -> 0.0
+          in
+          push
+            { f_exp = id; f_field = "prof.coverage"; f_base = "-";
+              f_cur = f3 coverage; f_threshold = ">= 0.95";
+              f_class = Strict; f_ok = coverage >= 0.95;
+              f_note = "phase self-time coverage of wall time" };
+          let shares_ok =
+            match Obs.Json.member "phases" prof with
+            | Some (Obs.Json.List phases) ->
+                let sum = ref 0.0 and ok = ref true in
+                List.iter
+                  (fun p ->
+                    match fnum p "share" with
+                    | Some s ->
+                        sum := !sum +. s;
+                        if s < -.1e-9 || s > 1.0 +. 1e-9 then ok := false
+                    | None -> ok := false)
+                  phases;
+                !ok && !sum <= 1.0 +. 1e-6
+            | _ -> false
+          in
+          push
+            { f_exp = id; f_field = "prof.shares"; f_base = "-";
+              f_cur = (if shares_ok then "(sane)" else "(out of range)");
+              f_threshold = "each in [0,1], sum <= 1"; f_class = Strict;
+              f_ok = shares_ok; f_note = "per-phase share sanity" })
+  | _ -> ());
+  (* Throughput: floor derived from the baseline. *)
+  (match (fnum base "events_per_sec", fnum cur "events_per_sec") with
+  | Some bv, Some cv when bv > 0.0 ->
+      let floor = bv *. (1.0 -. tolerance) in
+      push
+        { f_exp = id; f_field = "events_per_sec"; f_base = f3 bv;
+          f_cur = f3 cv; f_threshold = Printf.sprintf ">= %s" (f3 floor);
+          f_class = Perf; f_ok = cv >= floor;
+          f_note =
+            Printf.sprintf "throughput (tolerance %.0f%%)"
+              (tolerance *. 100.0) }
+  | _ -> ());
+  (* Peak RSS: ceiling derived from the baseline. *)
+  (match
+     ( Option.bind (Obs.Json.member "peak_rss_kb" base) Obs.Json.to_int_opt,
+       Option.bind (Obs.Json.member "peak_rss_kb" cur) Obs.Json.to_int_opt )
+   with
+  | Some bv, Some cv when bv > 0 && cv > 0 ->
+      let ceiling = float_of_int bv *. (1.0 +. tolerance) in
+      push
+        { f_exp = id; f_field = "peak_rss_kb"; f_base = string_of_int bv;
+          f_cur = string_of_int cv;
+          f_threshold = Printf.sprintf "<= %.0f" ceiling; f_class = Perf;
+          f_ok = float_of_int cv <= ceiling;
+          f_note =
+            Printf.sprintf "memory high-water (tolerance %.0f%%)"
+              (tolerance *. 100.0) }
+  | _ -> ());
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe --check [--bench-json FILE] [--baseline FILE]";
+  print_endline "                [--tolerance F] [--soft] [--update-baseline]";
+  print_endline
+    "  --bench-json FILE   current perf record (default BENCH.json)";
+  print_endline
+    "  --baseline FILE     committed reference (default bench/BASELINE.json)";
+  print_endline
+    "  --tolerance F       perf tolerance band as a fraction (default 0.3)";
+  print_endline
+    "  --soft              downgrade perf failures to warnings (shared";
+  print_endline
+    "                      runners); strict fields still hard-fail";
+  print_endline
+    "  --update-baseline   copy the current BENCH.json over the baseline"
+
+let copy_file ~src ~dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc body;
+  close_out oc
+
+let main args =
+  let bench_json = ref "BENCH.json" in
+  let baseline = ref "bench/BASELINE.json" in
+  let tolerance = ref default_tolerance in
+  let soft = ref false in
+  let update = ref false in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | "--bench-json" :: path :: rest ->
+        bench_json := path;
+        parse rest
+    | "--baseline" :: path :: rest ->
+        baseline := path;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> tolerance := f
+        | Some _ | None ->
+            prerr_endline "--tolerance expects a non-negative fraction";
+            exit 2);
+        parse rest
+    | "--soft" :: rest ->
+        soft := true;
+        parse rest
+    | "--update-baseline" :: rest ->
+        update := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown --check option: %s\n" arg;
+        usage ();
+        exit 2
+  in
+  parse args;
+  if !update then begin
+    (match read_json !bench_json with
+    | Error msg ->
+        Printf.eprintf "cannot read %s: %s\n" !bench_json msg;
+        exit 2
+    | Ok _ -> ());
+    copy_file ~src:!bench_json ~dst:!baseline;
+    Printf.printf "baseline refreshed: %s -> %s\n" !bench_json !baseline;
+    exit 0
+  end;
+  let cur =
+    match read_json !bench_json with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "cannot read current record %s: %s\n" !bench_json msg;
+        exit 2
+  in
+  let base =
+    match read_json !baseline with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf
+          "cannot read baseline %s: %s\n(generate one with: main.exe \
+           --bench-json %s && main.exe --check --update-baseline)\n"
+          !baseline msg !bench_json;
+        exit 2
+  in
+  (match
+     Option.bind (Obs.Json.member "schema" cur) Obs.Json.to_string_opt
+   with
+  | Some s
+    when String.length s >= 14 && String.sub s 0 14 = "lisp-pce-bench" -> ()
+  | Some s ->
+      Printf.eprintf "unexpected schema in %s: %s\n" !bench_json s;
+      exit 2
+  | None ->
+      Printf.eprintf "no schema tag in %s\n" !bench_json;
+      exit 2);
+  let base_exps = experiments_of base in
+  let cur_exps = experiments_of cur in
+  let findings =
+    List.concat_map
+      (fun (id, bexp) ->
+        match List.assoc_opt id cur_exps with
+        | None ->
+            [ { f_exp = id; f_field = "present"; f_base = "yes";
+                f_cur = "missing"; f_threshold = "present";
+                f_class = Strict; f_ok = false;
+                f_note = "experiment disappeared from the run" } ]
+        | Some cexp ->
+            check_experiment ~tolerance:!tolerance ~id ~base:bexp ~cur:cexp)
+      base_exps
+  in
+  let skipped =
+    List.filter (fun (id, _) -> List.assoc_opt id base_exps = None) cur_exps
+  in
+  let table =
+    Metrics.Table.create
+      ~title:
+        (Printf.sprintf "bench --check: %s vs %s" !bench_json !baseline)
+      ~columns:[ "experiment"; "field"; "baseline"; "current"; "threshold";
+                 "status" ]
+  in
+  let status f =
+    if f.f_ok then "PASS"
+    else
+      match f.f_class with
+      | Strict -> "FAIL"
+      | Perf -> if !soft then "WARN" else "FAIL"
+  in
+  List.iter
+    (fun f ->
+      Metrics.Table.add_row table
+        [ f.f_exp; f.f_field; f.f_base; f.f_cur; f.f_threshold; status f ])
+    findings;
+  List.iter
+    (fun (id, _) ->
+      Metrics.Table.add_row table
+        [ id; "(new)"; "-"; "-"; "-"; "SKIP" ])
+    skipped;
+  Metrics.Table.print table;
+  let failed = List.filter (fun f -> not f.f_ok) findings in
+  let strict_failures =
+    List.filter (fun f -> f.f_class = Strict) failed
+  in
+  let perf_failures = List.filter (fun f -> f.f_class = Perf) failed in
+  List.iter
+    (fun f ->
+      Printf.eprintf "FAIL [%s] %s: %s (baseline %s, current %s, want %s)\n"
+        f.f_exp f.f_field f.f_note f.f_base f.f_cur f.f_threshold)
+    strict_failures;
+  List.iter
+    (fun f ->
+      if !soft then
+        (* GitHub annotation format: shows up on the workflow run
+           without failing the job. *)
+        Printf.eprintf
+          "::warning title=bench perf::[%s] %s: %s (baseline %s, current \
+           %s, want %s)\n"
+          f.f_exp f.f_field f.f_note f.f_base f.f_cur f.f_threshold
+      else
+        Printf.eprintf "FAIL [%s] %s: %s (baseline %s, current %s, want %s)\n"
+          f.f_exp f.f_field f.f_note f.f_base f.f_cur f.f_threshold)
+    perf_failures;
+  let hard_failed =
+    strict_failures <> [] || ((not !soft) && perf_failures <> [])
+  in
+  if hard_failed then begin
+    Printf.eprintf "bench --check: %d failing field(s)\n"
+      (List.length strict_failures
+      + if !soft then 0 else List.length perf_failures);
+    1
+  end
+  else begin
+    Printf.printf "bench --check: all %d field(s) within bounds%s\n"
+      (List.length findings)
+      (if !soft && perf_failures <> [] then
+         Printf.sprintf " (%d perf warning(s))" (List.length perf_failures)
+       else "");
+    0
+  end

@@ -18,11 +18,16 @@ let experiments : (string * string * (unit -> unit)) list =
 let usage () =
   print_endline
     "usage: main.exe [--jobs N] [--bench-json FILE] [experiment-id ...]";
+  print_endline "       main.exe --check [...]   (see --check --help)";
   print_endline "  --jobs N          run N experiment workers in parallel (default 1)";
   print_endline "  --bench-json FILE write the machine-readable perf record there";
   print_endline "                    (default BENCH.json)";
   print_endline "  --no-latency      skip the per-flow latency decomposition";
   print_endline "                    (drops the \"latency\" block from BENCH.json)";
+  print_endline "  --no-prof         skip the self-profiler (drops the \"prof\" block)";
+  print_endline "  --prof-trace FILE write a Chrome-trace self-profile there";
+  print_endline "  --check           compare BENCH.json against the committed";
+  print_endline "                    baseline and exit non-zero on regression";
   print_endline "available experiments:";
   List.iter
     (fun (id, title, _) ->
@@ -44,6 +49,8 @@ let parse_args args =
   let jobs = ref 1 in
   let bench_json = ref "BENCH.json" in
   let latency = ref true in
+  let profile = ref true in
+  let prof_trace = ref None in
   let ids = ref [] in
   let rec loop = function
     | [] -> ()
@@ -59,6 +66,13 @@ let parse_args args =
     | "--no-latency" :: rest ->
         latency := false;
         loop rest
+    | "--no-prof" :: rest ->
+        profile := false;
+        loop rest
+    | "--prof-trace" :: path :: rest ->
+        prof_trace := Some path;
+        loop rest
+    | [ "--prof-trace" ] -> bad_usage "--prof-trace expects a value"
     | "--bench-json" :: path :: rest ->
         bench_json := path;
         loop rest
@@ -76,11 +90,17 @@ let parse_args args =
         loop rest
   in
   loop args;
-  (!jobs, !bench_json, !latency, List.rev !ids)
+  (!jobs, !bench_json, !latency, !profile, !prof_trace, List.rev !ids)
 
 let () =
-  let jobs, bench_json, latency, requested =
-    parse_args (List.tl (Array.to_list Sys.argv))
+  let argv = List.tl (Array.to_list Sys.argv) in
+  (* Regression-gate mode: compare an existing BENCH.json against the
+     committed baseline and exit with its verdict. *)
+  (match argv with
+  | "--check" :: rest -> exit (Experiments.Check.main rest)
+  | _ -> ());
+  let jobs, bench_json, latency, profile, prof_trace, requested =
+    parse_args argv
   in
   let selected =
     if requested = [] then
@@ -108,7 +128,9 @@ let () =
       selected
   in
   let t0 = Unix.gettimeofday () in
-  let outcomes = Experiments.Runner.run ~jobs ~latency tasks in
+  let outcomes =
+    Experiments.Runner.run ~jobs ~latency ~profile ?prof_trace tasks
+  in
   let total_wall = Unix.gettimeofday () -. t0 in
   Experiments.Runner.write_bench_json ~path:bench_json ~jobs ~total_wall
     outcomes;

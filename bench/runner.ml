@@ -4,9 +4,10 @@
    temporary file, and replays the outputs on the parent's [emit] stream
    in task order — so the bytes emitted are identical whatever the
    worker count or completion order.  Per-task wall-clock, engine
-   events/sec and peak RSS come back over a pipe (a small marshalled
-   summary; the bulk output never crosses the pipe, so no writer can
-   block) and feed the BENCH.json perf trajectory. *)
+   events/sec, peak RSS, latency and self-profile come back over a
+   pipe as a marshalled summary; the parent drains all summary pipes
+   concurrently while workers run, so no writer can block however
+   large the summary grows. *)
 
 type task = {
   task_id : string;
@@ -25,17 +26,25 @@ type outcome = {
   out_latency : (string * (string * float) list) list;
       (* per-run latency decomposition, attach order; derived from
          simulated time only, so identical whatever the job count *)
+  out_prof : (Obs.Prof.report * (string * float) list) option;
+      (* self-profile of the worker (per-phase breakdown + GC deltas);
+         None when profiling was off or the worker died *)
 }
 
-(* Summary record marshalled from worker to parent: plain scalars and
-   strings only, so marshalling is closure-free and version-safe within
-   one binary. *)
+(* Summary record marshalled from worker to parent: plain scalars,
+   strings and data records only, so marshalling is closure-free and
+   version-safe within one binary.  The parent drains every summary
+   pipe concurrently (select) while workers run, so the payload may
+   exceed the pipe buffer — a long sweep's latency block does — but
+   truly bulk data (the self-profile intervals) still goes through
+   temp files. *)
 type summary = {
   s_wall : float;
   s_events : int;
   s_rss_kb : int;
   s_ok : bool;
   s_latency : (string * (string * float) list) list;
+  s_prof : (Obs.Prof.report * (string * float) list) option;
 }
 
 let peak_rss_kb () =
@@ -76,9 +85,16 @@ type worker = {
   w_pid : int;
   w_pipe : Unix.file_descr;  (* read end of the summary pipe *)
   w_out_file : string;
+  w_buf : Buffer.t;  (* summary bytes drained so far *)
 }
 
-let spawn ~latency index task =
+(* Top-level profiler phase wrapped around the whole task: with it,
+   every profiled nanosecond of the worker's run is inside some phase,
+   so the breakdown's coverage is structurally ~100% and "experiment"
+   self-time is exactly the task work no subsystem phase claims. *)
+let ph_task = Obs.Prof.phase "experiment"
+
+let spawn ~latency ~profile ~prof_file index task =
   let out_file = Filename.temp_file "bench-worker" ".out" in
   let pipe_r, pipe_w = Unix.pipe () in
   (* Anything buffered now would otherwise be flushed twice, once per
@@ -101,23 +117,54 @@ let spawn ~latency index task =
          already active (the task owns the wiring then). *)
       let observe = latency && not (Obs.Runtime.active ()) in
       if observe then ignore (Obs.Runtime.install ~latency:true ());
+      if profile then begin
+        if prof_file <> None then Obs.Prof.set_record_intervals true;
+        Obs.Prof.start ()
+      end;
+      let gc0 = if profile then Obs.Prof.gc_snapshot () else [] in
       let t0 = Unix.gettimeofday () in
       let events0 = Netsim.Engine.total_events_processed () in
       let ok =
         try
-          task.task_run ();
+          if profile then Obs.Prof.with_phase ph_task task.task_run
+          else task.task_run ();
           true
         with exn ->
           Printf.eprintf "[%s] worker failed: %s\n%!" task.task_id
             (Printexc.to_string exn);
           false
       in
+      (* Stop the profiler the moment the task returns: the epilogue
+         below (latency reports, runtime finalize) is runner overhead,
+         not experiment time, and must not dilute coverage. *)
+      let prof =
+        if profile then begin
+          Obs.Prof.stop ();
+          Some (Obs.Prof.report (), Obs.Prof.gc_since gc0)
+        end
+        else None
+      in
       let lat = if observe then Obs.Runtime.latency_reports () else [] in
       if observe then Obs.Runtime.finalize ();
+      (* Chrome-trace fragments are written to a temp file, one event
+         object per line — too big for the summary pipe. *)
+      (match prof_file with
+      | Some pf when profile ->
+          let oc = open_out pf in
+          List.iter
+            (fun ev ->
+              output_string oc (Obs.Json.to_string ev);
+              output_char oc '\n')
+            (Obs.Prof.chrome_events ~pid:(index + 1)
+               ~process_name:(task.task_id ^ " " ^ task.task_title)
+               (Obs.Prof.intervals ()));
+          close_out oc
+      | Some _ | None -> ());
       let summary =
         { s_wall = Unix.gettimeofday () -. t0;
           s_events = Netsim.Engine.total_events_processed () - events0;
-          s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat }
+          s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat;
+          s_prof = prof }
       in
       flush_std ();
       let blob = Marshal.to_bytes summary [] in
@@ -133,29 +180,15 @@ let spawn ~latency index task =
   | pid ->
       Unix.close pipe_w;
       { w_task = task; w_index = index; w_pid = pid; w_pipe = pipe_r;
-        w_out_file = out_file }
-
-let drain_pipe fd =
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 4096 in
-  let rec loop () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
-    | n ->
-        Buffer.add_subbytes buf chunk 0 n;
-        loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-  in
-  loop ();
-  Buffer.to_bytes buf
+        w_out_file = out_file; w_buf = Buffer.create 256 }
 
 let collect w =
-  let blob = drain_pipe w.w_pipe in
-  Unix.close w.w_pipe;
+  let blob = Buffer.to_bytes w.w_buf in
   let summary =
     if Bytes.length blob = 0 then
       (* Worker died before reporting (segfault, kill): synthesise. *)
-      { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false; s_latency = [] }
+      { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false;
+        s_latency = []; s_prof = None }
     else (Marshal.from_bytes blob 0 : summary)
   in
   let text = try read_file w.w_out_file with Sys_error _ -> "" in
@@ -163,7 +196,7 @@ let collect w =
   { out_id = w.w_task.task_id; out_title = w.w_task.task_title;
     out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
     out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok;
-    out_latency = summary.s_latency }
+    out_latency = summary.s_latency; out_prof = summary.s_prof }
 
 let log_line o =
   let rate =
@@ -176,13 +209,19 @@ let log_line o =
 
 (* Run every task, [jobs] workers at a time, emitting the deterministic
    stream (headers + captured outputs, task order) on [emit] and the
-   timing lines on [log].  Returns the outcomes in task order. *)
-let run ?(jobs = 1) ?(latency = true) ?(emit = print_string)
-    ?(log = prerr_string) tasks =
+   timing lines on [log].  Returns the outcomes in task order.
+
+   [profile] (default on) runs each worker under the self-profiler;
+   the per-phase breakdown comes back in [out_prof].  [prof_trace]
+   additionally records phase intervals in every worker and assembles
+   them into one Chrome-trace file, one process per experiment. *)
+let run ?(jobs = 1) ?(latency = true) ?(profile = true) ?prof_trace
+    ?(emit = print_string) ?(log = prerr_string) tasks =
   if jobs < 1 then invalid_arg "Runner.run: jobs must be >= 1";
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   let outcomes : outcome option array = Array.make n None in
+  let prof_files : string option array = Array.make n None in
   let running = ref [] in
   let next = ref 0 in
   let emitted = ref 0 in
@@ -201,21 +240,75 @@ let run ?(jobs = 1) ?(latency = true) ?(emit = print_string)
   while !next < n || !running <> [] do
     (* Keep the worker pool full... *)
     while !next < n && List.length !running < jobs do
-      running := spawn ~latency !next tasks.(!next) :: !running;
+      let prof_file =
+        if profile && prof_trace <> None then
+          Some (Filename.temp_file "bench-prof" ".jsonl")
+        else None
+      in
+      prof_files.(!next) <- prof_file;
+      running :=
+        spawn ~latency ~profile ~prof_file !next tasks.(!next) :: !running;
       incr next
     done;
-    (* ...then wait for any worker to finish and bank its outcome. *)
-    match Unix.wait () with
-    | pid, _status ->
-        (match List.partition (fun w -> w.w_pid = pid) !running with
-        | [ w ], rest ->
-            running := rest;
-            outcomes.(w.w_index) <- Some (collect w);
-            emit_ready ()
-        | _ -> (* not one of ours (shouldn't happen): ignore *) ())
+    (* ...then drain whichever summary pipes have bytes.  Draining
+       while workers run is what makes arbitrarily large summaries
+       safe: a worker blocked writing past the pipe buffer unblocks as
+       soon as we read, and EOF (the worker closed its end) is the
+       completion signal — only then is the reap guaranteed not to
+       wait on a still-writing worker. *)
+    let fds = List.map (fun w -> w.w_pipe) !running in
+    match Unix.select fds [] [] (-1.0) with
+    | readable, _, _ ->
+        let chunk = Bytes.create 65536 in
+        List.iter
+          (fun fd ->
+            let w = List.find (fun w -> w.w_pipe = fd) !running in
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+                (* EOF: the worker is done (or died); reap it. *)
+                Unix.close fd;
+                (try ignore (Unix.waitpid [] w.w_pid)
+                 with Unix.Unix_error _ -> ());
+                running := List.filter (fun x -> x.w_pid <> w.w_pid) !running;
+                outcomes.(w.w_index) <- Some (collect w);
+                emit_ready ()
+            | len -> Buffer.add_subbytes w.w_buf chunk 0 len
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          readable
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   emit_ready ();
+  (* Splice the per-worker Chrome-trace fragments (one JSON event per
+     line) into a single trace, streaming so a large profile never
+     lives in memory whole. *)
+  (match prof_trace with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "{\"traceEvents\":[";
+      let first = ref true in
+      Array.iter
+        (function
+          | None -> ()
+          | Some pf ->
+              (match open_in pf with
+              | exception Sys_error _ -> ()
+              | ic ->
+                  (try
+                     while true do
+                       let line = input_line ic in
+                       if String.length line > 0 then begin
+                         if not !first then output_char oc ',';
+                         first := false;
+                         output_string oc line
+                       end
+                     done
+                   with End_of_file -> ());
+                  close_in ic);
+              (try Sys.remove pf with Sys_error _ -> ()))
+        prof_files;
+      output_string oc "],\"displayTimeUnit\":\"ms\"}\n";
+      close_out oc);
   Array.to_list (Array.map Option.get outcomes)
 
 (* BENCH.json: the machine-readable perf record, one object per
@@ -241,10 +334,14 @@ let bench_json ~jobs ~total_wall outcomes =
             (if o.out_wall > 0.0 then float_of_int o.out_events /. o.out_wall
              else 0.0) );
         ("peak_rss_kb", Obs.Json.Int o.out_peak_rss_kb);
-        ("latency", Obs.Json.List (List.map latency_run o.out_latency)) ]
+        ("latency", Obs.Json.List (List.map latency_run o.out_latency));
+        ( "prof",
+          match o.out_prof with
+          | Some (report, gc) -> Obs.Prof.json_of_report ~gc report
+          | None -> Obs.Json.Null ) ]
   in
   Obs.Json.Obj
-    [ ("schema", Obs.Json.String "lisp-pce-bench/2");
+    [ ("schema", Obs.Json.String "lisp-pce-bench/3");
       ("jobs", Obs.Json.Int jobs);
       ("total_wall_s", Obs.Json.Float total_wall);
       ( "total_events",

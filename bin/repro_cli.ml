@@ -7,6 +7,7 @@
      repro_cli obs FILE                 summarise an exported event stream
      repro_cli spans FILE               per-run latency decomposition
                 [--chrome FILE]        ... plus a Perfetto-loadable trace
+     repro_cli prof t1 [--chrome FILE]  run experiments under the self-profiler
      repro_cli trace                    print the Figure-1 walkthrough
      repro_cli topology [-d N] [-p N]   describe a generated internet
      repro_cli connect [--cp NAME]      one measured connection end-to-end *)
@@ -681,6 +682,82 @@ let connect_cmd =
        ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
     Term.(const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto $ pce_crash)
 
+(* ------------------------------------------------------------------ *)
+(* prof                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prof_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment ids (see $(b,list)).")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also write the self-profile as a Chrome trace_event file \
+                 (open in Perfetto or chrome://tracing), one process per \
+                 experiment.")
+  in
+  let run ids chrome =
+    let entries =
+      List.map
+        (fun id ->
+          match Experiments.Exp_index.find id with
+          | Some e -> e
+          | None ->
+              Printf.eprintf "unknown experiment id: %s (try 'list')\n" id;
+              exit 1)
+        ids
+    in
+    if chrome <> None then Obs.Prof.set_record_intervals true;
+    let ph_exp = Obs.Prof.phase "experiment" in
+    let labelled =
+      List.map
+        (fun e ->
+          Printf.printf ">>> [%s] %s\n%!" e.Experiments.Exp_index.exp_id
+            e.Experiments.Exp_index.exp_title;
+          Obs.Prof.start ();
+          let gc0 = Obs.Prof.gc_snapshot () in
+          (match
+             Obs.Prof.with_phase ph_exp e.Experiments.Exp_index.print
+           with
+          | () -> ()
+          | exception ex ->
+              Obs.Prof.stop ();
+              raise ex);
+          Obs.Prof.stop ();
+          let report = Obs.Prof.report () in
+          let gc = Obs.Prof.gc_since gc0 in
+          let ivs = Obs.Prof.intervals () in
+          print_newline ();
+          Format.printf "%a@." Obs.Prof.pp_report report;
+          Printf.printf "  coverage: %.2f%% of %.3fs wall\n"
+            (100.0 *. Obs.Prof.coverage report)
+            report.Obs.Prof.r_wall_s;
+          List.iter
+            (fun (name, v) ->
+              if Float.is_integer v then Printf.printf "  gc.%s: %.0f\n" name v
+              else Printf.printf "  gc.%s: %.1f\n" name v)
+            gc;
+          print_newline ();
+          ( Printf.sprintf "%s %s" e.Experiments.Exp_index.exp_id
+              e.Experiments.Exp_index.exp_title,
+            ivs ))
+        entries
+    in
+    match chrome with
+    | None -> ()
+    | Some file ->
+        Obs.Prof.write_chrome_trace ~file labelled;
+        Printf.printf "(chrome trace written to %s)\n" file
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:"Run experiments in-process with the self-profiler enabled and \
+             print the per-phase breakdown (engine dispatch, DNS, map \
+             resolution, PCE push, dataplane, trace emission) plus GC \
+             telemetry.")
+    Term.(const run $ ids $ chrome)
+
 let () =
   let info =
     Cmd.info "repro_cli" ~version:"1.0.0"
@@ -690,4 +767,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; trace_cmd; topology_cmd; connect_cmd; simulate_cmd;
-         compare_cmd; obs_cmd; spans_cmd ]))
+         compare_cmd; obs_cmd; spans_cmd; prof_cmd ]))

@@ -66,6 +66,11 @@ let dataplane_exn t =
 
 let graph t = t.internet.Topology.Builder.graph
 
+(* PCE control work — answer interception/decapsulation, tuple pushes
+   and their retries, failover re-pushes, reverse-mapping multicast,
+   monitoring ticks — runs under the "pce_push" profiler phase. *)
+let ph_pce = Netsim.Prof.phase "pce_push"
+
 (* Is the domain's PCE inside one of its scheduled crash windows?
    Always false without a lifecycle, so the zero-profile run never
    takes this branch. *)
@@ -117,7 +122,8 @@ let push_entry t pce entry =
   let install router =
     ignore
       (Netsim.Engine.schedule t.engine ~delay:t.options.config_latency
-         (fun () -> Lispdp.Dataplane.install_flow_entry dp router entry))
+         (Netsim.Prof.wrap ph_pce (fun () ->
+              Lispdp.Dataplane.install_flow_entry dp router entry)))
   in
   let routers = Lispdp.Dataplane.routers_of_domain dp domain in
   let targets =
@@ -152,7 +158,8 @@ let push_entry t pce entry =
               ignore
                 (Netsim.Engine.schedule t.engine
                    ~delay:(Netsim.Faults.retry_delay retry ~attempt)
-                   (fun () -> send router ~attempt:(attempt + 1)))
+                   (Netsim.Prof.wrap ph_pce (fun () ->
+                        send router ~attempt:(attempt + 1))))
           | Some _ | None ->
               t.stats.Mapsys.Cp_stats.timeouts <-
                 t.stats.Mapsys.Cp_stats.timeouts + 1;
@@ -166,7 +173,8 @@ let push_entry t pce entry =
             (Netsim.Engine.schedule t.engine
                ~delay:
                  (t.options.config_latency +. Netsim.Faults.extra_delay faults)
-               (fun () -> Lispdp.Dataplane.install_flow_entry dp router entry))
+               (Netsim.Prof.wrap ph_pce (fun () ->
+                    Lispdp.Dataplane.install_flow_entry dp router entry)))
       in
       List.iter (fun router -> send router ~attempt:1) targets);
   tracef t ~actor "step 7b: push %a to %d ITR(s)" Mapping.pp_flow_entry entry
@@ -176,6 +184,7 @@ let push_entry t pce entry =
 
 (* Step 6 handler: PCE_D intercepted the authoritative answer. *)
 let on_intercept t ~dst_pce ctx =
+  Netsim.Prof.with_phase ph_pce @@ fun () ->
   let e_d = ctx.Dnssim.System.tap_answer in
   (* Ingress stickiness is per (EID, querying resolver): different
      source domains may be steered through different uplinks. *)
@@ -207,7 +216,8 @@ let on_intercept t ~dst_pce ctx =
          ctx.Dnssim.System.tap_resolver
   in
   ignore
-    (Netsim.Engine.schedule t.engine ~delay:transit (fun () ->
+    (Netsim.Engine.schedule t.engine ~delay:transit
+       (Netsim.Prof.wrap ph_pce (fun () ->
          match Hashtbl.find_opt t.resolver_domains ctx.Dnssim.System.tap_resolver with
          | None -> ctx.Dnssim.System.tap_complete ()
          | Some src_domain_id when pce_down t src_domain_id ->
@@ -270,7 +280,7 @@ let on_intercept t ~dst_pce ctx =
              (* Step 7a: hand the original answer to DNS_S. *)
              ignore
                (Netsim.Engine.schedule t.engine ~delay:t.options.ipc_latency
-                  ctx.Dnssim.System.tap_complete)))
+                  ctx.Dnssim.System.tap_complete))))
 
 let create ~engine ~internet ~dns ?(options = default_options) ?rng ?faults
     ?push_retry ?lifecycle ?fallback ?(watchdog = 0.25) ?registry ?trace ?obs
@@ -412,8 +422,10 @@ let note_etr_packet t router ~outer_src packet =
               (fun sibling ->
                 ignore
                   (Netsim.Engine.schedule t.engine
-                     ~delay:t.options.multicast_latency (fun () ->
-                       Lispdp.Dataplane.install_flow_entry dp sibling reverse)))
+                     ~delay:t.options.multicast_latency
+                     (Netsim.Prof.wrap ph_pce (fun () ->
+                          Lispdp.Dataplane.install_flow_entry dp sibling
+                            reverse))))
               siblings
       end
 
@@ -517,7 +529,8 @@ let handle_uplink_failure t ~domain_id ~border =
             | transit ->
                 ignore
                   (Netsim.Engine.schedule t.engine
-                     ~delay:(transit +. t.options.ipc_latency) (fun () ->
+                     ~delay:(transit +. t.options.ipc_latency)
+                     (Netsim.Prof.wrap ph_pce (fun () ->
                        let peer_pce = t.pces.(peer_domain_id) in
                        Pce.learn_name_mapping peer_pce
                          ~qname:adv.Pce.adv_qname ~dst_eid:adv.Pce.adv_eid
@@ -529,7 +542,7 @@ let handle_uplink_failure t ~domain_id ~border =
                            push_entry t peer_pce
                              { entry with Mapping.dst_rloc = fresh })
                          (Pce.entries_toward peer_pce
-                            ~dst_eid:adv.Pce.adv_eid)))
+                            ~dst_eid:adv.Pce.adv_eid))))
             | exception Not_found -> ())
       end)
     (Pce.advertisements_via pce ~rloc:dead);
@@ -578,9 +591,13 @@ let run_monitoring t ~interval ~until ~rebalance =
         if rebalance then Irc.Selector.rebalance (Pce.selector pce))
       t.pces;
     if now +. interval <= until then
-      ignore (Netsim.Engine.schedule t.engine ~delay:interval tick)
+      ignore
+        (Netsim.Engine.schedule t.engine ~delay:interval
+           (Netsim.Prof.wrap ph_pce tick))
   in
-  ignore (Netsim.Engine.schedule t.engine ~delay:interval tick)
+  ignore
+    (Netsim.Engine.schedule t.engine ~delay:interval
+       (Netsim.Prof.wrap ph_pce tick))
 
 let failovers t = t.failovers
 

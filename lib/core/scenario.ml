@@ -146,7 +146,12 @@ let pce t =
   | Pull_instance _ | Nerd_instance _ | Cons_instance _ | Msmr_instance _ ->
       None
 
+(* Topology construction, zone setup and registration are one-off but
+   not free at scale; the self-profile separates them from the run. *)
+let ph_build = Netsim.Prof.phase "build"
+
 let build config =
+  Netsim.Prof.with_phase ph_build @@ fun () ->
   let rng = Netsim.Rng.create config.seed in
   let engine = Netsim.Engine.create () in
   let internet =
@@ -360,8 +365,28 @@ let build config =
   let gauge name f = Obs.Registry.register_gauge obs_registry name f in
   let fi = float_of_int in
   gauge "engine.pending" (fun () -> fi (Netsim.Engine.pending engine));
+  gauge "engine.pending_hwm" (fun () -> fi (Netsim.Engine.pending_hwm engine));
   gauge "engine.events_processed" (fun () ->
       fi (Netsim.Engine.events_processed engine));
+  (* Allocator pressure, read straight off Gc.quick_stat: a sampled
+     timeline shows collections and heap high-water alongside the
+     simulation counters. *)
+  Obs.Prof.register_gc_gauges obs_registry;
+  (* Wall-clock throughput between consecutive samples.  Only metered
+     when the self-profiler is on: real-time rates would make metrics
+     exports nondeterministic for ordinary runs. *)
+  if Netsim.Prof.enabled () then begin
+    let last_events = ref 0 and last_t = ref (Netsim.Prof.now_s ()) in
+    gauge "engine.events_per_sec" (fun () ->
+        let e = Netsim.Engine.events_processed engine in
+        let t = Netsim.Prof.now_s () in
+        let rate =
+          if t > !last_t then fi (e - !last_events) /. (t -. !last_t) else 0.0
+        in
+        last_events := e;
+        last_t := t;
+        rate)
+  end;
   let dpc = Lispdp.Dataplane.counters dataplane in
   gauge "dp.sent" (fun () -> fi dpc.Lispdp.Dataplane.sent);
   gauge "dp.delivered" (fun () -> fi dpc.Lispdp.Dataplane.delivered);

@@ -153,6 +153,11 @@ let set_query_observer t ~resolver observer =
 let flush_caches t =
   Hashtbl.iter (fun _ r -> Hashtbl.reset r.cache) t.resolvers
 
+(* All asynchronous DNS work — wire hops, server processing, outage
+   timers — runs under the "dns" profiler phase, so its share of the
+   engine's dispatch time is visible in the self-profile. *)
+let ph_dns = Netsim.Prof.phase "dns"
+
 (* Transmit [bytes] from [src] to [dst]: accounts link bytes and invokes
    [k] after the shortest-path latency. *)
 let send t ~src ~dst ~bytes k =
@@ -160,7 +165,8 @@ let send t ~src ~dst ~bytes k =
   t.counters.wire_bytes <- t.counters.wire_bytes + bytes;
   if src <> dst then Topology.Graph.account_path graph ~src ~dst ~bytes;
   let latency = Topology.Graph.latency_between graph src dst in
-  ignore (Netsim.Engine.schedule t.engine ~delay:latency k)
+  ignore
+    (Netsim.Engine.schedule t.engine ~delay:latency (Netsim.Prof.wrap ph_dns k))
 
 let query_size qname = 12 + Name.wire_size qname + 4
 
@@ -230,13 +236,13 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
               "server down: query %s unanswered" (Name.to_string qname);
             ignore
               (Netsim.Engine.schedule t.engine ~delay:t.outage_timeout
-                 (fun () -> answer_client None))
+                 (Netsim.Prof.wrap ph_dns (fun () -> answer_client None)))
           end
           else
           (* Server-side processing, then answer. *)
           ignore
             (Netsim.Engine.schedule t.engine ~delay:t.server_processing
-               (fun () ->
+               (Netsim.Prof.wrap ph_dns (fun () ->
                  let zone =
                    match Hashtbl.find_opt t.zones server with
                    | Some z -> z
@@ -303,7 +309,7 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
                          iterate child_server (steps_left - 1))
                  | Zone.Name_error ->
                      send t ~src:server ~dst:resolver_id ~bytes (fun () ->
-                         answer_client None))))
+                         answer_client None)))))
     end
   in
   (* Client -> resolver wire, then observer + cache check. *)
@@ -315,12 +321,13 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
         trace t ~actor:(node_label t resolver_id)
           "resolver down: query %s unanswered" (Name.to_string qname);
         ignore
-          (Netsim.Engine.schedule t.engine ~delay:t.outage_timeout (fun () ->
-               if obs_on t then
-                 obs_emit t ~actor:(node_label t client) ?flow
-                   (Obs.Event.Dns_reply
-                      { qname = Name.to_string qname; answered = false });
-               callback None))
+          (Netsim.Engine.schedule t.engine ~delay:t.outage_timeout
+             (Netsim.Prof.wrap ph_dns (fun () ->
+                  if obs_on t then
+                    obs_emit t ~actor:(node_label t client) ?flow
+                      (Obs.Event.Dns_reply
+                         { qname = Name.to_string qname; answered = false });
+                  callback None)))
       end
       else begin
       (match resolver.observer with

@@ -158,6 +158,13 @@ let drop_causes t =
 
 let graph t = t.internet.Topology.Builder.graph
 
+(* Packet movement and delivery run under the "dataplane" profiler
+   phase; calls into the pluggable control plane (miss handling, ETR
+   packet notes) are charged to "map_resolution" so cache-miss cost
+   separates from pure forwarding in the self-profile. *)
+let ph_dp = Netsim.Prof.phase "dataplane"
+let ph_map = Netsim.Prof.phase "map_resolution"
+
 (* Move [packet] from node [src] to node [dst]: charge the links on the
    shortest path and invoke [k] after the path latency.  If link
    failures have disconnected the endpoints the packet is dropped under
@@ -169,7 +176,9 @@ let wire t ~src ~dst packet k =
     match Topology.Graph.latency_between g src dst with
     | latency ->
         Topology.Graph.account_path g ~src ~dst ~bytes:(Packet.size packet);
-        ignore (Netsim.Engine.schedule t.engine ~delay:latency k)
+        ignore
+          (Netsim.Engine.schedule t.engine ~delay:latency
+             (Netsim.Prof.wrap ph_dp k))
     | exception Not_found -> record_drop t ~packet "no-route"
   end
 
@@ -218,14 +227,16 @@ let etr_receive t router packet =
         ~flow:(Obs.Event.flow_id inner.Packet.flow)
         (Obs.Event.Decap { outer_src })
   | Some _ | None -> ());
+  Netsim.Prof.enter ph_map;
   t.control_plane.cp_note_etr_packet router ~outer_src inner;
+  Netsim.Prof.leave ph_map;
   deliver_to_host t ~from_node:router.border.Topology.Domain.router inner
 
 let deliver_via t router packet ~extra_delay =
   if extra_delay < 0.0 then invalid_arg "Dataplane.deliver_via: negative delay";
   ignore
-    (Netsim.Engine.schedule t.engine ~delay:extra_delay (fun () ->
-         etr_receive t router packet))
+    (Netsim.Engine.schedule t.engine ~delay:extra_delay
+       (Netsim.Prof.wrap ph_dp (fun () -> etr_receive t router packet)))
 
 (* Tunnel [packet] from ITR [router] using the given outer header. *)
 let tunnel t router packet ~outer_src ~outer_dst =
@@ -281,7 +292,10 @@ let itr_process t router packet =
   match lookup_outer t router ~now packet.Packet.flow with
   | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
   | None -> (
-      match t.control_plane.cp_handle_miss router packet with
+      Netsim.Prof.enter ph_map;
+      let decision = t.control_plane.cp_handle_miss router packet in
+      Netsim.Prof.leave ph_map;
+      match decision with
       | Miss_drop cause ->
           trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
             "miss for %a: dropped (%s)" Ipv4.pp_addr packet.Packet.flow.Flow.dst

@@ -20,6 +20,10 @@ let create ~engine ~internet ~registry ?(propagation_delay = 30.0) ?faults ?obs
   { engine; internet; registry; propagation_delay; stats = Cp_stats.create ();
     faults; dataplane = None; obs }
 
+(* NERD distribution is mapping-system work: charge the deferred
+   install fan-out to the shared "map_resolution" phase. *)
+let ph_map = Netsim.Prof.phase "map_resolution"
+
 let obs_on t =
   match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
 
@@ -75,7 +79,8 @@ let push_update t ~domain mapping =
   if obs_on t then
     obs_emit t ~actor:"nerd" (Obs.Event.Mapping_push { targets = routers });
   ignore
-    (Netsim.Engine.schedule t.engine ~delay:t.propagation_delay (fun () ->
+    (Netsim.Engine.schedule t.engine ~delay:t.propagation_delay
+       (Netsim.Prof.wrap ph_map (fun () ->
          match t.faults with
          | None -> install_everywhere t mapping
          | Some faults ->
@@ -98,7 +103,7 @@ let push_update t ~domain mapping =
                  end
                  else
                    Lispdp.Dataplane.install_mapping_all dp d (eternal mapping))
-               t.internet.Topology.Builder.domains))
+               t.internet.Topology.Builder.domains)))
 
 let choose_egress ~src_domain flow =
   let borders = src_domain.Topology.Domain.borders in

@@ -63,6 +63,12 @@ let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
     dataplane = None; obs }
 
+(* Asynchronous resolution work — map-reply arrivals, retry timers,
+   SMR propagation — is charged to the shared "map_resolution" phase
+   (the dataplane charges its synchronous calls into this control
+   plane to the same phase). *)
+let ph_map = Netsim.Prof.phase "map_resolution"
+
 let obs_on t =
   match t.obs with Some hub -> Obs.Hub.enabled hub | None -> false
 
@@ -237,7 +243,8 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
       | None -> 0.0
     in
     ignore
-      (Netsim.Engine.schedule t.engine ~delay:(total +. jitter) (fun () ->
+      (Netsim.Engine.schedule t.engine ~delay:(total +. jitter)
+         (Netsim.Prof.wrap ph_map (fun () ->
            t.stats.Cp_stats.map_replies <- t.stats.Cp_stats.map_replies + 1;
            t.stats.Cp_stats.control_bytes <-
              t.stats.Cp_stats.control_bytes
@@ -250,7 +257,7 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
            | Some _ | None ->
                (* A late or duplicate reply: the mapping is installed but
                   there is no (or a newer) resolution to complete. *)
-               ()))
+               ())))
   end;
   match t.retry with
   | None ->
@@ -263,7 +270,8 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
       let delay = Netsim.Faults.retry_delay retry ~attempt:resolution.attempts in
       resolution.timer <-
         Some
-          (Netsim.Engine.schedule t.engine ~delay (fun () ->
+          (Netsim.Engine.schedule t.engine ~delay
+             (Netsim.Prof.wrap ph_map (fun () ->
                resolution.timer <- None;
                if not resolution.abandoned then
                  if resolution.attempts > retry.Netsim.Faults.budget then begin
@@ -283,7 +291,7 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
                           { eid = request_eid; attempt = resolution.attempts;
                             message = "map-request" });
                    send_attempt t resolution router dst_domain mapping ~flow ()
-                 end))
+                 end)))
 
 let handle_miss t router packet =
   let dst = packet.Packet.flow.Flow.dst in
@@ -411,12 +419,13 @@ let notify_mapping_change t ~domain =
                   t.stats.Cp_stats.control_bytes <-
                     t.stats.Cp_stats.control_bytes + smr_bytes;
                   ignore
-                    (Netsim.Engine.schedule t.engine ~delay:latency (fun () ->
-                         (* The solicit invalidates the site mapping and
-                            any gleaned host routes under it. *)
-                         ignore
-                           (Lispdp.Map_cache.remove_covered
-                              holder.Lispdp.Dataplane.cache prefix)))
+                    (Netsim.Engine.schedule t.engine ~delay:latency
+                       (Netsim.Prof.wrap ph_map (fun () ->
+                            (* The solicit invalidates the site mapping
+                               and any gleaned host routes under it. *)
+                            ignore
+                              (Lispdp.Map_cache.remove_covered
+                                 holder.Lispdp.Dataplane.cache prefix))))
                 end)
           holders;
         Hashtbl.remove t.cached_at domain

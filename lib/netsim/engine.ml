@@ -14,6 +14,7 @@ type t = {
   mutable size : int;
   mutable next_seq : int;
   mutable live : int;
+  mutable hwm : int;
   mutable fired : int;
 }
 
@@ -21,7 +22,7 @@ let dummy_event = { time = 0.0; seq = -1; thunk = ignore; cancelled = true }
 
 let create ?(start = 0.0) () =
   { clock = start; heap = Array.make 64 dummy_event; size = 0; next_seq = 0;
-    live = 0; fired = 0 }
+    live = 0; hwm = 0; fired = 0 }
 
 (* Process-wide event count, across every engine instance: the bench
    runner's workers report events/sec from it, and an experiment may
@@ -30,6 +31,7 @@ let total_fired = ref 0
 
 let now t = t.clock
 let pending t = t.live
+let pending_hwm t = t.hwm
 let events_processed t = t.fired
 let total_events_processed () = !total_fired
 
@@ -99,6 +101,7 @@ let schedule_at t ~time thunk =
   let e = { time; seq = t.next_seq; thunk; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
+  if t.live > t.hwm then t.hwm <- t.live;
   push t e;
   e
 
@@ -111,6 +114,12 @@ let cancel t handle =
     handle.cancelled <- true;
     t.live <- t.live - 1
   end
+
+(* Every fired callback is charged to the "engine" profiler phase;
+   instrumented subsystems nest their own phases inside it, so what
+   remains as engine self-time is pure dispatch (heap ops plus
+   uninstrumented callback bodies). *)
+let ph_dispatch = Prof.phase "engine"
 
 (* Discard cancelled events sitting at the top of the heap. *)
 let rec drop_cancelled t =
@@ -131,7 +140,16 @@ let step t =
     (* Mark as no longer live so cancelling an already-fired handle is a
        harmless no-op rather than corrupting the live count. *)
     e.cancelled <- true;
-    e.thunk ();
+    if Prof.enabled () then begin
+      Prof.enter ph_dispatch;
+      (match e.thunk () with
+      | () -> ()
+      | exception ex ->
+          Prof.leave ph_dispatch;
+          raise ex);
+      Prof.leave ph_dispatch
+    end
+    else e.thunk ();
     true
   end
 

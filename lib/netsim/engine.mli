@@ -34,6 +34,10 @@ val cancel : t -> handle -> unit
 val pending : t -> int
 (** Number of live (not cancelled, not yet fired) events. *)
 
+val pending_hwm : t -> int
+(** High-water mark of {!pending} since [create]: the deepest the event
+    queue has ever been.  Sizes the heap pressure of a scenario. *)
+
 val run : ?until:float -> t -> unit
 (** Execute events in timestamp order.  With [?until], stop once the next
     event would fire strictly after [until] and advance the clock to

@@ -17,19 +17,27 @@ let create ?capacity () =
 let enabled t = t.on
 let set_enabled t on = t.on <- on
 
+let ph_trace = Prof.phase "trace"
+
 let record t ~time ~actor event =
   if t.on then begin
+    Prof.enter ph_trace;
     Queue.push { time; actor; event } t.entries;
     (match t.capacity with
     | Some c when Queue.length t.entries > c -> ignore (Queue.pop t.entries)
     | Some _ | None -> ());
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    Prof.leave ph_trace
   end
 
 let recordf t ~time ~actor fmt =
   (* Short-circuit before formatting: a disabled trace must not pay the
-     kasprintf rendering/allocation cost on hot paths. *)
-  if t.on then Format.kasprintf (fun event -> record t ~time ~actor event) fmt
+     kasprintf rendering/allocation cost on hot paths.  Formatting is
+     charged to the "trace" phase via a profiled continuation. *)
+  if t.on then
+    Format.kasprintf
+      (fun event -> record t ~time ~actor event)
+      fmt
   else Format.ikfprintf ignore Format.err_formatter fmt
 
 let entries t = List.of_seq (Queue.to_seq t.entries)

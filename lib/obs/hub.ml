@@ -8,10 +8,20 @@ let set_enabled t on = t.on <- on
 let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 let sink_count t = List.length t.sinks
 
+let ph_trace = Netsim.Prof.phase "trace"
+
 let dispatch t event = List.iter (fun sink -> sink event) t.sinks
 
 let emit t ~time ~actor ?flow kind =
-  if t.on then dispatch t { Event.time; actor; flow; kind }
+  if t.on then begin
+    (* Sink fan-out (JSONL rendering, span assembly, metrics) is trace
+       emission from the profiler's point of view: charge it to the
+       same phase as Netsim.Trace so "what does observability cost"
+       reads off one line. *)
+    Netsim.Prof.enter ph_trace;
+    dispatch t { Event.time; actor; flow; kind };
+    Netsim.Prof.leave ph_trace
+  end
 
 let memory_sink () =
   let buffered = ref [] in

@@ -65,7 +65,7 @@ let test_bench_json_shape () =
   match Experiments.Runner.bench_json ~jobs:1 ~total_wall:1.5 outcomes with
   | Obs.Json.Obj fields ->
       Alcotest.(check bool) "schema tag" true
-        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/2");
+        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/3");
       Alcotest.(check bool) "jobs recorded" true
         (List.assoc "jobs" fields = Obs.Json.Int 1);
       (match List.assoc "experiments" fields with
@@ -87,6 +87,12 @@ let test_bench_json_shape () =
                     true
                     (match List.assoc_opt "latency" fs with
                     | Some (Obs.Json.List _) -> true
+                    | _ -> false);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "record %s carries a prof block" id)
+                    true
+                    (match List.assoc_opt "prof" fs with
+                    | Some (Obs.Json.Obj _) -> true
                     | _ -> false)
               | _ -> Alcotest.fail "experiment record not an object")
             ids l
@@ -145,6 +151,34 @@ let test_latency_disabled () =
         (List.length o.Experiments.Runner.out_latency)
   | _ -> Alcotest.fail "expected one outcome"
 
+(* A long sweep's summary — one latency block per scenario built —
+   can exceed the 64 KB pipe buffer.  The parent must drain the pipe
+   while the worker writes (EOF, not wait(), is the completion
+   signal), or writer and reaper deadlock; this pins a summary several
+   buffers large. *)
+let test_large_summary () =
+  let n = 500 in
+  let t =
+    task "sweep" (fun () ->
+        for _ = 1 to n do
+          let s =
+            Core.Scenario.build
+              { Core.Scenario.default_config with
+                Core.Scenario.cp =
+                  Core.Scenario.Cp_pce Core.Pce_control.default_options }
+          in
+          Core.Scenario.run s
+        done;
+        print_endline "done")
+  in
+  let _, outcomes = run_to_string ~jobs:1 [ t ] in
+  match outcomes with
+  | [ o ] ->
+      Alcotest.(check bool) "sweep ok" true o.Experiments.Runner.out_ok;
+      Alcotest.(check int) "one latency entry per scenario" n
+        (List.length o.Experiments.Runner.out_latency)
+  | _ -> Alcotest.fail "expected one outcome"
+
 let prop_output_independent_of_jobs =
   QCheck.Test.make ~name:"emitted bytes independent of job count" ~count:8
     QCheck.(pair (int_range 2 4) (int_range 1 6))
@@ -171,6 +205,7 @@ let () =
           Alcotest.test_case "bench json" `Quick test_bench_json_shape;
           Alcotest.test_case "latency block" `Quick test_latency_block;
           Alcotest.test_case "latency disabled" `Quick test_latency_disabled;
+          Alcotest.test_case "oversized summary" `Quick test_large_summary;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_output_independent_of_jobs ]
