@@ -83,6 +83,7 @@ let drops_per_flow r =
 let router_state_entries r =
   let dp = Scenario.dataplane r.scenario in
   let internet = Scenario.internet r.scenario in
+  let now = Netsim.Engine.now (Scenario.engine r.scenario) in
   let total = ref 0 in
   let routers = ref 0 in
   let peak = ref 0 in
@@ -92,7 +93,7 @@ let router_state_entries r =
         (fun router ->
           let n =
             Lispdp.Map_cache.length router.Lispdp.Dataplane.cache
-            + Lispdp.Flow_table.length router.Lispdp.Dataplane.flows
+            + Lispdp.Flow_table.length router.Lispdp.Dataplane.flows ~now
           in
           incr routers;
           total := !total + n;

@@ -132,8 +132,12 @@ let () =
     Experiments.Runner.run ~jobs ~latency ~profile ?prof_trace tasks
   in
   let total_wall = Unix.gettimeofday () -. t0 in
-  Experiments.Runner.write_bench_json ~path:bench_json ~jobs ~total_wall
-    outcomes;
+  (* Raw engine dispatch throughput (single-domain + Domain-sharded),
+     measured in-process after the experiments so the numbers land in
+     BENCH.json's "engine" block for the --check throughput floors. *)
+  let engine = Experiments.Bench_micro.engine_block () in
+  Experiments.Runner.write_bench_json ~engine ~path:bench_json ~jobs
+    ~total_wall outcomes;
   Printf.eprintf "    total %.1fs wall (%d jobs); perf record: %s\n%!"
     total_wall jobs bench_json;
   if List.exists (fun o -> not o.Experiments.Runner.out_ok) outcomes then

@@ -314,7 +314,7 @@ let run ?(jobs = 1) ?(latency = true) ?(profile = true) ?prof_trace
 (* BENCH.json: the machine-readable perf record, one object per
    experiment plus run-level totals.  Schema documented in
    doc/performance.md. *)
-let bench_json ~jobs ~total_wall outcomes =
+let bench_json ?engine ~jobs ~total_wall outcomes =
   let latency_run (label, metrics) =
     (* A list of objects, not one object: run labels can repeat when an
        experiment replays the same scenario config. *)
@@ -341,16 +341,20 @@ let bench_json ~jobs ~total_wall outcomes =
           | None -> Obs.Json.Null ) ]
   in
   Obs.Json.Obj
-    [ ("schema", Obs.Json.String "lisp-pce-bench/3");
-      ("jobs", Obs.Json.Int jobs);
-      ("total_wall_s", Obs.Json.Float total_wall);
-      ( "total_events",
-        Obs.Json.Int (List.fold_left (fun a o -> a + o.out_events) 0 outcomes)
-      );
-      ("experiments", Obs.Json.List (List.map experiment outcomes)) ]
+    ([ ("schema", Obs.Json.String "lisp-pce-bench/3");
+       ("jobs", Obs.Json.Int jobs);
+       ("total_wall_s", Obs.Json.Float total_wall);
+       ( "total_events",
+         Obs.Json.Int (List.fold_left (fun a o -> a + o.out_events) 0 outcomes)
+       ) ]
+    @ (match engine with
+      | Some block -> [ ("engine", block) ]
+      | None -> [])
+    @ [ ("experiments", Obs.Json.List (List.map experiment outcomes)) ])
 
-let write_bench_json ~path ~jobs ~total_wall outcomes =
+let write_bench_json ?engine ~path ~jobs ~total_wall outcomes =
   let oc = open_out path in
-  output_string oc (Obs.Json.to_string (bench_json ~jobs ~total_wall outcomes));
+  output_string oc
+    (Obs.Json.to_string (bench_json ?engine ~jobs ~total_wall outcomes));
   output_char oc '\n';
   close_out oc

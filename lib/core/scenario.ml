@@ -368,6 +368,8 @@ let build config =
   gauge "engine.pending_hwm" (fun () -> fi (Netsim.Engine.pending_hwm engine));
   gauge "engine.events_processed" (fun () ->
       fi (Netsim.Engine.events_processed engine));
+  gauge "engine.compactions" (fun () ->
+      fi (Netsim.Engine.compactions engine));
   (* Allocator pressure, read straight off Gc.quick_stat: a sampled
      timeline shows collections and heap high-water alongside the
      simulation counters. *)

@@ -1,47 +1,169 @@
 open Nettypes
 
-type key = int * int (* src EID, dst EID as raw ints *)
+(* Open-addressing table keyed by the (src EID, dst EID) int pair,
+   stored structure-of-arrays: two key arrays, an entry array and an
+   unboxed expiry array.  A lookup is one combined hash plus a linear
+   probe over plain ints — no tuple key allocation, no polymorphic
+   hashing.  Expired entries are reaped lazily: on lookup (as before)
+   and now also by [length] and [iter], which previously counted
+   expired slots and made occupancy gauges and warm-recovery resync
+   over-report. *)
 
-type slot = { mutable entry : Mapping.flow_entry; mutable expires_at : float }
+let empty_key = -1
+let tomb_key = -2
 
-type t = { ttl : float; table : (key, slot) Hashtbl.t }
+type t = {
+  ttl : float;
+  mutable k1 : int array; (* src EID; [empty_key] / [tomb_key] sentinels *)
+  mutable k2 : int array; (* dst EID *)
+  mutable entries : Mapping.flow_entry array;
+  mutable expires : float array;
+  mutable mask : int; (* capacity - 1; capacity a power of two *)
+  mutable occupied : int; (* live + expired-but-unreaped *)
+  mutable tombs : int;
+}
+
+let dummy_entry =
+  let a0 = Ipv4.addr_of_int 0 in
+  { Mapping.src_eid = a0; dst_eid = a0; src_rloc = a0; dst_rloc = a0 }
+
+let initial_cap = 64
 
 let create ?(ttl = 300.0) () =
   if ttl <= 0.0 then invalid_arg "Flow_table.create: non-positive TTL";
-  { ttl; table = Hashtbl.create 64 }
+  { ttl;
+    k1 = Array.make initial_cap empty_key;
+    k2 = Array.make initial_cap empty_key;
+    entries = Array.make initial_cap dummy_entry;
+    expires = Array.make initial_cap 0.0;
+    mask = initial_cap - 1;
+    occupied = 0;
+    tombs = 0 }
 
-let key_of ~src_eid ~dst_eid = (Ipv4.addr_to_int src_eid, Ipv4.addr_to_int dst_eid)
+let fib1 = 0x2545F4914F6CDD1D
+let fib2 = 0x1E3779B97F4A7C15
+
+let slot_of t a b = (a * fib1) lxor (b * fib2) land max_int land t.mask
+
+(* Probe for the pair; slot index, or -1 when absent. *)
+let find_slot t a b =
+  let i = ref (slot_of t a b) in
+  let result = ref (-3) in
+  while !result = -3 do
+    let k = Array.unsafe_get t.k1 !i in
+    if k = a && Array.unsafe_get t.k2 !i = b then result := !i
+    else if k = empty_key then result := -1
+    else i := (!i + 1) land t.mask
+  done;
+  !result
+
+let free_slot t s =
+  t.k1.(s) <- tomb_key;
+  t.k2.(s) <- tomb_key;
+  t.entries.(s) <- dummy_entry;
+  t.occupied <- t.occupied - 1;
+  t.tombs <- t.tombs + 1
+
+let rehash t cap =
+  let ok1 = t.k1 and ok2 = t.k2 and oent = t.entries and oexp = t.expires in
+  t.k1 <- Array.make cap empty_key;
+  t.k2 <- Array.make cap empty_key;
+  t.entries <- Array.make cap dummy_entry;
+  t.expires <- Array.make cap 0.0;
+  t.mask <- cap - 1;
+  t.tombs <- 0;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = ref (slot_of t k ok2.(i)) in
+        while Array.unsafe_get t.k1 !j <> empty_key do
+          j := (!j + 1) land t.mask
+        done;
+        t.k1.(!j) <- k;
+        t.k2.(!j) <- ok2.(i);
+        t.entries.(!j) <- oent.(i);
+        t.expires.(!j) <- oexp.(i)
+      end)
+    ok1
+
+let insert_slot t a b =
+  if 2 * (t.occupied + t.tombs + 1) > t.mask + 1 then
+    rehash t
+      (if 2 * (t.occupied + 1) > t.mask + 1 then 2 * (t.mask + 1)
+       else t.mask + 1);
+  let i = ref (slot_of t a b) in
+  let first_tomb = ref (-1) in
+  let slot = ref (-3) in
+  while !slot = -3 do
+    let k = Array.unsafe_get t.k1 !i in
+    if k = a && Array.unsafe_get t.k2 !i = b then slot := !i
+    else if k = empty_key then
+      slot := (if !first_tomb >= 0 then !first_tomb else !i)
+    else begin
+      if k = tomb_key && !first_tomb < 0 then first_tomb := !i;
+      i := (!i + 1) land t.mask
+    end
+  done;
+  let s = !slot in
+  if not (t.k1.(s) = a && t.k2.(s) = b) then begin
+    if t.k1.(s) = tomb_key then t.tombs <- t.tombs - 1;
+    t.k1.(s) <- a;
+    t.k2.(s) <- b;
+    t.occupied <- t.occupied + 1
+  end;
+  s
 
 let install t ~now entry =
-  let key =
-    key_of ~src_eid:entry.Mapping.src_eid ~dst_eid:entry.Mapping.dst_eid
-  in
-  match Hashtbl.find_opt t.table key with
-  | Some slot ->
-      slot.entry <- entry;
-      slot.expires_at <- now +. t.ttl
-  | None -> Hashtbl.replace t.table key { entry; expires_at = now +. t.ttl }
+  let a = Ipv4.addr_to_int entry.Mapping.src_eid in
+  let b = Ipv4.addr_to_int entry.Mapping.dst_eid in
+  let s = insert_slot t a b in
+  t.entries.(s) <- entry;
+  t.expires.(s) <- now +. t.ttl
 
 let lookup t ~now ~src_eid ~dst_eid =
-  let key = key_of ~src_eid ~dst_eid in
-  match Hashtbl.find_opt t.table key with
-  | Some slot when slot.expires_at > now -> Some slot.entry
-  | Some _ ->
-      Hashtbl.remove t.table key;
-      None
-  | None -> None
+  let s = find_slot t (Ipv4.addr_to_int src_eid) (Ipv4.addr_to_int dst_eid) in
+  if s < 0 then None
+  else if Array.unsafe_get t.expires s > now then
+    Some (Array.unsafe_get t.entries s)
+  else begin
+    free_slot t s;
+    None
+  end
 
-let remove t ~src_eid ~dst_eid = Hashtbl.remove t.table (key_of ~src_eid ~dst_eid)
-let length t = Hashtbl.length t.table
-let clear t = Hashtbl.reset t.table
+let remove t ~src_eid ~dst_eid =
+  let s = find_slot t (Ipv4.addr_to_int src_eid) (Ipv4.addr_to_int dst_eid) in
+  if s >= 0 then free_slot t s
 
 let update_src_rloc t ~now ~src_eid ~dst_eid ~rloc =
-  let key = key_of ~src_eid ~dst_eid in
-  match Hashtbl.find_opt t.table key with
-  | Some slot when slot.expires_at > now ->
-      slot.entry <- { slot.entry with Mapping.src_rloc = rloc };
-      true
-  | Some _ | None -> false
+  let s = find_slot t (Ipv4.addr_to_int src_eid) (Ipv4.addr_to_int dst_eid) in
+  if s >= 0 && Array.unsafe_get t.expires s > now then begin
+    t.entries.(s) <- { t.entries.(s) with Mapping.src_rloc = rloc };
+    true
+  end
+  else false
+
+(* [length] and [iter] walk the table, reaping any expired slot they
+   pass — the lazy counterpart of the reap [lookup] does on a hit. *)
+
+let length t ~now =
+  let n = ref 0 in
+  for s = 0 to t.mask do
+    if Array.unsafe_get t.k1 s >= 0 then
+      if Array.unsafe_get t.expires s > now then incr n else free_slot t s
+  done;
+  !n
 
 let iter t ~now ~f =
-  Hashtbl.iter (fun _ slot -> if slot.expires_at > now then f slot.entry) t.table
+  for s = 0 to t.mask do
+    if Array.unsafe_get t.k1 s >= 0 then
+      if Array.unsafe_get t.expires s > now then
+        f (Array.unsafe_get t.entries s)
+      else free_slot t s
+  done
+
+let clear t =
+  Array.fill t.k1 0 (t.mask + 1) empty_key;
+  Array.fill t.k2 0 (t.mask + 1) empty_key;
+  Array.fill t.entries 0 (t.mask + 1) dummy_entry;
+  t.occupied <- 0;
+  t.tombs <- 0

@@ -1,8 +1,10 @@
 open Nettypes
 
-(* Entries live in a prefix trie for longest-prefix lookup and in an
+(* Entries live in a prefix trie for longest-prefix lookup, in an
    intrusive doubly-linked list ordered by recency (head = most recent)
-   for O(1) LRU maintenance. *)
+   for O(1) LRU maintenance, and in a flat int-keyed exact index (the
+   prefix packed into a single int) so the insert/refresh/remove paths
+   skip the trie walk that [Prefix_table.find_exact] costs. *)
 
 type entry = {
   mapping : Mapping.t;
@@ -10,6 +12,21 @@ type entry = {
   mutable prev : entry option;
   mutable next : entry option;
 }
+
+(* A /len prefix packs into [network lsl 6 lor len]: 32 + 6 bits, well
+   inside an OCaml int, and distinct prefixes give distinct keys. *)
+let prefix_key p =
+  (Ipv4.addr_to_int (Ipv4.prefix_network p) lsl 6) lor Ipv4.prefix_length p
+
+let dummy_entry =
+  { mapping =
+      Mapping.create
+        ~eid_prefix:(Ipv4.prefix (Ipv4.addr_of_int 0) 0)
+        ~rlocs:[ Mapping.rloc (Ipv4.addr_of_int 0) ]
+        ~ttl:1.0;
+    expires_at = 0.0;
+    prev = None;
+    next = None }
 
 type stats = {
   mutable hits : int;
@@ -23,6 +40,7 @@ type stats = {
 type t = {
   capacity : int;
   table : entry Prefix_table.t;
+  index : entry Int_table.t; (* packed prefix -> entry, exact match *)
   mutable head : entry option; (* most recently used *)
   mutable tail : entry option; (* least recently used *)
   stats : stats;
@@ -32,7 +50,9 @@ type t = {
 
 let create ?(capacity = 10_000) () =
   if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
-  { capacity; table = Prefix_table.create (); head = None; tail = None;
+  { capacity; table = Prefix_table.create ();
+    index = Int_table.create ~dummy:dummy_entry ();
+    head = None; tail = None;
     stats =
       { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0;
         invalidations = 0 };
@@ -59,7 +79,8 @@ let push_front t e =
 
 let drop_entry t e =
   unlink t e;
-  Prefix_table.remove t.table e.mapping.Mapping.eid_prefix
+  Prefix_table.remove t.table e.mapping.Mapping.eid_prefix;
+  Int_table.remove t.index (prefix_key e.mapping.Mapping.eid_prefix)
 
 (* Explicit removal: count as an invalidation and tell the hook, so the
    SMR invalidation path is visible to the observability layer. *)
@@ -69,7 +90,7 @@ let invalidate t e =
   match t.evict_hook with Some hook -> hook e.mapping | None -> ()
 
 let remove t prefix =
-  match Prefix_table.find_exact t.table prefix with
+  match Int_table.find t.index (prefix_key prefix) with
   | Some e -> invalidate t e
   | None -> ()
 
@@ -83,6 +104,7 @@ let remove_covered t prefix =
 
 let clear t =
   Prefix_table.clear t.table;
+  Int_table.clear t.index;
   t.head <- None;
   t.tail <- None;
   t.stats.hits <- 0;
@@ -107,8 +129,9 @@ let insert t ~now mapping =
      invalidation (nothing was lost) nor a new insertion, which keeps
      the balance insertions = live + evictions + expirations +
      invalidations exact. *)
+  let key = prefix_key mapping.Mapping.eid_prefix in
   let refreshed =
-    match Prefix_table.find_exact t.table mapping.Mapping.eid_prefix with
+    match Int_table.find t.index key with
     | Some e ->
         drop_entry t e;
         true
@@ -119,6 +142,7 @@ let insert t ~now mapping =
     { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None; next = None }
   in
   Prefix_table.add t.table mapping.Mapping.eid_prefix e;
+  Int_table.add t.index key e;
   push_front t e;
   if not refreshed then t.stats.insertions <- t.stats.insertions + 1
 

@@ -1,3 +1,9 @@
+(* Domain-safety audit (engine sharding): plain mutable fields, not
+   atomics, deliberately — a [t] is per-control-plane-instance state,
+   and every instance belongs to exactly one scenario, hence to one
+   shard's engine.  Cross-shard aggregation goes through [merge] after
+   the parallel section joins.  Sharing one [t] across shards would
+   race; don't. *)
 type t = {
   mutable map_requests : int;
   mutable map_replies : int;

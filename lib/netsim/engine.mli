@@ -4,14 +4,23 @@
     callbacks.  Events scheduled for the same instant fire in FIFO order
     (insertion order), which keeps simulations deterministic.  All
     simulated network latencies, timers and timeouts are expressed as
-    events on one engine instance. *)
+    events on one engine instance.
+
+    Internally the queue is an implicit 4-ary min-heap on [(time, seq)]
+    stored in parallel flat arrays (timestamps in an unboxed
+    [float array]), with a recycled slot pool carrying cancellation
+    state — scheduling allocates no per-event heap records and handles
+    are immediate integers.  See doc/performance.md for the design. *)
 
 type t
 (** One simulation run: clock plus pending-event queue. *)
 
 type handle
 (** Identifies a scheduled event so it can be cancelled (e.g. a
-    retransmission timer disarmed by an ACK). *)
+    retransmission timer disarmed by an ACK).  Handles are immediate
+    integers tagged with the owning engine and a slot generation:
+    using one on a different engine raises, and a handle whose event
+    already fired is simply stale. *)
 
 val create : ?start:float -> unit -> t
 (** Fresh engine whose clock reads [start] (default [0.0]) seconds. *)
@@ -29,7 +38,9 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
 
 val cancel : t -> handle -> unit
 (** Cancel a pending event.  Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op.
+    @raise Invalid_argument if the handle belongs to a different
+    engine instance. *)
 
 val pending : t -> int
 (** Number of live (not cancelled, not yet fired) events. *)
@@ -37,6 +48,10 @@ val pending : t -> int
 val pending_hwm : t -> int
 (** High-water mark of {!pending} since [create]: the deepest the event
     queue has ever been.  Sizes the heap pressure of a scenario. *)
+
+val compactions : t -> int
+(** Number of times the queue was compacted in place to purge cancelled
+    events (beyond the lazy reap at the queue head). *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in timestamp order.  With [?until], stop once the next
@@ -55,4 +70,42 @@ val total_events_processed : unit -> int
 (** Process-wide total of callbacks fired across every engine instance
     ever created.  The bench runner reads the delta around an experiment
     to report events/sec even when the experiment builds one engine per
-    cell. *)
+    cell.  Backed by an [Atomic.t], so reads are safe under sharded
+    dispatch. *)
+
+(** Opt-in parallel dispatch of independent event streams.
+
+    A pool holds [n] engines, one per shard.  Shards must not share
+    mutable simulation state; under that contract [run ~parallel:true]
+    (the default) dispatches each shard on its own OCaml 5 [Domain]
+    and yields per-shard results identical to running the shards
+    sequentially.  Deterministic cross-shard ordering of any merged
+    output comes from sorting by simulated [(time, shard)] — see
+    [Trace.merge]. *)
+module Shards : sig
+  type engine := t
+
+  type pool
+
+  val create : ?start:float -> int -> pool
+  (** [create n] makes a pool of [n] independent engines.
+      @raise Invalid_argument if [n < 1]. *)
+
+  val count : pool -> int
+
+  val get : pool -> int -> engine
+  (** [get p i] is shard [i]'s engine, for wiring up its event stream. *)
+
+  val run : ?until:float -> ?parallel:bool -> pool -> unit
+  (** Run every shard to completion (or to [until]).  With
+      [~parallel:false], shards run sequentially on the calling
+      domain — byte-identical per-shard results either way.  The
+      self-profiler is paused around the parallel section (its state
+      is process-global and not domain-safe). *)
+
+  val events_processed : pool -> int
+  (** Sum of {!events_processed} over the shards. *)
+
+  val pending : pool -> int
+  (** Sum of {!pending} over the shards. *)
+end

@@ -3,7 +3,12 @@
     A trace is an append-only log of [(time, actor, event)] entries.  The
     F1 experiment uses it to print the step-by-step control-plane
     walkthrough of the paper's Figure 1; tests use it to assert event
-    ordering. *)
+    ordering.
+
+    Storage is a structure-of-arrays ring buffer (timestamps in an
+    unboxed [float array]): recording writes three array cells and
+    allocates no per-entry queue cell, and a [?capacity] bound
+    overwrites the oldest slot in place. *)
 
 type t
 
@@ -50,3 +55,16 @@ val pp : Format.formatter -> t -> unit
 
 val find : t -> f:(entry -> bool) -> entry option
 (** First matching entry, if any. *)
+
+val iter : t -> f:(float -> string -> string -> unit) -> unit
+(** [iter t ~f] applies [f time actor event] to each retained entry in
+    order, without materialising entry records. *)
+
+val merge : t list -> t
+(** Deterministic merge of per-shard traces: the retained entries of
+    all inputs ordered by [(time, shard, per-shard order)], where
+    [shard] is the trace's position in the list.  Because each shard's
+    trace is deterministic in isolation and the key ignores wall-clock
+    arrival, merging the traces of a [Engine.Shards] run yields
+    byte-identical output whether the shards ran in parallel or
+    sequentially. *)

@@ -1,0 +1,38 @@
+(** Flat hash table keyed by non-negative [int]s.
+
+    Open addressing with linear probing over plain arrays: a lookup is
+    a multiplicative hash plus a short probe over contiguous ints, with
+    no per-binding box, bucket cell or polymorphic-hash call — built
+    for the simulator's hot paths, where keys are packed addresses or
+    prefix encodings and [Hashtbl]'s generic machinery shows up in the
+    profile.
+
+    Keys must be [>= 0] (negative values are the table's internal
+    sentinels); [add] raises otherwise.  Not resistant to adversarial
+    key sets — this is a simulator, keys come from address allocation
+    patterns. *)
+
+type 'a t
+
+val create : ?initial:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty table.  [dummy] fills empty value
+    cells; it is never returned from lookups.  [initial] sizes the
+    table for an expected binding count (it still grows on demand). *)
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val add : 'a t -> int -> 'a -> unit
+(** Insert or replace the binding for a key.
+    @raise Invalid_argument on a negative key. *)
+
+val remove : 'a t -> int -> unit
+(** No-op when the key is absent. *)
+
+val length : 'a t -> int
+(** Number of bindings. *)
+
+val iter : 'a t -> f:(int -> 'a -> unit) -> unit
+(** Visit bindings in unspecified order. *)
+
+val clear : 'a t -> unit

@@ -278,6 +278,33 @@ let test_flow_table_iter_live_only () =
   Flow_table.iter t ~now:12.0 ~f:(fun _ -> incr seen);
   Alcotest.(check int) "only the fresh entry" 1 !seen
 
+(* Regression (issue 7): [length] and [iter] used to count slots that
+   had expired but not yet been reaped, so router-state accounting
+   drifted upward between lookups.  Both now reap expired slots as
+   they walk. *)
+let test_flow_table_length_reaps_expired () =
+  let t = Flow_table.create ~ttl:10.0 () in
+  for i = 1 to 8 do
+    Flow_table.install t ~now:0.0 (entry ~src:(Printf.sprintf "100.0.0.%d" i) ())
+  done;
+  Flow_table.install t ~now:6.0 (entry ~src:"100.0.0.99" ());
+  Alcotest.(check int) "all live before ttl" 9 (Flow_table.length t ~now:5.0);
+  (* The first eight expired at t=10; only the late install survives. *)
+  Alcotest.(check int) "expired slots not counted" 1
+    (Flow_table.length t ~now:12.0);
+  let visited = ref [] in
+  Flow_table.iter t ~now:12.0 ~f:(fun e ->
+      visited := Ipv4.addr_to_string e.Mapping.src_eid :: !visited);
+  Alcotest.(check (list string)) "iter skips expired" [ "100.0.0.99" ] !visited;
+  (* Reaped slots are really gone: the survivor is still found and the
+     expired keys can be re-installed cleanly. *)
+  Alcotest.(check bool) "survivor still resolvable" true
+    (Flow_table.lookup t ~now:12.0 ~src_eid:(addr "100.0.0.99")
+       ~dst_eid:(addr "100.0.1.1")
+    <> None);
+  Flow_table.install t ~now:12.0 (entry ~src:"100.0.0.1" ());
+  Alcotest.(check int) "reinstall after reap" 2 (Flow_table.length t ~now:13.0)
+
 (* ------------------------------------------------------------------ *)
 (* Dataplane with a scripted control plane                             *)
 (* ------------------------------------------------------------------ *)
@@ -509,6 +536,8 @@ let () =
           Alcotest.test_case "expiry" `Quick test_flow_table_expiry;
           Alcotest.test_case "update src rloc" `Quick test_flow_table_update_src_rloc;
           Alcotest.test_case "iter live only" `Quick test_flow_table_iter_live_only;
+          Alcotest.test_case "length reaps expired" `Quick
+            test_flow_table_length_reaps_expired;
         ] );
       ( "dataplane",
         [

@@ -306,6 +306,76 @@ let test_engine_cancel_after_fire_noop () =
   Engine.cancel e h;
   Alcotest.(check int) "pending not negative" 0 (Engine.pending e)
 
+(* Regression (issue 7): cancelling a handle on an engine that did not
+   issue it used to silently decrement the *victim* engine's live
+   count; handles now carry their owner and a cross-engine cancel
+   raises without touching either engine's state. *)
+let test_engine_foreign_cancel_rejected () =
+  let a = Engine.create () in
+  let b = Engine.create () in
+  let h = Engine.schedule a ~delay:1.0 ignore in
+  ignore (Engine.schedule b ~delay:1.0 ignore);
+  Alcotest.check_raises "foreign handle rejected"
+    (Invalid_argument "Engine.cancel: handle belongs to a different engine")
+    (fun () -> Engine.cancel b h);
+  Alcotest.(check int) "victim engine untouched" 1 (Engine.pending b);
+  Alcotest.(check int) "owner engine untouched" 1 (Engine.pending a);
+  Engine.run a;
+  Engine.run b;
+  Alcotest.(check int) "owner fired its event" 1 (Engine.events_processed a);
+  Alcotest.(check int) "victim fired its event" 1 (Engine.events_processed b)
+
+(* Regression (issue 7): cancelled events used to be reaped only when
+   they reached the heap top, so a burst of long-dated cancels kept
+   the heap (and its memory) bloated for the whole run.  The queue now
+   compacts in place once cancelled events are the majority. *)
+let test_engine_cancel_compaction () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  (* A few near-term survivors plus a large burst of long-dated timers
+     that all get cancelled (retransmit timers cleared on success). *)
+  for _ = 1 to 10 do
+    ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired))
+  done;
+  let handles =
+    List.init 1000 (fun i ->
+        Engine.schedule e ~delay:(1000.0 +. float_of_int i) ignore)
+  in
+  List.iter (Engine.cancel e) handles;
+  Alcotest.(check int) "live excludes cancelled" 10 (Engine.pending e);
+  Alcotest.(check bool) "queue compacted without reaching heap top" true
+    (Engine.compactions e > 0);
+  Engine.run e;
+  Alcotest.(check int) "survivors fired" 10 !fired;
+  Alcotest.(check int) "only survivors counted" 10 (Engine.events_processed e);
+  check_float "clock at last survivor, not at cancelled horizon" 1.0
+    (Engine.now e)
+
+(* Regression (issue 7): [total_events_processed] was a plain ref —
+   racy under Domain-sharded dispatch.  Two shards dispatching
+   concurrently must lose no counts. *)
+let test_engine_atomic_total_two_domains () =
+  let before = Engine.total_events_processed () in
+  let pool = Engine.Shards.create 2 in
+  let per_shard = 20_000 in
+  for s = 0 to 1 do
+    let e = Engine.Shards.get pool s in
+    let remaining = ref (per_shard - 1) in
+    let rec tick () =
+      if !remaining > 0 then begin
+        decr remaining;
+        ignore (Engine.schedule e ~delay:1.0 tick)
+      end
+    in
+    ignore (Engine.schedule e ~delay:1.0 tick)
+  done;
+  Engine.Shards.run ~parallel:true pool;
+  Alcotest.(check int) "per-shard counts" (2 * per_shard)
+    (Engine.Shards.events_processed pool);
+  Alcotest.(check int) "process-wide total lost no increments"
+    (2 * per_shard)
+    (Engine.total_events_processed () - before)
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -527,6 +597,47 @@ let prop_engine_drains =
       | [] -> Engine.now e = 0.0
       | _ -> Float.abs (Engine.now e -. List.fold_left Float.max 0.0 delays) < 1e-9)
 
+(* Issue 7 acceptance: the rewritten queue must fire events in exactly
+   the (time, seq) order of the old binary heap, including under
+   interleaved cancels.  The reference model is a sorted association
+   list keyed on (time, seq) — seq is the schedule call index, so FIFO
+   ties break by insertion order, exactly the documented contract. *)
+let prop_engine_matches_reference_order =
+  (* Each scheduled event carries a delay plus a "cancel me" flag; a
+     coarse delay grid (multiples of 0.5) forces many exact ties. *)
+  let schedule_gen =
+    QCheck.(
+      list_of_size Gen.(0 -- 300)
+        (pair (map (fun n -> float_of_int n *. 0.5) (int_bound 20)) bool))
+  in
+  QCheck.Test.make
+    ~name:"engine fires in reference (time, seq) order under cancels"
+    ~count:300 schedule_gen
+    (fun spec ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      let to_cancel = ref [] in
+      List.iteri
+        (fun seq (delay, cancel) ->
+          let h =
+            Engine.schedule e ~delay (fun () -> fired := seq :: !fired)
+          in
+          if cancel then to_cancel := h :: !to_cancel)
+        spec;
+      List.iter (Engine.cancel e) (List.rev !to_cancel);
+      Engine.run e;
+      let expected =
+        spec
+        |> List.mapi (fun seq (delay, cancel) -> (delay, seq, cancel))
+        |> List.filter (fun (_, _, cancel) -> not cancel)
+        |> List.stable_sort (fun (t1, s1, _) (t2, s2, _) ->
+               match Float.compare t1 t2 with
+               | 0 -> Int.compare s1 s2
+               | c -> c)
+        |> List.map (fun (_, seq, _) -> seq)
+      in
+      List.rev !fired = expected)
+
 let prop_summary_mean_bounds =
   QCheck.Test.make ~name:"summary mean within [min, max]" ~count:200
     QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
@@ -710,6 +821,12 @@ let () =
           Alcotest.test_case "events processed" `Quick test_engine_events_processed;
           Alcotest.test_case "schedule_at exact" `Quick test_engine_schedule_at_exact;
           Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire_noop;
+          Alcotest.test_case "foreign cancel rejected" `Quick
+            test_engine_foreign_cancel_rejected;
+          Alcotest.test_case "cancel compaction" `Quick
+            test_engine_cancel_compaction;
+          Alcotest.test_case "atomic total across domains" `Quick
+            test_engine_atomic_total_two_domains;
         ] );
       ( "rng",
         [
@@ -772,7 +889,8 @@ let () =
            test_trace_recordf_disabled_skips_formatting ]);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_engine_drains; prop_summary_mean_bounds;
+          [ prop_engine_drains; prop_engine_matches_reference_order;
+            prop_summary_mean_bounds;
             prop_percentile_monotone; prop_jain_range;
             prop_shuffle_permutation; prop_reservoir_tracks_exact;
             prop_p2_tracks_exact ] );
