@@ -1,0 +1,72 @@
+(* Measured-vs-predicted cache rows for BENCH.json.
+
+   The M-series experiments compare measured map-cache miss rates
+   against the Coras analytical model.  Each cell records one [row]
+   here (process-global, like the profiler); the bench runner ships the
+   rows from the worker back to the parent, [Runner.bench_json] emits
+   them as the experiment's "cache" block, and `bench --check` gates on
+   them: every row's [r_ok] is strict (model agreement within the
+   experiment's stated tolerance), and measured values are
+   deterministic against the committed baseline.
+
+   Policies without an analytical prediction (LFU, TTL-hybrid, TTL
+   churn cells) leave the prediction fields [None]: the row is recorded
+   for the curve but not model-gated. *)
+
+type row = {
+  r_run : string;  (* cell label, unique within the experiment *)
+  r_policy : string;
+  r_n : int;  (* EID universe size *)
+  r_alpha : float;  (* Zipf skew *)
+  r_capacity : int;  (* cache capacity *)
+  r_refs : int;  (* references in the measurement window *)
+  r_measured_miss : float;
+  r_predicted_miss : float option;
+  r_rel_err : float option;  (* |measured - predicted| / predicted *)
+  r_tolerance : float option;  (* allowed relative error *)
+  r_ok : bool;  (* within tolerance (always true when ungated) *)
+}
+
+let current : row list ref = ref []
+let record row = current := row :: !current
+let rows () = List.rev !current
+let reset () = current := []
+
+let json_of_row r =
+  let opt name v rest =
+    match v with Some f -> (name, Obs.Json.Float f) :: rest | None -> rest
+  in
+  Obs.Json.Obj
+    ([ ("run", Obs.Json.String r.r_run);
+       ("policy", Obs.Json.String r.r_policy);
+       ("n", Obs.Json.Int r.r_n);
+       ("alpha", Obs.Json.Float r.r_alpha);
+       ("capacity", Obs.Json.Int r.r_capacity);
+       ("refs", Obs.Json.Int r.r_refs);
+       ("measured_miss", Obs.Json.Float r.r_measured_miss) ]
+    @ opt "predicted_miss" r.r_predicted_miss
+        (opt "rel_err" r.r_rel_err
+           (opt "tolerance" r.r_tolerance
+              [ ("ok", Obs.Json.Bool r.r_ok) ])))
+
+let json_of_rows rows = Obs.Json.List (List.map json_of_row rows)
+
+let row_of_json json =
+  let str name = Option.bind (Obs.Json.member name json) Obs.Json.to_string_opt in
+  let int name = Option.bind (Obs.Json.member name json) Obs.Json.to_int_opt in
+  let flt name = Option.bind (Obs.Json.member name json) Obs.Json.to_float_opt in
+  match (str "run", str "policy", int "n", flt "alpha", int "capacity",
+         int "refs", flt "measured_miss",
+         Option.bind (Obs.Json.member "ok" json) Obs.Json.to_bool_opt)
+  with
+  | ( Some r_run, Some r_policy, Some r_n, Some r_alpha, Some r_capacity,
+      Some r_refs, Some r_measured_miss, Some r_ok ) ->
+      Some
+        { r_run; r_policy; r_n; r_alpha; r_capacity; r_refs; r_measured_miss;
+          r_predicted_miss = flt "predicted_miss"; r_rel_err = flt "rel_err";
+          r_tolerance = flt "tolerance"; r_ok }
+  | _ -> None
+
+let rows_of_json = function
+  | Obs.Json.List l -> Some (List.filter_map row_of_json l)
+  | _ -> None

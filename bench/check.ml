@@ -257,6 +257,85 @@ let check_experiment ~tolerance ~id ~base ~cur =
   | _ -> ());
   List.rev !findings
 
+(* Cache model-validation rows (M-series "cache" block).  Two gates,
+   both strict — they are properties of the simulation:
+
+   - every current row's "ok" flag must be true (measured miss rate
+     within the experiment's stated tolerance of the Coras prediction;
+     ungated rows carry ok=true by construction);
+   - when the baseline experiment also has a cache block, the row set
+     must match label-for-label and the measured miss rates must be
+     bit-identical up to the JSON float round-trip (determinism). *)
+let cache_rows_of json =
+  Option.bind (Obs.Json.member "cache" json) Cache_record.rows_of_json
+
+let check_cache ~id ~base ~cur =
+  let base_rows = Option.bind base cache_rows_of in
+  match (cache_rows_of cur, base_rows) with
+  | None, Some brs when brs <> [] ->
+      [ { f_exp = id; f_field = "cache"; f_base =
+            Printf.sprintf "%d row(s)" (List.length brs);
+          f_cur = "missing"; f_threshold = "present"; f_class = Strict;
+          f_ok = false;
+          f_note = "cache model-validation block disappeared" } ]
+  | None, _ -> []
+  | Some crs, base_rows ->
+      let ok_findings =
+        List.map
+          (fun (r : Cache_record.row) ->
+            let gated = r.Cache_record.r_predicted_miss <> None in
+            { f_exp = id;
+              f_field = Printf.sprintf "cache[%s].ok" r.Cache_record.r_run;
+              f_base = "true";
+              f_cur = string_of_bool r.Cache_record.r_ok;
+              f_threshold = "= true"; f_class = Strict;
+              f_ok = r.Cache_record.r_ok;
+              f_note =
+                (if gated then
+                   Printf.sprintf
+                     "measured vs Coras model (rel err %s, tolerance %s)"
+                     (match r.Cache_record.r_rel_err with
+                      | Some e -> f3 e
+                      | None -> "?")
+                     (match r.Cache_record.r_tolerance with
+                      | Some t -> f3 t
+                      | None -> "?")
+                 else "ungated cell (no analytical prediction)") })
+          crs
+      in
+      let determinism =
+        match base_rows with
+        | None | Some [] -> []
+        | Some brs ->
+            let blabels =
+              List.map (fun r -> r.Cache_record.r_run) brs
+            and clabels =
+              List.map (fun r -> r.Cache_record.r_run) crs
+            in
+            if blabels <> clabels then
+              [ { f_exp = id; f_field = "cache.rows";
+                  f_base = String.concat "," blabels;
+                  f_cur = String.concat "," clabels;
+                  f_threshold = "same cells"; f_class = Strict;
+                  f_ok = false; f_note = "cache cell set changed" } ]
+            else
+              List.map2
+                (fun (b : Cache_record.row) (c : Cache_record.row) ->
+                  let bm = b.Cache_record.r_measured_miss
+                  and cm = c.Cache_record.r_measured_miss in
+                  { f_exp = id;
+                    f_field =
+                      Printf.sprintf "cache[%s].measured_miss"
+                        b.Cache_record.r_run;
+                    f_base = Printf.sprintf "%.9g" bm;
+                    f_cur = Printf.sprintf "%.9g" cm;
+                    f_threshold = Printf.sprintf "rel %.0e" rel_eps;
+                    f_class = Strict; f_ok = approx_equal bm cm;
+                    f_note = "measured miss rate (deterministic)" })
+                brs crs
+      in
+      ok_findings @ determinism
+
 (* Engine dispatch floors: absolute thresholds on the current record's
    "engine" block (no baseline needed — the floor is the acceptance
    bar, not a ratchet).  Records without the block (pre-engine-block
@@ -398,8 +477,18 @@ let main args =
                 f_class = Strict; f_ok = false;
                 f_note = "experiment disappeared from the run" } ]
         | Some cexp ->
-            check_experiment ~tolerance:!tolerance ~id ~base:bexp ~cur:cexp)
+            check_experiment ~tolerance:!tolerance ~id ~base:bexp ~cur:cexp
+            @ check_cache ~id ~base:(Some bexp) ~cur:cexp)
       base_exps
+    @ (* Cache model agreement is gated even for experiments absent
+         from the baseline (the scale-only M cells): the ok flag is an
+         acceptance bar, not a ratchet. *)
+    List.concat_map
+      (fun (id, cexp) ->
+        if List.assoc_opt id base_exps = None then
+          check_cache ~id ~base:None ~cur:cexp
+        else [])
+      cur_exps
     @ check_engine cur
   in
   let skipped =

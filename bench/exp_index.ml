@@ -60,11 +60,19 @@ let all : entry list =
       print = Exp_s1.print };
     { exp_id = Exp_s2.id; exp_title = Exp_s2.title; tables = Exp_s2.tables;
       print = Exp_s2.print };
+    { exp_id = Exp_m1.id; exp_title = Exp_m1.title; tables = Exp_m1.tables;
+      print = Exp_m1.print };
+    { exp_id = Exp_m2.id; exp_title = Exp_m2.title; tables = Exp_m2.tables;
+      print = Exp_m2.print };
+    { exp_id = Exp_m3.id; exp_title = Exp_m3.title; tables = Exp_m3.tables;
+      print = Exp_m3.print };
     { exp_id = "micro"; exp_title = "Micro-benchmarks (Bechamel)";
       tables = (fun () -> []); print = Bench_micro.print } ]
 
-(* 100k-flow cells: minutes, not seconds.  `main.exe` runs these only
-   when they are named explicitly. *)
-let scale_ids = [ Exp_s1.id; Exp_s2.id ]
+(* 100k-flow (S) and multi-policy million-EID (M2/M3) cells: heavy.
+   `main.exe` runs these only when they are named explicitly.  M1 stays
+   in the default sweep — it is the model-validation gate, and its
+   cache rows must be in BASELINE.json for `bench --check`. *)
+let scale_ids = [ Exp_s1.id; Exp_s2.id; Exp_m2.id; Exp_m3.id ]
 
 let find id = List.find_opt (fun e -> e.exp_id = id) all

@@ -29,6 +29,9 @@ type outcome = {
   out_prof : (Obs.Prof.report * (string * float) list) option;
       (* self-profile of the worker (per-phase breakdown + GC deltas);
          None when profiling was off or the worker died *)
+  out_cache : Cache_record.row list;
+      (* measured-vs-predicted cache cells the task recorded (M-series);
+         simulated quantities only, so identical whatever the job count *)
 }
 
 (* Summary record marshalled from worker to parent: plain scalars,
@@ -45,6 +48,7 @@ type summary = {
   s_ok : bool;
   s_latency : (string * (string * float) list) list;
   s_prof : (Obs.Prof.report * (string * float) list) option;
+  s_cache : Cache_record.row list;
 }
 
 let peak_rss_kb () =
@@ -117,6 +121,8 @@ let spawn ~latency ~profile ~prof_file index task =
          already active (the task owns the wiring then). *)
       let observe = latency && not (Obs.Runtime.active ()) in
       if observe then ignore (Obs.Runtime.install ~latency:true ());
+      (* Rows must be this task's alone, whatever the parent had. *)
+      Cache_record.reset ();
       if profile then begin
         if prof_file <> None then Obs.Prof.set_record_intervals true;
         Obs.Prof.start ()
@@ -164,7 +170,7 @@ let spawn ~latency ~profile ~prof_file index task =
         { s_wall = Unix.gettimeofday () -. t0;
           s_events = Netsim.Engine.total_events_processed () - events0;
           s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat;
-          s_prof = prof }
+          s_prof = prof; s_cache = Cache_record.rows () }
       in
       flush_std ();
       let blob = Marshal.to_bytes summary [] in
@@ -188,7 +194,7 @@ let collect w =
     if Bytes.length blob = 0 then
       (* Worker died before reporting (segfault, kill): synthesise. *)
       { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false;
-        s_latency = []; s_prof = None }
+        s_latency = []; s_prof = None; s_cache = [] }
     else (Marshal.from_bytes blob 0 : summary)
   in
   let text = try read_file w.w_out_file with Sys_error _ -> "" in
@@ -196,7 +202,8 @@ let collect w =
   { out_id = w.w_task.task_id; out_title = w.w_task.task_title;
     out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
     out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok;
-    out_latency = summary.s_latency; out_prof = summary.s_prof }
+    out_latency = summary.s_latency; out_prof = summary.s_prof;
+    out_cache = summary.s_cache }
 
 let log_line o =
   let rate =
@@ -324,7 +331,7 @@ let bench_json ?engine ~jobs ~total_wall outcomes =
   in
   let experiment o =
     Obs.Json.Obj
-      [ ("id", Obs.Json.String o.out_id);
+      ([ ("id", Obs.Json.String o.out_id);
         ("title", Obs.Json.String o.out_title);
         ("ok", Obs.Json.Bool o.out_ok);
         ("wall_s", Obs.Json.Float o.out_wall);
@@ -339,9 +346,15 @@ let bench_json ?engine ~jobs ~total_wall outcomes =
           match o.out_prof with
           | Some (report, gc) -> Obs.Prof.json_of_report ~gc report
           | None -> Obs.Json.Null ) ]
+      @
+      (* Only experiments that measured cache cells carry the block, so
+         the schema of every other experiment object is unchanged. *)
+      match o.out_cache with
+      | [] -> []
+      | rows -> [ ("cache", Cache_record.json_of_rows rows) ])
   in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "lisp-pce-bench/3");
+    ([ ("schema", Obs.Json.String "lisp-pce-bench/4");
        ("jobs", Obs.Json.Int jobs);
        ("total_wall_s", Obs.Json.Float total_wall);
        ( "total_events",

@@ -559,6 +559,10 @@ let connect_cmd =
     Arg.(value & opt float 0.5 & info [ "cp-rto" ] ~docv:"SECONDS"
            ~doc:"Initial retransmission timeout (doubles per attempt).")
   in
+  let cache_policy =
+    Arg.(value & opt string "lru" & info [ "cache-policy" ] ~docv:"POLICY"
+           ~doc:"Map-cache eviction policy: lru, lfu or ttl-hybrid.")
+  in
   let pce_crash =
     Arg.(value & opt_all string [] & info [ "pce-crash" ] ~docv:"DOMAIN:T0:T1"
            ~doc:"Crash the PCE of $(i,DOMAIN) from $(i,T0) to $(i,T1) \
@@ -567,12 +571,21 @@ let connect_cmd =
                  fault layer: DNS answers bypass dead PCEs after a \
                  watchdog and cache misses degrade to pull resolution.")
   in
-  let run cp_name verbose cp_loss cp_retries cp_rto pce_crash =
+  let run cp_name verbose cp_loss cp_retries cp_rto cache_policy pce_crash =
     let cp =
       match cp_of_string cp_name with
       | Some cp -> cp
       | None ->
           Printf.eprintf "unknown control plane: %s\n" cp_name;
+          exit 1
+    in
+    let cache_policy =
+      match Lispdp.Map_cache.policy_of_string cache_policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf
+            "unknown cache policy: %s (expected lru, lfu or ttl-hybrid)\n"
+            cache_policy;
           exit 1
     in
     if cp_loss < 0.0 || cp_loss > 1.0 then begin
@@ -630,7 +643,8 @@ let connect_cmd =
     in
     let scenario =
       Scenario.build
-        { Scenario.default_config with Scenario.cp; cp_faults; node_faults }
+        { Scenario.default_config with
+          Scenario.cp; cp_faults; node_faults; cache_policy }
     in
     if verbose then Netsim.Trace.set_enabled (Scenario.trace scenario) true;
     let internet = Scenario.internet scenario in
@@ -680,7 +694,9 @@ let connect_cmd =
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
-    Term.(const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto $ pce_crash)
+    Term.(
+      const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto $ cache_policy
+      $ pce_crash)
 
 (* ------------------------------------------------------------------ *)
 (* prof                                                                *)

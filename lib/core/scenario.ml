@@ -54,6 +54,7 @@ type config = {
   mapping_ttl : float;
   dns_record_ttl : float;
   cache_capacity : int;
+  cache_policy : Lispdp.Map_cache.policy;
   alt_fanout : int;
   alt_hop_latency : float;
   initial_rto : float;
@@ -68,7 +69,7 @@ type config = {
 let default_config =
   { seed = 1; topology = `Figure1; cp = Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
-    alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
+    cache_policy = Lispdp.Map_cache.Lru; alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
     data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None;
     node_faults = None }
 
@@ -185,7 +186,8 @@ let build config =
   in
   let make_dataplane control_plane =
     Lispdp.Dataplane.create ~engine ~internet ~control_plane
-      ~cache_capacity:config.cache_capacity ~flow_ttl ~trace ~obs ()
+      ~cache_capacity:config.cache_capacity ~cache_policy:config.cache_policy
+      ~flow_ttl ~trace ~obs ()
   in
   (* Split unconditionally so every control plane leaves the scenario
      RNG in the same state — workloads drawn from later splits must be

@@ -76,6 +76,8 @@ type config = {
   mapping_ttl : float;  (** TTL of registry mappings (map-cache life) *)
   dns_record_ttl : float;
   cache_capacity : int;  (** map-cache entries per border router *)
+  cache_policy : Lispdp.Map_cache.policy;
+      (** map-cache eviction policy (default LRU) *)
   alt_fanout : int;
   alt_hop_latency : float;
   initial_rto : float;

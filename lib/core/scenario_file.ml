@@ -34,6 +34,7 @@ type state = {
   mutable mapping_ttl : float;
   mutable dns_ttl : float;
   mutable cache_capacity : int;
+  mutable cache_policy : Lispdp.Map_cache.policy;
   mutable cp_faults : Scenario.cp_fault_profile option;
   mutable node_faults : Scenario.node_fault_profile option;
   (* pce-crash-at windows still waiting for their pce-recover-at, with
@@ -46,7 +47,7 @@ let fresh_state () =
   { seed = 1; figure1 = false; domains = 16; providers = 4; borders = 2;
     hosts = 4; tier1 = None; cp = Scenario.Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_ttl = 3600.0; cache_capacity = 10_000;
-    cp_faults = None; node_faults = None; open_crashes = [];
+    cache_policy = Lispdp.Map_cache.Lru; cp_faults = None; node_faults = None; open_crashes = [];
     workload = default.workload }
 
 let cp_of_string = function
@@ -119,6 +120,13 @@ let apply state line key value =
   | "dns-ttl" -> state.dns_ttl <- float_field line key value ~min:0.001
   | "cache-capacity" ->
       state.cache_capacity <- int_field line key value ~min:1 ~max:1_000_000
+  | "cache-policy" -> (
+      match Lispdp.Map_cache.policy_of_string value with
+      | Some p -> state.cache_policy <- p
+      | None ->
+          fail line
+            (Printf.sprintf "unknown cache policy %S (lru, lfu, ttl-hybrid)"
+               value))
   | "cp-loss" ->
       state.cp_faults <-
         Some
@@ -298,7 +306,8 @@ let finish state =
       { Scenario.default_config with
         Scenario.seed = state.seed; topology; cp = state.cp;
         mapping_ttl = state.mapping_ttl; dns_record_ttl = state.dns_ttl;
-        cache_capacity = state.cache_capacity; cp_faults = state.cp_faults;
+        cache_capacity = state.cache_capacity;
+        cache_policy = state.cache_policy; cp_faults = state.cp_faults;
         node_faults };
     workload = state.workload }
 

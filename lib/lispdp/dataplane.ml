@@ -65,7 +65,7 @@ let obs_emit t ~actor ?flow kind =
   | None -> ()
 
 let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
-    ?(flow_ttl = 300.0) ?trace ?obs () =
+    ?(cache_policy = Map_cache.Lru) ?(flow_ttl = 300.0) ?trace ?obs () =
   let by_rloc = Hashtbl.create 64 in
   let routers =
     Array.map
@@ -74,7 +74,9 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
           (fun border ->
             let r =
               { border; router_domain = domain;
-                cache = Map_cache.create ~capacity:cache_capacity ();
+                cache =
+                  Map_cache.create ~policy:cache_policy
+                    ~capacity:cache_capacity ();
                 flows = Flow_table.create ~ttl:flow_ttl () }
             in
             Hashtbl.replace by_rloc (Ipv4.addr_to_int border.Topology.Domain.rloc) r;

@@ -49,6 +49,7 @@ val create :
   internet:Topology.Builder.t ->
   control_plane:control_plane ->
   ?cache_capacity:int ->
+  ?cache_policy:Map_cache.policy ->
   ?flow_ttl:float ->
   ?trace:Netsim.Trace.t ->
   ?obs:Obs.Hub.t ->

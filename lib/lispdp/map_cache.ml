@@ -1,16 +1,58 @@
 open Nettypes
 
-(* Entries live in a prefix trie for longest-prefix lookup, in an
-   intrusive doubly-linked list ordered by recency (head = most recent)
-   for O(1) LRU maintenance, and in a flat int-keyed exact index (the
-   prefix packed into a single int) so the insert/refresh/remove paths
-   skip the trie walk that [Prefix_table.find_exact] costs. *)
+(* Entries live in a prefix trie for longest-prefix lookup and in a flat
+   int-keyed exact index (the prefix packed into a single int) so the
+   insert/refresh/remove paths skip the trie walk that
+   [Prefix_table.find_exact] costs.  On top of those two shared
+   structures each eviction policy keeps its own victim-selection state:
+
+   - LRU: an intrusive doubly-linked recency list (head = most recent);
+     the victim is the tail.
+   - LFU: a doubly-linked list of frequency buckets in ascending
+     hit-count order, each bucket an intrusive recency list of the
+     entries in that class; the victim is the least-recent entry of the
+     lowest bucket (classic LFU with LRU tie-break).  All operations are
+     O(1) because a hit moves an entry to the adjacent class.
+   - TTL-hybrid: a lazy-deletion binary min-heap on [expires_at]; the
+     victim is the entry closest to (or past) expiry.  Entries removed
+     for other reasons are only marked dead and skipped when popped;
+     the heap compacts when dead nodes dominate. *)
+
+type policy = Lru | Lfu | Ttl_hybrid
+
+let policy_label = function
+  | Lru -> "lru"
+  | Lfu -> "lfu"
+  | Ttl_hybrid -> "ttl-hybrid"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "lru" -> Some Lru
+  | "lfu" -> Some Lfu
+  | "ttl-hybrid" | "ttl_hybrid" | "ttl" -> Some Ttl_hybrid
+  | _ -> None
 
 type entry = {
   mapping : Mapping.t;
   expires_at : float;
+  (* Recency links: the global list under LRU / TTL-hybrid, the
+     within-bucket list under LFU. *)
   mutable prev : entry option;
   mutable next : entry option;
+  (* LFU state: hit-count class and the bucket currently holding the
+     entry. *)
+  mutable freq : int;
+  mutable bucket : bucket option;
+  (* TTL-hybrid state: lazy-deletion marker for the expiry heap. *)
+  mutable dead : bool;
+}
+
+and bucket = {
+  b_freq : int;
+  mutable b_head : entry option; (* most recent in this class *)
+  mutable b_tail : entry option; (* least recent in this class *)
+  mutable b_prev : bucket option; (* next lower frequency class *)
+  mutable b_next : bucket option; (* next higher frequency class *)
 }
 
 (* A /len prefix packs into [network lsl 6 lor len]: 32 + 6 bits, well
@@ -26,7 +68,12 @@ let dummy_entry =
         ~ttl:1.0;
     expires_at = 0.0;
     prev = None;
-    next = None }
+    next = None;
+    freq = 0;
+    bucket = None;
+    dead = true }
+
+type heap = { mutable h_arr : entry array; mutable h_len : int }
 
 type stats = {
   mutable hits : int;
@@ -39,20 +86,24 @@ type stats = {
 
 type t = {
   capacity : int;
+  policy : policy;
   table : entry Prefix_table.t;
   index : entry Int_table.t; (* packed prefix -> entry, exact match *)
-  mutable head : entry option; (* most recently used *)
-  mutable tail : entry option; (* least recently used *)
+  mutable head : entry option; (* most recently used (LRU / TTL-hybrid) *)
+  mutable tail : entry option; (* least recently used (LRU / TTL-hybrid) *)
+  mutable lfu_min : bucket option; (* lowest frequency class (LFU) *)
+  heap : heap; (* expiry min-heap (TTL-hybrid) *)
   stats : stats;
   mutable evict_hook : (Mapping.t -> unit) option;
   mutable expire_hook : (Mapping.t -> unit) option;
 }
 
-let create ?(capacity = 10_000) () =
+let create ?(policy = Lru) ?(capacity = 10_000) () =
   if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
-  { capacity; table = Prefix_table.create ();
+  { capacity; policy; table = Prefix_table.create ();
     index = Int_table.create ~dummy:dummy_entry ();
-    head = None; tail = None;
+    head = None; tail = None; lfu_min = None;
+    heap = { h_arr = [||]; h_len = 0 };
     stats =
       { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0;
         invalidations = 0 };
@@ -64,6 +115,9 @@ let set_expire_hook t hook = t.expire_hook <- hook
 let stats t = t.stats
 let length t = Prefix_table.length t.table
 let capacity t = t.capacity
+let policy t = t.policy
+
+(* ---- global recency list (LRU / TTL-hybrid) ---- *)
 
 let unlink t e =
   (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
@@ -77,10 +131,160 @@ let push_front t e =
   (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
   t.head <- Some e
 
+(* ---- LFU frequency buckets ---- *)
+
+let bucket_unlink t e =
+  match e.bucket with
+  | None -> ()
+  | Some b ->
+      (match e.prev with Some p -> p.next <- e.next | None -> b.b_head <- e.next);
+      (match e.next with Some n -> n.prev <- e.prev | None -> b.b_tail <- e.prev);
+      e.prev <- None;
+      e.next <- None;
+      e.bucket <- None;
+      if b.b_head = None then begin
+        (match b.b_prev with
+        | Some p -> p.b_next <- b.b_next
+        | None -> t.lfu_min <- b.b_next);
+        match b.b_next with Some n -> n.b_prev <- b.b_prev | None -> ()
+      end
+
+let bucket_push_entry b e =
+  e.prev <- None;
+  e.next <- b.b_head;
+  (match b.b_head with Some h -> h.prev <- Some e | None -> b.b_tail <- Some e);
+  b.b_head <- Some e;
+  e.bucket <- Some b
+
+(* The bucket for class [f] sitting right after [anchor] (or at the list
+   head when [anchor] is [None]), created if missing.  Callers must pass
+   an anchor with a strictly lower class whose successor has class
+   [>= f], so the ascending order is preserved. *)
+let bucket_after t anchor f =
+  let next = match anchor with None -> t.lfu_min | Some b -> b.b_next in
+  match next with
+  | Some nb when nb.b_freq = f -> nb
+  | _ ->
+      let nb =
+        { b_freq = f; b_head = None; b_tail = None; b_prev = anchor;
+          b_next = next }
+      in
+      (match next with Some n -> n.b_prev <- Some nb | None -> ());
+      (match anchor with
+      | Some b -> b.b_next <- Some nb
+      | None -> t.lfu_min <- Some nb);
+      nb
+
+let lfu_insert t e =
+  let rec find prev next =
+    match next with
+    | Some b when b.b_freq < e.freq -> find (Some b) b.b_next
+    | _ -> prev
+  in
+  let anchor = find None t.lfu_min in
+  bucket_push_entry (bucket_after t anchor e.freq) e
+
+let lfu_promote t e =
+  match e.bucket with
+  | None -> ()
+  | Some b ->
+      (* If [e] is alone in its bucket, the bucket dies with the unlink
+         and the next class anchors on its predecessor instead. *)
+      let anchor =
+        match (e.prev, e.next) with None, None -> b.b_prev | _ -> Some b
+      in
+      bucket_unlink t e;
+      e.freq <- e.freq + 1;
+      bucket_push_entry (bucket_after t anchor e.freq) e
+
+(* ---- TTL-hybrid expiry heap ---- *)
+
+let heap_swap h i j =
+  let a = h.h_arr in
+  let e = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- e
+
+let heap_sift_down h i0 =
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < h.h_len && h.h_arr.(l).expires_at < h.h_arr.(!s).expires_at then
+      s := l;
+    if r < h.h_len && h.h_arr.(r).expires_at < h.h_arr.(!s).expires_at then
+      s := r;
+    if !s = !i then moving := false
+    else begin
+      heap_swap h !i !s;
+      i := !s
+    end
+  done
+
+let heap_push h e =
+  let cap = Array.length h.h_arr in
+  if h.h_len = cap then begin
+    let arr = Array.make (Stdlib.max 8 (2 * cap)) dummy_entry in
+    Array.blit h.h_arr 0 arr 0 h.h_len;
+    h.h_arr <- arr
+  end;
+  h.h_arr.(h.h_len) <- e;
+  let i = ref h.h_len in
+  h.h_len <- h.h_len + 1;
+  while
+    !i > 0 && h.h_arr.((!i - 1) / 2).expires_at > h.h_arr.(!i).expires_at
+  do
+    heap_swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let heap_pop h =
+  let top = h.h_arr.(0) in
+  h.h_len <- h.h_len - 1;
+  h.h_arr.(0) <- h.h_arr.(h.h_len);
+  h.h_arr.(h.h_len) <- dummy_entry;
+  heap_sift_down h 0;
+  top
+
+let rec heap_pop_live h =
+  if h.h_len = 0 then None
+  else
+    let e = heap_pop h in
+    if e.dead then heap_pop_live h else Some e
+
+(* Dead nodes accumulate when entries die without being popped (TTL
+   reaps, invalidations, refreshes); rebuild once they dominate so the
+   heap stays proportional to the live entry count. *)
+let heap_compact h ~live =
+  if h.h_len > (2 * live) + 8 then begin
+    let n = ref 0 in
+    for i = 0 to h.h_len - 1 do
+      let e = h.h_arr.(i) in
+      if not e.dead then begin
+        h.h_arr.(!n) <- e;
+        incr n
+      end
+    done;
+    for i = !n to h.h_len - 1 do
+      h.h_arr.(i) <- dummy_entry
+    done;
+    h.h_len <- !n;
+    for i = (h.h_len / 2) - 1 downto 0 do
+      heap_sift_down h i
+    done
+  end
+
+(* ---- shared entry lifecycle ---- *)
+
 let drop_entry t e =
-  unlink t e;
+  (match t.policy with
+  | Lfu -> bucket_unlink t e
+  | Lru | Ttl_hybrid -> unlink t e);
+  e.dead <- true;
   Prefix_table.remove t.table e.mapping.Mapping.eid_prefix;
-  Int_table.remove t.index (prefix_key e.mapping.Mapping.eid_prefix)
+  Int_table.remove t.index (prefix_key e.mapping.Mapping.eid_prefix);
+  if t.policy = Ttl_hybrid then heap_compact t.heap ~live:(length t)
 
 (* Explicit removal: count as an invalidation and tell the hook, so the
    SMR invalidation path is visible to the observability layer. *)
@@ -95,9 +299,11 @@ let remove t prefix =
   | None -> ()
 
 let remove_covered t prefix =
+  (* Only the covered subtree is walked: under invalidation churn with
+     millions of entries a whole-table fold per call is quadratic. *)
   let victims =
-    Prefix_table.fold t.table ~init:[] ~f:(fun p e acc ->
-        if Ipv4.prefix_subsumes prefix p then e :: acc else acc)
+    Prefix_table.fold_covered t.table prefix ~init:[] ~f:(fun _ e acc ->
+        e :: acc)
   in
   List.iter (invalidate t) victims;
   List.length victims
@@ -107,6 +313,9 @@ let clear t =
   Int_table.clear t.index;
   t.head <- None;
   t.tail <- None;
+  t.lfu_min <- None;
+  Array.fill t.heap.h_arr 0 (Array.length t.heap.h_arr) dummy_entry;
+  t.heap.h_len <- 0;
   t.stats.hits <- 0;
   t.stats.misses <- 0;
   t.stats.insertions <- 0;
@@ -114,37 +323,64 @@ let clear t =
   t.stats.expirations <- 0;
   t.stats.invalidations <- 0
 
-let evict_lru t =
-  match t.tail with
+(* Victim choice when the cache is full, per policy.  A TTL-hybrid
+   victim has already been popped off the heap; [drop_entry]'s dead
+   marking is then a no-op as far as the heap is concerned. *)
+let victim t =
+  match t.policy with
+  | Lru -> t.tail
+  | Lfu -> ( match t.lfu_min with Some b -> b.b_tail | None -> None)
+  | Ttl_hybrid -> heap_pop_live t.heap
+
+(* Capacity pressure drops one entry; the books must say why it died.
+   A victim whose TTL already lapsed was going to be reaped by the next
+   lookup anyway — counting it as an eviction (and telling the evict
+   hook) would overstate capacity pressure and skew miss-curve stats,
+   so attribution checks [expires_at] against [now] first. *)
+let evict_one t ~now =
+  match victim t with
+  | None -> ()
   | Some e ->
       drop_entry t e;
-      t.stats.evictions <- t.stats.evictions + 1;
-      (match t.evict_hook with
-      | Some hook -> hook e.mapping
-      | None -> ())
-  | None -> ()
+      if e.expires_at <= now then begin
+        t.stats.expirations <- t.stats.expirations + 1;
+        match t.expire_hook with Some hook -> hook e.mapping | None -> ()
+      end
+      else begin
+        t.stats.evictions <- t.stats.evictions + 1;
+        match t.evict_hook with Some hook -> hook e.mapping | None -> ()
+      end
 
 let insert t ~now mapping =
   (* A refresh replaces the old entry silently: it is neither an
      invalidation (nothing was lost) nor a new insertion, which keeps
      the balance insertions = live + evictions + expirations +
-     invalidations exact. *)
+     invalidations exact.  Under LFU the refreshed entry keeps its
+     hit-count class — it is the same logical cache line. *)
   let key = prefix_key mapping.Mapping.eid_prefix in
-  let refreshed =
+  let refreshed_freq =
     match Int_table.find t.index key with
     | Some e ->
         drop_entry t e;
-        true
-    | None -> false
+        Some e.freq
+    | None -> None
   in
-  if length t >= t.capacity then evict_lru t;
+  if length t >= t.capacity then evict_one t ~now;
   let e =
-    { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None; next = None }
+    { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None;
+      next = None;
+      freq = (match refreshed_freq with Some f -> f | None -> 1);
+      bucket = None; dead = false }
   in
   Prefix_table.add t.table mapping.Mapping.eid_prefix e;
   Int_table.add t.index key e;
-  push_front t e;
-  if not refreshed then t.stats.insertions <- t.stats.insertions + 1
+  (match t.policy with
+  | Lru -> push_front t e
+  | Lfu -> lfu_insert t e
+  | Ttl_hybrid ->
+      push_front t e;
+      heap_push t.heap e);
+  if refreshed_freq = None then t.stats.insertions <- t.stats.insertions + 1
 
 (* Longest-prefix match skipping (and reaping) expired entries. *)
 let rec live_lookup t ~now addr =
@@ -165,8 +401,11 @@ let lookup t ~now addr =
   match live_lookup t ~now addr with
   | Some e ->
       t.stats.hits <- t.stats.hits + 1;
-      unlink t e;
-      push_front t e;
+      (match t.policy with
+      | Lru | Ttl_hybrid ->
+          unlink t e;
+          push_front t e
+      | Lfu -> lfu_promote t e);
       Some e.mapping
   | None ->
       t.stats.misses <- t.stats.misses + 1;

@@ -1,26 +1,52 @@
 (** The LISP map-cache of an ITR.
 
     Bounded cache of EID-prefix-to-RLOC mappings with per-entry expiry
-    (the mapping's TTL, stamped at insertion) and least-recently-used
-    eviction when full.  Time is passed explicitly so the cache has no
-    dependency on the event engine and can be unit-tested directly. *)
+    (the mapping's TTL, stamped at insertion) and a pluggable eviction
+    policy applied when full.  Time is passed explicitly so the cache
+    has no dependency on the event engine and can be unit-tested
+    directly. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 10_000 entries; must be positive. *)
+type policy =
+  | Lru  (** evict the least recently used entry *)
+  | Lfu
+      (** evict the least frequently hit entry (least recently used
+          within the lowest hit-count class); O(1) frequency buckets *)
+  | Ttl_hybrid
+      (** evict the entry closest to (or past) its TTL expiry — the
+          entry with the least remaining paid-for lifetime; lazy
+          min-heap on expiry time *)
+
+val policy_label : policy -> string
+(** ["lru"], ["lfu"], ["ttl-hybrid"] — the spellings accepted by
+    {!policy_of_string}, scenario files and the CLI. *)
+
+val policy_of_string : string -> policy option
+(** Case-insensitive; accepts ["lru"], ["lfu"], ["ttl-hybrid"] (also
+    ["ttl"]). *)
+
+val create : ?policy:policy -> ?capacity:int -> unit -> t
+(** [policy] defaults to {!Lru}; [capacity] defaults to 10_000 entries
+    and must be positive. *)
 
 val insert : t -> now:float -> Nettypes.Mapping.t -> unit
 (** Cache a mapping; its expiry is [now + ttl].  Re-inserting a mapping
     for the same EID prefix refreshes it (counted neither as an
-    insertion nor an invalidation).  May evict the LRU entry. *)
+    insertion nor an invalidation; under {!Lfu} the refreshed entry
+    keeps its hit-count class).  May drop one entry chosen by the
+    eviction policy when the cache is full: an unexpired victim counts
+    as an eviction, a victim whose TTL already lapsed counts as an
+    expiration (see {!stats}). *)
 
 val lookup : t -> now:float -> Nettypes.Ipv4.addr -> Nettypes.Mapping.t option
-(** Longest-prefix match among live entries; refreshes the entry's LRU
-    position.  Expired entries behave as absent (and are reaped). *)
+(** Longest-prefix match among live entries; a hit refreshes the
+    entry's standing under the eviction policy (recency position for
+    {!Lru}/{!Ttl_hybrid}, hit-count class for {!Lfu}).  Expired entries
+    behave as absent (and are reaped). *)
 
 val contains : t -> now:float -> Nettypes.Ipv4.addr -> bool
-(** Like {!lookup} without touching LRU order. *)
+(** Like {!lookup} without touching the entry's policy standing. *)
 
 val remove : t -> Nettypes.Ipv4.prefix -> unit
 (** Remove the exact entry if present; counted as an invalidation and
@@ -29,12 +55,17 @@ val remove : t -> Nettypes.Ipv4.prefix -> unit
 val remove_covered : t -> Nettypes.Ipv4.prefix -> int
 (** Remove the exact entry {e and} every more-specific entry inside the
     prefix (e.g. gleaned /32 host routes under a re-registered site
-    prefix — the entries a Solicit-Map-Request invalidates).  Each
-    victim counts as an invalidation and is reported to the evict hook.
-    Returns the number of entries removed. *)
+    prefix — the entries a Solicit-Map-Request invalidates).  Walks
+    only the covered trie subtree, so the cost is proportional to the
+    victims, not the cache size.  Each victim counts as an
+    invalidation and is reported to the evict hook.  Returns the
+    number of entries removed. *)
 
 val length : t -> int
 val capacity : t -> int
+
+val policy : t -> policy
+(** The eviction policy the cache was created with. *)
 
 val clear : t -> unit
 (** Empty the cache and reset all statistics to zero. *)
@@ -43,8 +74,12 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable insertions : int;
-  mutable evictions : int;  (** LRU evictions due to capacity *)
-  mutable expirations : int;  (** entries dropped because their TTL lapsed *)
+  mutable evictions : int;
+      (** policy evictions due to capacity — victims that were still
+          live when dropped *)
+  mutable expirations : int;
+      (** entries dropped because their TTL lapsed, whether reaped by a
+          lookup or picked as an already-expired capacity victim *)
   mutable invalidations : int;
       (** entries removed explicitly ({!remove}, {!remove_covered} — the
           SMR invalidation path) *)
@@ -53,18 +88,19 @@ type stats = {
 val stats : t -> stats
 (** Live counters balance as
     [insertions = length + evictions + expirations + invalidations]
-    (refreshes count on neither side). *)
+    (refreshes count on neither side), under every eviction policy. *)
 
 val set_evict_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
-(** Observer invoked with the victim mapping on every LRU eviction and
-    every explicit removal (not on TTL expiry — see {!set_expire_hook}
-    — or refresh); the observability layer uses it to emit
-    [Cache_evict] events. *)
+(** Observer invoked with the victim mapping on every capacity eviction
+    of a still-live entry and every explicit removal (not on TTL expiry
+    — see {!set_expire_hook} — or refresh); the observability layer
+    uses it to emit [Cache_evict] events. *)
 
 val set_expire_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
-(** Observer invoked with the dead mapping each time a lookup reaps a
-    TTL-expired entry.  Together with {!set_evict_hook} the two hooks
-    see every entry death except silent refreshes:
+(** Observer invoked with the dead mapping each time a TTL-expired
+    entry is dropped — reaped by a lookup or chosen as an
+    already-expired capacity victim.  Together with {!set_evict_hook}
+    the two hooks see every entry death except silent refreshes:
     [hook invocations = evictions + invalidations + expirations]. *)
 
 val hit_ratio : t -> float

@@ -71,10 +71,17 @@ let rehash t cap =
 
 let add t key v =
   if key < 0 then invalid_arg "Int_table.add: negative key";
-  (* Grow (or clean tombstones in place) at 1/2 occupancy. *)
-  if 2 * (t.live + t.tombs + 1) > t.mask + 1 then
-    rehash t (if 2 * (t.live + 1) > t.mask + 1 then 2 * (t.mask + 1)
-              else t.mask + 1);
+  (* Grow at 1/2 live occupancy.  Tombstones are cleaned in place only
+     once they amount to 1/8 of the table: a fixed-size cache of
+     power-of-two capacity parks the table exactly at the load
+     boundary, where remove+add churn would otherwise pay a full
+     O(capacity) rehash per insertion to reclaim a single tombstone.
+     Between the two bounds total occupancy stays under 5/8, so probe
+     chains stay short and always terminate. *)
+  let cap = t.mask + 1 in
+  if 2 * (t.live + 1) > cap then rehash t (2 * cap)
+  else if 2 * (t.live + t.tombs + 1) > cap && 8 * t.tombs >= cap then
+    rehash t cap;
   let i = ref (slot_of t key) in
   let first_tomb = ref (-1) in
   let slot = ref (-3) in
@@ -102,8 +109,37 @@ let remove t key =
     t.keys.(s) <- tomb_key;
     t.vals.(s) <- t.dummy;
     t.live <- t.live - 1;
-    t.tombs <- t.tombs + 1
+    t.tombs <- t.tombs + 1;
+    (* Without this, a removal-heavy phase (mass invalidation, cache
+       churn) leaves the table mostly tombstones: every miss probes to
+       the next truly-empty slot, and nothing short of the next [add]
+       ever cleans up.  Rehashing once tombstones outnumber live
+       entries bounds the dead load factor at 1/2 and shrinks the
+       arrays back down after a bulk delete; the O(capacity) cost
+       amortises against the removals that created the tombstones.
+       The new table is sized at 1/4 load so the shrink lands well
+       clear of the grow boundary (no grow/shrink hysteresis). *)
+    if t.tombs > t.live then rehash t (capacity_for (4 * (t.live + 1)) 16)
   end
+
+let tombstones t = t.tombs
+
+(* Slots inspected to resolve [key] (present or absent) — the table's
+   probe cost, exposed so tests can pin the tombstone-cleanup
+   behaviour. *)
+let probe_length t key =
+  let i = ref (slot_of t key) in
+  let probes = ref 1 in
+  let stop = ref false in
+  while not !stop do
+    let k = Array.unsafe_get t.keys !i in
+    if k = key || k = empty_key then stop := true
+    else begin
+      incr probes;
+      i := (!i + 1) land t.mask
+    end
+  done;
+  !probes
 
 let iter t ~f =
   Array.iteri (fun i k -> if k >= 0 then f k (Array.unsafe_get t.vals i)) t.keys

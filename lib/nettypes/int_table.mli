@@ -27,10 +27,23 @@ val add : 'a t -> int -> 'a -> unit
     @raise Invalid_argument on a negative key. *)
 
 val remove : 'a t -> int -> unit
-(** No-op when the key is absent. *)
+(** No-op when the key is absent.  Deletion leaves a tombstone; once
+    tombstones outnumber live bindings the table rehashes in place (and
+    shrinks), so probe lengths stay bounded through removal-heavy
+    phases and [tombstones t <= max 1 (length t)] holds between
+    operations. *)
 
 val length : 'a t -> int
 (** Number of bindings. *)
+
+val tombstones : 'a t -> int
+(** Number of tombstone slots currently in the table (deleted bindings
+    not yet reclaimed by a rehash). *)
+
+val probe_length : 'a t -> int -> int
+(** Number of slots a lookup of this key inspects, counting the final
+    hit or empty slot — the table's probe cost for that key.  Meant for
+    tests and diagnostics. *)
 
 val iter : 'a t -> f:(int -> 'a -> unit) -> unit
 (** Visit bindings in unspecified order. *)

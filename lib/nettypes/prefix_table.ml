@@ -128,6 +128,38 @@ let fold t ~init ~f =
   in
   walk t.root 0 0 init
 
+let fold_covered t prefix ~init ~f =
+  let network = Ipv4.prefix_network prefix in
+  let len = Ipv4.prefix_length prefix in
+  (* Same walk as [fold], but started at the node the prefix ends on:
+     only the covered subtree is visited, so the cost is proportional
+     to the bindings under the prefix, not the whole table. *)
+  let rec walk node depth bits acc =
+    let acc =
+      match node.value with
+      | Some v ->
+          let network = Ipv4.addr_of_int (bits lsl (32 - depth) land 0xFFFFFFFF) in
+          f (Ipv4.prefix network depth) v acc
+      | None -> acc
+    in
+    let acc =
+      match node.zero with
+      | Some c -> walk c (depth + 1) (bits lsl 1) acc
+      | None -> acc
+    in
+    match node.one with
+    | Some c -> walk c (depth + 1) ((bits lsl 1) lor 1) acc
+    | None -> acc
+  in
+  let rec descend node depth =
+    if depth = len then
+      walk node len (Ipv4.addr_to_int network lsr (32 - len)) init
+    else
+      let child = if bit_of network depth = 0 then node.zero else node.one in
+      match child with None -> init | Some c -> descend c (depth + 1)
+  in
+  descend t.root 0
+
 let iter t ~f = fold t ~init:() ~f:(fun p v () -> f p v)
 let to_list t = List.rev (fold t ~init:[] ~f:(fun p v acc -> (p, v) :: acc))
 

@@ -34,5 +34,14 @@ val iter : 'a t -> f:(Ipv4.prefix -> 'a -> unit) -> unit
 (** Visit bindings in ascending (network, length) order. *)
 
 val fold : 'a t -> init:'b -> f:(Ipv4.prefix -> 'a -> 'b -> 'b) -> 'b
+
+val fold_covered :
+  'a t -> Ipv4.prefix -> init:'b -> f:(Ipv4.prefix -> 'a -> 'b -> 'b) -> 'b
+(** Fold over the bindings the given prefix subsumes — the exact
+    binding, if any, and every more-specific one under it — in
+    ascending (network, length) order.  Visits only the covered
+    subtree, so the cost is proportional to the matching bindings, not
+    {!length}. *)
+
 val to_list : 'a t -> (Ipv4.prefix * 'a) list
 val clear : 'a t -> unit

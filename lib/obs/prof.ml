@@ -43,7 +43,7 @@ let register_gc_gauges registry =
     (gc_snapshot ())
 
 (* ------------------------------------------------------------------ *)
-(* BENCH.json (lisp-pce-bench/3) serialisation                         *)
+(* BENCH.json (lisp-pce-bench/4) serialisation                         *)
 (* ------------------------------------------------------------------ *)
 
 let json_of_report ?(gc = []) r =

@@ -4,7 +4,7 @@
     can be instrumented (obs depends on netsim, not the other way
     around); this module re-exports it and adds everything that needs
     the observability stack: GC telemetry, JSON round-trip for
-    BENCH.json (schema [lisp-pce-bench/3]), the human-readable
+    BENCH.json (schema [lisp-pce-bench/4]), the human-readable
     breakdown table, Chrome-trace export of the recorded intervals,
     and registry gauges. *)
 

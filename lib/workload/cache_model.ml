@@ -1,0 +1,73 @@
+(* The Coras analytical model for LISP map-cache miss rate (Coras,
+   Cabellos-Aparicio, Domingo-Pascual: "An Analytical Model for
+   Loc/ID Mappings Caches"; also "On the Scalability of LISP Mappings
+   Caches").  Under the independent reference model with popularity
+   masses p_i, an LRU cache of capacity C behaves like a sliding
+   working-set window of one "characteristic time" T_C — Che's
+   approximation: an entry is resident iff it was referenced within the
+   last T_C references, so
+
+     occupancy(T)  = sum_i (1 - e^{-p_i T})      (expected distinct
+                                                  prefixes in a window)
+     T_C           : occupancy(T_C) = C          (window that fills C)
+     hit rate      = sum_i p_i (1 - e^{-p_i T_C})
+
+   occupancy is strictly increasing and concave with occupancy(T) <= T,
+   so T_C >= C exists and is unique for C < n; Newton iteration started
+   at T = C converges monotonically from below. *)
+
+type prediction = {
+  characteristic_time : float;
+  hit_rate : float;
+  miss_rate : float;
+}
+
+let zipf_masses ~n ~alpha =
+  if n <= 0 then invalid_arg "Cache_model.zipf_masses: n must be positive";
+  if alpha < 0.0 then invalid_arg "Cache_model.zipf_masses: alpha must be >= 0";
+  (* Same construction as Rng.Zipf.create, so predictions line up with
+     the sampler's exact masses. *)
+  let masses = Array.init n (fun k -> 1.0 /. (float_of_int (k + 1) ** alpha)) in
+  let total = Array.fold_left ( +. ) 0.0 masses in
+  Array.map (fun m -> m /. total) masses
+
+(* occupancy(t) and its derivative sum_i p_i e^{-p_i t}, in one pass. *)
+let occupancy_and_slope masses t =
+  let occ = ref 0.0 and slope = ref 0.0 in
+  Array.iter
+    (fun p ->
+      let e = exp (-.p *. t) in
+      occ := !occ +. (1.0 -. e);
+      slope := !slope +. (p *. e))
+    masses;
+  (!occ, !slope)
+
+let hit_rate_at masses t =
+  let h = ref 0.0 in
+  Array.iter (fun p -> h := !h +. (p *. (1.0 -. exp (-.p *. t)))) masses;
+  !h
+
+let predict ~masses ~capacity =
+  let n = Array.length masses in
+  if n = 0 then invalid_arg "Cache_model.predict: empty masses";
+  if capacity <= 0 then
+    invalid_arg "Cache_model.predict: capacity must be positive";
+  if capacity >= n then
+    (* Everything fits: in steady state (cold misses excluded) every
+       reference hits. *)
+    { characteristic_time = infinity; hit_rate = 1.0; miss_rate = 0.0 }
+  else begin
+    let c = float_of_int capacity in
+    let t = ref c in
+    let converged = ref false in
+    let steps = ref 0 in
+    while (not !converged) && !steps < 200 do
+      incr steps;
+      let occ, slope = occupancy_and_slope masses !t in
+      let gap = c -. occ in
+      if gap <= 1e-9 *. c || slope <= 0.0 then converged := true
+      else t := !t +. (gap /. slope)
+    done;
+    let hit = hit_rate_at masses !t in
+    { characteristic_time = !t; hit_rate = hit; miss_rate = 1.0 -. hit }
+  end

@@ -1,0 +1,29 @@
+(** Analytical LISP map-cache model (Coras et al.).
+
+    Predicts steady-state LRU miss rate as a function of cache size
+    under the independent reference model via Che's working-set
+    approximation: a cache of capacity [C] holds exactly the prefixes
+    referenced within one characteristic time [T_C], the unique
+    solution of [sum_i (1 - e^(-p_i T)) = C].  The M-series bench
+    experiments validate measured miss curves against these
+    predictions; see doc/cache_model.md. *)
+
+type prediction = {
+  characteristic_time : float;
+      (** the working-set window, in references; [infinity] when the
+          whole universe fits *)
+  hit_rate : float;
+  miss_rate : float;
+}
+
+val zipf_masses : n:int -> alpha:float -> float array
+(** Normalized Zipf popularity masses over ranks [0 .. n-1],
+    [p_k ∝ 1/(k+1)^alpha] — the same construction {!Netsim.Rng.Zipf}
+    samples from. *)
+
+val predict : masses:float array -> capacity:int -> prediction
+(** Solve for the characteristic time by safeguarded Newton iteration
+    (monotone from below, since occupancy is concave) and evaluate the
+    predicted hit/miss rate.  O(|masses|) per iteration, a few dozen
+    iterations.  @raise Invalid_argument on empty masses or
+    non-positive capacity. *)

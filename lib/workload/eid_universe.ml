@@ -1,0 +1,97 @@
+open Nettypes
+
+(* A synthetic internet's worth of EID prefixes: up to millions of
+   mutually non-overlapping IPv4 prefixes with a BGP-DFZ-like length
+   mix (dominated by /24s, thinning toward short prefixes), each
+   addressable by popularity rank.
+
+   Non-overlap is by construction: the 256 top-level /8 blocks are
+   partitioned between prefix lengths, so two prefixes of different
+   lengths can never nest, and two prefixes of the same length are
+   distinct subnets of their blocks.  Real routing tables do contain
+   covering prefixes; giving every rank its own address keeps
+   longest-prefix matches unambiguous, which the cache-model
+   experiments need (one rank = one cache line).
+
+   A rank maps to a prefix through a seeded Fisher-Yates shuffle of the
+   whole universe, so popularity is uncorrelated with both address and
+   prefix length. *)
+
+type t = { packed : int array }
+
+(* Per-length weight of the target mix and the /8-block budget that
+   caps it (the full real-DFZ share of short prefixes cannot fit a
+   non-overlapping 2^32 space at millions of entries; overflow spills
+   into the /24 pool, which has room for ~8.6M).  Budgets sum to 256. *)
+let shape =
+  [| (* len, weight, blocks *)
+     (8, 0.00002, 1); (9, 0.00003, 1); (10, 0.00005, 1); (11, 0.0001, 1);
+     (12, 0.0002, 1); (13, 0.0004, 1); (14, 0.0008, 1); (15, 0.0015, 1);
+     (16, 0.02, 24); (17, 0.004, 8); (18, 0.008, 8); (19, 0.015, 12);
+     (20, 0.03, 12); (21, 0.04, 12); (22, 0.10, 24); (23, 0.08, 16);
+     (24, 0.6999, 132) |]
+
+let per_block len = 1 lsl (len - 8)
+let capacity_of (len, _, blocks) = blocks * per_block len
+let capacity = Array.fold_left (fun acc s -> acc + capacity_of s) 0 shape
+
+let generate ~rng ~n =
+  if n <= 0 then invalid_arg "Eid_universe.generate: n must be positive";
+  if n > capacity then
+    invalid_arg
+      (Printf.sprintf "Eid_universe.generate: n = %d exceeds capacity %d" n
+         capacity);
+  (* Target counts, clamped per length; the shortfall (from rounding
+     and from clamped short-prefix classes) goes to the longest
+     prefixes, which have the spare room. *)
+  let counts =
+    Array.map
+      (fun ((_, w, _) as s) ->
+        Stdlib.min (int_of_float (w *. float_of_int n)) (capacity_of s))
+      shape
+  in
+  let total = Array.fold_left ( + ) 0 counts in
+  let deficit = ref (n - total) in
+  for i = Array.length shape - 1 downto 0 do
+    if !deficit > 0 then begin
+      let room = capacity_of shape.(i) - counts.(i) in
+      let take = Stdlib.min room !deficit in
+      counts.(i) <- counts.(i) + take;
+      deficit := !deficit - take
+    end
+  done;
+  let packed = Array.make n 0 in
+  let idx = ref 0 in
+  let next_block = ref 0 in
+  Array.iteri
+    (fun i (len, _, _) ->
+      let pb = per_block len in
+      let base = !next_block in
+      for j = 0 to counts.(i) - 1 do
+        let block = base + (j / pb) in
+        let network = (block lsl 24) lor ((j mod pb) lsl (32 - len)) in
+        packed.(!idx) <- (network lsl 6) lor len;
+        incr idx
+      done;
+      next_block := base + ((counts.(i) + pb - 1) / pb))
+    shape;
+  Netsim.Rng.shuffle rng packed;
+  { packed }
+
+let size t = Array.length t.packed
+
+let prefix t rank =
+  let key = t.packed.(rank) in
+  Ipv4.prefix (Ipv4.addr_of_int (key lsr 6)) (key land 63)
+
+let network t rank = Ipv4.addr_of_int (t.packed.(rank) lsr 6)
+
+let length_counts t =
+  let counts = Array.make 33 0 in
+  Array.iter (fun key -> counts.(key land 63) <- counts.(key land 63) + 1)
+    t.packed;
+  let acc = ref [] in
+  for len = 32 downto 0 do
+    if counts.(len) > 0 then acc := (len, counts.(len)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** Synthetic internet-scale EID prefix universe.
+
+    Generates up to millions of mutually non-overlapping IPv4 EID
+    prefixes with a realistic, /24-dominated length mix (the real DFZ
+    shape, capacity-clamped so the universe stays overlap-free inside
+    2^32 address space), addressable by popularity rank.  Rank is
+    decorrelated from address and prefix length by a seeded shuffle, so
+    feeding ranks drawn from {!Netsim.Rng.Zipf} through {!prefix} gives
+    a heavy-tailed reference stream over structurally realistic
+    prefixes — the workload behind the M-series cache experiments. *)
+
+type t
+
+val capacity : int
+(** Largest universe [generate] can build (~9.7M prefixes). *)
+
+val generate : rng:Netsim.Rng.t -> n:int -> t
+(** Build a universe of [n] prefixes.  Deterministic for a given rng
+    state.  @raise Invalid_argument when [n <= 0] or [n > capacity]. *)
+
+val size : t -> int
+
+val prefix : t -> int -> Nettypes.Ipv4.prefix
+(** The prefix at a popularity rank (0 = most popular under a Zipf
+    stream). *)
+
+val network : t -> int -> Nettypes.Ipv4.addr
+(** The network address of {!prefix} — the address an ITR would look
+    up to hit exactly that cache line. *)
+
+val length_counts : t -> (int * int) list
+(** Prefix-length histogram [(length, count)], ascending, for tests and
+    reporting. *)

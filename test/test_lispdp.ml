@@ -170,27 +170,118 @@ let test_cache_clear_resets_stats () =
   Alcotest.(check int) "expirations" 0 s.Map_cache.expirations;
   Alcotest.(check int) "invalidations" 0 s.Map_cache.invalidations
 
+(* A capacity victim whose TTL already lapsed died of old age, not of
+   capacity pressure: it must be booked as an expiration and announced
+   on the expire hook, even though the eviction path picked it. *)
+let test_cache_expired_tail_attribution () =
+  let c = Map_cache.create ~capacity:2 () in
+  let expired = ref [] in
+  let evicted = ref [] in
+  Map_cache.set_evict_hook c
+    (Some (fun m -> evicted := m.Mapping.eid_prefix :: !evicted));
+  Map_cache.set_expire_hook c
+    (Some (fun m -> expired := m.Mapping.eid_prefix :: !expired));
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:1.0 ());
+  Map_cache.insert c ~now:0.5 (mapping ~prefix:"100.0.2.0/24" ~ttl:100.0 ());
+  (* Touch the long-lived entry so the short-lived one is the LRU
+     tail, then insert past its TTL: the capacity victim is already
+     dead. *)
+  ignore (Map_cache.lookup c ~now:0.6 (addr "100.0.2.1"));
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.3.0/24" ());
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "expired tail booked as expiration" 1
+    s.Map_cache.expirations;
+  Alcotest.(check int) "not booked as eviction" 0 s.Map_cache.evictions;
+  Alcotest.(check (list string)) "expire hook saw it" [ "100.0.1.0/24" ]
+    (List.map Ipv4.prefix_to_string !expired);
+  Alcotest.(check int) "evict hook silent" 0 (List.length !evicted);
+  (* A still-live tail keeps the old attribution. *)
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.4.0/24" ());
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "live victim is an eviction" 1 s.Map_cache.evictions;
+  Alcotest.(check int) "evict hook fired" 1 (List.length !evicted)
+
+let test_cache_lfu_evicts_least_frequent () =
+  let c = Map_cache.create ~policy:Map_cache.Lfu ~capacity:3 () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.2.0/24" ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.3.0/24" ());
+  ignore (Map_cache.lookup c ~now:1.0 (addr "100.0.1.1"));
+  ignore (Map_cache.lookup c ~now:1.0 (addr "100.0.1.1"));
+  ignore (Map_cache.lookup c ~now:1.0 (addr "100.0.2.1"));
+  Map_cache.insert c ~now:2.0 (mapping ~prefix:"100.0.4.0/24" ());
+  Alcotest.(check bool) "never-hit entry evicted" false
+    (Map_cache.contains c ~now:2.0 (addr "100.0.3.1"));
+  Alcotest.(check bool) "hot entry survives" true
+    (Map_cache.contains c ~now:2.0 (addr "100.0.1.1"));
+  Alcotest.(check bool) "warm entry survives" true
+    (Map_cache.contains c ~now:2.0 (addr "100.0.2.1"));
+  (* Tie-break inside a frequency class is least-recently-used: the
+     newcomer and 100.0.2.0/24 both sit in low classes; hit the
+     newcomer so 100.0.2.0/24 is the coldest. *)
+  ignore (Map_cache.lookup c ~now:3.0 (addr "100.0.4.1"));
+  ignore (Map_cache.lookup c ~now:3.0 (addr "100.0.4.1"));
+  Map_cache.insert c ~now:4.0 (mapping ~prefix:"100.0.5.0/24" ());
+  Alcotest.(check bool) "lowest class loses" false
+    (Map_cache.contains c ~now:4.0 (addr "100.0.2.1"))
+
+let test_cache_ttl_hybrid_evicts_nearest_expiry () =
+  let c = Map_cache.create ~policy:Map_cache.Ttl_hybrid ~capacity:2 () in
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.1.0/24" ~ttl:100.0 ());
+  Map_cache.insert c ~now:0.0 (mapping ~prefix:"100.0.2.0/24" ~ttl:5.0 ());
+  (* Recency must not matter: touch the short-lived entry, it is still
+     the one reaped under capacity pressure. *)
+  ignore (Map_cache.lookup c ~now:1.0 (addr "100.0.2.1"));
+  Map_cache.insert c ~now:1.0 (mapping ~prefix:"100.0.3.0/24" ~ttl:50.0 ());
+  Alcotest.(check bool) "nearest-expiry victim" false
+    (Map_cache.contains c ~now:1.0 (addr "100.0.2.1"));
+  Alcotest.(check bool) "long-lived survives" true
+    (Map_cache.contains c ~now:1.0 (addr "100.0.1.1"));
+  Alcotest.(check int) "live victim counts as eviction" 1
+    (Map_cache.stats c).Map_cache.evictions
+
+let test_cache_policy_of_string () =
+  let check s expect =
+    Alcotest.(check bool) s true (Map_cache.policy_of_string s = expect)
+  in
+  check "lru" (Some Map_cache.Lru);
+  check "LFU" (Some Map_cache.Lfu);
+  check "ttl-hybrid" (Some Map_cache.Ttl_hybrid);
+  check "ttl_hybrid" (Some Map_cache.Ttl_hybrid);
+  check "ttl" (Some Map_cache.Ttl_hybrid);
+  check "random" None;
+  Alcotest.(check string) "label roundtrip" "ttl-hybrid"
+    (Map_cache.policy_label Map_cache.Ttl_hybrid)
+
 (* Every entry that ever entered the cache is accounted for exactly
-   once: still live, LRU-evicted, TTL-reaped, or explicitly removed.
-   With both death hooks installed, the hooks together witness exactly
-   the non-live side of that ledger. *)
-let prop_cache_stats_balance =
-  QCheck.Test.make ~name:"stats balance: ins = live + evic + exp + inval"
+   once: still live, capacity-evicted, TTL-reaped, or explicitly
+   removed.  With both death hooks installed, the hooks together
+   witness exactly the non-live side of that ledger.  Runs under every
+   eviction policy, with TTLs short enough that capacity victims are
+   frequently already expired (the attribution this PR fixes). *)
+let prop_cache_stats_balance policy =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "stats balance (%s): ins = live + evic + exp + inval"
+         (Map_cache.policy_label policy))
     ~count:200
     QCheck.(
       pair (int_range 1 6)
-        (list_of_size Gen.(1 -- 80) (pair (int_bound 3) (int_bound 12))))
+        (list_of_size Gen.(1 -- 80)
+           (triple (int_bound 3) (int_bound 12) (int_range 1 8))))
     (fun (capacity, ops) ->
-      let c = Map_cache.create ~capacity () in
+      let c = Map_cache.create ~policy ~capacity () in
       let deaths = ref 0 in
       Map_cache.set_evict_hook c (Some (fun _ -> incr deaths));
       Map_cache.set_expire_hook c (Some (fun _ -> incr deaths));
       List.iteri
-        (fun i (op, third) ->
+        (fun i (op, third, ttl) ->
           let now = float_of_int i in
           let prefix = Printf.sprintf "100.0.%d.0/24" third in
           match op with
-          | 0 -> Map_cache.insert c ~now (mapping ~prefix ~ttl:3.0 ())
+          | 0 ->
+              Map_cache.insert c ~now
+                (mapping ~prefix ~ttl:(float_of_int ttl) ())
           | 1 -> ignore (Map_cache.lookup c ~now (addr (Printf.sprintf "100.0.%d.9" third)))
           | 2 -> Map_cache.remove c (pfx prefix)
           | _ -> ignore (Map_cache.remove_covered c (pfx "100.0.0.0/16")))
@@ -529,6 +620,14 @@ let () =
           Alcotest.test_case "expire hook" `Quick test_cache_expire_hook;
           Alcotest.test_case "clear resets stats" `Quick
             test_cache_clear_resets_stats;
+          Alcotest.test_case "expired tail attribution" `Quick
+            test_cache_expired_tail_attribution;
+          Alcotest.test_case "lfu evicts least frequent" `Quick
+            test_cache_lfu_evicts_least_frequent;
+          Alcotest.test_case "ttl-hybrid evicts nearest expiry" `Quick
+            test_cache_ttl_hybrid_evicts_nearest_expiry;
+          Alcotest.test_case "policy of string" `Quick
+            test_cache_policy_of_string;
         ] );
       ( "flow_table",
         [
@@ -552,5 +651,8 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_cache_never_exceeds_capacity; prop_cache_stats_balance ] );
+          [ prop_cache_never_exceeds_capacity;
+            prop_cache_stats_balance Map_cache.Lru;
+            prop_cache_stats_balance Map_cache.Lfu;
+            prop_cache_stats_balance Map_cache.Ttl_hybrid ] );
     ]

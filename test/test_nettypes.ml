@@ -87,6 +87,73 @@ let test_prefix_size_and_compare () =
     (Ipv4.prefix_compare (pfx "10.0.0.0/8") (pfx "10.3.0.0/8"))
 
 (* ------------------------------------------------------------------ *)
+(* Int_table                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_int_table_roundtrip () =
+  let t = Int_table.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Int_table.add t (i * 7919) i
+  done;
+  Alcotest.(check int) "length" 100 (Int_table.length t);
+  Alcotest.(check (option int)) "find" (Some 42) (Int_table.find t (42 * 7919));
+  Alcotest.(check bool) "mem" true (Int_table.mem t (7 * 7919));
+  Alcotest.(check (option int)) "absent" None (Int_table.find t 1);
+  Int_table.add t (42 * 7919) 1042;
+  Alcotest.(check int) "replace keeps length" 100 (Int_table.length t);
+  Alcotest.(check (option int)) "replaced" (Some 1042)
+    (Int_table.find t (42 * 7919));
+  Int_table.remove t (42 * 7919);
+  Alcotest.(check bool) "removed" false (Int_table.mem t (42 * 7919));
+  Alcotest.(check int) "length after remove" 99 (Int_table.length t)
+
+(* A bulk delete must trigger the in-place rehash from [remove]: the
+   survivors stay findable through short probes instead of scanning a
+   tombstone field, and the tombstone count collapses.  This pins the
+   remove-side cleanup (before it, tombstones only ever accumulated). *)
+let test_int_table_mass_remove_cleans_tombstones () =
+  let t = Int_table.create ~dummy:(-1) () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Int_table.add t i i
+  done;
+  for i = 0 to n - 11 do
+    Int_table.remove t i
+  done;
+  Alcotest.(check int) "survivors" 10 (Int_table.length t);
+  Alcotest.(check bool) "tombstones bounded by live entries" true
+    (Int_table.tombstones t <= Stdlib.max 1 (Int_table.length t));
+  for i = n - 10 to n - 1 do
+    Alcotest.(check (option int)) "survivor findable" (Some i)
+      (Int_table.find t i);
+    Alcotest.(check bool) "short probe" true (Int_table.probe_length t i <= 16)
+  done
+
+(* Fixed-size churn at a power-of-two working set — a cache evicting
+   one entry per insert parks the table exactly at its load boundary.
+   Probes must stay short and tombstones bounded; the thrashing mode
+   (a full rehash per insertion to reclaim a single tombstone) would
+   time this out long before the assertions fail. *)
+let test_int_table_churn_keeps_probes_short () =
+  let t = Int_table.create ~dummy:(-1) () in
+  let window = 4096 in
+  let total = 40_000 in
+  for i = 0 to total - 1 do
+    if i >= window then Int_table.remove t (i - window);
+    Int_table.add t i i
+  done;
+  Alcotest.(check int) "window live" window (Int_table.length t);
+  Alcotest.(check bool) "tombstones bounded by live entries" true
+    (Int_table.tombstones t <= Stdlib.max 1 (Int_table.length t));
+  let probes = ref 0 in
+  for i = total - window to total - 1 do
+    probes := !probes + Int_table.probe_length t i
+  done;
+  let mean = float_of_int !probes /. float_of_int window in
+  if mean > 4.0 then
+    Alcotest.failf "mean probe length %.2f after churn (want <= 4)" mean
+
+(* ------------------------------------------------------------------ *)
 (* Prefix_table                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -158,6 +225,56 @@ let test_trie_to_list_sorted () =
   let listed = List.map (fun (p, _) -> Ipv4.prefix_to_string p) (Prefix_table.to_list t) in
   Alcotest.(check (list string)) "ascending order"
     [ "10.0.0.0/8"; "10.128.0.0/9"; "11.0.0.0/8" ] listed
+
+let test_trie_fold_covered () =
+  let t = Prefix_table.create () in
+  Prefix_table.add t (pfx "10.0.0.0/8") "eight";
+  Prefix_table.add t (pfx "10.1.0.0/16") "sixteen";
+  Prefix_table.add t (pfx "10.1.2.0/24") "twentyfour";
+  Prefix_table.add t (pfx "11.0.0.0/8") "sibling";
+  let covered p =
+    List.sort compare
+      (Prefix_table.fold_covered t (pfx p) ~init:[] ~f:(fun q _ acc ->
+           Ipv4.prefix_to_string q :: acc))
+  in
+  Alcotest.(check (list string)) "subtree incl. the prefix itself"
+    [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24" ]
+    (covered "10.0.0.0/8");
+  Alcotest.(check (list string)) "inner subtree only"
+    [ "10.1.0.0/16"; "10.1.2.0/24" ]
+    (covered "10.1.0.0/16");
+  Alcotest.(check (list string)) "covered with no binding at the root"
+    [ "10.1.2.0/24" ] (covered "10.1.0.0/20");
+  Alcotest.(check (list string)) "absent subtree" [] (covered "12.0.0.0/8")
+
+(* fold_covered agrees with filtering the whole-table fold — the
+   remove_covered fast path must not change what is covered. *)
+let prop_trie_fold_covered_matches_filter =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (1 -- 30) (pair (int_bound 0xFFFFFF) (int_range 4 24)))
+        (pair (int_bound 0xFFFFFF) (int_range 2 20)))
+  in
+  QCheck.Test.make ~name:"fold_covered = fold + subsumes filter" ~count:300
+    (QCheck.make gen) (fun (entries, (qraw, qlen)) ->
+      let t = Prefix_table.create () in
+      List.iter
+        (fun (raw, len) ->
+          let p = Ipv4.prefix (Ipv4.addr_of_int (raw * 251 land 0xFFFFFFFF)) len in
+          Prefix_table.add t p ())
+        entries;
+      let q = Ipv4.prefix (Ipv4.addr_of_int (qraw * 257 land 0xFFFFFFFF)) qlen in
+      let fast =
+        List.sort compare
+          (Prefix_table.fold_covered t q ~init:[] ~f:(fun p () acc -> p :: acc))
+      in
+      let slow =
+        List.sort compare
+          (Prefix_table.fold t ~init:[] ~f:(fun p () acc ->
+               if Ipv4.prefix_subsumes q p then p :: acc else acc))
+      in
+      fast = slow)
 
 let prop_trie_matches_reference =
   (* The trie's longest-prefix match agrees with a brute-force scan. *)
@@ -407,6 +524,15 @@ let () =
           Alcotest.test_case "covering" `Quick test_trie_covering;
           Alcotest.test_case "sorted listing" `Quick test_trie_to_list_sorted;
           Alcotest.test_case "iter and clear" `Quick test_trie_iter_and_clear;
+          Alcotest.test_case "fold covered" `Quick test_trie_fold_covered;
+        ] );
+      ( "int_table",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_int_table_roundtrip;
+          Alcotest.test_case "mass remove cleans tombstones" `Quick
+            test_int_table_mass_remove_cleans_tombstones;
+          Alcotest.test_case "churn keeps probes short" `Quick
+            test_int_table_churn_keeps_probes_short;
         ] );
       ( "mapping",
         [
@@ -435,6 +561,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_trie_matches_reference; prop_prefix_mem_network;
-            prop_flow_hash_reverse_consistent ] );
+          [ prop_trie_matches_reference; prop_trie_fold_covered_matches_filter;
+            prop_prefix_mem_network; prop_flow_hash_reverse_consistent ] );
     ]

@@ -65,7 +65,7 @@ let test_bench_json_shape () =
   match Experiments.Runner.bench_json ~jobs:1 ~total_wall:1.5 outcomes with
   | Obs.Json.Obj fields ->
       Alcotest.(check bool) "schema tag" true
-        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/3");
+        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/4");
       Alcotest.(check bool) "jobs recorded" true
         (List.assoc "jobs" fields = Obs.Json.Int 1);
       (match List.assoc "experiments" fields with
@@ -179,6 +179,45 @@ let test_large_summary () =
         (List.length o.Experiments.Runner.out_latency)
   | _ -> Alcotest.fail "expected one outcome"
 
+(* Cache model-validation rows recorded inside a worker must come home
+   in the summary and surface as the experiment's "cache" block; tasks
+   that record none must not carry the block at all. *)
+let test_cache_rows_ride_summary () =
+  let row =
+    { Experiments.Cache_record.r_run = "lru/c=8"; r_policy = "lru"; r_n = 64;
+      r_alpha = 0.9; r_capacity = 8; r_refs = 1000; r_measured_miss = 0.25;
+      r_predicted_miss = Some 0.24; r_rel_err = Some 0.042;
+      r_tolerance = Some 0.1; r_ok = true }
+  in
+  let ts =
+    [ task "cachy" (fun () -> Experiments.Cache_record.record row);
+      task "plain" (chatty "plain") ]
+  in
+  let _, outcomes = run_to_string ~jobs:2 ts in
+  (match outcomes with
+  | [ cachy; plain ] ->
+      Alcotest.(check int) "row marshalled home" 1
+        (List.length cachy.Experiments.Runner.out_cache);
+      Alcotest.(check string) "row label intact" "lru/c=8"
+        (List.hd cachy.Experiments.Runner.out_cache)
+          .Experiments.Cache_record.r_run;
+      Alcotest.(check int) "no rows for a plain task" 0
+        (List.length plain.Experiments.Runner.out_cache)
+  | _ -> Alcotest.fail "expected two outcomes");
+  match Experiments.Runner.bench_json ~jobs:2 ~total_wall:1.0 outcomes with
+  | Obs.Json.Obj fields -> (
+      match List.assoc "experiments" fields with
+      | Obs.Json.List [ Obs.Json.Obj cachy; Obs.Json.Obj plain ] ->
+          Alcotest.(check bool) "cache block emitted" true
+            (match List.assoc_opt "cache" cachy with
+            | Some (Obs.Json.List [ r ]) ->
+                Experiments.Cache_record.row_of_json r = Some row
+            | _ -> false);
+          Alcotest.(check bool) "no cache block when no rows" true
+            (List.assoc_opt "cache" plain = None)
+      | _ -> Alcotest.fail "expected two experiment records")
+  | _ -> Alcotest.fail "bench_json not an object"
+
 let prop_output_independent_of_jobs =
   QCheck.Test.make ~name:"emitted bytes independent of job count" ~count:8
     QCheck.(pair (int_range 2 4) (int_range 1 6))
@@ -206,6 +245,8 @@ let () =
           Alcotest.test_case "latency block" `Quick test_latency_block;
           Alcotest.test_case "latency disabled" `Quick test_latency_disabled;
           Alcotest.test_case "oversized summary" `Quick test_large_summary;
+          Alcotest.test_case "cache rows ride summary" `Quick
+            test_cache_rows_ride_summary;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_output_independent_of_jobs ]

@@ -379,6 +379,125 @@ let prop_poisson_schedules_what_it_returns =
       Netsim.Engine.run engine;
       !fired = n)
 
+(* ------------------------------------------------------------------ *)
+(* Eid_universe                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_universe_distinct_and_mixed () =
+  let u = Workload.Eid_universe.generate ~rng:(Netsim.Rng.create 7) ~n:50_000 in
+  Alcotest.(check int) "size" 50_000 (Workload.Eid_universe.size u);
+  let seen = Hashtbl.create 50_000 in
+  for rank = 0 to 49_999 do
+    let p = Workload.Eid_universe.prefix u rank in
+    Alcotest.(check bool) "distinct prefixes" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ()
+  done;
+  let counts = Workload.Eid_universe.length_counts u in
+  Alcotest.(check bool) "/24 dominates" true
+    (match List.assoc_opt 24 counts with
+    | Some c -> c > 25_000
+    | None -> false);
+  Alcotest.(check bool) "short prefixes present" true
+    (List.exists (fun (len, c) -> len <= 16 && c > 0) counts)
+
+(* Non-overlap is the property the cache model rests on (one rank =
+   one cache line): no prefix may subsume another.  Checked against a
+   trie of the full universe — each prefix must cover exactly itself. *)
+let test_universe_non_overlapping () =
+  let n = 20_000 in
+  let u = Workload.Eid_universe.generate ~rng:(Netsim.Rng.create 11) ~n in
+  let t = Prefix_table.create () in
+  for rank = 0 to n - 1 do
+    Prefix_table.add t (Workload.Eid_universe.prefix u rank) ()
+  done;
+  Alcotest.(check int) "no duplicate networks" n (Prefix_table.length t);
+  for rank = 0 to n - 1 do
+    let p = Workload.Eid_universe.prefix u rank in
+    let covered =
+      Prefix_table.fold_covered t p ~init:0 ~f:(fun _ () acc -> acc + 1)
+    in
+    if covered <> 1 then
+      Alcotest.failf "%s covers %d universe prefixes (want 1)"
+        (Ipv4.prefix_to_string p) covered
+  done
+
+let test_universe_bounds () =
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Eid_universe.generate: n must be positive") (fun () ->
+      ignore
+        (Workload.Eid_universe.generate ~rng:(Netsim.Rng.create 1) ~n:0));
+  Alcotest.(check bool) "capacity covers millions" true
+    (Workload.Eid_universe.capacity > 9_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Cache_model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Uniform popularity solves in closed form: every mass is 1/n, so
+   occupancy C pins the characteristic time and the miss rate is
+   exactly (n - C) / n.  An analytic anchor for the Newton solver. *)
+let test_cache_model_uniform_exact () =
+  let n = 10_000 and capacity = 2_500 in
+  let masses = Workload.Cache_model.zipf_masses ~n ~alpha:0.0 in
+  let p = Workload.Cache_model.predict ~masses ~capacity in
+  let expected = float_of_int (n - capacity) /. float_of_int n in
+  Alcotest.(check (float 1e-6)) "uniform miss is (n-C)/n" expected
+    p.Workload.Cache_model.miss_rate;
+  Alcotest.(check bool) "hit + miss = 1" true
+    (Float.abs
+       (p.Workload.Cache_model.hit_rate +. p.Workload.Cache_model.miss_rate
+      -. 1.0)
+    < 1e-9)
+
+let test_cache_model_degenerate_capacity () =
+  let masses = Workload.Cache_model.zipf_masses ~n:100 ~alpha:0.9 in
+  let p = Workload.Cache_model.predict ~masses ~capacity:100 in
+  Alcotest.(check (float 0.0)) "everything fits: no misses" 0.0
+    p.Workload.Cache_model.miss_rate;
+  let p = Workload.Cache_model.predict ~masses ~capacity:1000 in
+  Alcotest.(check (float 0.0)) "overprovisioned: no misses" 0.0
+    p.Workload.Cache_model.miss_rate
+
+(* End-to-end model agreement at test scale: an LRU cache driven by
+   the Zipf sampler lands within a few percent of the Coras/Che
+   prediction.  The M-series experiments gate the same comparison at a
+   million prefixes; this keeps the mechanism pinned in the tier-1
+   suite. *)
+let test_cache_model_matches_measured_lru () =
+  let n = 20_000 and capacity = 2_048 in
+  let universe = Workload.Eid_universe.generate ~rng:(Netsim.Rng.create 13) ~n in
+  let dist = Netsim.Rng.Zipf.create ~n ~alpha:0.9 in
+  let masses =
+    Array.init n (fun k -> Netsim.Rng.Zipf.probability dist k)
+  in
+  let prediction = Workload.Cache_model.predict ~masses ~capacity in
+  let cache = Lispdp.Map_cache.create ~capacity () in
+  let rng = Netsim.Rng.create 17 in
+  let refs = 200_000 in
+  let misses = ref 0 in
+  let warmup = 3 * capacity in
+  for i = 1 to warmup + refs do
+    let rank = Netsim.Rng.Zipf.sample dist rng in
+    match
+      Lispdp.Map_cache.lookup cache ~now:0.0
+        (Workload.Eid_universe.network universe rank)
+    with
+    | Some _ -> ()
+    | None ->
+        if i > warmup then incr misses;
+        Lispdp.Map_cache.insert cache ~now:0.0
+          (Mapping.create
+             ~eid_prefix:(Workload.Eid_universe.prefix universe rank)
+             ~rlocs:[ Mapping.rloc (Ipv4.addr_of_int 0x0A000001) ]
+             ~ttl:1e9)
+  done;
+  let measured = float_of_int !misses /. float_of_int refs in
+  let predicted = prediction.Workload.Cache_model.miss_rate in
+  let rel_err = Float.abs (measured -. predicted) /. predicted in
+  if rel_err > 0.05 then
+    Alcotest.failf "measured %.4f vs predicted %.4f (rel err %.3f > 0.05)"
+      measured predicted rel_err
+
 let () =
   Alcotest.run "workload"
     [
@@ -410,6 +529,23 @@ let () =
           Alcotest.test_case "port wraparound at 70k" `Quick
             test_traffic_port_wraparound_70k;
           Alcotest.test_case "host name" `Quick test_traffic_host_name;
+        ] );
+      ( "eid_universe",
+        [
+          Alcotest.test_case "distinct and mixed" `Quick
+            test_universe_distinct_and_mixed;
+          Alcotest.test_case "non-overlapping" `Quick
+            test_universe_non_overlapping;
+          Alcotest.test_case "bounds" `Quick test_universe_bounds;
+        ] );
+      ( "cache_model",
+        [
+          Alcotest.test_case "uniform exact" `Quick
+            test_cache_model_uniform_exact;
+          Alcotest.test_case "degenerate capacity" `Quick
+            test_cache_model_degenerate_capacity;
+          Alcotest.test_case "matches measured lru" `Quick
+            test_cache_model_matches_measured_lru;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
