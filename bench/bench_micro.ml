@@ -234,6 +234,23 @@ let test_prof_wrap_disabled =
            (Netsim.Prof.wrap ph_bench ignore) ()
          done))
 
+(* The telemetry plane's disabled path: the dataplane/topology/IRC hot
+   paths call these on every packet movement, so — same contract as the
+   profiler above — each must collapse to one flag test.  Telemetry is
+   never started in this process while the suite runs. *)
+
+let test_telemetry_disabled =
+  Test.make ~name:"telemetry: 10k link+node+flow+drop hooks (disabled)"
+    (Staged.stage (fun () ->
+         for i = 1 to 10_000 do
+           Netsim.Telemetry.touch ~now:(float_of_int i);
+           Netsim.Telemetry.on_link ~link:3 ~dir:0 ~bytes:1400;
+           Netsim.Telemetry.on_node_tx ~node:7 ~bytes:1400;
+           Netsim.Telemetry.on_flow_packet ~eid:i ~flow:i;
+           Netsim.Telemetry.on_drop ~node:7 Netsim.Telemetry.No_route;
+           Netsim.Telemetry.on_select ~provider:2 ~inbound:true
+         done))
+
 (* Direct allocation proof, reported alongside the timing rows: a
    Gc.minor_words delta across 100k disabled enter/leave+incr cycles.
    Zero words means the disabled path never touches the heap. *)
@@ -251,11 +268,30 @@ let prof_disabled_alloc_words () =
   done;
   Gc.minor_words () -. w0
 
+(* Same proof for the telemetry hooks: zero minor words across 100k
+   disabled full-hook cycles. *)
+let telemetry_disabled_alloc_words () =
+  (* Constant [now]: boxing a fresh float per iteration would charge the
+     test loop's allocation to the hooks. *)
+  let cycle i =
+    Netsim.Telemetry.touch ~now:42.0;
+    Netsim.Telemetry.on_link ~link:3 ~dir:0 ~bytes:1400;
+    Netsim.Telemetry.on_node_tx ~node:7 ~bytes:1400;
+    Netsim.Telemetry.on_flow_packet ~eid:i ~flow:i;
+    Netsim.Telemetry.on_drop ~node:7 Netsim.Telemetry.No_route;
+    Netsim.Telemetry.on_select ~provider:2 ~inbound:true
+  in
+  for i = 1 to 1_000 do cycle i done;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 100_000 do cycle i done;
+  Gc.minor_words () -. w0
+
 let tests =
   [ test_engine; test_map_cache; test_trie; test_dijkstra; test_pce_connection;
     test_wire_encode; test_wire_decode; test_zipf; test_samples_exact;
     test_samples_reservoir; test_p2; test_trace_disabled; test_hub_disabled;
-    test_spans_disabled; test_prof_disabled; test_prof_wrap_disabled ]
+    test_spans_disabled; test_prof_disabled; test_prof_wrap_disabled;
+    test_telemetry_disabled ]
 
 (* Run [f] with the profiler paused: measured loops must not pay
    profiler overhead, and the "(disabled)" benches must be honest even
@@ -364,6 +400,10 @@ let print () =
   Metrics.Table.add_row table
     [ "prof: minor words / 100k disabled cycles";
       Printf.sprintf "%.0f words" (unprofiled prof_disabled_alloc_words) ];
+  Metrics.Table.add_row table
+    [ "telemetry: minor words / 100k disabled cycles";
+      Printf.sprintf "%.0f words" (unprofiled telemetry_disabled_alloc_words)
+    ];
   Metrics.Table.add_row table
     [ "engine: dispatch throughput (single domain)";
       Printf.sprintf "%.2fM events/s" (engine_dispatch_single () /. 1e6) ];

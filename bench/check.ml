@@ -336,6 +336,112 @@ let check_cache ~id ~base ~cur =
       in
       ok_findings @ determinism
 
+(* TE-balance telemetry rows ("telemetry" block).  Same two strict
+   gates as the cache block:
+
+   - every current row's "ok" flag must be true (the experiment's
+     stated fairness gate on the inbound Jain index; ungated rows
+     carry ok=true by construction);
+   - when the baseline experiment also has a telemetry block, the row
+     set must match label-for-label and the Jain indexes and provider
+     shares must be identical up to the JSON float round-trip
+     (determinism: the quantities are simulated bytes only). *)
+let telemetry_rows_of json =
+  Option.bind (Obs.Json.member "telemetry" json) Telemetry_record.rows_of_json
+
+let check_telemetry ~id ~base ~cur =
+  let base_rows = Option.bind base telemetry_rows_of in
+  match (telemetry_rows_of cur, base_rows) with
+  | None, Some brs when brs <> [] ->
+      [ { f_exp = id; f_field = "telemetry";
+          f_base = Printf.sprintf "%d row(s)" (List.length brs);
+          f_cur = "missing"; f_threshold = "present"; f_class = Strict;
+          f_ok = false; f_note = "TE telemetry block disappeared" } ]
+  | None, _ -> []
+  | Some crs, base_rows ->
+      let ok_findings =
+        List.map
+          (fun (r : Telemetry_record.row) ->
+            let gated = r.Telemetry_record.r_threshold > 0.0 in
+            { f_exp = id;
+              f_field =
+                Printf.sprintf "telemetry[%s].ok" r.Telemetry_record.r_run;
+              f_base = "true";
+              f_cur = string_of_bool r.Telemetry_record.r_ok;
+              f_threshold = "= true"; f_class = Strict;
+              f_ok = r.Telemetry_record.r_ok;
+              f_note =
+                (if gated then
+                   Printf.sprintf "inbound Jain %s vs gate %s"
+                     (f3 r.Telemetry_record.r_jain_in)
+                     (f3 r.Telemetry_record.r_threshold)
+                 else "ungated cell (reference point)") })
+          crs
+      in
+      let determinism =
+        match base_rows with
+        | None | Some [] -> []
+        | Some brs ->
+            let blabels = List.map (fun r -> r.Telemetry_record.r_run) brs
+            and clabels = List.map (fun r -> r.Telemetry_record.r_run) crs in
+            if blabels <> clabels then
+              [ { f_exp = id; f_field = "telemetry.rows";
+                  f_base = String.concat "," blabels;
+                  f_cur = String.concat "," clabels;
+                  f_threshold = "same cells"; f_class = Strict;
+                  f_ok = false; f_note = "telemetry cell set changed" } ]
+            else
+              List.concat
+                (List.map2
+                   (fun (b : Telemetry_record.row)
+                        (c : Telemetry_record.row) ->
+                     let pair field bv cv =
+                       { f_exp = id;
+                         f_field =
+                           Printf.sprintf "telemetry[%s].%s"
+                             b.Telemetry_record.r_run field;
+                         f_base = Printf.sprintf "%.9g" bv;
+                         f_cur = Printf.sprintf "%.9g" cv;
+                         f_threshold = Printf.sprintf "rel %.0e" rel_eps;
+                         f_class = Strict; f_ok = approx_equal bv cv;
+                         f_note = field ^ " (deterministic)" }
+                     in
+                     let shares =
+                       if
+                         List.length b.Telemetry_record.r_in_share
+                         <> List.length c.Telemetry_record.r_in_share
+                       then
+                         [ { f_exp = id;
+                             f_field =
+                               Printf.sprintf "telemetry[%s].in_share"
+                                 b.Telemetry_record.r_run;
+                             f_base =
+                               string_of_int
+                                 (List.length b.Telemetry_record.r_in_share);
+                             f_cur =
+                               string_of_int
+                                 (List.length c.Telemetry_record.r_in_share);
+                             f_threshold = "same provider count";
+                             f_class = Strict; f_ok = false;
+                             f_note = "provider count changed" } ]
+                       else
+                         List.mapi
+                           (fun i bv ->
+                             pair
+                               (Printf.sprintf "in_share[%d]" i)
+                               bv
+                               (List.nth c.Telemetry_record.r_in_share i))
+                           b.Telemetry_record.r_in_share
+                     in
+                     pair "jain_in" b.Telemetry_record.r_jain_in
+                       c.Telemetry_record.r_jain_in
+                     :: pair "jain_out" b.Telemetry_record.r_jain_out
+                          c.Telemetry_record.r_jain_out
+                     :: shares)
+                   brs crs)
+      in
+      ok_findings @ determinism
+
 (* Engine dispatch floors: absolute thresholds on the current record's
    "engine" block (no baseline needed — the floor is the acceptance
    bar, not a ratchet).  Records without the block (pre-engine-block
@@ -478,15 +584,17 @@ let main args =
                 f_note = "experiment disappeared from the run" } ]
         | Some cexp ->
             check_experiment ~tolerance:!tolerance ~id ~base:bexp ~cur:cexp
-            @ check_cache ~id ~base:(Some bexp) ~cur:cexp)
+            @ check_cache ~id ~base:(Some bexp) ~cur:cexp
+            @ check_telemetry ~id ~base:(Some bexp) ~cur:cexp)
       base_exps
-    @ (* Cache model agreement is gated even for experiments absent
-         from the baseline (the scale-only M cells): the ok flag is an
-         acceptance bar, not a ratchet. *)
+    @ (* Cache model agreement and telemetry fairness gates apply even
+         to experiments absent from the baseline (scale-only cells):
+         the ok flag is an acceptance bar, not a ratchet. *)
     List.concat_map
       (fun (id, cexp) ->
         if List.assoc_opt id base_exps = None then
           check_cache ~id ~base:None ~cur:cexp
+          @ check_telemetry ~id ~base:None ~cur:cexp
         else [])
       cur_exps
     @ check_engine cur

@@ -28,6 +28,8 @@ let all : entry list =
       print = Exp_t5.print };
     { exp_id = Exp_t6.id; exp_title = Exp_t6.title; tables = Exp_t6.tables;
       print = Exp_t6.print };
+    { exp_id = Exp_te1.id; exp_title = Exp_te1.title; tables = Exp_te1.tables;
+      print = Exp_te1.print };
     { exp_id = Exp_f2.id; exp_title = Exp_f2.title; tables = Exp_f2.tables;
       print = Exp_f2.print };
     { exp_id = Exp_f3.id; exp_title = Exp_f3.title; tables = Exp_f3.tables;

@@ -32,6 +32,9 @@ type outcome = {
   out_cache : Cache_record.row list;
       (* measured-vs-predicted cache cells the task recorded (M-series);
          simulated quantities only, so identical whatever the job count *)
+  out_telemetry : Telemetry_record.row list;
+      (* TE-balance telemetry cells (telemetry-enabled experiments);
+         simulated quantities only, so identical whatever the job count *)
 }
 
 (* Summary record marshalled from worker to parent: plain scalars,
@@ -49,6 +52,7 @@ type summary = {
   s_latency : (string * (string * float) list) list;
   s_prof : (Obs.Prof.report * (string * float) list) option;
   s_cache : Cache_record.row list;
+  s_telemetry : Telemetry_record.row list;
 }
 
 let peak_rss_kb () =
@@ -123,6 +127,7 @@ let spawn ~latency ~profile ~prof_file index task =
       if observe then ignore (Obs.Runtime.install ~latency:true ());
       (* Rows must be this task's alone, whatever the parent had. *)
       Cache_record.reset ();
+      Telemetry_record.reset ();
       if profile then begin
         if prof_file <> None then Obs.Prof.set_record_intervals true;
         Obs.Prof.start ()
@@ -170,7 +175,8 @@ let spawn ~latency ~profile ~prof_file index task =
         { s_wall = Unix.gettimeofday () -. t0;
           s_events = Netsim.Engine.total_events_processed () - events0;
           s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat;
-          s_prof = prof; s_cache = Cache_record.rows () }
+          s_prof = prof; s_cache = Cache_record.rows ();
+          s_telemetry = Telemetry_record.rows () }
       in
       flush_std ();
       let blob = Marshal.to_bytes summary [] in
@@ -194,7 +200,7 @@ let collect w =
     if Bytes.length blob = 0 then
       (* Worker died before reporting (segfault, kill): synthesise. *)
       { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false;
-        s_latency = []; s_prof = None; s_cache = [] }
+        s_latency = []; s_prof = None; s_cache = []; s_telemetry = [] }
     else (Marshal.from_bytes blob 0 : summary)
   in
   let text = try read_file w.w_out_file with Sys_error _ -> "" in
@@ -203,7 +209,7 @@ let collect w =
     out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
     out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok;
     out_latency = summary.s_latency; out_prof = summary.s_prof;
-    out_cache = summary.s_cache }
+    out_cache = summary.s_cache; out_telemetry = summary.s_telemetry }
 
 let log_line o =
   let rate =
@@ -347,14 +353,19 @@ let bench_json ?engine ~jobs ~total_wall outcomes =
           | Some (report, gc) -> Obs.Prof.json_of_report ~gc report
           | None -> Obs.Json.Null ) ]
       @
-      (* Only experiments that measured cache cells carry the block, so
-         the schema of every other experiment object is unchanged. *)
-      match o.out_cache with
+      (* Only experiments that measured cache or telemetry cells carry
+         the block, so the schema of every other experiment object is
+         unchanged. *)
+      (match o.out_cache with
       | [] -> []
       | rows -> [ ("cache", Cache_record.json_of_rows rows) ])
+      @
+      match o.out_telemetry with
+      | [] -> []
+      | rows -> [ ("telemetry", Telemetry_record.json_of_rows rows) ])
   in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "lisp-pce-bench/4");
+    ([ ("schema", Obs.Json.String "lisp-pce-bench/5");
        ("jobs", Obs.Json.Int jobs);
        ("total_wall_s", Obs.Json.Float total_wall);
        ( "total_events",

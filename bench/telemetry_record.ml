@@ -1,0 +1,76 @@
+(* TE-balance telemetry rows for BENCH.json.
+
+   The TE experiments that run with the telemetry plane enabled record
+   one [row] per (control plane, seed) cell here (process-global, like
+   {!Cache_record}); the bench runner ships the rows from the worker
+   back to the parent, [Runner.bench_json] emits them as the
+   experiment's "telemetry" block, and `bench --check` gates on them:
+   every row's [r_ok] is strict (the fairness gate the experiment
+   states), and the measured shares/indexes are deterministic against
+   the committed baseline.
+
+   All quantities are simulated — provider byte shares, Jain indexes
+   and drop counts cannot depend on worker count or wall-clock. *)
+
+type row = {
+  r_run : string;  (* cell label, unique within the experiment *)
+  r_cp : string;  (* control-plane label *)
+  r_providers : int;
+  r_in_share : float list;  (* inbound byte share per provider, in order *)
+  r_jain_in : float;  (* Jain fairness of the inbound shares *)
+  r_jain_out : float;
+  r_ratio_in : float option;  (* max/min inbound load; None when min = 0 *)
+  r_drops : int;
+  r_threshold : float;  (* Jain gate on [r_jain_in]; 0.0 = ungated *)
+  r_ok : bool;  (* r_jain_in >= r_threshold (always true when ungated) *)
+}
+
+let current : row list ref = ref []
+let record row = current := row :: !current
+let rows () = List.rev !current
+let reset () = current := []
+
+let json_of_row r =
+  Obs.Json.Obj
+    ([ ("run", Obs.Json.String r.r_run);
+       ("cp", Obs.Json.String r.r_cp);
+       ("providers", Obs.Json.Int r.r_providers);
+       ( "in_share",
+         Obs.Json.List (List.map (fun s -> Obs.Json.Float s) r.r_in_share) );
+       ("jain_in", Obs.Json.Float r.r_jain_in);
+       ("jain_out", Obs.Json.Float r.r_jain_out) ]
+    @ (match r.r_ratio_in with
+      | Some f -> [ ("ratio_in", Obs.Json.Float f) ]
+      | None -> [])
+    @ [ ("drops", Obs.Json.Int r.r_drops);
+        ("threshold", Obs.Json.Float r.r_threshold);
+        ("ok", Obs.Json.Bool r.r_ok) ])
+
+let json_of_rows rows = Obs.Json.List (List.map json_of_row rows)
+
+let row_of_json json =
+  let str name = Option.bind (Obs.Json.member name json) Obs.Json.to_string_opt in
+  let int name = Option.bind (Obs.Json.member name json) Obs.Json.to_int_opt in
+  let flt name = Option.bind (Obs.Json.member name json) Obs.Json.to_float_opt in
+  let shares =
+    match Obs.Json.member "in_share" json with
+    | Some (Obs.Json.List l) ->
+        let parsed = List.filter_map Obs.Json.to_float_opt l in
+        if List.length parsed = List.length l then Some parsed else None
+    | _ -> None
+  in
+  match (str "run", str "cp", int "providers", shares, flt "jain_in",
+         flt "jain_out", int "drops", flt "threshold",
+         Option.bind (Obs.Json.member "ok" json) Obs.Json.to_bool_opt)
+  with
+  | ( Some r_run, Some r_cp, Some r_providers, Some r_in_share,
+      Some r_jain_in, Some r_jain_out, Some r_drops, Some r_threshold,
+      Some r_ok ) ->
+      Some
+        { r_run; r_cp; r_providers; r_in_share; r_jain_in; r_jain_out;
+          r_ratio_in = flt "ratio_in"; r_drops; r_threshold; r_ok }
+  | _ -> None
+
+let rows_of_json = function
+  | Obs.Json.List l -> Some (List.filter_map row_of_json l)
+  | _ -> None

@@ -378,11 +378,28 @@ let obs_cmd =
       (fun (kind, n) ->
         Metrics.Table.add_row table [ "kind: " ^ kind; string_of_int n ])
       (sorted kinds);
-    List.iter
-      (fun (cause, n) ->
-        Metrics.Table.add_row table [ "drop: " ^ cause; string_of_int n ])
-      (sorted drops);
     Metrics.Table.print table;
+    (* Per-cause drop breakdown: the JSONL cause strings are the typed
+       {!Netsim.Telemetry.drop_cause} labels, so streams from older
+       builds that predate the enum are flagged rather than dropped. *)
+    let total_drops = Hashtbl.fold (fun _ n acc -> acc + n) drops 0 in
+    if total_drops > 0 then begin
+      let drop_table =
+        Metrics.Table.create ~title:"drop attribution"
+          ~columns:[ "cause"; "count"; "share"; "typed" ]
+      in
+      List.iter
+        (fun (cause, n) ->
+          Metrics.Table.add_row drop_table
+            [ cause; string_of_int n;
+              Metrics.Table.cell_pct
+                (float_of_int n /. float_of_int total_drops);
+              (match Netsim.Telemetry.drop_cause_of_label cause with
+              | Some _ -> "yes"
+              | None -> "NO (unknown label)") ])
+        (sorted drops);
+      Metrics.Table.print drop_table
+    end;
     List.iter
       (fun (line, message) ->
         Printf.eprintf "%s:%d: unparseable event: %s\n" file line message)
@@ -394,6 +411,118 @@ let obs_cmd =
        ~doc:"Summarise an exported JSONL event stream (counts by kind, \
              actors, flows, drops, time span).")
     Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Scenario description file (see lib/core/scenario_file.mli).")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("table", `Table); ("json", `Json);
+                             ("csv", `Csv) ]) `Table
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,table) (rendered report), $(b,json) \
+                   (full snapshot), or $(b,csv) (tables plus windowed \
+                   series).")
+  in
+  let window =
+    Arg.(value & opt float 1.0 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Sliding-window slot length in simulated seconds.")
+  in
+  let slots =
+    Arg.(value & opt int 60 & info [ "slots" ] ~docv:"N"
+           ~doc:"Ring size: the window covers N slots.")
+  in
+  let topk =
+    Arg.(value & opt int 32 & info [ "topk" ] ~docv:"K"
+           ~doc:"Space-Saving sketch capacity for EID/flow heavy hitters.")
+  in
+  let chrome =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE"
+           ~doc:"Also write Chrome-trace counter events (provider load per \
+                 window) to FILE; open in Perfetto.")
+  in
+  let series =
+    Arg.(value & flag & info [ "series" ]
+           ~doc:"Include the retained per-provider windowed series (json \
+                 embeds it; table prints a per-window listing).")
+  in
+  let run file format window slots topk chrome series =
+    if window <= 0.0 || slots < 1 || topk < 1 then begin
+      prerr_endline "--window, --slots and --topk must be positive";
+      exit 2
+    end;
+    match Core.Scenario_file.load file with
+    | Error message ->
+        Printf.eprintf "%s: %s\n" file message;
+        exit 1
+    | Ok { Core.Scenario_file.config; workload } ->
+        let config =
+          { config with
+            Core.Scenario.telemetry =
+              Some { Netsim.Telemetry.window_s = window; slots; topk } }
+        in
+        let spec =
+          { (Experiments.Harness.default_spec config) with
+            Experiments.Harness.flows = workload.Core.Scenario_file.flows;
+            rate = workload.Core.Scenario_file.rate;
+            zipf_alpha = workload.Core.Scenario_file.zipf_alpha;
+            data_packets = `Fixed workload.Core.Scenario_file.data_packets;
+            data_bytes = workload.Core.Scenario_file.data_bytes;
+            hotspots =
+              Option.map
+                (fun d -> [ (d, 1.0) ])
+                workload.Core.Scenario_file.hotspot }
+        in
+        let r = Experiments.Harness.run spec in
+        let dataplane =
+          Core.Scenario.dataplane r.Experiments.Harness.scenario
+        in
+        (match format with
+        | `Json ->
+            print_endline (Obs.Json.to_string
+                             (Obs.Telemetry.json_snapshot ~series ()))
+        | `Csv ->
+            List.iter
+              (fun table -> print_string (Metrics.Table.to_csv table))
+              (Obs.Telemetry.tables ());
+            if series then print_string (Obs.Telemetry.series_csv ())
+        | `Table ->
+            List.iter Metrics.Table.print (Obs.Telemetry.tables ());
+            (* Occupancy gauges ride the same row producers the scenario
+               registers in its metrics registry, so this report and the
+               exporter/`obs` view cannot disagree. *)
+            let gauges =
+              Metrics.Table.create ~title:"map-cache / flow-table gauges"
+                ~columns:[ "gauge"; "value" ]
+            in
+            List.iter
+              (fun (prefix, rows) ->
+                List.iter
+                  (fun (name, v) ->
+                    Metrics.Table.add_row gauges
+                      [ prefix ^ "." ^ name; Metrics.Table.cell_float v ])
+                  rows)
+              [ ("cache", Core.Scenario.cache_gauge_rows dataplane);
+                ("flows", Core.Scenario.flow_gauge_rows dataplane) ];
+            Metrics.Table.print gauges;
+            if series then print_string (Obs.Telemetry.series_csv ()));
+        (match chrome with
+        | Some out ->
+            Obs.Telemetry.write_chrome_trace ~file:out ();
+            Printf.eprintf "wrote %s\n" out
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:"Run a scenario-file workload with the telemetry plane enabled \
+             and report per-provider/per-node traffic, TE balance (shares, \
+             Jain index), drop attribution and heavy hitters.")
+    Term.(const run $ file $ format $ window $ slots $ topk $ chrome $ series)
 
 (* ------------------------------------------------------------------ *)
 (* spans                                                               *)
@@ -817,4 +946,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; trace_cmd; topology_cmd; connect_cmd; simulate_cmd;
-         compare_cmd; obs_cmd; spans_cmd; prof_cmd; bench_engine_cmd ]))
+         compare_cmd; obs_cmd; telemetry_cmd; spans_cmd; prof_cmd;
+         bench_engine_cmd ]))

@@ -445,9 +445,9 @@ let choose_egress t ~src_domain flow =
    reverse-multicast (reverse) design choice. *)
 let miss_cause packet =
   match packet.Packet.segment with
-  | Packet.Syn_ack -> "pce-no-mapping-reverse"
+  | Packet.Syn_ack -> Netsim.Telemetry.Pce_no_mapping_reverse
   | Packet.Syn | Packet.Ack | Packet.Data _ | Packet.Fin ->
-      "pce-no-mapping-forward"
+      Netsim.Telemetry.Pce_no_mapping_forward
 
 (* A miss under the pure paper model is a drop (the push should have
    beaten the first packet).  With a pull fallback configured (the

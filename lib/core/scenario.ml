@@ -64,6 +64,9 @@ type config = {
       (** control-plane loss/retry model; [None] = lossless legacy *)
   node_faults : node_fault_profile option;
       (** node crash/restart schedule; [None] = every node always up *)
+  telemetry : Netsim.Telemetry.config option;
+      (** enable the telemetry plane with this window/sketch config;
+          [None] = disabled (zero hot-path cost) *)
 }
 
 let default_config =
@@ -71,7 +74,7 @@ let default_config =
     mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
     cache_policy = Lispdp.Map_cache.Lru; alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
     data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None;
-    node_faults = None }
+    node_faults = None; telemetry = None }
 
 type connection = {
   flow : Flow.t;
@@ -147,6 +150,28 @@ let pce t =
   | Pull_instance _ | Nerd_instance _ | Cons_instance _ | Msmr_instance _ ->
       None
 
+(* Gauge row producers shared between the registry registration below
+   and report code that samples directly: one computation, whichever
+   surface ([obs] summary, [telemetry] subcommand, exporters) reads
+   it. *)
+let cache_gauge_rows dataplane =
+  let fi = float_of_int in
+  let s = Lispdp.Dataplane.cache_stats_totals dataplane in
+  let lookups = s.Lispdp.Map_cache.hits + s.Lispdp.Map_cache.misses in
+  [ ("hits", fi s.Lispdp.Map_cache.hits);
+    ("misses", fi s.Lispdp.Map_cache.misses);
+    ("insertions", fi s.Lispdp.Map_cache.insertions);
+    ("evictions", fi s.Lispdp.Map_cache.evictions);
+    ("expirations", fi s.Lispdp.Map_cache.expirations);
+    ("invalidations", fi s.Lispdp.Map_cache.invalidations);
+    ("entries", fi (Lispdp.Dataplane.cache_entries_total dataplane));
+    ( "hit_ratio",
+      if lookups = 0 then 0.0
+      else fi s.Lispdp.Map_cache.hits /. fi lookups ) ]
+
+let flow_gauge_rows dataplane =
+  [ ("entries", float_of_int (Lispdp.Dataplane.flow_entries_total dataplane)) ]
+
 (* Topology construction, zone setup and registration are one-off but
    not free at scale; the self-profile separates them from the run. *)
 let ph_build = Netsim.Prof.phase "build"
@@ -164,6 +189,47 @@ let build config =
   let trace = Netsim.Trace.create () in
   (* Tracing costs formatting time; experiments enable it on demand. *)
   Netsim.Trace.set_enabled trace false;
+  (* The telemetry plane anchors its window origin at simulated t=0 and
+     learns the provider attachment of every access link up front, so
+     per-provider aggregation is a flat array index on the hot path. *)
+  (match config.telemetry with
+  | None ->
+      (* The plane is process-global: a previous telemetry-enabled
+         scenario in this process must not bleed into an untelemetered
+         one. *)
+      Netsim.Telemetry.stop ()
+  | Some tconfig ->
+      Netsim.Telemetry.start ~config:tconfig ~now:0.0 ();
+      Array.iter
+        (fun provider ->
+          Netsim.Telemetry.set_node_label provider.Topology.Builder.core
+            provider.Topology.Builder.provider_name)
+        internet.Topology.Builder.providers;
+      Array.iter
+        (fun domain ->
+          let dname = domain.Topology.Domain.name in
+          Netsim.Telemetry.set_node_label domain.Topology.Domain.hub
+            (dname ^ ".hub");
+          Netsim.Telemetry.set_node_label domain.Topology.Domain.dns
+            (dname ^ ".dns");
+          Array.iteri
+            (fun i host ->
+              Netsim.Telemetry.set_node_label host
+                (Printf.sprintf "h%d.%s" i dname))
+            domain.Topology.Domain.hosts;
+          Array.iteri
+            (fun i b ->
+              Netsim.Telemetry.set_node_label b.Topology.Domain.router
+                (Printf.sprintf "%s.br%d" dname i);
+              let uplink = b.Topology.Domain.uplink in
+              Netsim.Telemetry.register_uplink
+                ~link:(Topology.Link.id uplink)
+                ~provider:b.Topology.Domain.provider
+                ~egress_dir:
+                  (if Topology.Link.a uplink = b.Topology.Domain.router then 0
+                   else 1))
+            domain.Topology.Domain.borders)
+        internet.Topology.Builder.domains);
   (* The hub starts disabled: instrumented call sites pay one boolean
      test until an exporter (or a test) enables it. *)
   let obs = Obs.Hub.create () in
@@ -405,17 +471,16 @@ let build config =
         (fun (cause, n) -> (cause, fi n))
         (Lispdp.Dataplane.drop_causes dataplane));
   Obs.Registry.register_many obs_registry "cache" (fun () ->
-      let s = Lispdp.Dataplane.cache_stats_totals dataplane in
-      let lookups = s.Lispdp.Map_cache.hits + s.Lispdp.Map_cache.misses in
-      [ ("hits", fi s.Lispdp.Map_cache.hits);
-        ("misses", fi s.Lispdp.Map_cache.misses);
-        ("insertions", fi s.Lispdp.Map_cache.insertions);
-        ("evictions", fi s.Lispdp.Map_cache.evictions);
-        ("expirations", fi s.Lispdp.Map_cache.expirations);
-        ("invalidations", fi s.Lispdp.Map_cache.invalidations);
-        ( "hit_ratio",
-          if lookups = 0 then 0.0
-          else fi s.Lispdp.Map_cache.hits /. fi lookups ) ]);
+      cache_gauge_rows dataplane);
+  (match config.telemetry with
+  | None -> ()
+  | Some _ ->
+      (* Flow/cache occupancy travels through the same registry family
+         the telemetry CLI renders, so `obs` and `telemetry` summaries
+         read one source of truth. *)
+      Obs.Registry.register_many obs_registry "flows" (fun () ->
+          flow_gauge_rows dataplane);
+      Obs.Telemetry.register_gauges obs_registry);
   let cps =
     match cp with
     | Pull_instance p -> Mapsys.Pull.stats p

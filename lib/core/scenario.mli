@@ -94,6 +94,13 @@ type config = {
           pull fallback for degraded misses and the bypass watchdog on
           every DNS tap, and crash/restart transitions are scheduled as
           engine events. *)
+  telemetry : Netsim.Telemetry.config option;
+      (** enable the {!Netsim.Telemetry} plane: {!build} starts it,
+          registers every domain's provider access links and human
+          labels for all nodes, and exports the [telemetry.*] and
+          [flows.*] gauge families through the scenario registry.
+          [None] (the default) leaves the plane disabled — one boolean
+          test per hook. *)
 }
 
 val default_config : config
@@ -152,11 +159,21 @@ val obs_registry : t -> Obs.Registry.t
 (** The scenario's metrics registry.  Pre-registered at build time:
     [engine.*] internals, [dp.*] dataplane counters and [dp.drop.*]
     per-cause drops, [cache.*] aggregate map-cache statistics
-    (including [cache.invalidations]), [cp.*] control-plane statistics
-    (including [cp.retransmissions] / [cp.timeouts]), [dns.*] resolver
-    counters, the [conn.dns_time] / [conn.setup_time] histograms, and —
-    when a fault profile is configured — [faults.losses] /
-    [faults.blocked]. *)
+    (including [cache.invalidations] and [cache.entries]), [cp.*]
+    control-plane statistics (including [cp.retransmissions] /
+    [cp.timeouts]), [dns.*] resolver counters, the [conn.dns_time] /
+    [conn.setup_time] histograms, and — when a fault profile is
+    configured — [faults.losses] / [faults.blocked].  With
+    [config.telemetry] set, additionally the [telemetry.*] family
+    ({!Obs.Telemetry.register_gauges}) and [flows.*] flow-table
+    occupancy. *)
+
+val cache_gauge_rows : Lispdp.Dataplane.t -> (string * float) list
+(** The rows behind the [cache.*] gauge family — exposed so report code
+    samples the same computation the registry exports. *)
+
+val flow_gauge_rows : Lispdp.Dataplane.t -> (string * float) list
+(** Likewise for [flows.*] (live flow-table entries). *)
 
 val cp_stats : t -> Mapsys.Cp_stats.t
 

@@ -232,6 +232,9 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
                resolver gives up on the whole resolution after its
                query timeout. *)
             t.counters.outage_failures <- t.counters.outage_failures + 1;
+            if Netsim.Telemetry.enabled () then
+              Netsim.Telemetry.on_drop ~node:server
+                Netsim.Telemetry.Outage_failure;
             trace t ~actor:(node_label t server)
               "server down: query %s unanswered" (Name.to_string qname);
             ignore
@@ -318,6 +321,9 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
         (* Crashed resolver: the client's query is never answered; it
            observes a failed resolution after its own timeout. *)
         t.counters.outage_failures <- t.counters.outage_failures + 1;
+        if Netsim.Telemetry.enabled () then
+          Netsim.Telemetry.on_drop ~node:resolver_id
+            Netsim.Telemetry.Outage_failure;
         trace t ~actor:(node_label t resolver_id)
           "resolver down: query %s unanswered" (Name.to_string qname);
         ignore

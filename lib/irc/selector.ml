@@ -134,9 +134,13 @@ let scored_load t direction i =
     load_of t direction i +. (t.assign_penalty *. float_of_int recent)
 
 let note_assignment t direction i =
-  match direction with
+  (match direction with
   | Outbound -> t.uplinks.(i).recent_out <- t.uplinks.(i).recent_out + 1
-  | Inbound -> t.uplinks.(i).recent_in <- t.uplinks.(i).recent_in + 1
+  | Inbound -> t.uplinks.(i).recent_in <- t.uplinks.(i).recent_in + 1);
+  if Netsim.Telemetry.enabled () then
+    Netsim.Telemetry.on_select
+      ~provider:t.uplinks.(i).border.Topology.Domain.provider
+      ~inbound:(direction = Inbound)
 
 let load_estimate t direction border = load_of t direction (uplink_index_of t border)
 

@@ -7,7 +7,7 @@ type router = {
   flows : Flow_table.t;
 }
 
-type miss_decision = Miss_drop of string | Miss_hold
+type miss_decision = Miss_drop of Netsim.Telemetry.drop_cause | Miss_hold
 
 type control_plane = {
   cp_name : string;
@@ -135,16 +135,25 @@ let set_host_receiver t eid receiver =
   | Some f -> Hashtbl.replace t.receivers (Ipv4.addr_to_int eid) f
   | None -> Hashtbl.remove t.receivers (Ipv4.addr_to_int eid)
 
-let record_drop t ?packet cause =
+(* The single choke point for packet deaths: every drop carries a typed
+   cause ([Netsim.Telemetry.drop_cause]) and, when attributable, the
+   node it died at.  The string label keeps the legacy bookkeeping
+   (tables, traces, JSONL events, observers) byte-identical. *)
+let record_drop t ?packet ?(node = -1) cause =
   t.counters.dropped <- t.counters.dropped + 1;
-  Hashtbl.replace t.drops cause
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops cause));
+  let label = Netsim.Telemetry.drop_label cause in
+  Hashtbl.replace t.drops label
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops label));
+  if Netsim.Telemetry.enabled () then begin
+    Netsim.Telemetry.touch ~now:(Netsim.Engine.now t.engine);
+    Netsim.Telemetry.on_drop ~node cause
+  end;
   if obs_on t then
     obs_emit t ~actor:"dp"
       ?flow:(Option.map (fun p -> Obs.Event.flow_id p.Packet.flow) packet)
-      (Obs.Event.Packet_drop { cause });
+      (Obs.Event.Packet_drop { cause = label });
   match t.drop_observer with
-  | Some f -> f ~cause ~now:(Netsim.Engine.now t.engine)
+  | Some f -> f ~cause:label ~now:(Netsim.Engine.now t.engine)
   | None -> ()
 
 let set_drop_observer t observer = t.drop_observer <- observer
@@ -152,7 +161,7 @@ let set_drop_observer t observer = t.drop_observer <- observer
 (* A control plane gave up on packets it had answered [Miss_hold] for:
    they leave the simulation here so abandoned hold queues show up in
    drop accounting instead of leaking. *)
-let drop_held t packet ~cause = record_drop t ~packet cause
+let drop_held t ?node packet ~cause = record_drop t ~packet ?node cause
 
 let drop_causes t =
   Hashtbl.fold (fun cause n acc -> (cause, n) :: acc) t.drops []
@@ -177,11 +186,14 @@ let wire t ~src ~dst packet k =
     let g = graph t in
     match Topology.Graph.latency_between g src dst with
     | latency ->
+        if Netsim.Telemetry.enabled () then
+          Netsim.Telemetry.touch ~now:(Netsim.Engine.now t.engine);
         Topology.Graph.account_path g ~src ~dst ~bytes:(Packet.size packet);
         ignore
           (Netsim.Engine.schedule t.engine ~delay:latency
              (Netsim.Prof.wrap ph_dp k))
-    | exception Not_found -> record_drop t ~packet "no-route"
+    | exception Not_found ->
+        record_drop t ~packet ~node:src Netsim.Telemetry.No_route
   end
 
 let host_node_of_eid t eid =
@@ -197,7 +209,8 @@ let host_node_of_eid t eid =
 let deliver_to_host t ~from_node packet =
   let dst_eid = packet.Packet.flow.Flow.dst in
   match host_node_of_eid t dst_eid with
-  | None -> record_drop t ~packet "no-such-eid"
+  | None ->
+      record_drop t ~packet ~node:from_node Netsim.Telemetry.No_such_eid
   | Some (_domain, host_node) ->
       wire t ~src:from_node ~dst:host_node packet (fun () ->
           match Hashtbl.find_opt t.receivers (Ipv4.addr_to_int dst_eid) with
@@ -205,8 +218,13 @@ let deliver_to_host t ~from_node packet =
               t.counters.delivered <- t.counters.delivered + 1;
               t.counters.delivered_bytes <-
                 t.counters.delivered_bytes + Packet.size packet;
+              if Netsim.Telemetry.enabled () then
+                Netsim.Telemetry.on_node_rx ~node:host_node
+                  ~bytes:(Packet.size packet);
               receiver packet
-          | None -> record_drop t ~packet "no-receiver")
+          | None ->
+              record_drop t ~packet ~node:host_node
+                Netsim.Telemetry.No_receiver)
 
 (* A packet arrived at a border router from the core side. *)
 let etr_receive t router packet =
@@ -242,13 +260,16 @@ let deliver_via t router packet ~extra_delay =
 
 (* Tunnel [packet] from ITR [router] using the given outer header. *)
 let tunnel t router packet ~outer_src ~outer_dst =
+  let router_node = router.border.Topology.Domain.router in
   match router_of_rloc t outer_dst with
-  | None -> record_drop t ~packet "no-such-rloc"
+  | None ->
+      record_drop t ~packet ~node:router_node Netsim.Telemetry.No_such_rloc
   | Some remote
     when not (Topology.Link.is_up remote.border.Topology.Domain.uplink) ->
       (* The RLOC's access link is down: inter-domain routing has no
          path to this locator. *)
-      record_drop t ~packet "rloc-unreachable"
+      record_drop t ~packet ~node:router_node
+        Netsim.Telemetry.Rloc_unreachable
   | Some remote ->
       let encapsulated = Packet.encapsulate packet ~outer_src ~outer_dst in
       t.counters.encapsulated <- t.counters.encapsulated + 1;
@@ -301,15 +322,18 @@ let itr_process t router packet =
       | Miss_drop cause ->
           trace t ~actor:(router.router_domain.Topology.Domain.name ^ "-itr")
             "miss for %a: dropped (%s)" Ipv4.pp_addr packet.Packet.flow.Flow.dst
-            cause;
-          record_drop t ~packet cause
+            (Netsim.Telemetry.drop_label cause);
+          record_drop t ~packet
+            ~node:router.border.Topology.Domain.router cause
       | Miss_hold -> t.counters.held <- t.counters.held + 1)
 
 let transmit_from_itr t router packet =
   let now = Netsim.Engine.now t.engine in
   match lookup_outer t router ~now packet.Packet.flow with
   | Some (outer_src, outer_dst) -> tunnel t router packet ~outer_src ~outer_dst
-  | None -> record_drop t ~packet "post-resolution-miss"
+  | None ->
+      record_drop t ~packet ~node:router.border.Topology.Domain.router
+        Netsim.Telemetry.Post_resolution_miss
 
 let send_from_host t packet =
   let flow = packet.Packet.flow in
@@ -323,6 +347,14 @@ let send_from_host t packet =
         | None ->
             invalid_arg "Dataplane.send_from_host: source EID is not a host"
       in
+      if Netsim.Telemetry.enabled () then begin
+        Netsim.Telemetry.touch ~now:(Netsim.Engine.now t.engine);
+        Netsim.Telemetry.on_node_tx ~node:src_node
+          ~bytes:(Packet.size packet);
+        Netsim.Telemetry.on_flow_packet
+          ~eid:(Ipv4.addr_to_int flow.Flow.dst)
+          ~flow:(Obs.Event.flow_id flow)
+      end;
       if Topology.Domain.owns_eid src_domain flow.Flow.dst then begin
         (* Intra-domain traffic never touches LISP. *)
         t.counters.intra_domain <- t.counters.intra_domain + 1;
@@ -352,3 +384,18 @@ let cache_stats_totals t =
            acc.Map_cache.invalidations + s.Map_cache.invalidations))
     t.routers;
   acc
+
+let flow_entries_total t =
+  let now = Netsim.Engine.now t.engine in
+  let total = ref 0 in
+  Array.iter
+    (Array.iter (fun r -> total := !total + Flow_table.length r.flows ~now))
+    t.routers;
+  !total
+
+let cache_entries_total t =
+  let total = ref 0 in
+  Array.iter
+    (Array.iter (fun r -> total := !total + Map_cache.length r.cache))
+    t.routers;
+  !total

@@ -23,8 +23,8 @@ type router = {
 }
 
 type miss_decision =
-  | Miss_drop of string
-      (** drop the packet now, counted under the given cause label *)
+  | Miss_drop of Netsim.Telemetry.drop_cause
+      (** drop the packet now, counted under the given typed cause *)
   | Miss_hold
       (** the control plane took custody of the packet and will either
           re-send it via {!transmit_from_itr} or abandon it *)
@@ -115,17 +115,28 @@ type counters = {
 val counters : t -> counters
 
 val drop_causes : t -> (string * int) list
-(** Drop counts keyed by cause label, sorted by descending count. *)
+(** Drop counts keyed by cause label ({!Netsim.Telemetry.drop_label}),
+    sorted by descending count. *)
 
 val set_drop_observer : t -> (cause:string -> now:float -> unit) option -> unit
 (** Callback invoked on every drop — failure experiments use it to build
     drop timelines. *)
 
-val drop_held : t -> Nettypes.Packet.t -> cause:string -> unit
+val drop_held :
+  t -> ?node:int -> Nettypes.Packet.t ->
+  cause:Netsim.Telemetry.drop_cause -> unit
 (** A control plane abandons a packet it had answered [Miss_hold] for
     (resolution timeout, unreachable destination): the packet is counted
     as a regular drop under [cause], with the usual event and observer
-    side effects. *)
+    side effects.  [node] is the router it was held at, for the
+    telemetry plane's per-node drop attribution. *)
 
 val cache_stats_totals : t -> Map_cache.stats
 (** Aggregate map-cache statistics over all routers. *)
+
+val cache_entries_total : t -> int
+(** Live map-cache entries summed over all routers. *)
+
+val flow_entries_total : t -> int
+(** Live per-flow table entries summed over all routers (evaluated at
+    the engine's current time, so expired entries do not count). *)

@@ -128,7 +128,10 @@ let abandon t resolution ~cause =
     | [] -> ()
     | _ :: _ ->
         let dp = dataplane_exn t in
-        List.iter (fun p -> Lispdp.Dataplane.drop_held dp p ~cause) queued
+        let node, _ = resolution.key in
+        List.iter
+          (fun p -> Lispdp.Dataplane.drop_held dp ~node p ~cause)
+          queued
   end
 
 let complete t resolution router =
@@ -265,7 +268,7 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
         (* No reply will ever come and retransmission is off: give up
            now.  Queued packets become counted drops (pre-fix they were
            silently held forever) and a later miss starts over. *)
-        abandon t resolution ~cause:"resolution-abandoned"
+        abandon t resolution ~cause:Netsim.Telemetry.Resolution_abandoned
   | Some retry ->
       let delay = Netsim.Faults.retry_delay retry ~attempt:resolution.attempts in
       resolution.timer <-
@@ -280,7 +283,8 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
                      obs_emit t ~actor ?flow
                        (Obs.Event.Cp_timeout
                           { eid = request_eid; message = "map-request" });
-                   abandon t resolution ~cause:"resolution-timeout"
+                   abandon t resolution
+                     ~cause:Netsim.Telemetry.Resolution_timeout
                  end
                  else begin
                    t.stats.Cp_stats.retransmissions <-
@@ -296,7 +300,7 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
 let handle_miss t router packet =
   let dst = packet.Packet.flow.Flow.dst in
   match Topology.Builder.domain_of_eid t.internet dst with
-  | None -> Lispdp.Dataplane.Miss_drop "no-such-eid-domain"
+  | None -> Lispdp.Dataplane.Miss_drop Netsim.Telemetry.No_such_eid_domain
   | Some dst_domain -> (
       let mapping = Registry.mapping_of_domain t.registry dst_domain.Topology.Domain.id in
       let key =
@@ -321,14 +325,16 @@ let handle_miss t router packet =
             r
       in
       match t.mode with
-      | Drop_while_pending -> Lispdp.Dataplane.Miss_drop "mapping-resolution-drop"
+      | Drop_while_pending ->
+          Lispdp.Dataplane.Miss_drop Netsim.Telemetry.Mapping_resolution_drop
       | Queue_while_pending limit ->
           (* [send_attempt] may have abandoned synchronously (unreachable
              destination, no retry): never queue into a dead record. *)
           if resolution.abandoned then
-            Lispdp.Dataplane.Miss_drop "resolution-abandoned"
+            Lispdp.Dataplane.Miss_drop Netsim.Telemetry.Resolution_abandoned
           else if resolution.queued_len >= limit then
-            Lispdp.Dataplane.Miss_drop "resolution-queue-overflow"
+            Lispdp.Dataplane.Miss_drop
+              Netsim.Telemetry.Resolution_queue_overflow
           else begin
             resolution.queued <- packet :: resolution.queued;
             resolution.queued_len <- resolution.queued_len + 1;

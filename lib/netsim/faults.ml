@@ -70,6 +70,8 @@ let drops_message t ~now ~src ~dst =
     && Rng.bernoulli t.rng ~p
     &&
     (t.losses <- t.losses + 1;
+     if Telemetry.enabled () then
+       Telemetry.on_drop ~node:(-1) Telemetry.Cp_message_loss;
      true)
 
 let extra_delay t =

@@ -1,0 +1,604 @@
+(* Traffic telemetry internals.  Same shape as [Prof]: process-global
+   state behind a single [on] flag, so every hot-path hook compiled into
+   the dataplane costs exactly one flag load and branch while disabled —
+   no closure, no allocation, no clock read.  The simulator is
+   single-domain per process and the bench runner forks one process per
+   experiment, so global state is the cheap and correct choice.
+
+   Unlike the profiler this module counts *simulated* quantities
+   (packets, bytes, drops) against the *simulated* clock, so an enabled
+   telemetry plane is still deterministic: it observes the simulation
+   and never schedules events or draws randomness. *)
+
+(* ------------------------------------------------------------------ *)
+(* Typed drop causes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type drop_cause =
+  | No_route
+  | No_such_eid
+  | No_receiver
+  | No_such_rloc
+  | Rloc_unreachable
+  | Post_resolution_miss
+  | Mapping_resolution_drop
+  | Resolution_abandoned
+  | Resolution_timeout
+  | Resolution_queue_overflow
+  | Nerd_database_miss
+  | No_such_eid_domain
+  | Pce_no_mapping_forward
+  | Pce_no_mapping_reverse
+  | Cp_message_loss
+  | Outage_failure
+
+(* The labels are the exact strings the drop bookkeeping used before the
+   enum existed: tables, traces and JSONL events must not change when a
+   call site switches to the typed cause. *)
+let drop_label = function
+  | No_route -> "no-route"
+  | No_such_eid -> "no-such-eid"
+  | No_receiver -> "no-receiver"
+  | No_such_rloc -> "no-such-rloc"
+  | Rloc_unreachable -> "rloc-unreachable"
+  | Post_resolution_miss -> "post-resolution-miss"
+  | Mapping_resolution_drop -> "mapping-resolution-drop"
+  | Resolution_abandoned -> "resolution-abandoned"
+  | Resolution_timeout -> "resolution-timeout"
+  | Resolution_queue_overflow -> "resolution-queue-overflow"
+  | Nerd_database_miss -> "nerd-database-miss"
+  | No_such_eid_domain -> "no-such-eid-domain"
+  | Pce_no_mapping_forward -> "pce-no-mapping-forward"
+  | Pce_no_mapping_reverse -> "pce-no-mapping-reverse"
+  | Cp_message_loss -> "cp-message-loss"
+  | Outage_failure -> "outage-failure"
+
+let all_drop_causes =
+  [ No_route; No_such_eid; No_receiver; No_such_rloc; Rloc_unreachable;
+    Post_resolution_miss; Mapping_resolution_drop; Resolution_abandoned;
+    Resolution_timeout; Resolution_queue_overflow; Nerd_database_miss;
+    No_such_eid_domain; Pce_no_mapping_forward; Pce_no_mapping_reverse;
+    Cp_message_loss; Outage_failure ]
+
+let n_causes = List.length all_drop_causes
+
+let cause_index = function
+  | No_route -> 0
+  | No_such_eid -> 1
+  | No_receiver -> 2
+  | No_such_rloc -> 3
+  | Rloc_unreachable -> 4
+  | Post_resolution_miss -> 5
+  | Mapping_resolution_drop -> 6
+  | Resolution_abandoned -> 7
+  | Resolution_timeout -> 8
+  | Resolution_queue_overflow -> 9
+  | Nerd_database_miss -> 10
+  | No_such_eid_domain -> 11
+  | Pce_no_mapping_forward -> 12
+  | Pce_no_mapping_reverse -> 13
+  | Cp_message_loss -> 14
+  | Outage_failure -> 15
+
+let cause_of_index = Array.of_list all_drop_causes
+
+let drop_cause_of_label label =
+  List.find_opt (fun c -> String.equal (drop_label c) label) all_drop_causes
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and switching                                         *)
+(* ------------------------------------------------------------------ *)
+
+type config = { window_s : float; slots : int; topk : int }
+
+let default_config = { window_s = 1.0; slots = 60; topk = 32 }
+
+let on = ref false
+let enabled () = !on
+
+let cfg = ref default_config
+let config () = !cfg
+let origin = ref 0.0
+let cur_slot = ref 0
+
+let window_s () = !cfg.window_s
+let slots () = !cfg.slots
+let current_slot () = !cur_slot
+let slot_start i = !origin +. (float_of_int i *. !cfg.window_s)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed series                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One series = cumulative totals plus a ring of the last [slots]
+   windows.  The ring uses lazy invalidation: each cell remembers which
+   absolute slot it holds, so a write is O(1) (overwrite a stale cell)
+   and rotation never walks every registered series. *)
+type series = {
+  mutable cum_pkts : int;
+  mutable cum_bytes : int;
+  slot_pkts : int array;
+  slot_bytes : int array;
+  slot_id : int array; (* absolute slot each cell holds; -1 = empty *)
+}
+
+let make_series () =
+  let n = !cfg.slots in
+  { cum_pkts = 0; cum_bytes = 0; slot_pkts = Array.make n 0;
+    slot_bytes = Array.make n 0; slot_id = Array.make n (-1) }
+
+let series_add s ~pkts ~bytes =
+  s.cum_pkts <- s.cum_pkts + pkts;
+  s.cum_bytes <- s.cum_bytes + bytes;
+  let n = Array.length s.slot_id in
+  let i = !cur_slot mod n in
+  if s.slot_id.(i) <> !cur_slot then begin
+    s.slot_id.(i) <- !cur_slot;
+    s.slot_pkts.(i) <- 0;
+    s.slot_bytes.(i) <- 0
+  end;
+  s.slot_pkts.(i) <- s.slot_pkts.(i) + pkts;
+  s.slot_bytes.(i) <- s.slot_bytes.(i) + bytes
+
+(* Sum of the cells still inside the sliding window
+   (cur_slot - slots, cur_slot]. *)
+let series_window s =
+  let n = Array.length s.slot_id in
+  let lo = !cur_slot - n in
+  let pkts = ref 0 and bytes = ref 0 in
+  for i = 0 to n - 1 do
+    if s.slot_id.(i) > lo then begin
+      pkts := !pkts + s.slot_pkts.(i);
+      bytes := !bytes + s.slot_bytes.(i)
+    end
+  done;
+  (!pkts, !bytes)
+
+type slot_sample = {
+  sl_slot : int;
+  sl_start : float;
+  sl_pkts : int;
+  sl_bytes : int;
+}
+
+let series_samples s =
+  let n = Array.length s.slot_id in
+  let lo = !cur_slot - n in
+  let acc = ref [] in
+  for slot = !cur_slot downto max 0 (lo + 1) do
+    let i = slot mod n in
+    if s.slot_id.(i) = slot then
+      acc :=
+        { sl_slot = slot; sl_start = slot_start slot;
+          sl_pkts = s.slot_pkts.(i); sl_bytes = s.slot_bytes.(i) }
+        :: !acc
+  done;
+  !acc
+
+(* Growable stores of series, indexed by small int keys (link id, node
+   id, provider id).  Growth and series creation only happen while
+   telemetry is enabled, off the disabled path. *)
+type store = { mutable cells : series option array }
+
+let make_store () = { cells = [||] }
+
+let store_get st key =
+  if key < 0 then invalid_arg "Telemetry: negative key";
+  let len = Array.length st.cells in
+  if key >= len then begin
+    let cells = Array.make (max 16 (max (key + 1) (2 * len))) None in
+    Array.blit st.cells 0 cells 0 len;
+    st.cells <- cells
+  end;
+  match st.cells.(key) with
+  | Some s -> s
+  | None ->
+      let s = make_series () in
+      st.cells.(key) <- Some s;
+      s
+
+let store_find st key =
+  if key >= 0 && key < Array.length st.cells then st.cells.(key) else None
+
+let store_keys st =
+  let acc = ref [] in
+  for i = Array.length st.cells - 1 downto 0 do
+    if st.cells.(i) <> None then acc := i :: !acc
+  done;
+  !acc
+
+(* Key classes.  Link stores are indexed by [2 * link_id + dir] so the
+   two directions of one link stay separate. *)
+let link_store = make_store ()
+let node_tx_store = make_store ()
+let node_rx_store = make_store ()
+let node_fwd_store = make_store ()
+let prov_in_store = make_store ()
+let prov_out_store = make_store ()
+
+(* Uplink registration: link id -> provider id and which direction
+   leaves the customer domain (egress). *)
+let uplink_provider : int array ref = ref [||]
+let uplink_egress_dir : int array ref = ref [||]
+
+let ensure_int_array arr len default =
+  let n = Array.length !arr in
+  if len > n then begin
+    let a = Array.make (max 16 (max len (2 * n))) default in
+    Array.blit !arr 0 a 0 n;
+    arr := a
+  end
+
+let register_uplink ~link ~provider ~egress_dir =
+  if link < 0 || provider < 0 then
+    invalid_arg "Telemetry.register_uplink: negative id";
+  if egress_dir <> 0 && egress_dir <> 1 then
+    invalid_arg "Telemetry.register_uplink: dir must be 0 or 1";
+  ensure_int_array uplink_provider (link + 1) (-1);
+  ensure_int_array uplink_egress_dir (link + 1) 0;
+  !uplink_provider.(link) <- provider;
+  !uplink_egress_dir.(link) <- egress_dir
+
+let provider_of_link link =
+  if link >= 0 && link < Array.length !uplink_provider then
+    let p = !uplink_provider.(link) in
+    if p >= 0 then Some p else None
+  else None
+
+(* Node labels, for reports only. *)
+let node_labels : (int, string) Hashtbl.t = Hashtbl.create 64
+let set_node_label node label = Hashtbl.replace node_labels node label
+let node_label node = Hashtbl.find_opt node_labels node
+
+(* ------------------------------------------------------------------ *)
+(* Drop accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat per-(node, cause) counters: row [node + 1] (row 0 holds drops
+   with no attributable node), column [cause_index]. *)
+let drop_rows : int array ref = ref [||] (* (node+1) * n_causes + cause *)
+let drop_row_count = ref 0
+let drops_total = ref 0
+
+let drop_cell node cause =
+  let row = node + 1 in
+  if row >= !drop_row_count then drop_row_count := row + 1;
+  ensure_int_array drop_rows (!drop_row_count * n_causes) 0;
+  (row * n_causes) + cause_index cause
+
+(* ------------------------------------------------------------------ *)
+(* Space-Saving heavy-hitter sketches                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sketch = struct
+  (* Metwally et al.'s Space-Saving: at most [cap] monitored keys; a
+     new key beyond capacity evicts the minimum-count key and inherits
+     its count as over-estimation error.  Any key with true frequency
+     above [total / cap] is guaranteed monitored, and every reported
+     count over-estimates truth by at most its recorded error
+     (<= total / cap). *)
+  type t = {
+    cap : int;
+    index : (int, int) Hashtbl.t; (* key -> slot *)
+    keys : int array;
+    counts : int array;
+    errors : int array;
+    mutable used : int;
+    mutable total : int;
+  }
+
+  let create ~cap =
+    if cap <= 0 then invalid_arg "Telemetry.Sketch.create: cap must be > 0";
+    { cap; index = Hashtbl.create (2 * cap); keys = Array.make cap 0;
+      counts = Array.make cap 0; errors = Array.make cap 0; used = 0;
+      total = 0 }
+
+  let min_slot t =
+    let best = ref 0 in
+    for i = 1 to t.used - 1 do
+      if t.counts.(i) < t.counts.(!best) then best := i
+    done;
+    !best
+
+  let observe t key =
+    t.total <- t.total + 1;
+    match Hashtbl.find_opt t.index key with
+    | Some i -> t.counts.(i) <- t.counts.(i) + 1
+    | None ->
+        if t.used < t.cap then begin
+          let i = t.used in
+          t.used <- i + 1;
+          t.keys.(i) <- key;
+          t.counts.(i) <- 1;
+          t.errors.(i) <- 0;
+          Hashtbl.replace t.index key i
+        end
+        else begin
+          let i = min_slot t in
+          Hashtbl.remove t.index t.keys.(i);
+          Hashtbl.replace t.index key i;
+          t.errors.(i) <- t.counts.(i);
+          t.counts.(i) <- t.counts.(i) + 1;
+          t.keys.(i) <- key
+        end
+
+  let total t = t.total
+
+  let entries t =
+    let l = ref [] in
+    for i = t.used - 1 downto 0 do
+      l := (t.keys.(i), t.counts.(i), t.errors.(i)) :: !l
+    done;
+    List.sort
+      (fun (ka, ca, _) (kb, cb, _) ->
+        if ca <> cb then Int.compare cb ca else Int.compare ka kb)
+      !l
+
+  let reset t =
+    Hashtbl.reset t.index;
+    t.used <- 0;
+    t.total <- 0
+end
+
+let eid_sketch = ref (Sketch.create ~cap:default_config.topk)
+let flow_sketch = ref (Sketch.create ~cap:default_config.topk)
+
+(* IRC selection decisions, cumulative per provider and direction. *)
+let sel_out : int array ref = ref [||]
+let sel_in : int array ref = ref [||]
+let sel_max = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path hooks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let touch ~now =
+  if !on then begin
+    let s = int_of_float ((now -. !origin) /. !cfg.window_s) in
+    if s > !cur_slot then cur_slot := s
+  end
+
+let on_link ~link ~dir ~bytes =
+  if !on then begin
+    series_add (store_get link_store ((2 * link) + dir)) ~pkts:1 ~bytes;
+    match provider_of_link link with
+    | Some p ->
+        let st =
+          if dir = !uplink_egress_dir.(link) then prov_out_store
+          else prov_in_store
+        in
+        series_add (store_get st p) ~pkts:1 ~bytes
+    | None -> ()
+  end
+
+let on_node_tx ~node ~bytes =
+  if !on then series_add (store_get node_tx_store node) ~pkts:1 ~bytes
+
+let on_node_rx ~node ~bytes =
+  if !on then series_add (store_get node_rx_store node) ~pkts:1 ~bytes
+
+let on_node_fwd ~node ~bytes =
+  if !on then series_add (store_get node_fwd_store node) ~pkts:1 ~bytes
+
+let on_flow_packet ~eid ~flow =
+  if !on then begin
+    Sketch.observe !eid_sketch eid;
+    Sketch.observe !flow_sketch flow
+  end
+
+let on_drop ~node cause =
+  if !on then begin
+    Stdlib.incr drops_total;
+    let cell = drop_cell node cause in
+    !drop_rows.(cell) <- !drop_rows.(cell) + 1
+  end
+
+let on_select ~provider ~inbound =
+  if !on then begin
+    if provider >= !sel_max then sel_max := provider + 1;
+    ensure_int_array sel_out !sel_max 0;
+    ensure_int_array sel_in !sel_max 0;
+    let a = if inbound then sel_in else sel_out in
+    !a.(provider) <- !a.(provider) + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reset_stores () =
+  link_store.cells <- [||];
+  node_tx_store.cells <- [||];
+  node_rx_store.cells <- [||];
+  node_fwd_store.cells <- [||];
+  prov_in_store.cells <- [||];
+  prov_out_store.cells <- [||];
+  uplink_provider := [||];
+  uplink_egress_dir := [||];
+  Hashtbl.reset node_labels;
+  drop_rows := [||];
+  drop_row_count := 0;
+  drops_total := 0;
+  sel_out := [||];
+  sel_in := [||];
+  sel_max := 0
+
+let start ?(config = default_config) ~now () =
+  if config.window_s <= 0.0 then
+    invalid_arg "Telemetry.start: window must be positive";
+  if config.slots <= 0 then invalid_arg "Telemetry.start: slots must be > 0";
+  cfg := config;
+  origin := now;
+  cur_slot := 0;
+  reset_stores ();
+  eid_sketch := Sketch.create ~cap:config.topk;
+  flow_sketch := Sketch.create ~cap:config.topk;
+  on := true
+
+let stop () = on := false
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stat = {
+  st_pkts : int;
+  st_bytes : int;
+  st_win_pkts : int;
+  st_win_bytes : int;
+}
+
+let zero_stat = { st_pkts = 0; st_bytes = 0; st_win_pkts = 0; st_win_bytes = 0 }
+
+let stat_of_series = function
+  | None -> zero_stat
+  | Some s ->
+      let wp, wb = series_window s in
+      { st_pkts = s.cum_pkts; st_bytes = s.cum_bytes; st_win_pkts = wp;
+        st_win_bytes = wb }
+
+let link_stat ~link ~dir =
+  stat_of_series (store_find link_store ((2 * link) + dir))
+
+let node_stat ~node kind =
+  let st =
+    match kind with
+    | `Tx -> node_tx_store
+    | `Rx -> node_rx_store
+    | `Fwd -> node_fwd_store
+  in
+  stat_of_series (store_find st node)
+
+let provider_stat ~provider dir =
+  let st = match dir with `In -> prov_in_store | `Out -> prov_out_store in
+  stat_of_series (store_find st provider)
+
+let providers () =
+  List.sort_uniq Int.compare
+    (store_keys prov_in_store @ store_keys prov_out_store
+    @ List.filter_map
+        (fun link -> provider_of_link link)
+        (List.init (Array.length !uplink_provider) Fun.id))
+
+let nodes () =
+  List.sort_uniq Int.compare
+    (store_keys node_tx_store @ store_keys node_rx_store
+   @ store_keys node_fwd_store)
+
+let links () =
+  List.sort_uniq Int.compare
+    (List.map (fun k -> k / 2) (store_keys link_store))
+
+let series_of st key =
+  match store_find st key with None -> [] | Some s -> series_samples s
+
+let link_series ~link ~dir = series_of link_store ((2 * link) + dir)
+
+let provider_series ~provider dir =
+  let st = match dir with `In -> prov_in_store | `Out -> prov_out_store in
+  series_of st provider
+
+let selections () =
+  List.init !sel_max (fun p ->
+      let get a = if p < Array.length !a then !a.(p) else 0 in
+      (p, get sel_out, get sel_in))
+
+(* ------------------------------------------------------------------ *)
+(* Derived TE-balance metrics                                          *)
+(* ------------------------------------------------------------------ *)
+
+type balance = {
+  bal_providers : int array;
+  bal_in_bytes : int array;
+  bal_out_bytes : int array;
+  bal_in_share : float array;
+  bal_out_share : float array;
+  bal_jain_in : float;
+  bal_jain_out : float;
+  bal_ratio_in : float; (* max/min provider load; infinity when min = 0 *)
+  bal_ratio_out : float;
+}
+
+let shares bytes =
+  let total = Array.fold_left ( + ) 0 bytes in
+  if total = 0 then Array.map (fun _ -> 0.0) bytes
+  else Array.map (fun b -> float_of_int b /. float_of_int total) bytes
+
+let max_min_ratio bytes =
+  if Array.length bytes = 0 then 1.0
+  else begin
+    let mx = Array.fold_left max 0 bytes in
+    let mn = Array.fold_left min max_int bytes in
+    if mx = 0 then 1.0
+    else if mn = 0 then infinity
+    else float_of_int mx /. float_of_int mn
+  end
+
+let balance ~window () =
+  let ps = Array.of_list (providers ()) in
+  let grab dir p =
+    let s = provider_stat ~provider:p dir in
+    if window then s.st_win_bytes else s.st_bytes
+  in
+  let in_bytes = Array.map (grab `In) ps in
+  let out_bytes = Array.map (grab `Out) ps in
+  { bal_providers = ps;
+    bal_in_bytes = in_bytes;
+    bal_out_bytes = out_bytes;
+    bal_in_share = shares in_bytes;
+    bal_out_share = shares out_bytes;
+    bal_jain_in = Stats.jain_index (Array.map float_of_int in_bytes);
+    bal_jain_out = Stats.jain_index (Array.map float_of_int out_bytes);
+    bal_ratio_in = max_min_ratio in_bytes;
+    bal_ratio_out = max_min_ratio out_bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Drop reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dropped () = !drops_total
+
+let drop_totals () =
+  let totals = Array.make n_causes 0 in
+  for row = 0 to !drop_row_count - 1 do
+    for c = 0 to n_causes - 1 do
+      totals.(c) <- totals.(c) + !drop_rows.((row * n_causes) + c)
+    done
+  done;
+  let l = ref [] in
+  for c = n_causes - 1 downto 0 do
+    if totals.(c) > 0 then l := (cause_of_index.(c), totals.(c)) :: !l
+  done;
+  List.sort
+    (fun (ca, na) (cb, nb) ->
+      if na <> nb then Int.compare nb na
+      else Int.compare (cause_index ca) (cause_index cb))
+    !l
+
+let drops_by_node () =
+  let out = ref [] in
+  for row = !drop_row_count - 1 downto 0 do
+    let causes = ref [] in
+    for c = n_causes - 1 downto 0 do
+      let n = !drop_rows.((row * n_causes) + c) in
+      if n > 0 then causes := (cause_of_index.(c), n) :: !causes
+    done;
+    if !causes <> [] then out := (row - 1, !causes) :: !out
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Heavy-hitter reports                                                *)
+(* ------------------------------------------------------------------ *)
+
+type heavy_hitter = { hh_key : int; hh_count : int; hh_error : int }
+
+let hitters sk =
+  List.map
+    (fun (key, count, error) ->
+      { hh_key = key; hh_count = count; hh_error = error })
+    (Sketch.entries !sk)
+
+let top_eids () = hitters eid_sketch
+let top_flows () = hitters flow_sketch
+let flow_packets_observed () = Sketch.total !flow_sketch

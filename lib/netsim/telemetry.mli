@@ -1,0 +1,219 @@
+(** Network telemetry plane: who carries the traffic, and where does it
+    die?
+
+    The simulator's links and counters know cumulative totals, but
+    nothing in the stack can answer windowed questions — how much of the
+    last second's inbound traffic entered through provider 2, which EIDs
+    are hot right now, which node is shedding packets and why.  This
+    module maintains that view: cumulative and sliding-window per-link /
+    per-node / per-provider packet+byte counters backed by ring buffers,
+    a typed drop-cause enum with per-(node, cause) counters, bounded-
+    memory Space-Saving top-k sketches for EIDs and flows, and derived
+    traffic-engineering balance metrics (per-provider shares, Jain's
+    fairness index, max/min load ratio).
+
+    Like {!Prof}, the module is process-global and **disabled by
+    default**: every hook compiled into the dataplane hot path pays one
+    flag load and branch while disabled — no allocation, no clock read
+    ([bench/bench_micro.ml] pins the cost, [test/test_telemetry.ml]
+    asserts the disabled path allocates nothing).  Telemetry observes
+    only simulated quantities against the simulated clock and never
+    schedules events or draws randomness, so enabling it leaves the
+    simulation byte-identical.
+
+    All keys are small non-negative ints: {!Topology.Link.id} values,
+    {!Topology.Node.id} values, and provider indexes from
+    [Topology.Domain.border.provider]. *)
+
+(** {1 Typed drop causes} *)
+
+type drop_cause =
+  | No_route  (** link failures disconnected the endpoints *)
+  | No_such_eid  (** destination EID is in no domain *)
+  | No_receiver  (** destination host has no receiver installed *)
+  | No_such_rloc  (** encap target RLOC is not a border router *)
+  | Rloc_unreachable  (** RLOC's access link is down *)
+  | Post_resolution_miss  (** resolution completed but installed nothing *)
+  | Mapping_resolution_drop  (** mapping system answered negatively *)
+  | Resolution_abandoned  (** retry budget exhausted while held *)
+  | Resolution_timeout  (** resolution outlived its deadline *)
+  | Resolution_queue_overflow  (** per-EID hold queue was full *)
+  | Nerd_database_miss  (** EID absent from the pushed NERD database *)
+  | No_such_eid_domain  (** resolver found no owning domain *)
+  | Pce_no_mapping_forward  (** PCE push lost the race, forward path *)
+  | Pce_no_mapping_reverse  (** PCE push lost the race, reverse path *)
+  | Cp_message_loss  (** control-plane message eaten by {!Faults} *)
+  | Outage_failure  (** query failed against a crashed node *)
+
+val drop_label : drop_cause -> string
+(** Stable wire/report label, e.g. ["resolution-timeout"].  Labels match
+    the strings the scattered drop bookkeeping used before this enum
+    existed, so traces and JSONL events are unchanged. *)
+
+val drop_cause_of_label : string -> drop_cause option
+val all_drop_causes : drop_cause list
+
+(** {1 Configuration and switching} *)
+
+type config = {
+  window_s : float;  (** sliding-window slot length, simulated seconds *)
+  slots : int;  (** ring size: the window covers [slots * window_s] *)
+  topk : int;  (** Space-Saving sketch capacity *)
+}
+
+val default_config : config
+(** 60 slots of 1 simulated second, top-32 sketches. *)
+
+val enabled : unit -> bool
+
+val start : ?config:config -> now:float -> unit -> unit
+(** Reset all accumulators and sketches, anchor the window origin at
+    [now] (simulated time) and enable. *)
+
+val stop : unit -> unit
+(** Disable; accumulated results stay readable. *)
+
+val config : unit -> config
+val window_s : unit -> float
+val slots : unit -> int
+val current_slot : unit -> int
+val slot_start : int -> float
+
+(** {1 Registration}
+
+    One-off, off the hot path. *)
+
+val register_uplink : link:int -> provider:int -> egress_dir:int -> unit
+(** Tag a provider access link so its traffic aggregates into the
+    per-provider stores.  [egress_dir] is the {!on_link} direction that
+    leaves the customer domain (0 = a→b, 1 = b→a); the other direction
+    counts as provider ingress. *)
+
+val set_node_label : int -> string -> unit
+val node_label : int -> string option
+
+(** {1 Hot-path hooks}
+
+    All are single-branch no-ops while disabled. *)
+
+val touch : now:float -> unit
+(** Advance the window clock to simulated time [now].  Call sites that
+    move packets call this once per packet; the rotation itself is a
+    compare (lazy ring invalidation does the rest). *)
+
+val on_link : link:int -> dir:int -> bytes:int -> unit
+(** One packet of [bytes] crossed link [link] in direction [dir]
+    (0 = a→b, 1 = b→a).  Registered uplinks also feed the provider
+    stores. *)
+
+val on_node_tx : node:int -> bytes:int -> unit
+(** Packet originated at [node] (host transmit). *)
+
+val on_node_rx : node:int -> bytes:int -> unit
+(** Packet delivered to [node] (host receive). *)
+
+val on_node_fwd : node:int -> bytes:int -> unit
+(** Packet transited [node] (interior hop of a routed path). *)
+
+val on_flow_packet : eid:int -> flow:int -> unit
+(** Feed the heavy-hitter sketches: one packet toward destination [eid]
+    on flow [flow] (both as raw ints). *)
+
+val on_drop : node:int -> drop_cause -> unit
+(** Packet died at [node] for [cause]; pass [node = -1] when no single
+    node is attributable (the report shows it as unattributed). *)
+
+val on_select : provider:int -> inbound:bool -> unit
+(** The IRC engine assigned a flow to an uplink of [provider]. *)
+
+(** {1 Counter results} *)
+
+type stat = {
+  st_pkts : int;  (** cumulative packets since {!start} *)
+  st_bytes : int;
+  st_win_pkts : int;  (** packets inside the sliding window *)
+  st_win_bytes : int;
+}
+
+val link_stat : link:int -> dir:int -> stat
+val node_stat : node:int -> [ `Tx | `Rx | `Fwd ] -> stat
+val provider_stat : provider:int -> [ `In | `Out ] -> stat
+(** All return zeros for keys never seen. *)
+
+val providers : unit -> int list
+(** Providers with registered uplinks or recorded traffic, ascending. *)
+
+val nodes : unit -> int list
+val links : unit -> int list
+
+type slot_sample = {
+  sl_slot : int;  (** absolute window index since {!start} *)
+  sl_start : float;  (** simulated time the window opened *)
+  sl_pkts : int;
+  sl_bytes : int;
+}
+
+val link_series : link:int -> dir:int -> slot_sample list
+val provider_series : provider:int -> [ `In | `Out ] -> slot_sample list
+(** Retained windows in ascending slot order (empty slots omitted). *)
+
+val selections : unit -> (int * int * int) list
+(** Per provider: (provider, outbound assignments, inbound assignments)
+    made by the IRC engine since {!start}. *)
+
+(** {1 Derived TE-balance metrics} *)
+
+type balance = {
+  bal_providers : int array;
+  bal_in_bytes : int array;
+  bal_out_bytes : int array;
+  bal_in_share : float array;  (** fraction of total inbound bytes *)
+  bal_out_share : float array;
+  bal_jain_in : float;  (** Jain fairness of inbound provider loads *)
+  bal_jain_out : float;
+  bal_ratio_in : float;  (** max/min provider load; [infinity] if min 0 *)
+  bal_ratio_out : float;
+}
+
+val balance : window:bool -> unit -> balance
+(** TE balance across providers, over the sliding window
+    ([window:true]) or cumulatively. *)
+
+(** {1 Drop reports} *)
+
+val dropped : unit -> int
+val drop_totals : unit -> (drop_cause * int) list
+(** Per-cause totals, descending count. *)
+
+val drops_by_node : unit -> (int * (drop_cause * int) list) list
+(** Per-node cause breakdowns, ascending node; node [-1] collects drops
+    recorded without an attributable node. *)
+
+(** {1 Heavy hitters} *)
+
+type heavy_hitter = {
+  hh_key : int;
+  hh_count : int;  (** estimated count: true count <= this *)
+  hh_error : int;  (** over-estimation bound: true >= count - error *)
+}
+
+val top_eids : unit -> heavy_hitter list
+val top_flows : unit -> heavy_hitter list
+(** Monitored keys, descending estimated count.  Any key whose true
+    frequency exceeds [total/topk] is guaranteed present. *)
+
+val flow_packets_observed : unit -> int
+
+(** {1 Sketch internals (exposed for tests)} *)
+
+module Sketch : sig
+  type t
+
+  val create : cap:int -> t
+  val observe : t -> int -> unit
+  val entries : t -> (int * int * int) list
+  (** (key, estimated count, error) descending by count. *)
+
+  val total : t -> int
+  val reset : t -> unit
+end

@@ -184,11 +184,16 @@ let path_between t a b =
 
 let account_path t ~src ~dst ~bytes =
   let path = path_between t src dst in
+  let telemetry = Netsim.Telemetry.enabled () in
   let rec charge = function
-    | u :: (v :: _ as rest) ->
+    | u :: (v :: tail as rest) ->
         (match link_between t u v with
         | Some link -> Link.account link ~src:u ~bytes
         | None -> assert false);
+        (* Interior hops transit [v]; endpoints are charged by the
+           dataplane as tx/rx instead. *)
+        if telemetry && tail <> [] then
+          Netsim.Telemetry.on_node_fwd ~node:v ~bytes;
         charge rest
     | [ _ ] | [] -> ()
   in

@@ -21,6 +21,10 @@ val create :
     entering its destination domain, never to transit through a
     third domain. *)
 
+val id : t -> int
+(** Process-global sequential id (creation order), the key for the
+    telemetry plane's per-link stores. *)
+
 val a : t -> Node.id
 val b : t -> Node.id
 val latency : t -> float
@@ -42,7 +46,10 @@ val set_up_internal : t -> bool -> unit
     caches behind — always go through the graph. *)
 
 val account : t -> src:Node.id -> bytes:int -> unit
-(** Record [bytes] flowing from endpoint [src] toward the other end. *)
+(** Record [bytes] flowing from endpoint [src] toward the other end.
+    Also feeds the telemetry plane's windowed per-link (and, for
+    registered uplinks, per-provider) counters when
+    {!Netsim.Telemetry.enabled} — one flag test otherwise. *)
 
 val bytes_from : t -> Node.id -> int
 (** Cumulative bytes sent from the given endpoint over this link. *)

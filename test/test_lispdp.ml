@@ -406,7 +406,9 @@ type script = {
   mutable decision : Dataplane.miss_decision;
 }
 
-let make_world ?(decision = Dataplane.Miss_drop "scripted-miss") () =
+let make_world
+    ?(decision = Dataplane.Miss_drop Netsim.Telemetry.Mapping_resolution_drop)
+    () =
   let engine = Netsim.Engine.create () in
   let internet = Topology.Builder.figure1 () in
   let script = { misses = []; etr_notes = []; decision } in
@@ -453,7 +455,7 @@ let test_dataplane_miss_goes_to_cp () =
   Alcotest.(check int) "dropped" 1 counters.Dataplane.dropped;
   Alcotest.(check int) "not delivered" 0 counters.Dataplane.delivered;
   Alcotest.(check (list (pair string int))) "drop causes"
-    [ ("scripted-miss", 1) ]
+    [ ("mapping-resolution-drop", 1) ]
     (Dataplane.drop_causes dp)
 
 let test_dataplane_mapping_delivery () =

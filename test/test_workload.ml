@@ -25,7 +25,9 @@ let make_blackhole () =
     { Lispdp.Dataplane.cp_name = "blackhole";
       cp_choose_egress =
         (fun ~src_domain _flow -> src_domain.Topology.Domain.borders.(0));
-      cp_handle_miss = (fun _ _ -> Lispdp.Dataplane.Miss_drop "blackhole");
+      cp_handle_miss =
+        (fun _ _ ->
+          Lispdp.Dataplane.Miss_drop Netsim.Telemetry.Mapping_resolution_drop);
       cp_note_etr_packet = (fun _ ~outer_src:_ _ -> ()) }
   in
   let dataplane = Lispdp.Dataplane.create ~engine ~internet ~control_plane () in
@@ -104,9 +106,10 @@ let test_tcp_retry_after_transient_loss () =
              with
             | Some m -> Lispdp.Dataplane.install_mapping dp router m
             | None -> ());
-            Lispdp.Dataplane.Miss_drop "first-syn"
+            Lispdp.Dataplane.Miss_drop
+              Netsim.Telemetry.Mapping_resolution_drop
           end
-          else Lispdp.Dataplane.Miss_drop "unexpected")
+          else Lispdp.Dataplane.Miss_drop Netsim.Telemetry.No_route)
       ;
       cp_note_etr_packet =
         (fun router ~outer_src packet ->
