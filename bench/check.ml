@@ -442,6 +442,102 @@ let check_telemetry ~id ~base ~cur =
       in
       ok_findings @ determinism
 
+(* Adversarial-robustness rows ("security" block, SEC experiments).
+   Same two strict gates as the cache and telemetry blocks:
+
+   - every current row's "ok" flag must be true (the poisoning-success
+     or cache-pollution gate the experiment states; ungated reference
+     cells carry ok=true by construction);
+   - when the baseline experiment also has a security block, the cell
+     set must match label-for-label and the measured counts and rates
+     must be identical up to the JSON float round-trip (determinism:
+     attack attempts, verdicts and setup times are simulated only). *)
+let security_rows_of json =
+  Option.bind (Obs.Json.member "security" json) Security_record.rows_of_json
+
+let check_security ~id ~base ~cur =
+  let base_rows = Option.bind base security_rows_of in
+  match (security_rows_of cur, base_rows) with
+  | None, Some brs when brs <> [] ->
+      [ { f_exp = id; f_field = "security";
+          f_base = Printf.sprintf "%d row(s)" (List.length brs);
+          f_cur = "missing"; f_threshold = "present"; f_class = Strict;
+          f_ok = false; f_note = "security block disappeared" } ]
+  | None, _ -> []
+  | Some crs, base_rows ->
+      let ok_findings =
+        List.map
+          (fun (r : Security_record.row) ->
+            let gated = r.Security_record.r_gate <> "-" in
+            { f_exp = id;
+              f_field =
+                Printf.sprintf "security[%s].ok" r.Security_record.r_run;
+              f_base = "true";
+              f_cur = string_of_bool r.Security_record.r_ok;
+              f_threshold = "= true"; f_class = Strict;
+              f_ok = r.Security_record.r_ok;
+              f_note =
+                (if gated then
+                   Printf.sprintf "attack gate %S (success %s, pollution %s)"
+                     r.Security_record.r_gate
+                     (f3 r.Security_record.r_success)
+                     (f3 r.Security_record.r_pollution)
+                 else "ungated cell (reference point)") })
+          crs
+      in
+      let determinism =
+        match base_rows with
+        | None | Some [] -> []
+        | Some brs ->
+            let blabels = List.map (fun r -> r.Security_record.r_run) brs
+            and clabels = List.map (fun r -> r.Security_record.r_run) crs in
+            if blabels <> clabels then
+              [ { f_exp = id; f_field = "security.rows";
+                  f_base = String.concat "," blabels;
+                  f_cur = String.concat "," clabels;
+                  f_threshold = "same cells"; f_class = Strict;
+                  f_ok = false; f_note = "security cell set changed" } ]
+            else
+              List.concat
+                (List.map2
+                   (fun (b : Security_record.row) (c : Security_record.row) ->
+                     let fpair field bv cv =
+                       { f_exp = id;
+                         f_field =
+                           Printf.sprintf "security[%s].%s"
+                             b.Security_record.r_run field;
+                         f_base = Printf.sprintf "%.9g" bv;
+                         f_cur = Printf.sprintf "%.9g" cv;
+                         f_threshold = Printf.sprintf "rel %.0e" rel_eps;
+                         f_class = Strict; f_ok = approx_equal bv cv;
+                         f_note = field ^ " (deterministic)" }
+                     in
+                     let ipair field bv cv =
+                       { f_exp = id;
+                         f_field =
+                           Printf.sprintf "security[%s].%s"
+                             b.Security_record.r_run field;
+                         f_base = string_of_int bv;
+                         f_cur = string_of_int cv; f_threshold = "exact";
+                         f_class = Strict; f_ok = bv = cv;
+                         f_note = field ^ " (deterministic)" }
+                     in
+                     [ ipair "attempted" b.Security_record.r_attempted
+                         c.Security_record.r_attempted;
+                       ipair "accepted" b.Security_record.r_accepted
+                         c.Security_record.r_accepted;
+                       ipair "gleaned" b.Security_record.r_gleaned
+                         c.Security_record.r_gleaned;
+                       fpair "success" b.Security_record.r_success
+                         c.Security_record.r_success;
+                       fpair "pollution" b.Security_record.r_pollution
+                         c.Security_record.r_pollution;
+                       fpair "setup_mean" b.Security_record.r_setup_mean
+                         c.Security_record.r_setup_mean ])
+                   brs crs)
+      in
+      ok_findings @ determinism
+
 (* Engine dispatch floors: absolute thresholds on the current record's
    "engine" block (no baseline needed — the floor is the acceptance
    bar, not a ratchet).  Records without the block (pre-engine-block
@@ -585,7 +681,8 @@ let main args =
         | Some cexp ->
             check_experiment ~tolerance:!tolerance ~id ~base:bexp ~cur:cexp
             @ check_cache ~id ~base:(Some bexp) ~cur:cexp
-            @ check_telemetry ~id ~base:(Some bexp) ~cur:cexp)
+            @ check_telemetry ~id ~base:(Some bexp) ~cur:cexp
+            @ check_security ~id ~base:(Some bexp) ~cur:cexp)
       base_exps
     @ (* Cache model agreement and telemetry fairness gates apply even
          to experiments absent from the baseline (scale-only cells):
@@ -595,6 +692,7 @@ let main args =
         if List.assoc_opt id base_exps = None then
           check_cache ~id ~base:None ~cur:cexp
           @ check_telemetry ~id ~base:None ~cur:cexp
+          @ check_security ~id ~base:None ~cur:cexp
         else [])
       cur_exps
     @ check_engine cur

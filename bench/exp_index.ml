@@ -68,6 +68,10 @@ let all : entry list =
       print = Exp_m2.print };
     { exp_id = Exp_m3.id; exp_title = Exp_m3.title; tables = Exp_m3.tables;
       print = Exp_m3.print };
+    { exp_id = Exp_sec1.id; exp_title = Exp_sec1.title;
+      tables = Exp_sec1.tables; print = Exp_sec1.print };
+    { exp_id = Exp_sec2.id; exp_title = Exp_sec2.title;
+      tables = Exp_sec2.tables; print = Exp_sec2.print };
     { exp_id = "micro"; exp_title = "Micro-benchmarks (Bechamel)";
       tables = (fun () -> []); print = Bench_micro.print } ]
 

@@ -35,6 +35,9 @@ type outcome = {
   out_telemetry : Telemetry_record.row list;
       (* TE-balance telemetry cells (telemetry-enabled experiments);
          simulated quantities only, so identical whatever the job count *)
+  out_security : Security_record.row list;
+      (* adversarial-robustness cells (SEC experiments); simulated
+         quantities only, so identical whatever the job count *)
 }
 
 (* Summary record marshalled from worker to parent: plain scalars,
@@ -53,6 +56,7 @@ type summary = {
   s_prof : (Obs.Prof.report * (string * float) list) option;
   s_cache : Cache_record.row list;
   s_telemetry : Telemetry_record.row list;
+  s_security : Security_record.row list;
 }
 
 let peak_rss_kb () =
@@ -128,6 +132,7 @@ let spawn ~latency ~profile ~prof_file index task =
       (* Rows must be this task's alone, whatever the parent had. *)
       Cache_record.reset ();
       Telemetry_record.reset ();
+      Security_record.reset ();
       if profile then begin
         if prof_file <> None then Obs.Prof.set_record_intervals true;
         Obs.Prof.start ()
@@ -176,7 +181,8 @@ let spawn ~latency ~profile ~prof_file index task =
           s_events = Netsim.Engine.total_events_processed () - events0;
           s_rss_kb = peak_rss_kb (); s_ok = ok; s_latency = lat;
           s_prof = prof; s_cache = Cache_record.rows ();
-          s_telemetry = Telemetry_record.rows () }
+          s_telemetry = Telemetry_record.rows ();
+          s_security = Security_record.rows () }
       in
       flush_std ();
       let blob = Marshal.to_bytes summary [] in
@@ -200,7 +206,8 @@ let collect w =
     if Bytes.length blob = 0 then
       (* Worker died before reporting (segfault, kill): synthesise. *)
       { s_wall = 0.0; s_events = 0; s_rss_kb = 0; s_ok = false;
-        s_latency = []; s_prof = None; s_cache = []; s_telemetry = [] }
+        s_latency = []; s_prof = None; s_cache = []; s_telemetry = [];
+        s_security = [] }
     else (Marshal.from_bytes blob 0 : summary)
   in
   let text = try read_file w.w_out_file with Sys_error _ -> "" in
@@ -209,7 +216,8 @@ let collect w =
     out_text = text; out_wall = summary.s_wall; out_events = summary.s_events;
     out_peak_rss_kb = summary.s_rss_kb; out_ok = summary.s_ok;
     out_latency = summary.s_latency; out_prof = summary.s_prof;
-    out_cache = summary.s_cache; out_telemetry = summary.s_telemetry }
+    out_cache = summary.s_cache; out_telemetry = summary.s_telemetry;
+    out_security = summary.s_security }
 
 let log_line o =
   let rate =
@@ -353,19 +361,23 @@ let bench_json ?engine ~jobs ~total_wall outcomes =
           | Some (report, gc) -> Obs.Prof.json_of_report ~gc report
           | None -> Obs.Json.Null ) ]
       @
-      (* Only experiments that measured cache or telemetry cells carry
-         the block, so the schema of every other experiment object is
-         unchanged. *)
+      (* Only experiments that measured cache, telemetry or security
+         cells carry the block, so the schema of every other experiment
+         object is unchanged. *)
       (match o.out_cache with
       | [] -> []
       | rows -> [ ("cache", Cache_record.json_of_rows rows) ])
       @
-      match o.out_telemetry with
+      (match o.out_telemetry with
       | [] -> []
       | rows -> [ ("telemetry", Telemetry_record.json_of_rows rows) ])
+      @
+      match o.out_security with
+      | [] -> []
+      | rows -> [ ("security", Security_record.json_of_rows rows) ])
   in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "lisp-pce-bench/5");
+    ([ ("schema", Obs.Json.String "lisp-pce-bench/6");
        ("jobs", Obs.Json.Int jobs);
        ("total_wall_s", Obs.Json.Float total_wall);
        ( "total_events",

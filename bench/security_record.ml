@@ -1,0 +1,73 @@
+(* Adversarial-robustness rows for BENCH.json.
+
+   The SEC experiments record one [row] per attack cell here
+   (process-global, like {!Cache_record} and {!Telemetry_record}); the
+   bench runner ships the rows from the worker back to the parent,
+   [Runner.bench_json] emits them as the experiment's "security" block,
+   and `bench --check` gates on them: every row's [r_ok] is strict (the
+   poisoning-success or pollution gate the experiment states), and the
+   measured rates are deterministic against the committed baseline.
+
+   All quantities are simulated — attack attempts, acceptance verdicts,
+   cache pollution and setup percentiles cannot depend on worker count
+   or wall-clock. *)
+
+type row = {
+  r_run : string;  (* cell label, unique within the experiment *)
+  r_cp : string;  (* control-plane label *)
+  r_attempted : int;  (* attacker-side attempts (forged+replayed+poisoned) *)
+  r_accepted : int;  (* attempts that beat verification *)
+  r_success : float;  (* accepted / attempted; 0 when nothing attempted *)
+  r_gleaned : int;  (* live gleaned cache entries at end of run *)
+  r_glean_rejected : int;  (* gleaned inserts refused by the admission cap *)
+  r_pollution : float;  (* gleaned fraction of the victim's map-caches *)
+  r_setup_mean : float;  (* mean T_setup, simulated seconds *)
+  r_gate : string;  (* human-readable gate; "-" = ungated reference cell *)
+  r_ok : bool;  (* the gate held (always true when ungated) *)
+}
+
+let current : row list ref = ref []
+let record row = current := row :: !current
+let rows () = List.rev !current
+let reset () = current := []
+
+let success_rate ~attempted ~accepted =
+  if attempted = 0 then 0.0
+  else float_of_int accepted /. float_of_int attempted
+
+let json_of_row r =
+  Obs.Json.Obj
+    [ ("run", Obs.Json.String r.r_run);
+      ("cp", Obs.Json.String r.r_cp);
+      ("attempted", Obs.Json.Int r.r_attempted);
+      ("accepted", Obs.Json.Int r.r_accepted);
+      ("success", Obs.Json.Float r.r_success);
+      ("gleaned", Obs.Json.Int r.r_gleaned);
+      ("glean_rejected", Obs.Json.Int r.r_glean_rejected);
+      ("pollution", Obs.Json.Float r.r_pollution);
+      ("setup_mean", Obs.Json.Float r.r_setup_mean);
+      ("gate", Obs.Json.String r.r_gate);
+      ("ok", Obs.Json.Bool r.r_ok) ]
+
+let json_of_rows rows = Obs.Json.List (List.map json_of_row rows)
+
+let row_of_json json =
+  let str name = Option.bind (Obs.Json.member name json) Obs.Json.to_string_opt in
+  let int name = Option.bind (Obs.Json.member name json) Obs.Json.to_int_opt in
+  let flt name = Option.bind (Obs.Json.member name json) Obs.Json.to_float_opt in
+  match (str "run", str "cp", int "attempted", int "accepted", flt "success",
+         int "gleaned", int "glean_rejected", flt "pollution",
+         flt "setup_mean", str "gate",
+         Option.bind (Obs.Json.member "ok" json) Obs.Json.to_bool_opt)
+  with
+  | ( Some r_run, Some r_cp, Some r_attempted, Some r_accepted,
+      Some r_success, Some r_gleaned, Some r_glean_rejected,
+      Some r_pollution, Some r_setup_mean, Some r_gate, Some r_ok ) ->
+      Some
+        { r_run; r_cp; r_attempted; r_accepted; r_success; r_gleaned;
+          r_glean_rejected; r_pollution; r_setup_mean; r_gate; r_ok }
+  | _ -> None
+
+let rows_of_json = function
+  | Obs.Json.List l -> Some (List.filter_map row_of_json l)
+  | _ -> None

@@ -700,7 +700,43 @@ let connect_cmd =
                  fault layer: DNS answers bypass dead PCEs after a \
                  watchdog and cache misses degrade to pull resolution.")
   in
-  let run cp_name verbose cp_loss cp_retries cp_rto cache_policy pce_crash =
+  let attack_spoof =
+    Arg.(value & opt float 0.0 & info [ "attack-spoof" ] ~docv:"P"
+           ~doc:"Probability a map-request is raced by a forged reply \
+                 (0 disables the adversary layer entirely).")
+  in
+  let attack_replay =
+    Arg.(value & opt float 0.0 & info [ "attack-replay" ] ~docv:"P"
+           ~doc:"Probability a stale captured map-reply is replayed at a \
+                 resolution.")
+  in
+  let attack_dns_poison =
+    Arg.(value & opt float 0.0 & info [ "attack-dns-poison" ] ~docv:"P"
+           ~doc:"Probability a final DNS answer is raced by a forged \
+                 record.")
+  in
+  let auth_nonce =
+    Arg.(value & flag & info [ "auth-nonce" ]
+           ~doc:"Verify the map-reply nonce echo (rejects blind forgery \
+                 and replay).")
+  in
+  let auth_sig =
+    Arg.(value & flag & info [ "auth-sig" ]
+           ~doc:"Require signed map-replies; every legitimate reply pays \
+                 the verification CPU cost.")
+  in
+  let auth_dnssec =
+    Arg.(value & flag & info [ "auth-dnssec" ]
+           ~doc:"Validate DNS answers (forged records are discarded).")
+  in
+  let glean_cap =
+    Arg.(value & opt (some int) None & info [ "glean-cap" ] ~docv:"N"
+           ~doc:"Bound the gleaned-entry population per map-cache (and \
+                 the pull glean tables).")
+  in
+  let run cp_name verbose cp_loss cp_retries cp_rto cache_policy pce_crash
+      attack_spoof attack_replay attack_dns_poison auth_nonce auth_sig
+      auth_dnssec glean_cap =
     let cp =
       match cp_of_string cp_name with
       | Some cp -> cp
@@ -770,10 +806,37 @@ let connect_cmd =
       | windows ->
           Some { Scenario.default_node_faults with Scenario.node_windows = windows }
     in
+    List.iter
+      (fun (flag, p) ->
+        if p < 0.0 || p > 1.0 then begin
+          Printf.eprintf "--%s must be in [0, 1]\n" flag;
+          exit 1
+        end)
+      [ ("attack-spoof", attack_spoof); ("attack-replay", attack_replay);
+        ("attack-dns-poison", attack_dns_poison) ];
+    (* Like the fault layers: no adversary (and no countermeasure
+       profile) exists at all unless explicitly requested. *)
+    let attack =
+      if attack_spoof > 0.0 || attack_replay > 0.0 || attack_dns_poison > 0.0
+      then
+        Some
+          { Scenario.default_attack with
+            Scenario.atk_spoof = attack_spoof; atk_replay = attack_replay;
+            atk_dns_poison = attack_dns_poison }
+      else None
+    in
+    let auth =
+      if auth_nonce || auth_sig || auth_dnssec || glean_cap <> None then
+        Some
+          { Scenario.default_auth with
+            Scenario.auth_nonce; auth_sig; auth_dnssec;
+            auth_glean_cap = glean_cap }
+      else None
+    in
     let scenario =
       Scenario.build
         { Scenario.default_config with
-          Scenario.cp; cp_faults; node_faults; cache_policy }
+          Scenario.cp; cp_faults; node_faults; cache_policy; attack; auth }
     in
     if verbose then Netsim.Trace.set_enabled (Scenario.trace scenario) true;
     let internet = Scenario.internet scenario in
@@ -818,14 +881,29 @@ let connect_cmd =
         | None -> ()
         | Some pull ->
             Format.printf "pull fallback : %d resolution(s)@."
-              (Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions)
+              (Mapsys.Pull.stats pull).Mapsys.Cp_stats.resolutions);
+    (match Scenario.adversary scenario with
+    | None -> ()
+    | Some adv ->
+        let stats = Scenario.cp_stats scenario in
+        let dns_counters = Dnssim.System.counters (Scenario.dns scenario) in
+        Format.printf "forged replies: %d (%d accepted)@."
+          (Netsim.Adversary.forged_replies adv)
+          stats.Mapsys.Cp_stats.spoofed_accepted;
+        Format.printf "replayed      : %d (%d accepted)@."
+          (Netsim.Adversary.replayed_replies adv)
+          stats.Mapsys.Cp_stats.replayed_accepted;
+        Format.printf "dns poisoned  : %d (%d accepted)@."
+          (Netsim.Adversary.poisoned_answers adv)
+          dns_counters.Dnssim.System.poisoned_accepted)
   in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Run one measured DNS-then-TCP connection on the Figure-1 scenario.")
     Term.(
       const run $ cp $ verbose $ cp_loss $ cp_retries $ cp_rto $ cache_policy
-      $ pce_crash)
+      $ pce_crash $ attack_spoof $ attack_replay $ attack_dns_poison
+      $ auth_nonce $ auth_sig $ auth_dnssec $ glean_cap)
 
 (* ------------------------------------------------------------------ *)
 (* prof                                                                *)

@@ -46,6 +46,42 @@ type node_fault_profile = {
 let default_node_faults =
   { node_windows = []; pce_watchdog = 0.25; fallback_queue = 32 }
 
+type attack_profile = {
+  atk_spoof : float;
+  atk_spoof_head_start : float;
+  atk_replay : float;
+  atk_dns_poison : float;
+  atk_flood_rate : float;
+  atk_flood_eids : int;
+  atk_flood_from : float;
+  atk_flood_until : float;
+  atk_flood_victim : int;
+}
+
+let default_attack =
+  { atk_spoof = 0.0; atk_spoof_head_start = 0.002; atk_replay = 0.0;
+    atk_dns_poison = 0.0; atk_flood_rate = 0.0; atk_flood_eids = 1024;
+    atk_flood_from = 0.0; atk_flood_until = infinity; atk_flood_victim = 0 }
+
+(* Forged source EID of the [idx]-th scan identity: unallocated space
+   (no generated topology owns 200.0.0.0/8), so the gleaned host route
+   is pure pollution.  Exposed so experiments can probe end-of-run
+   caches for attacker-owned entries. *)
+let flood_eid idx = Ipv4.addr_of_int (0xC800_0000 lor idx)
+
+type auth_profile = {
+  auth_nonce : bool;
+  auth_sig : bool;
+  auth_sig_cpu : float;
+  auth_dnssec : bool;
+  auth_glean_cap : int option;
+}
+
+let default_auth =
+  { auth_nonce = false; auth_sig = false;
+    auth_sig_cpu = Wire.Auth.default_sig_cpu_cost; auth_dnssec = false;
+    auth_glean_cap = None }
+
 type config = {
   seed : int;
   topology :
@@ -67,6 +103,15 @@ type config = {
   telemetry : Netsim.Telemetry.config option;
       (** enable the telemetry plane with this window/sketch config;
           [None] = disabled (zero hot-path cost) *)
+  attack : attack_profile option;
+      (** adversarial injection; [None] = no adversary, byte-identical
+          to pre-adversary behaviour *)
+  auth : auth_profile option;
+      (** countermeasures; [None] = none (legacy behaviour) *)
+  run_label : string option;
+      (** overrides the exporter run label (default: [cp_label]) so one
+          sweep can report several differently-armed cells of the same
+          control plane *)
 }
 
 let default_config =
@@ -74,7 +119,8 @@ let default_config =
     mapping_ttl = 60.0; dns_record_ttl = 3600.0; cache_capacity = 10_000;
     cache_policy = Lispdp.Map_cache.Lru; alt_fanout = 2; alt_hop_latency = 0.020; initial_rto = 1.0;
     data_gap = 0.002; nerd_propagation = 30.0; cp_faults = None;
-    node_faults = None; telemetry = None }
+    node_faults = None; telemetry = None; attack = None; auth = None;
+    run_label = None }
 
 type connection = {
   flow : Flow.t;
@@ -111,6 +157,7 @@ type t = {
   rng : Netsim.Rng.t;
   faults : Netsim.Faults.t option;
   lifecycle : Netsim.Lifecycle.t option;
+  adversary : Netsim.Adversary.t option;
   fallback_pull : Mapsys.Pull.t option;
   trace : Netsim.Trace.t;
   obs : Obs.Hub.t;
@@ -129,6 +176,7 @@ let registry t = t.registry
 let rng t = t.rng
 let faults t = t.faults
 let lifecycle t = t.lifecycle
+let adversary t = t.adversary
 let fallback_pull t = t.fallback_pull
 let config t = t.config
 let trace t = t.trace
@@ -250,10 +298,40 @@ let build config =
     | Cp_nerd | Cp_cons | Cp_msmr ->
         300.0
   in
+  (* The adversary's stream, like the fault model's, is derived from the
+     seed independently of the workload streams; without an attack
+     profile no adversary exists and no hook takes any draw. *)
+  let adversary =
+    match config.attack with
+    | None -> None
+    | Some a ->
+        Some
+          (Netsim.Adversary.create
+             ~rng:(Netsim.Rng.create (config.seed lxor 0xAD5A))
+             ~spoof_rate:a.atk_spoof ~spoof_head_start:a.atk_spoof_head_start
+             ~replay_rate:a.atk_replay ~dns_poison_rate:a.atk_dns_poison
+             ~flood_rate:a.atk_flood_rate ~flood_eids:a.atk_flood_eids
+             ~flood_from:a.atk_flood_from ~flood_until:a.atk_flood_until ())
+  in
+  (* Nonce stream: always created (nonce values feed no observable
+     quantity except the adversary's guess comparison), dedicated so
+     countermeasure toggles never perturb workload draws. *)
+  let nonce_rng = Netsim.Rng.create (config.seed lxor 0x4E43) in
+  let pull_auth =
+    match config.auth with
+    | None -> None
+    | Some p ->
+        Some
+          { Mapsys.Pull.nonce_check = p.auth_nonce; signatures = p.auth_sig;
+            sig_cpu_cost = p.auth_sig_cpu }
+  in
+  let glean_cap =
+    match config.auth with Some p -> p.auth_glean_cap | None -> None
+  in
   let make_dataplane control_plane =
     Lispdp.Dataplane.create ~engine ~internet ~control_plane
       ~cache_capacity:config.cache_capacity ~cache_policy:config.cache_policy
-      ~flow_ttl ~trace ~obs ()
+      ?glean_cap ~flow_ttl ~trace ~obs ()
   in
   (* Split unconditionally so every control plane leaves the scenario
      RNG in the same state — workloads drawn from later splits must be
@@ -315,7 +393,8 @@ let build config =
         in
         let pull =
           Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?name ~smr
-            ?faults ?retry ?lifecycle ~obs ()
+            ?faults ?retry ?lifecycle ~nonce_rng ?adversary ?auth:pull_auth
+            ?glean_cap ~obs ()
         in
         let dp = make_dataplane (Mapsys.Pull.control_plane pull) in
         Mapsys.Pull.attach pull dp;
@@ -331,7 +410,7 @@ let build config =
     | Cp_cons ->
         let cons =
           Mapsys.Cons.create ~engine ~internet ~registry ~alt ?faults ?retry
-            ~obs ()
+            ~nonce_rng ?adversary ?auth:pull_auth ?glean_cap ~obs ()
         in
         let dp = make_dataplane (Mapsys.Cons.control_plane cons) in
         Mapsys.Cons.attach cons dp;
@@ -339,7 +418,7 @@ let build config =
     | Cp_msmr ->
         let msmr =
           Mapsys.Msmr.create ~engine ~internet ~registry ~alt ?faults ?retry
-            ~obs ()
+            ~nonce_rng ?adversary ?auth:pull_auth ?glean_cap ~obs ()
         in
         let dp = make_dataplane (Mapsys.Msmr.control_plane msmr) in
         Mapsys.Msmr.attach msmr dp;
@@ -357,7 +436,7 @@ let build config =
                      ~mode:
                        (Mapsys.Pull.Queue_while_pending profile.fallback_queue)
                      ~name:"pce-pull-fallback" ?faults ?retry ~lifecycle:lc
-                     ~obs ()),
+                     ~nonce_rng ?adversary ?auth:pull_auth ?glean_cap ~obs ()),
                 profile.pce_watchdog )
           | _ -> (None, 0.25)
         in
@@ -379,6 +458,62 @@ let build config =
     Workload.Tcp.create ~engine ~dataplane ~initial_rto:config.initial_rto
       ~data_gap:config.data_gap ~obs ()
   in
+  (* DNSSEC-style validation is a resolver property, independent of
+     whether an attacker is present. *)
+  (match config.auth with
+  | Some p when p.auth_dnssec -> Dnssim.System.set_authenticated dns true
+  | Some _ | None -> ());
+  (match (adversary, config.attack) with
+  | Some adv, Some a ->
+      (* Off-path DNS poisoning: each final answer is raced with a
+         forged class-E address per the adversary's rate. *)
+      if a.atk_dns_poison > 0.0 then
+        Dnssim.System.set_poisoner dns
+          (Some
+             (fun ~qname:_ ->
+               if Netsim.Adversary.poisons_answer adv then
+                 Some (Ipv4.addr_of_int 0xF000_0024)
+               else None));
+      (* EID-scan flood: spoofed packets arriving at the victim domain's
+         ETRs from forged source EIDs, driving gleaned-entry pollution
+         through the control plane's [cp_note_etr_packet] hook. *)
+      if Netsim.Adversary.flood_configured adv then begin
+        let victim =
+          if
+            a.atk_flood_victim < 0
+            || a.atk_flood_victim
+               >= Array.length internet.Topology.Builder.domains
+          then invalid_arg "Scenario.build: flood victim domain out of range"
+          else internet.Topology.Builder.domains.(a.atk_flood_victim)
+        in
+        let routers = Lispdp.Dataplane.routers_of_domain dataplane victim in
+        let victim_eid = Topology.Domain.host_eid victim 0 in
+        let cp_hook = Lispdp.Dataplane.control_plane dataplane in
+        let rec pump () =
+          let now = Netsim.Engine.now engine in
+          if Netsim.Adversary.flood_active adv ~now then begin
+            let idx = Netsim.Adversary.flood_eid_index adv in
+            (* Forged source EID ({!flood_eid}) with a matching forged
+               outer-source RLOC: the gleaned host route is pure
+               pollution. *)
+            let src = flood_eid idx in
+            let flow = Flow.create ~src ~dst:victim_eid () in
+            let packet =
+              Packet.make ~flow ~segment:Packet.Ack ~sent_at:now
+            in
+            let router = routers.(idx mod Array.length routers) in
+            cp_hook.Lispdp.Dataplane.cp_note_etr_packet router
+              ~outer_src:(Some (Ipv4.addr_of_int (0xF100_0000 lor idx)))
+              packet
+          end;
+          if now < a.atk_flood_until then
+            ignore
+              (Netsim.Engine.schedule engine
+                 ~delay:(Netsim.Adversary.flood_interarrival adv) pump)
+        in
+        ignore (Netsim.Engine.schedule_at engine ~time:a.atk_flood_from pump)
+      end
+  | _ -> ());
   (match lifecycle with
   | None -> ()
   | Some lc ->
@@ -527,15 +662,45 @@ let build config =
           let ps = Mapsys.Pull.stats pull in
           gauge "cp.fallback_resolutions" (fun () ->
               fi ps.Mapsys.Cp_stats.resolutions)));
+  (match adversary with
+  | None -> ()
+  | Some adv ->
+      gauge "adversary.forged_replies" (fun () ->
+          fi (Netsim.Adversary.forged_replies adv));
+      gauge "adversary.replayed_replies" (fun () ->
+          fi (Netsim.Adversary.replayed_replies adv));
+      gauge "adversary.poisoned_answers" (fun () ->
+          fi (Netsim.Adversary.poisoned_answers adv));
+      gauge "adversary.flood_packets" (fun () ->
+          fi (Netsim.Adversary.flood_packets adv));
+      gauge "cp.spoofed_accepted" (fun () ->
+          fi cps.Mapsys.Cp_stats.spoofed_accepted);
+      gauge "cp.spoofed_rejected" (fun () ->
+          fi cps.Mapsys.Cp_stats.spoofed_rejected);
+      gauge "cp.replayed_accepted" (fun () ->
+          fi cps.Mapsys.Cp_stats.replayed_accepted);
+      gauge "cp.replayed_rejected" (fun () ->
+          fi cps.Mapsys.Cp_stats.replayed_rejected);
+      gauge "dns.poisoned_accepted" (fun () ->
+          fi dnsc.Dnssim.System.poisoned_accepted);
+      gauge "dns.poisoned_rejected" (fun () ->
+          fi dnsc.Dnssim.System.poisoned_rejected);
+      gauge "cache.gleaned" (fun () ->
+          fi (Lispdp.Dataplane.gleaned_total dataplane));
+      gauge "cache.glean_rejections" (fun () ->
+          fi
+            (Lispdp.Dataplane.cache_stats_totals dataplane)
+              .Lispdp.Map_cache.glean_rejections));
   let dns_time_hist = Obs.Registry.histogram obs_registry "conn.dns_time" in
   let setup_time_hist = Obs.Registry.histogram obs_registry "conn.setup_time" in
   (* Exporters installed by the CLI pick the scenario up here; without
      an installed runtime this is a no-op and the hub stays disabled. *)
-  Obs.Runtime.attach ~label:(cp_label config.cp) ~hub:obs
-    ~registry:obs_registry ();
+  Obs.Runtime.attach
+    ~label:(Option.value config.run_label ~default:(cp_label config.cp))
+    ~hub:obs ~registry:obs_registry ();
   { config; engine; internet; dns; registry; dataplane; tcp; cp; rng; faults;
-    lifecycle; fallback_pull = !fallback_pull; trace; obs; obs_registry;
-    dns_time_hist; setup_time_hist; connections_rev = [] }
+    lifecycle; adversary; fallback_pull = !fallback_pull; trace; obs;
+    obs_registry; dns_time_hist; setup_time_hist; connections_rev = [] }
 
 let open_connection t ~flow ?data_packets ?data_bytes ?on_established
     ?on_complete () =

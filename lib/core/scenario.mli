@@ -68,6 +68,58 @@ val default_node_faults : node_fault_profile
 (** No windows, 0.25 s watchdog, 32-packet fallback queue — a starting
     point for [{ default_node_faults with ... }]. *)
 
+(** Adversarial-injection profile (see {!Netsim.Adversary}).  Rates are
+    probabilities per opportunity: [atk_spoof]/[atk_replay] per
+    map-request transmission, [atk_dns_poison] per final DNS answer.
+    [atk_flood_rate] > 0 schedules an EID-scan flood — spoofed packets
+    at that rate (per simulated second, Poisson) claiming
+    [atk_flood_eids] distinct forged source EIDs, arriving at the
+    borders of domain [atk_flood_victim] during
+    [atk_flood_from, atk_flood_until).  The adversary draws from its own
+    seed-derived stream, so an all-zero profile is byte-identical to no
+    profile at all. *)
+type attack_profile = {
+  atk_spoof : float;
+  atk_spoof_head_start : float;
+      (** seconds by which a forged reply beats the legitimate one *)
+  atk_replay : float;
+  atk_dns_poison : float;
+  atk_flood_rate : float;
+  atk_flood_eids : int;
+  atk_flood_from : float;
+  atk_flood_until : float;
+  atk_flood_victim : int;  (** domain id whose ETRs the flood hits *)
+}
+
+val default_attack : attack_profile
+(** All rates zero, 2 ms head start, 1024 flood EIDs, unbounded window,
+    victim domain 0 — a starting point for
+    [{ default_attack with ... }]. *)
+
+val flood_eid : int -> Nettypes.Ipv4.addr
+(** Forged source EID of the [idx]-th scan identity (unallocated
+    200.0.0.0/8 space) — lets experiments probe end-of-run caches for
+    attacker-owned entries. *)
+
+(** Countermeasure profile.  [auth_nonce] turns on the map-reply nonce
+    echo, [auth_sig] requires signed replies (each legitimate reply then
+    pays [auth_sig_cpu] seconds of verification, visible in
+    T_map_resol, plus {!Wire.Auth.signature_bytes} on the wire),
+    [auth_dnssec] validates DNS answers, and [auth_glean_cap] bounds
+    both the per-router gleaned map-cache population and the pull
+    control planes' glean tables. *)
+type auth_profile = {
+  auth_nonce : bool;
+  auth_sig : bool;
+  auth_sig_cpu : float;
+  auth_dnssec : bool;
+  auth_glean_cap : int option;
+}
+
+val default_auth : auth_profile
+(** Everything off, [auth_sig_cpu = Wire.Auth.default_sig_cpu_cost],
+    no glean cap. *)
+
 type config = {
   seed : int;
   topology :
@@ -101,6 +153,17 @@ type config = {
           [flows.*] gauge families through the scenario registry.
           [None] (the default) leaves the plane disabled — one boolean
           test per hook. *)
+  attack : attack_profile option;
+      (** adversarial control-plane injection; [None] (the default)
+          creates no adversary and keeps every run byte-identical to the
+          pre-adversary behaviour *)
+  auth : auth_profile option;
+      (** mapping/DNS authentication countermeasures; [None] (the
+          default) keeps the legacy unauthenticated behaviour *)
+  run_label : string option;
+      (** exporter run label override (default {!cp_label}); lets one
+          sweep report several differently-armed cells of the same
+          control plane under distinct latency labels *)
 }
 
 val default_config : config
@@ -139,6 +202,11 @@ val faults : t -> Netsim.Faults.t option
 
 val lifecycle : t -> Netsim.Lifecycle.t option
 (** The node-lifecycle schedule, when [config.node_faults] is set. *)
+
+val adversary : t -> Netsim.Adversary.t option
+(** The attack-injection layer, when [config.attack] is set — exposes
+    the attacker-side attempt counters (forged/replayed/poisoned/flood)
+    the security experiments divide acceptance counts by. *)
 
 val fallback_pull : t -> Mapsys.Pull.t option
 (** The PCE scenario's pull fallback (its stats count the degraded

@@ -37,6 +37,8 @@ type state = {
   mutable cache_policy : Lispdp.Map_cache.policy;
   mutable cp_faults : Scenario.cp_fault_profile option;
   mutable node_faults : Scenario.node_fault_profile option;
+  mutable attack : Scenario.attack_profile option;
+  mutable auth : Scenario.auth_profile option;
   (* pce-crash-at windows still waiting for their pce-recover-at, with
      the line the crash appeared on (for error reporting) *)
   mutable open_crashes : (int * float * int) list; (* domain, from, line *)
@@ -47,7 +49,8 @@ let fresh_state () =
   { seed = 1; figure1 = false; domains = 16; providers = 4; borders = 2;
     hosts = 4; tier1 = None; cp = Scenario.Cp_pce Pce_control.default_options;
     mapping_ttl = 60.0; dns_ttl = 3600.0; cache_capacity = 10_000;
-    cache_policy = Lispdp.Map_cache.Lru; cp_faults = None; node_faults = None; open_crashes = [];
+    cache_policy = Lispdp.Map_cache.Lru; cp_faults = None; node_faults = None;
+    attack = None; auth = None; open_crashes = [];
     workload = default.workload }
 
 let cp_of_string = function
@@ -98,6 +101,21 @@ let node_profile state =
   match state.node_faults with
   | Some p -> p
   | None -> Scenario.default_node_faults
+
+(* attack-* and auth-* keys likewise. *)
+let attack_profile state =
+  match state.attack with
+  | Some p -> p
+  | None -> Scenario.default_attack
+
+let auth_profile state =
+  match state.auth with Some p -> p | None -> Scenario.default_auth
+
+let bool_field line key value =
+  match value with
+  | "on" | "true" | "1" -> true
+  | "off" | "false" | "0" -> false
+  | _ -> fail line (Printf.sprintf "%s expects on/off, got %S" key value)
 
 let apply state line key value =
   match key with
@@ -235,6 +253,70 @@ let apply state line key value =
         Some
           { (node_profile state) with
             Scenario.pce_watchdog = float_field line key value ~min:0.001 }
+  | "attack-spoof" ->
+      state.attack <-
+        Some
+          { (attack_profile state) with
+            Scenario.atk_spoof = probability_field line key value }
+  | "attack-spoof-head-start" ->
+      state.attack <-
+        Some
+          { (attack_profile state) with
+            Scenario.atk_spoof_head_start = float_field line key value ~min:0.0 }
+  | "attack-replay" ->
+      state.attack <-
+        Some
+          { (attack_profile state) with
+            Scenario.atk_replay = probability_field line key value }
+  | "attack-dns-poison" ->
+      state.attack <-
+        Some
+          { (attack_profile state) with
+            Scenario.atk_dns_poison = probability_field line key value }
+  | "attack-flood" -> (
+      (* attack-flood <rate> <eids> <from> <until> <victim-domain> *)
+      match fields_of value with
+      | [ rate; eids; from_; until; victim ] ->
+          let from_ = float_field line key from_ ~min:0.0 in
+          let until = float_field line key until ~min:0.0 in
+          if until < from_ then
+            fail line "attack-flood window ends before it starts";
+          state.attack <-
+            Some
+              { (attack_profile state) with
+                Scenario.atk_flood_rate = float_field line key rate ~min:0.0;
+                atk_flood_eids = int_field line key eids ~min:1 ~max:1_000_000;
+                atk_flood_from = from_; atk_flood_until = until;
+                atk_flood_victim = int_field line key victim ~min:0 ~max:9_999 }
+      | _ ->
+          fail line
+            "attack-flood expects '<rate> <eids> <from> <until> <victim-domain>'")
+  | "auth-nonce" ->
+      state.auth <-
+        Some
+          { (auth_profile state) with
+            Scenario.auth_nonce = bool_field line key value }
+  | "auth-sig" ->
+      state.auth <-
+        Some
+          { (auth_profile state) with
+            Scenario.auth_sig = bool_field line key value }
+  | "auth-sig-cpu" ->
+      state.auth <-
+        Some
+          { (auth_profile state) with
+            Scenario.auth_sig_cpu = float_field line key value ~min:0.0 }
+  | "auth-dnssec" ->
+      state.auth <-
+        Some
+          { (auth_profile state) with
+            Scenario.auth_dnssec = bool_field line key value }
+  | "glean-cap" ->
+      state.auth <-
+        Some
+          { (auth_profile state) with
+            Scenario.auth_glean_cap =
+              Some (int_field line key value ~min:1 ~max:1_000_000) }
   | "flows" ->
       state.workload <-
         { state.workload with flows = int_field line key value ~min:1 ~max:1_000_000 }
@@ -302,13 +384,23 @@ let finish state =
           | _ -> ())
         p.Scenario.node_windows
   | None -> ());
+  (match state.attack with
+  | Some a ->
+      let domain_count = if state.figure1 then 2 else state.domains in
+      if a.Scenario.atk_flood_rate > 0.0
+         && a.Scenario.atk_flood_victim >= domain_count
+      then
+        fail 0
+          (Printf.sprintf "attack-flood: victim domain %d does not exist"
+             a.Scenario.atk_flood_victim)
+  | None -> ());
   { config =
       { Scenario.default_config with
         Scenario.seed = state.seed; topology; cp = state.cp;
         mapping_ttl = state.mapping_ttl; dns_record_ttl = state.dns_ttl;
         cache_capacity = state.cache_capacity;
         cache_policy = state.cache_policy; cp_faults = state.cp_faults;
-        node_faults };
+        node_faults; attack = state.attack; auth = state.auth };
     workload = state.workload }
 
 let strip_comment line =

@@ -29,6 +29,14 @@
     crash with no matching recovery means the PCE never restarts, and
     windows must close after they open.
 
+    Adversarial injection ([attack-spoof <p>], [attack-spoof-head-start
+    <s>], [attack-replay <p>], [attack-dns-poison <p>], [attack-flood
+    <rate> <eids> <from> <until> <victim-domain>]) and countermeasures
+    ([auth-nonce on|off], [auth-sig on|off], [auth-sig-cpu <s>],
+    [auth-dnssec on|off], [glean-cap <n>]) are documented in
+    [doc/security.md]; without any attack-*/auth-* key the run is
+    byte-identical to pre-adversary builds.
+
     Unknown keys, malformed values and out-of-range numbers are
     reported with their line number.  Omitted keys take the defaults
     above ({!default}). *)

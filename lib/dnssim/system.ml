@@ -28,6 +28,8 @@ type counters = {
   mutable wire_bytes : int;
   mutable tap_bypasses : int;
   mutable outage_failures : int;
+  mutable poisoned_accepted : int;
+  mutable poisoned_rejected : int;
 }
 
 (* Watchdog that lets a server answer around a crashed response tap
@@ -52,6 +54,12 @@ type t = {
   trace : Netsim.Trace.t option;
   obs : Obs.Hub.t option;
   counters : counters;
+  (* Off-path answer forgery: consulted once per final address answer;
+     [Some forged] races the genuine record for the resolver's cache.
+     [authenticated] models DNSSEC-style origin authentication — the
+     resolver detects and discards the forgery. *)
+  mutable poisoner : (qname:Name.t -> Ipv4.addr option) option;
+  mutable authenticated : bool;
 }
 
 let engine t = t.engine
@@ -115,7 +123,8 @@ let create ~engine ~internet ?(record_ttl = 3600.0) ?(server_processing = 0.0005
       counters =
         { client_queries = 0; iterative_queries = 0; responses = 0;
           cache_hits = 0; cache_misses = 0; wire_bytes = 0; tap_bypasses = 0;
-          outage_failures = 0 } }
+          outage_failures = 0; poisoned_accepted = 0; poisoned_rejected = 0 };
+      poisoner = None; authenticated = false }
   in
   populate t ~record_ttl;
   t
@@ -131,6 +140,9 @@ let set_tap_guard t ~server guard =
   match guard with
   | Some g -> Hashtbl.replace t.tap_guards server g
   | None -> Hashtbl.remove t.tap_guards server
+
+let set_poisoner t p = t.poisoner <- p
+let set_authenticated t b = t.authenticated <- b
 
 let set_server_outage t ~server down =
   match down with
@@ -259,6 +271,41 @@ let resolve t ~resolver:resolver_id ~client ~client_eid ?flow qname ~callback =
                  match answer with
                  | Zone.Address addr -> (
                      let complete () =
+                       (* Off-path forgery races the genuine record as it
+                          reaches the resolver; with [authenticated] the
+                          resolver validates and keeps the real one. *)
+                       let addr =
+                         match t.poisoner with
+                         | None -> addr
+                         | Some p -> (
+                             match p ~qname with
+                             | None -> addr
+                             | Some forged ->
+                                 let accepted = not t.authenticated in
+                                 if obs_on t then
+                                   obs_emit t
+                                     ~actor:(node_label t resolver_id) ?flow
+                                     (Obs.Event.Poisoned_answer
+                                        { qname = Name.to_string qname;
+                                          accepted });
+                                 if accepted then begin
+                                   t.counters.poisoned_accepted <-
+                                     t.counters.poisoned_accepted + 1;
+                                   trace t ~actor:(node_label t resolver_id)
+                                     "poisoned answer for %s accepted"
+                                     (Name.to_string qname);
+                                   forged
+                                 end
+                                 else begin
+                                   t.counters.poisoned_rejected <-
+                                     t.counters.poisoned_rejected + 1;
+                                   trace t ~actor:(node_label t resolver_id)
+                                     "poisoned answer for %s rejected \
+                                      (authenticated)"
+                                     (Name.to_string qname);
+                                   addr
+                                 end)
+                       in
                        let expiry =
                          Netsim.Engine.now t.engine +. Zone.ttl zone
                        in

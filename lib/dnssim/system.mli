@@ -81,6 +81,22 @@ val set_server_outage :
     [outage_timeout] seconds (counted in [outage_failures]).  Without a
     predicate the node is permanently up and behaviour is untouched. *)
 
+val set_poisoner :
+  t -> (qname:Name.t -> Nettypes.Ipv4.addr option) option -> unit
+(** Install/remove the off-path answer forger: consulted once per final
+    address answer at the instant it completes at the resolver (tapped,
+    bypassed or direct); returning [Some forged] races the genuine
+    record.  Unless {!set_authenticated} is on, the forged address wins
+    — it is cached and answered to the client (counted in
+    [poisoned_accepted], emitted as [Poisoned_answer]).  Referrals and
+    name errors are never forged.  Without a poisoner, behaviour is
+    byte-identical to before. *)
+
+val set_authenticated : t -> bool -> unit
+(** DNSSEC-style origin authentication: when on, forged answers are
+    detected and discarded (counted in [poisoned_rejected]) and the
+    genuine record proceeds.  Off by default. *)
+
 val set_query_observer :
   t ->
   resolver:Topology.Node.id ->
@@ -117,6 +133,10 @@ type counters = {
       (** final answers delivered past a dead tap by a {!tap_guard} *)
   mutable outage_failures : int;
       (** resolutions failed because a crashed node never answered *)
+  mutable poisoned_accepted : int;
+      (** forged answers cached and delivered (see {!set_poisoner}) *)
+  mutable poisoned_rejected : int;
+      (** forged answers discarded by authentication *)
 }
 
 val counters : t -> counters

@@ -65,7 +65,8 @@ let obs_emit t ~actor ?flow kind =
   | None -> ()
 
 let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
-    ?(cache_policy = Map_cache.Lru) ?(flow_ttl = 300.0) ?trace ?obs () =
+    ?(cache_policy = Map_cache.Lru) ?glean_cap ?(flow_ttl = 300.0) ?trace ?obs
+    () =
   let by_rloc = Hashtbl.create 64 in
   let routers =
     Array.map
@@ -76,7 +77,7 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
               { border; router_domain = domain;
                 cache =
                   Map_cache.create ~policy:cache_policy
-                    ~capacity:cache_capacity ();
+                    ~capacity:cache_capacity ?glean_cap ();
                 flows = Flow_table.create ~ttl:flow_ttl () }
             in
             Hashtbl.replace by_rloc (Ipv4.addr_to_int border.Topology.Domain.rloc) r;
@@ -92,12 +93,12 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
           decapsulated = 0; intra_domain = 0; delivered_bytes = 0 };
       drops = Hashtbl.create 8; drop_observer = None }
   in
-  (match obs with
-  | None -> ()
-  | Some _ ->
-      Array.iter
-        (Array.iter (fun r ->
-             let actor = r.router_domain.Topology.Domain.name ^ "-itr" in
+  Array.iter
+    (Array.iter (fun r ->
+         let actor = r.router_domain.Topology.Domain.name ^ "-itr" in
+         (match obs with
+         | None -> ()
+         | Some _ ->
              let emit_death mapping =
                if obs_on t then
                  obs_emit t ~actor
@@ -105,8 +106,23 @@ let create ~engine ~internet ~control_plane ?(cache_capacity = 10_000)
                       { prefix = mapping.Mapping.eid_prefix })
              in
              Map_cache.set_evict_hook r.cache (Some emit_death);
-             Map_cache.set_expire_hook r.cache (Some emit_death)))
-        routers);
+             Map_cache.set_expire_hook r.cache (Some emit_death));
+         (* Admission rejections are control-plane refusals, not packet
+            deaths: they feed the typed drop counters and the event
+            stream but never [record_drop] (the packet itself was
+            delivered normally — only its gleaned copy was refused). *)
+         let node = r.border.Topology.Domain.router in
+         let on_reject mapping =
+           if Netsim.Telemetry.enabled () then
+             Netsim.Telemetry.on_drop ~node
+               Netsim.Telemetry.Glean_admission_rejected;
+           if obs_on t then
+             obs_emit t ~actor:(r.router_domain.Topology.Domain.name ^ "-etr")
+               (Obs.Event.Glean_rejected
+                  { eid = Ipv4.prefix_network mapping.Mapping.eid_prefix })
+         in
+         Map_cache.set_reject_hook r.cache (Some on_reject)))
+    routers;
   t
 
 let routers_of_domain t domain = t.routers.(domain.Topology.Domain.id)
@@ -118,11 +134,14 @@ let router_for_border t border =
   | Some r -> r
   | None -> invalid_arg "Dataplane.router_for_border: unknown border"
 
-let install_mapping t router mapping =
-  Map_cache.insert router.cache ~now:(Netsim.Engine.now t.engine) mapping
+let install_mapping t router ?provenance mapping =
+  Map_cache.insert router.cache ~now:(Netsim.Engine.now t.engine) ?provenance
+    mapping
 
-let install_mapping_all t domain mapping =
-  Array.iter (fun r -> install_mapping t r mapping) (routers_of_domain t domain)
+let install_mapping_all t domain ?provenance mapping =
+  Array.iter
+    (fun r -> install_mapping t r ?provenance mapping)
+    (routers_of_domain t domain)
 
 let install_flow_entry t router entry =
   Flow_table.install router.flows ~now:(Netsim.Engine.now t.engine) entry
@@ -370,7 +389,7 @@ let send_from_host t packet =
 let cache_stats_totals t =
   let acc =
     { Map_cache.hits = 0; misses = 0; insertions = 0; evictions = 0;
-      expirations = 0; invalidations = 0 }
+      expirations = 0; invalidations = 0; glean_rejections = 0 }
   in
   Array.iter
     (Array.iter (fun r ->
@@ -381,7 +400,9 @@ let cache_stats_totals t =
          acc.Map_cache.evictions <- acc.Map_cache.evictions + s.Map_cache.evictions;
          acc.Map_cache.expirations <- acc.Map_cache.expirations + s.Map_cache.expirations;
          acc.Map_cache.invalidations <-
-           acc.Map_cache.invalidations + s.Map_cache.invalidations))
+           acc.Map_cache.invalidations + s.Map_cache.invalidations;
+         acc.Map_cache.glean_rejections <-
+           acc.Map_cache.glean_rejections + s.Map_cache.glean_rejections))
     t.routers;
   acc
 
@@ -397,5 +418,12 @@ let cache_entries_total t =
   let total = ref 0 in
   Array.iter
     (Array.iter (fun r -> total := !total + Map_cache.length r.cache))
+    t.routers;
+  !total
+
+let gleaned_total t =
+  let total = ref 0 in
+  Array.iter
+    (Array.iter (fun r -> total := !total + Map_cache.gleaned r.cache))
     t.routers;
   !total

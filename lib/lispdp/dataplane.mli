@@ -50,6 +50,7 @@ val create :
   control_plane:control_plane ->
   ?cache_capacity:int ->
   ?cache_policy:Map_cache.policy ->
+  ?glean_cap:int ->
   ?flow_ttl:float ->
   ?trace:Netsim.Trace.t ->
   ?obs:Obs.Hub.t ->
@@ -58,7 +59,11 @@ val create :
 (** [obs] is the structured-event hub: when given (and enabled) the
     data plane emits [Encap]/[Decap], [Cache_hit]/[Cache_miss]/
     [Cache_evict] and [Packet_drop] events, flow-scoped where a packet
-    is in hand.  A disabled hub costs one boolean test per site. *)
+    is in hand.  A disabled hub costs one boolean test per site.
+    [glean_cap] bounds the gleaned-entry population of every border's
+    map-cache (see {!Map_cache.create}); admission rejections emit
+    [Glean_rejected] events and the [glean-admission-rejected] typed
+    drop cause (but are {e not} packet drops). *)
 
 val engine : t -> Netsim.Engine.t
 val internet : t -> Topology.Builder.t
@@ -70,10 +75,17 @@ val routers_of_domain : t -> Topology.Domain.t -> router array
 val router_of_rloc : t -> Nettypes.Ipv4.addr -> router option
 val router_for_border : t -> Topology.Domain.border -> router
 
-val install_mapping : t -> router -> Nettypes.Mapping.t -> unit
-(** Put a mapping in one border's map-cache (stamped at current time). *)
+val install_mapping :
+  t -> router -> ?provenance:Map_cache.provenance -> Nettypes.Mapping.t -> unit
+(** Put a mapping in one border's map-cache (stamped at current time).
+    [provenance] defaults to {!Map_cache.Verified}. *)
 
-val install_mapping_all : t -> Topology.Domain.t -> Nettypes.Mapping.t -> unit
+val install_mapping_all :
+  t ->
+  Topology.Domain.t ->
+  ?provenance:Map_cache.provenance ->
+  Nettypes.Mapping.t ->
+  unit
 (** Same mapping into every border of the domain. *)
 
 val install_flow_entry : t -> router -> Nettypes.Mapping.flow_entry -> unit
@@ -136,6 +148,10 @@ val cache_stats_totals : t -> Map_cache.stats
 
 val cache_entries_total : t -> int
 (** Live map-cache entries summed over all routers. *)
+
+val gleaned_total : t -> int
+(** Live gleaned-provenance cache entries summed over all routers — the
+    cache-pollution count an EID-scan flood drives up. *)
 
 val flow_entries_total : t -> int
 (** Live per-flow table entries summed over all routers (evaluated at

@@ -32,9 +32,23 @@ let policy_of_string s =
   | "ttl-hybrid" | "ttl_hybrid" | "ttl" -> Some Ttl_hybrid
   | _ -> None
 
+(* How the entry got here.  Verified and pushed mappings came over an
+   authenticated exchange (nonce-checked map-reply, PCE/NERD push);
+   gleaned ones were copied off a data packet anybody could have
+   forged, so they are the cache-pollution vector an EID-scan flood
+   exploits — the admission cap bounds how much of the cache they can
+   take. *)
+type provenance = Verified | Gleaned | Pushed
+
+let provenance_label = function
+  | Verified -> "verified"
+  | Gleaned -> "gleaned"
+  | Pushed -> "pushed"
+
 type entry = {
   mapping : Mapping.t;
   expires_at : float;
+  mutable provenance : provenance;
   (* Recency links: the global list under LRU / TTL-hybrid, the
      within-bucket list under LFU. *)
   mutable prev : entry option;
@@ -67,6 +81,7 @@ let dummy_entry =
         ~rlocs:[ Mapping.rloc (Ipv4.addr_of_int 0) ]
         ~ttl:1.0;
     expires_at = 0.0;
+    provenance = Verified;
     prev = None;
     next = None;
     freq = 0;
@@ -82,11 +97,14 @@ type stats = {
   mutable evictions : int;
   mutable expirations : int;
   mutable invalidations : int;
+  mutable glean_rejections : int;
 }
 
 type t = {
   capacity : int;
   policy : policy;
+  glean_cap : int option;
+  mutable gleaned_live : int;
   table : entry Prefix_table.t;
   index : entry Int_table.t; (* packed prefix -> entry, exact match *)
   mutable head : entry option; (* most recently used (LRU / TTL-hybrid) *)
@@ -96,26 +114,34 @@ type t = {
   stats : stats;
   mutable evict_hook : (Mapping.t -> unit) option;
   mutable expire_hook : (Mapping.t -> unit) option;
+  mutable reject_hook : (Mapping.t -> unit) option;
 }
 
-let create ?(policy = Lru) ?(capacity = 10_000) () =
+let create ?(policy = Lru) ?(capacity = 10_000) ?glean_cap () =
   if capacity <= 0 then invalid_arg "Map_cache.create: capacity must be positive";
-  { capacity; policy; table = Prefix_table.create ();
+  (match glean_cap with
+  | Some c when c < 0 -> invalid_arg "Map_cache.create: negative glean_cap"
+  | Some _ | None -> ());
+  { capacity; policy; glean_cap; gleaned_live = 0;
+    table = Prefix_table.create ();
     index = Int_table.create ~dummy:dummy_entry ();
     head = None; tail = None; lfu_min = None;
     heap = { h_arr = [||]; h_len = 0 };
     stats =
       { hits = 0; misses = 0; insertions = 0; evictions = 0; expirations = 0;
-        invalidations = 0 };
-    evict_hook = None; expire_hook = None }
+        invalidations = 0; glean_rejections = 0 };
+    evict_hook = None; expire_hook = None; reject_hook = None }
 
 let set_evict_hook t hook = t.evict_hook <- hook
 let set_expire_hook t hook = t.expire_hook <- hook
+let set_reject_hook t hook = t.reject_hook <- hook
 
 let stats t = t.stats
 let length t = Prefix_table.length t.table
 let capacity t = t.capacity
 let policy t = t.policy
+let glean_cap t = t.glean_cap
+let gleaned t = t.gleaned_live
 
 (* ---- global recency list (LRU / TTL-hybrid) ---- *)
 
@@ -281,6 +307,7 @@ let drop_entry t e =
   (match t.policy with
   | Lfu -> bucket_unlink t e
   | Lru | Ttl_hybrid -> unlink t e);
+  if e.provenance = Gleaned then t.gleaned_live <- t.gleaned_live - 1;
   e.dead <- true;
   Prefix_table.remove t.table e.mapping.Mapping.eid_prefix;
   Int_table.remove t.index (prefix_key e.mapping.Mapping.eid_prefix);
@@ -316,12 +343,14 @@ let clear t =
   t.lfu_min <- None;
   Array.fill t.heap.h_arr 0 (Array.length t.heap.h_arr) dummy_entry;
   t.heap.h_len <- 0;
+  t.gleaned_live <- 0;
   t.stats.hits <- 0;
   t.stats.misses <- 0;
   t.stats.insertions <- 0;
   t.stats.evictions <- 0;
   t.stats.expirations <- 0;
-  t.stats.invalidations <- 0
+  t.stats.invalidations <- 0;
+  t.stats.glean_rejections <- 0
 
 (* Victim choice when the cache is full, per policy.  A TTL-hybrid
    victim has already been popped off the heap; [drop_entry]'s dead
@@ -351,36 +380,60 @@ let evict_one t ~now =
         match t.evict_hook with Some hook -> hook e.mapping | None -> ()
       end
 
-let insert t ~now mapping =
+let insert t ~now ?(provenance = Verified) mapping =
   (* A refresh replaces the old entry silently: it is neither an
      invalidation (nothing was lost) nor a new insertion, which keeps
      the balance insertions = live + evictions + expirations +
      invalidations exact.  Under LFU the refreshed entry keeps its
-     hit-count class — it is the same logical cache line. *)
+     hit-count class — it is the same logical cache line.
+
+     Provenance on refresh only ever upgrades: a gleaned copy of a
+     prefix that already has a verified/pushed entry is ignored (a
+     forged data packet must not be able to re-stamp a verified line),
+     while a verified reply refreshing a gleaned entry takes over. *)
   let key = prefix_key mapping.Mapping.eid_prefix in
-  let refreshed_freq =
-    match Int_table.find t.index key with
-    | Some e ->
-        drop_entry t e;
-        Some e.freq
-    | None -> None
-  in
-  if length t >= t.capacity then evict_one t ~now;
-  let e =
-    { mapping; expires_at = now +. mapping.Mapping.ttl; prev = None;
-      next = None;
-      freq = (match refreshed_freq with Some f -> f | None -> 1);
-      bucket = None; dead = false }
-  in
-  Prefix_table.add t.table mapping.Mapping.eid_prefix e;
-  Int_table.add t.index key e;
-  (match t.policy with
-  | Lru -> push_front t e
-  | Lfu -> lfu_insert t e
-  | Ttl_hybrid ->
-      push_front t e;
-      heap_push t.heap e);
-  if refreshed_freq = None then t.stats.insertions <- t.stats.insertions + 1
+  let existing = Int_table.find t.index key in
+  match (existing, provenance) with
+  | Some e, Gleaned when e.provenance <> Gleaned -> ()
+  | _ ->
+      (* Admission policy: a brand-new gleaned entry is refused once the
+         gleaned population hits the cap (a refresh of an existing
+         gleaned line never changes the population). *)
+      let new_glean = existing = None && provenance = Gleaned in
+      if
+        new_glean
+        && match t.glean_cap with Some c -> t.gleaned_live >= c | None -> false
+      then begin
+        t.stats.glean_rejections <- t.stats.glean_rejections + 1;
+        match t.reject_hook with Some hook -> hook mapping | None -> ()
+      end
+      else begin
+        let refreshed_freq =
+          match existing with
+          | Some e ->
+              drop_entry t e;
+              Some e.freq
+          | None -> None
+        in
+        if length t >= t.capacity then evict_one t ~now;
+        let e =
+          { mapping; expires_at = now +. mapping.Mapping.ttl; provenance;
+            prev = None; next = None;
+            freq = (match refreshed_freq with Some f -> f | None -> 1);
+            bucket = None; dead = false }
+        in
+        if provenance = Gleaned then t.gleaned_live <- t.gleaned_live + 1;
+        Prefix_table.add t.table mapping.Mapping.eid_prefix e;
+        Int_table.add t.index key e;
+        (match t.policy with
+        | Lru -> push_front t e
+        | Lfu -> lfu_insert t e
+        | Ttl_hybrid ->
+            push_front t e;
+            heap_push t.heap e);
+        if refreshed_freq = None then
+          t.stats.insertions <- t.stats.insertions + 1
+      end
 
 (* Longest-prefix match skipping (and reaping) expired entries. *)
 let rec live_lookup t ~now addr =
@@ -412,6 +465,11 @@ let lookup t ~now addr =
       None
 
 let contains t ~now addr = live_lookup t ~now addr <> None
+
+let provenance_of t prefix =
+  match Int_table.find t.index (prefix_key prefix) with
+  | Some e when not e.dead -> Some e.provenance
+  | Some _ | None -> None
 
 let hit_ratio t =
   let total = t.stats.hits + t.stats.misses in

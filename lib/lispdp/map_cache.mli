@@ -26,18 +26,45 @@ val policy_of_string : string -> policy option
 (** Case-insensitive; accepts ["lru"], ["lfu"], ["ttl-hybrid"] (also
     ["ttl"]). *)
 
-val create : ?policy:policy -> ?capacity:int -> unit -> t
-(** [policy] defaults to {!Lru}; [capacity] defaults to 10_000 entries
-    and must be positive. *)
+(** Where an entry came from, in decreasing order of trust in the
+    source: a nonce/signature-checked map-reply ({!Verified}), a
+    PCE/NERD push over the registered channel ({!Pushed}), or the
+    source field of a data packet anybody could have forged
+    ({!Gleaned}).  Gleaned entries are the cache-poisoning vector an
+    EID-scan flood exploits, so they are the population the admission
+    cap bounds. *)
+type provenance = Verified | Gleaned | Pushed
 
-val insert : t -> now:float -> Nettypes.Mapping.t -> unit
-(** Cache a mapping; its expiry is [now + ttl].  Re-inserting a mapping
-    for the same EID prefix refreshes it (counted neither as an
-    insertion nor an invalidation; under {!Lfu} the refreshed entry
-    keeps its hit-count class).  May drop one entry chosen by the
-    eviction policy when the cache is full: an unexpired victim counts
-    as an eviction, a victim whose TTL already lapsed counts as an
-    expiration (see {!stats}). *)
+val provenance_label : provenance -> string
+(** ["verified"], ["gleaned"], ["pushed"]. *)
+
+val create : ?policy:policy -> ?capacity:int -> ?glean_cap:int -> unit -> t
+(** [policy] defaults to {!Lru}; [capacity] defaults to 10_000 entries
+    and must be positive.  [glean_cap], when given, bounds the number
+    of live {!Gleaned} entries: a brand-new gleaned insert beyond the
+    cap is refused (counted in [glean_rejections] and reported to the
+    reject hook).  No cap by default. *)
+
+val insert :
+  t -> now:float -> ?provenance:provenance -> Nettypes.Mapping.t -> unit
+(** Cache a mapping; its expiry is [now + ttl].  [provenance] defaults
+    to {!Verified}.  Re-inserting a mapping for the same EID prefix
+    refreshes it (counted neither as an insertion nor an invalidation;
+    under {!Lfu} the refreshed entry keeps its hit-count class).
+    Provenance only upgrades on refresh: a {!Gleaned} insert over an
+    existing verified/pushed entry is ignored outright, while a
+    verified/pushed insert over a gleaned entry takes the line over.
+    May drop one entry chosen by the eviction policy when the cache is
+    full: an unexpired victim counts as an eviction, a victim whose
+    TTL already lapsed counts as an expiration (see {!stats}). *)
+
+val provenance_of : t -> Nettypes.Ipv4.prefix -> provenance option
+(** Provenance of the exact live entry for [prefix], if cached. *)
+
+val gleaned : t -> int
+(** Number of live {!Gleaned} entries (the cache-pollution count). *)
+
+val glean_cap : t -> int option
 
 val lookup : t -> now:float -> Nettypes.Ipv4.addr -> Nettypes.Mapping.t option
 (** Longest-prefix match among live entries; a hit refreshes the
@@ -83,6 +110,9 @@ type stats = {
   mutable invalidations : int;
       (** entries removed explicitly ({!remove}, {!remove_covered} — the
           SMR invalidation path) *)
+  mutable glean_rejections : int;
+      (** gleaned inserts refused by the admission cap (never part of
+          the insertion balance: a rejected mapping was never cached) *)
 }
 
 val stats : t -> stats
@@ -102,6 +132,12 @@ val set_expire_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
     already-expired capacity victim.  Together with {!set_evict_hook}
     the two hooks see every entry death except silent refreshes:
     [hook invocations = evictions + invalidations + expirations]. *)
+
+val set_reject_hook : t -> (Nettypes.Mapping.t -> unit) option -> unit
+(** Observer invoked with the refused mapping each time the glean
+    admission cap rejects a new gleaned insert; the observability
+    layer uses it to emit [Glean_rejected] events and the
+    [glean-admission-rejected] drop cause. *)
 
 val hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 when no lookups have happened. *)

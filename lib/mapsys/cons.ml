@@ -1,7 +1,7 @@
 type t = { pull : Pull.t; warm : (int, unit) Hashtbl.t }
 
 let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?faults
-    ?retry ?obs () =
+    ?retry ?nonce_rng ?adversary ?auth ?glean_cap ?obs () =
   if cache_speedup <= 0.0 || cache_speedup > 1.0 then
     invalid_arg "Cons.create: cache_speedup out of (0, 1]";
   let warm = Hashtbl.create 64 in
@@ -15,7 +15,8 @@ let create ~engine ~internet ~registry ~alt ?(cache_speedup = 0.5) ?faults
   in
   let pull =
     Pull.create ~engine ~internet ~registry ~alt ~mode:Pull.Drop_while_pending
-      ~name:"cons" ~latency_of ?faults ?retry ?obs ()
+      ~name:"cons" ~latency_of ?faults ?retry ?nonce_rng ?adversary ?auth
+      ?glean_cap ?obs ()
   in
   { pull; warm }
 

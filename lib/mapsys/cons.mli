@@ -21,13 +21,18 @@ val create :
   ?cache_speedup:float ->
   ?faults:Netsim.Faults.t ->
   ?retry:Netsim.Faults.retry ->
+  ?nonce_rng:Netsim.Rng.t ->
+  ?adversary:Netsim.Adversary.t ->
+  ?auth:Pull.auth ->
+  ?glean_cap:int ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [alt] provides the hierarchy geometry (CONS and ALT share the
     aggregation-tree shape); [cache_speedup] (default 0.5) multiplies
     the resolution latency once a destination's mapping is warm anywhere
-    in the hierarchy.  [faults]/[retry] behave as in {!Pull.create}. *)
+    in the hierarchy.  [faults]/[retry]/[nonce_rng]/[adversary]/[auth]/
+    [glean_cap] behave as in {!Pull.create}. *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 val attach : t -> Lispdp.Dataplane.t -> unit

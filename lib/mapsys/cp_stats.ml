@@ -15,12 +15,17 @@ type t = {
   mutable timeouts : int;
   mutable bypasses : int;
   mutable recoveries : int;
+  mutable spoofed_accepted : int;
+  mutable spoofed_rejected : int;
+  mutable replayed_accepted : int;
+  mutable replayed_rejected : int;
 }
 
 let create () =
   { map_requests = 0; map_replies = 0; push_messages = 0; control_bytes = 0;
     detoured_packets = 0; resolutions = 0; retransmissions = 0; timeouts = 0;
-    bypasses = 0; recoveries = 0 }
+    bypasses = 0; recoveries = 0; spoofed_accepted = 0; spoofed_rejected = 0;
+    replayed_accepted = 0; replayed_rejected = 0 }
 
 let message_total t = t.map_requests + t.map_replies + t.push_messages
 
@@ -34,7 +39,11 @@ let merge a b =
     retransmissions = a.retransmissions + b.retransmissions;
     timeouts = a.timeouts + b.timeouts;
     bypasses = a.bypasses + b.bypasses;
-    recoveries = a.recoveries + b.recoveries }
+    recoveries = a.recoveries + b.recoveries;
+    spoofed_accepted = a.spoofed_accepted + b.spoofed_accepted;
+    spoofed_rejected = a.spoofed_rejected + b.spoofed_rejected;
+    replayed_accepted = a.replayed_accepted + b.replayed_accepted;
+    replayed_rejected = a.replayed_rejected + b.replayed_rejected }
 
 let pp ppf t =
   Format.fprintf ppf
@@ -42,4 +51,15 @@ let pp ppf t =
      bypass=%d recover=%d"
     t.map_requests t.map_replies t.push_messages t.control_bytes
     t.detoured_packets t.resolutions t.retransmissions t.timeouts t.bypasses
-    t.recoveries
+    t.recoveries;
+  (* Adversary verdicts only appear when an attack actually ran, so
+     attack-free summaries stay byte-identical to pre-adversary output. *)
+  if
+    t.spoofed_accepted + t.spoofed_rejected + t.replayed_accepted
+    + t.replayed_rejected
+    > 0
+  then
+    Format.fprintf ppf " spoof=%d/%d replay=%d/%d" t.spoofed_accepted
+      (t.spoofed_accepted + t.spoofed_rejected)
+      t.replayed_accepted
+      (t.replayed_accepted + t.replayed_rejected)

@@ -16,6 +16,14 @@ type t = {
       (** DNS answers delivered past a crashed PCE (un-piggybacked) *)
   mutable recoveries : int;
       (** warm recoveries performed by restarting PCEs *)
+  mutable spoofed_accepted : int;
+      (** forged map-replies that beat verification and were installed *)
+  mutable spoofed_rejected : int;
+      (** forged map-replies refused by nonce/signature checks *)
+  mutable replayed_accepted : int;
+      (** replayed stale replies accepted (no nonce echo in force) *)
+  mutable replayed_rejected : int;
+      (** replayed stale replies refused by the nonce echo *)
 }
 
 val create : unit -> t

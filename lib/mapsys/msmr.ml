@@ -5,7 +5,8 @@ type t = {
 }
 
 let create ~engine ~internet ~registry ~alt ?(mode = Pull.Drop_while_pending)
-    ?(mr_provider = 0) ?(ddt_hop_latency = 0.010) ?faults ?retry ?obs () =
+    ?(mr_provider = 0) ?(ddt_hop_latency = 0.010) ?faults ?retry ?nonce_rng
+    ?adversary ?auth ?glean_cap ?obs () =
   if mr_provider < 0 || mr_provider >= Array.length internet.Topology.Builder.providers
   then invalid_arg "Msmr.create: unknown provider";
   if ddt_hop_latency <= 0.0 then
@@ -28,7 +29,8 @@ let create ~engine ~internet ~registry ~alt ?(mode = Pull.Drop_while_pending)
   in
   let pull =
     Pull.create ~engine ~internet ~registry ~alt ~mode ~name:"msmr"
-      ~resolution_latency ?faults ?retry ?obs ()
+      ~resolution_latency ?faults ?retry ?nonce_rng ?adversary ?auth
+      ?glean_cap ?obs ()
   in
   { pull; internet; registry }
 

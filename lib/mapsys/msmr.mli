@@ -28,15 +28,20 @@ val create :
   ?ddt_hop_latency:float ->
   ?faults:Netsim.Faults.t ->
   ?retry:Netsim.Faults.retry ->
+  ?nonce_rng:Netsim.Rng.t ->
+  ?adversary:Netsim.Adversary.t ->
+  ?auth:Pull.auth ->
+  ?glean_cap:int ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
 (** [mode] defaults to [Drop_while_pending]; [mr_provider] (default 0)
     is the provider whose core hosts the MR/MS complex;
     [ddt_hop_latency] (default 10 ms) is the per-delegation-hop lookup
-    cost inside the mapping system.  [faults]/[retry] behave as in
-    {!Pull.create} (the MR front end inherits the same loss and
-    retransmission model). *)
+    cost inside the mapping system.  [faults]/[retry]/[nonce_rng]/
+    [adversary]/[auth]/[glean_cap] behave as in {!Pull.create} (the MR
+    front end inherits the same loss, retransmission and attack
+    model). *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

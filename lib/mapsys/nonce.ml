@@ -1,0 +1,16 @@
+(* The counter this replaces made nonces trivially predictable: an
+   off-path attacker observing one map-request could forge the reply to
+   the next.  Draws come from a dedicated stream so compiling the
+   module in (or enabling nonce checks) never perturbs any other
+   stream's sequence. *)
+
+type t = { rng : Netsim.Rng.t }
+
+let bound = 0x1_0000_0000 (* 32-bit nonce field, as in the LISP header *)
+
+let create ?rng () =
+  match rng with
+  | Some rng -> { rng }
+  | None -> { rng = Netsim.Rng.create 0x4E4F4E43 (* "NONC" *) }
+
+let fresh t = Netsim.Rng.int t.rng bound

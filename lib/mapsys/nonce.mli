@@ -1,0 +1,16 @@
+(** Unpredictable map-request nonces.
+
+    Each outstanding map-request carries a fresh 32-bit nonce the reply
+    must echo; drawing them from an RNG stream (instead of the previous
+    monotonically increasing counter) is what makes the echo an
+    effective anti-spoofing check — an off-path attacker has a 2^-32
+    chance per forged reply of guessing right. *)
+
+type t
+
+val create : ?rng:Netsim.Rng.t -> unit -> t
+(** Uses the given stream, or a private fixed-seed stream when none is
+    supplied (unit tests; scenarios always pass a seed-derived one). *)
+
+val fresh : t -> int
+(** A uniform draw in [0, 2^32). *)

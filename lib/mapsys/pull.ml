@@ -7,6 +7,20 @@ let mode_name = function
   | Queue_while_pending _ -> "pull-queue"
   | Detour_via_cp -> "pull-detour"
 
+type auth = {
+  nonce_check : bool;
+  signatures : bool;
+  sig_cpu_cost : float;
+}
+
+let no_auth =
+  { nonce_check = false; signatures = false;
+    sig_cpu_cost = Wire.Auth.default_sig_cpu_cost }
+
+(* Any class-E address: never a registered RLOC, so traffic tunneled to
+   a forged mapping blackholes under the ["no-such-rloc"] drop cause. *)
+let attacker_rloc = Ipv4.addr_of_int 0xF000_0042
+
 (* One in-flight resolution: an ITR (identified by its router node)
    waiting for the mapping of a destination domain.  The key it was
    inserted under is stored so every removal path uses the same one. *)
@@ -42,14 +56,17 @@ type t = {
   (* Which remote ITRs (by RLOC) cache each domain's mapping — learned
      from the tunnel headers at the domain's ETRs, used by SMR. *)
   cached_at : (int, (int, unit) Hashtbl.t) Hashtbl.t;
-  mutable nonce : int;
+  nonces : Nonce.t;
+  adversary : Netsim.Adversary.t option;
+  auth : auth;
   mutable dataplane : Lispdp.Dataplane.t option;
   obs : Obs.Hub.t option;
 }
 
 let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     ?resolution_latency ?(glean_ttl = 60.0) ?(server_processing = 0.0005)
-    ?(smr = false) ?faults ?retry ?lifecycle ?obs () =
+    ?(smr = false) ?faults ?retry ?lifecycle ?nonce_rng ?adversary
+    ?(auth = no_auth) ?glean_cap ?obs () =
   let latency_of =
     match latency_of with
     | Some f -> f
@@ -60,7 +77,8 @@ let create ~engine ~internet ~registry ~alt ~mode ?name ?latency_of
     latency_of; resolution_latency; glean_ttl; server_processing; smr;
     faults; retry; lifecycle; cached_at = Hashtbl.create 16;
     stats = Cp_stats.create ();
-    glean = Glean.create (); pending = Hashtbl.create 64; nonce = 0;
+    glean = Glean.create ?cap:glean_cap (); pending = Hashtbl.create 64;
+    nonces = Nonce.create ?rng:nonce_rng (); adversary; auth;
     dataplane = None; obs }
 
 (* Asynchronous resolution work — map-reply arrivals, retry timers,
@@ -153,8 +171,7 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
   resolution.attempts <- resolution.attempts + 1;
   let src_id = (router.Lispdp.Dataplane.router_domain).Topology.Domain.id in
   let dst_id = dst_domain.Topology.Domain.id in
-  t.nonce <- (t.nonce + 1) land 0xFFFFFFFF;
-  let nonce = t.nonce in
+  let nonce = Nonce.fresh t.nonces in
   let request_eid =
     Ipv4.prefix_network
       (Registry.mapping_of_domain t.registry dst_id).Mapping.eid_prefix
@@ -239,19 +256,94 @@ let rec send_attempt t resolution router dst_domain mapping ~flow () =
         else false
     | Some _ | None -> false
   in
+  (* Off-path attacker: races the resolution with forged or replayed
+     replies.  Draws happen only when the corresponding rate is
+     positive, and only against a request whose reply path exists (an
+     infinite [total] means the attacker has nothing to race). *)
+  (match t.adversary with
+  | Some adv when total < infinity ->
+      let node = router.Lispdp.Dataplane.border.Topology.Domain.router in
+      let race_delay =
+        Float.max 0.0 (total -. Netsim.Adversary.spoof_head_start adv)
+      in
+      if Netsim.Adversary.forges_reply adv then begin
+        (* The attacker never saw the request: it guesses the nonce and
+           cannot produce a valid signature. *)
+        let guessed = Netsim.Adversary.guess_nonce adv in
+        ignore
+          (Netsim.Engine.schedule t.engine ~delay:race_delay
+             (Netsim.Prof.wrap ph_map (fun () ->
+               let accepted =
+                 ((not t.auth.nonce_check) || guessed = nonce)
+                 && not t.auth.signatures
+               in
+               if obs_on t then
+                 obs_emit t ~actor ?flow
+                   (Obs.Event.Spoofed_reply { eid = request_eid; accepted });
+               if accepted then begin
+                 t.stats.Cp_stats.spoofed_accepted <-
+                   t.stats.Cp_stats.spoofed_accepted + 1;
+                 let forged =
+                   Mapping.create ~eid_prefix:mapping.Mapping.eid_prefix
+                     ~rlocs:[ Mapping.rloc attacker_rloc ]
+                     ~ttl:mapping.Mapping.ttl
+                 in
+                 Lispdp.Dataplane.install_mapping dp router forged;
+                 match Hashtbl.find_opt t.pending resolution.key with
+                 | Some r when r == resolution -> complete t resolution router
+                 | Some _ | None -> ()
+               end
+               else begin
+                 t.stats.Cp_stats.spoofed_rejected <-
+                   t.stats.Cp_stats.spoofed_rejected + 1;
+                 if Netsim.Telemetry.enabled () then
+                   Netsim.Telemetry.on_drop ~node
+                     Netsim.Telemetry.Spoofed_reply_rejected
+               end)))
+      end;
+      if Netsim.Adversary.replays_reply adv then
+        (* A captured earlier genuine reply: the signature verifies, so
+           only the nonce echo can tell it from a fresh answer. *)
+        ignore
+          (Netsim.Engine.schedule t.engine ~delay:race_delay
+             (Netsim.Prof.wrap ph_map (fun () ->
+               let accepted = not t.auth.nonce_check in
+               if obs_on t then
+                 obs_emit t ~actor ?flow
+                   (Obs.Event.Replayed_reply { eid = request_eid; accepted });
+               if accepted then begin
+                 t.stats.Cp_stats.replayed_accepted <-
+                   t.stats.Cp_stats.replayed_accepted + 1;
+                 Lispdp.Dataplane.install_mapping dp router mapping;
+                 match Hashtbl.find_opt t.pending resolution.key with
+                 | Some r when r == resolution -> complete t resolution router
+                 | Some _ | None -> ()
+               end
+               else begin
+                 t.stats.Cp_stats.replayed_rejected <-
+                   t.stats.Cp_stats.replayed_rejected + 1;
+                 if Netsim.Telemetry.enabled () then
+                   Netsim.Telemetry.on_drop ~node
+                     Netsim.Telemetry.Replayed_reply_rejected
+               end)))
+  | Some _ | None -> ());
   if total < infinity && not lost then begin
     let jitter =
       match t.faults with
       | Some faults -> Netsim.Faults.extra_delay faults
       | None -> 0.0
     in
+    (* Signed replies pay a per-packet verification cost (lands in
+       T_map_resol) and carry the signature option on the wire. *)
+    let sig_cost = if t.auth.signatures then t.auth.sig_cpu_cost else 0.0 in
     ignore
-      (Netsim.Engine.schedule t.engine ~delay:(total +. jitter)
+      (Netsim.Engine.schedule t.engine ~delay:(total +. jitter +. sig_cost)
          (Netsim.Prof.wrap ph_map (fun () ->
            t.stats.Cp_stats.map_replies <- t.stats.Cp_stats.map_replies + 1;
            t.stats.Cp_stats.control_bytes <-
              t.stats.Cp_stats.control_bytes
-             + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping });
+             + Wire.Codec.size (Wire.Codec.Map_reply { nonce; mapping })
+             + (if t.auth.signatures then Wire.Auth.signature_bytes else 0);
            if obs_on t then
              obs_emit t ~actor ?flow (Obs.Event.Map_reply { eid = request_eid });
            Lispdp.Dataplane.install_mapping dp router mapping;
@@ -384,7 +476,8 @@ let note_etr_packet t router ~outer_src packet =
         Mapping.create ~eid_prefix:(Ipv4.prefix src_eid 32)
           ~rlocs:[ Mapping.rloc itr_rloc ] ~ttl:t.glean_ttl
       in
-      Lispdp.Dataplane.install_mapping dp router gleaned
+      Lispdp.Dataplane.install_mapping dp router
+        ~provenance:Lispdp.Map_cache.Gleaned gleaned
 
 let smr_bytes = 24
 

@@ -31,6 +31,22 @@ type mode =
 
 val mode_name : mode -> string
 
+type auth = {
+  nonce_check : bool;
+      (** accept a reply only if it echoes the request's nonce — defeats
+          blind off-path forgery and replay of stale replies *)
+  signatures : bool;
+      (** require a valid signature on replies — defeats forgery outright
+          (the attacker holds no key) at a per-reply CPU and byte cost *)
+  sig_cpu_cost : float;
+      (** seconds of verifier CPU per signed reply (only charged when
+          [signatures]); flows into the map-resolution latency *)
+}
+(** Countermeasure profile for the map-reply channel. *)
+
+val no_auth : auth
+(** Everything off; [sig_cpu_cost = Wire.Auth.default_sig_cpu_cost]. *)
+
 type t
 
 val create :
@@ -49,6 +65,10 @@ val create :
   ?faults:Netsim.Faults.t ->
   ?retry:Netsim.Faults.retry ->
   ?lifecycle:Netsim.Lifecycle.t ->
+  ?nonce_rng:Netsim.Rng.t ->
+  ?adversary:Netsim.Adversary.t ->
+  ?auth:auth ->
+  ?glean_cap:int ->
   ?obs:Obs.Hub.t ->
   unit ->
   t
@@ -79,7 +99,23 @@ val create :
     empty schedule perturbs nothing) for the {!Netsim.Lifecycle.Map_server}
     role at each transmission: while the map-server is down the attempt
     is lost outright (emitted as [Cp_loss "map-server-down"]) and the
-    normal retry machinery carries the resolution across the outage. *)
+    normal retry machinery carries the resolution across the outage.
+
+    [nonce_rng] is the stream map-request nonces are drawn from
+    (scenarios derive it from the seed; defaults to a private
+    fixed-seed stream).  [adversary], when given, races each
+    transmission with forged and/or replayed replies per its rates:
+    a forged reply carries an unroutable attacker RLOC and a guessed
+    nonce; a replayed one carries the genuine mapping under a stale
+    nonce.  [auth] decides whether they are accepted — acceptance
+    installs the attacker's mapping (and completes the resolution),
+    rejection counts in {!Cp_stats} and under the
+    [spoofed-reply-rejected]/[replayed-reply-rejected] telemetry drop
+    causes.  With [auth.signatures] every {e legitimate} reply also
+    pays [auth.sig_cpu_cost] seconds of verification (visible in
+    T_map_resol) and [Wire.Auth.signature_bytes] extra control bytes.
+    [glean_cap] bounds the symmetric-return glean table
+    ({!Glean.create}). *)
 
 val control_plane : t -> Lispdp.Dataplane.control_plane
 

@@ -31,6 +31,9 @@ type drop_cause =
   | Pce_no_mapping_reverse
   | Cp_message_loss
   | Outage_failure
+  | Spoofed_reply_rejected
+  | Replayed_reply_rejected
+  | Glean_admission_rejected
 
 (* The labels are the exact strings the drop bookkeeping used before the
    enum existed: tables, traces and JSONL events must not change when a
@@ -52,13 +55,17 @@ let drop_label = function
   | Pce_no_mapping_reverse -> "pce-no-mapping-reverse"
   | Cp_message_loss -> "cp-message-loss"
   | Outage_failure -> "outage-failure"
+  | Spoofed_reply_rejected -> "spoofed-reply-rejected"
+  | Replayed_reply_rejected -> "replayed-reply-rejected"
+  | Glean_admission_rejected -> "glean-admission-rejected"
 
 let all_drop_causes =
   [ No_route; No_such_eid; No_receiver; No_such_rloc; Rloc_unreachable;
     Post_resolution_miss; Mapping_resolution_drop; Resolution_abandoned;
     Resolution_timeout; Resolution_queue_overflow; Nerd_database_miss;
     No_such_eid_domain; Pce_no_mapping_forward; Pce_no_mapping_reverse;
-    Cp_message_loss; Outage_failure ]
+    Cp_message_loss; Outage_failure; Spoofed_reply_rejected;
+    Replayed_reply_rejected; Glean_admission_rejected ]
 
 let n_causes = List.length all_drop_causes
 
@@ -79,6 +86,10 @@ let cause_index = function
   | Pce_no_mapping_reverse -> 13
   | Cp_message_loss -> 14
   | Outage_failure -> 15
+  (* Only ever append: persisted reports index by these values. *)
+  | Spoofed_reply_rejected -> 16
+  | Replayed_reply_rejected -> 17
+  | Glean_admission_rejected -> 18
 
 let cause_of_index = Array.of_list all_drop_causes
 

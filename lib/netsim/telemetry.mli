@@ -44,6 +44,11 @@ type drop_cause =
   | Pce_no_mapping_reverse  (** PCE push lost the race, reverse path *)
   | Cp_message_loss  (** control-plane message eaten by {!Faults} *)
   | Outage_failure  (** query failed against a crashed node *)
+  | Spoofed_reply_rejected
+      (** forged map-reply failed nonce/signature verification *)
+  | Replayed_reply_rejected  (** stale replayed reply failed the nonce echo *)
+  | Glean_admission_rejected
+      (** gleaned mapping refused by the cache admission policy *)
 
 val drop_label : drop_cause -> string
 (** Stable wire/report label, e.g. ["resolution-timeout"].  Labels match

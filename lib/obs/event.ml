@@ -29,6 +29,10 @@ type kind =
   | Node_restart of { role : string }
   | Pce_bypass of { qname : string }
   | Degraded_to_pull of { eid : Ipv4.addr }
+  | Spoofed_reply of { eid : Ipv4.addr; accepted : bool }
+  | Replayed_reply of { eid : Ipv4.addr; accepted : bool }
+  | Poisoned_answer of { qname : string; accepted : bool }
+  | Glean_rejected of { eid : Ipv4.addr }
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
 
@@ -70,6 +74,10 @@ let kind_name = function
   | Node_restart _ -> "node_restart"
   | Pce_bypass _ -> "pce_bypass"
   | Degraded_to_pull _ -> "degraded_to_pull"
+  | Spoofed_reply _ -> "spoofed_reply"
+  | Replayed_reply _ -> "replayed_reply"
+  | Poisoned_answer _ -> "poisoned_answer"
+  | Glean_rejected _ -> "glean_rejected"
 
 let describe_kind = function
   | Dns_query { qname } -> Printf.sprintf "DNS query %s" qname
@@ -121,6 +129,18 @@ let describe_kind = function
   | Degraded_to_pull { eid } ->
       Printf.sprintf "degraded to pull resolution for %s"
         (Ipv4.addr_to_string eid)
+  | Spoofed_reply { eid; accepted } ->
+      Printf.sprintf "forged map-reply for %s %s" (Ipv4.addr_to_string eid)
+        (if accepted then "accepted" else "rejected")
+  | Replayed_reply { eid; accepted } ->
+      Printf.sprintf "replayed map-reply for %s %s" (Ipv4.addr_to_string eid)
+        (if accepted then "accepted" else "rejected")
+  | Poisoned_answer { qname; accepted } ->
+      Printf.sprintf "poisoned DNS answer for %s %s" qname
+        (if accepted then "accepted" else "rejected")
+  | Glean_rejected { eid } ->
+      Printf.sprintf "gleaned mapping for %s rejected by admission"
+        (Ipv4.addr_to_string eid)
 
 let describe e = describe_kind e.kind
 
@@ -166,6 +186,11 @@ let to_json e =
         [ ("role", Json.String role) ]
     | Pce_bypass { qname } -> [ ("qname", Json.String qname) ]
     | Degraded_to_pull { eid } -> [ ("eid", addr eid) ]
+    | Spoofed_reply { eid; accepted } | Replayed_reply { eid; accepted } ->
+        [ ("eid", addr eid); ("accepted", Json.Bool accepted) ]
+    | Poisoned_answer { qname; accepted } ->
+        [ ("qname", Json.String qname); ("accepted", Json.Bool accepted) ]
+    | Glean_rejected { eid } -> [ ("eid", addr eid) ]
   in
   Json.Obj
     ([ ("time", Json.Float e.time); ("actor", Json.String e.actor);
@@ -247,6 +272,20 @@ let of_json json =
         Option.map (fun qname -> Pce_bypass { qname }) (str "qname")
     | "degraded_to_pull" ->
         Option.map (fun eid -> Degraded_to_pull { eid }) (addr "eid")
+    | "spoofed_reply" -> (
+        match (addr "eid", field "accepted" Json.to_bool_opt) with
+        | Some eid, Some accepted -> Some (Spoofed_reply { eid; accepted })
+        | _ -> None)
+    | "replayed_reply" -> (
+        match (addr "eid", field "accepted" Json.to_bool_opt) with
+        | Some eid, Some accepted -> Some (Replayed_reply { eid; accepted })
+        | _ -> None)
+    | "poisoned_answer" -> (
+        match (str "qname", field "accepted" Json.to_bool_opt) with
+        | Some qname, Some accepted -> Some (Poisoned_answer { qname; accepted })
+        | _ -> None)
+    | "glean_rejected" ->
+        Option.map (fun eid -> Glean_rejected { eid }) (addr "eid")
     | _ -> None
   in
   match kind with

@@ -56,6 +56,16 @@ type kind =
   | Degraded_to_pull of { eid : Ipv4.addr }
       (** an ITR cache miss could not be served by PCE push and fell
           back to the pull mapping system *)
+  | Spoofed_reply of { eid : Ipv4.addr; accepted : bool }
+      (** an adversary's forged map-reply raced the resolution of [eid];
+          [accepted] tells whether it beat the verification in force *)
+  | Replayed_reply of { eid : Ipv4.addr; accepted : bool }
+      (** a captured stale map-reply was replayed at a live resolution *)
+  | Poisoned_answer of { qname : string; accepted : bool }
+      (** the resolver-bound DNS answer for [qname] was raced by a
+          forged one *)
+  | Glean_rejected of { eid : Ipv4.addr }
+      (** the cache admission policy refused a gleaned mapping *)
 
 type t = { time : float; actor : string; flow : int option; kind : kind }
 

@@ -1,0 +1,3 @@
+let signature_bytes = 72
+
+let default_sig_cpu_cost = 30e-6

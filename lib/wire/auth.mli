@@ -1,0 +1,15 @@
+(** Wire-level costs of authenticated map-replies.
+
+    The model charges signatures the way it charges headers: a byte tax
+    on the control channel plus a per-packet CPU cost at the verifier.
+    Neither the algorithm nor key distribution is modelled — only their
+    footprint on the two quantities the experiments measure (control
+    bytes and map-resolution latency). *)
+
+val signature_bytes : int
+(** Size of the signature option appended to a signed map-reply —
+    sized after a DER-encoded ECDSA-P256 signature (up to 72 bytes). *)
+
+val default_sig_cpu_cost : float
+(** Seconds of verifier CPU per signed reply (one ECDSA verification on
+    commodity hardware, ~30 µs); scenarios can override. *)

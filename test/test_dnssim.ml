@@ -322,6 +322,62 @@ let test_resolution_timing_decomposition () =
   Alcotest.(check (float 1e-9)) "warm = two client wires"
     (2.0 *. client_wire) warm
 
+(* ------------------------------------------------------------------ *)
+(* Poisoning: forged answers vs origin authentication                  *)
+(* ------------------------------------------------------------------ *)
+
+let forged = Nettypes.Ipv4.addr_of_string "66.6.6.6"
+
+let test_poisoned_answer_accepted () =
+  let engine, internet, dns = make_system () in
+  System.set_poisoner dns (Some (fun ~qname:_ -> Some forged));
+  let r, _ = resolve_once engine internet dns ~from_domain:0 ~target:"h0.as1.net." in
+  (match r with
+  | Some a ->
+      Alcotest.(check string) "client got the forged address" "66.6.6.6"
+        (Nettypes.Ipv4.addr_to_string a)
+  | None -> Alcotest.fail "no answer");
+  let c = System.counters dns in
+  Alcotest.(check int) "accepted counted" 1 c.System.poisoned_accepted;
+  Alcotest.(check int) "nothing rejected" 0 c.System.poisoned_rejected;
+  (* The forgery is cached: a second client query serves the poison
+     from the resolver cache without a fresh forgery. *)
+  System.set_poisoner dns None;
+  let r2, _ = resolve_once engine internet dns ~from_domain:0 ~target:"h0.as1.net." in
+  (match r2 with
+  | Some a ->
+      Alcotest.(check string) "poison served from cache" "66.6.6.6"
+        (Nettypes.Ipv4.addr_to_string a)
+  | None -> Alcotest.fail "no cached answer");
+  Alcotest.(check int) "no second forgery" 1
+    (System.counters dns).System.poisoned_accepted
+
+let test_poisoned_answer_rejected_when_authenticated () =
+  let engine, internet, dns = make_system () in
+  System.set_poisoner dns (Some (fun ~qname:_ -> Some forged));
+  System.set_authenticated dns true;
+  let r, _ = resolve_once engine internet dns ~from_domain:0 ~target:"h0.as1.net." in
+  (match r with
+  | Some a ->
+      let as_d = internet.Topology.Builder.domains.(1) in
+      Alcotest.(check string) "genuine record proceeds"
+        (Nettypes.Ipv4.addr_to_string (Topology.Domain.host_eid as_d 0))
+        (Nettypes.Ipv4.addr_to_string a)
+  | None -> Alcotest.fail "no answer");
+  let c = System.counters dns in
+  Alcotest.(check int) "rejected counted" 1 c.System.poisoned_rejected;
+  Alcotest.(check int) "nothing accepted" 0 c.System.poisoned_accepted
+
+(* Name errors are never forged: the poisoner is not even a way to
+   conjure records for names that do not exist. *)
+let test_poisoner_never_forges_nxdomain () =
+  let engine, internet, dns = make_system () in
+  System.set_poisoner dns (Some (fun ~qname:_ -> Some forged));
+  let r, _ = resolve_once engine internet dns ~from_domain:0 ~target:"h99.as1.net." in
+  Alcotest.(check bool) "still nxdomain" true (r = None);
+  Alcotest.(check int) "no forgery verdict" 0
+    (System.counters dns).System.poisoned_accepted
+
 let () =
   Alcotest.run "dnssim"
     [
@@ -358,5 +414,14 @@ let () =
           Alcotest.test_case "wire bytes" `Quick test_wire_bytes_counted;
           Alcotest.test_case "local name" `Quick test_local_name_resolution;
           Alcotest.test_case "warm timing" `Quick test_resolution_timing_decomposition;
+        ] );
+      ( "poisoning",
+        [
+          Alcotest.test_case "accepted without auth" `Quick
+            test_poisoned_answer_accepted;
+          Alcotest.test_case "rejected when authenticated" `Quick
+            test_poisoned_answer_rejected_when_authenticated;
+          Alcotest.test_case "nxdomain never forged" `Quick
+            test_poisoner_never_forges_nxdomain;
         ] );
     ]

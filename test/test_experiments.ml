@@ -16,7 +16,7 @@ let test_index_ids_unique_and_findable () =
       | None -> Alcotest.failf "id %s not findable" id)
     ids;
   Alcotest.(check bool) "unknown id" true (Exp_index.find "nope" = None);
-  Alcotest.(check int) "twenty-eight experiments" 28 (List.length ids)
+  Alcotest.(check int) "thirty experiments" 30 (List.length ids)
 
 (* V1 as a hard assertion: analytic and simulated timings agree to the
    microsecond. *)

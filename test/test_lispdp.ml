@@ -306,6 +306,102 @@ let prop_cache_never_exceeds_capacity =
         inserts;
       Map_cache.length c <= capacity)
 
+(* Provenance only upgrades: a data-packet glean can never displace a
+   nonce-checked reply or a registered push — the no-downgrade rule
+   that keeps gleaning from being a poisoning primitive. *)
+let test_cache_provenance_upgrade_only () =
+  let c = Map_cache.create () in
+  Map_cache.insert c ~now:0.0 ~provenance:Map_cache.Gleaned
+    (mapping ~rloc_addr:"12.0.0.1" ());
+  Alcotest.(check (option string)) "gleaned" (Some "gleaned")
+    (Option.map Map_cache.provenance_label
+       (Map_cache.provenance_of c (pfx "100.0.1.0/24")));
+  Alcotest.(check int) "one gleaned entry" 1 (Map_cache.gleaned c);
+  (* A verified reply takes the line over. *)
+  Map_cache.insert c ~now:1.0 ~provenance:Map_cache.Verified
+    (mapping ~rloc_addr:"13.0.0.1" ());
+  Alcotest.(check (option string)) "upgraded" (Some "verified")
+    (Option.map Map_cache.provenance_label
+       (Map_cache.provenance_of c (pfx "100.0.1.0/24")));
+  Alcotest.(check int) "no longer gleaned" 0 (Map_cache.gleaned c);
+  (* A later glean (forged source field, say) is ignored outright: the
+     verified RLOC stays. *)
+  Map_cache.insert c ~now:2.0 ~provenance:Map_cache.Gleaned
+    (mapping ~rloc_addr:"66.0.0.1" ());
+  (match Map_cache.lookup c ~now:2.0 (addr "100.0.1.1") with
+  | Some m ->
+      Alcotest.(check string) "verified rloc kept" "13.0.0.1"
+        (Ipv4.addr_to_string (List.hd m.Mapping.rlocs).Mapping.rloc_addr)
+  | None -> Alcotest.fail "entry lost");
+  Alcotest.(check (option string)) "still verified" (Some "verified")
+    (Option.map Map_cache.provenance_label
+       (Map_cache.provenance_of c (pfx "100.0.1.0/24")));
+  (* Pushed over gleaned upgrades too. *)
+  Map_cache.insert c ~now:3.0 ~provenance:Map_cache.Gleaned
+    (mapping ~prefix:"100.0.2.0/24" ());
+  Map_cache.insert c ~now:4.0 ~provenance:Map_cache.Pushed
+    (mapping ~prefix:"100.0.2.0/24" ());
+  Alcotest.(check (option string)) "pushed upgrade" (Some "pushed")
+    (Option.map Map_cache.provenance_label
+       (Map_cache.provenance_of c (pfx "100.0.2.0/24")))
+
+let test_cache_glean_cap_rejects () =
+  let c = Map_cache.create ~glean_cap:2 () in
+  let rejected = ref 0 in
+  Map_cache.set_reject_hook c (Some (fun _ -> incr rejected));
+  Alcotest.(check (option int)) "cap recorded" (Some 2) (Map_cache.glean_cap c);
+  Map_cache.insert c ~now:0.0 ~provenance:Map_cache.Gleaned
+    (mapping ~prefix:"100.0.1.0/24" ());
+  Map_cache.insert c ~now:0.0 ~provenance:Map_cache.Gleaned
+    (mapping ~prefix:"100.0.2.0/24" ());
+  (* Third brand-new glean bounces off the quota... *)
+  Map_cache.insert c ~now:0.0 ~provenance:Map_cache.Gleaned
+    (mapping ~prefix:"100.0.3.0/24" ());
+  Alcotest.(check int) "bounced" 1 (Map_cache.stats c).Map_cache.glean_rejections;
+  Alcotest.(check int) "hook saw it" 1 !rejected;
+  Alcotest.(check int) "population bounded" 2 (Map_cache.gleaned c);
+  Alcotest.(check bool) "never cached" false
+    (Map_cache.contains c ~now:0.0 (addr "100.0.3.1"));
+  (* ...but refreshing a live gleaned line is not an admission... *)
+  Map_cache.insert c ~now:1.0 ~provenance:Map_cache.Gleaned
+    (mapping ~prefix:"100.0.1.0/24" ());
+  Alcotest.(check int) "refresh admitted" 1
+    (Map_cache.stats c).Map_cache.glean_rejections;
+  (* ...and the cap never binds verified/pushed entries. *)
+  Map_cache.insert c ~now:1.0 (mapping ~prefix:"100.0.3.0/24" ());
+  Alcotest.(check bool) "verified admitted" true
+    (Map_cache.contains c ~now:1.0 (addr "100.0.3.1"));
+  Alcotest.(check int) "three live entries" 3 (Map_cache.length c);
+  (* Rejections are not part of the insertion balance: a refused
+     mapping was never cached. *)
+  let s = Map_cache.stats c in
+  Alcotest.(check int) "balance holds" s.Map_cache.insertions
+    (Map_cache.length c + s.Map_cache.evictions + s.Map_cache.expirations
+    + s.Map_cache.invalidations)
+
+(* The gleaned population never exceeds the cap, and the insertion
+   ledger still balances with rejections kept out of it. *)
+let prop_cache_glean_cap_bound =
+  QCheck.Test.make ~name:"glean cap bounds gleaned population" ~count:200
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size Gen.(1 -- 60) (pair bool (int_bound 12))))
+    (fun (cap, ops) ->
+      let c = Map_cache.create ~capacity:8 ~glean_cap:cap () in
+      List.iteri
+        (fun i (gleaned, third) ->
+          let provenance =
+            if gleaned then Map_cache.Gleaned else Map_cache.Verified
+          in
+          Map_cache.insert c ~now:(float_of_int i) ~provenance
+            (mapping ~prefix:(Printf.sprintf "100.0.%d.0/24" third) ()))
+        ops;
+      let s = Map_cache.stats c in
+      Map_cache.gleaned c <= cap
+      && s.Map_cache.insertions
+         = Map_cache.length c + s.Map_cache.evictions + s.Map_cache.expirations
+           + s.Map_cache.invalidations)
+
 (* ------------------------------------------------------------------ *)
 (* Flow_table                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -630,6 +726,10 @@ let () =
             test_cache_ttl_hybrid_evicts_nearest_expiry;
           Alcotest.test_case "policy of string" `Quick
             test_cache_policy_of_string;
+          Alcotest.test_case "provenance upgrade only" `Quick
+            test_cache_provenance_upgrade_only;
+          Alcotest.test_case "glean cap rejects" `Quick
+            test_cache_glean_cap_rejects;
         ] );
       ( "flow_table",
         [
@@ -654,6 +754,7 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_cache_never_exceeds_capacity;
+            prop_cache_glean_cap_bound;
             prop_cache_stats_balance Map_cache.Lru;
             prop_cache_stats_balance Map_cache.Lfu;
             prop_cache_stats_balance Map_cache.Ttl_hybrid ] );

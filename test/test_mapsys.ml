@@ -106,12 +106,16 @@ type world = {
   stats : unit -> Mapsys.Cp_stats.t;
 }
 
-let make_pull_world ?(mode = Mapsys.Pull.Drop_while_pending) ?(hop_latency = 0.020) () =
+let make_pull_world ?(mode = Mapsys.Pull.Drop_while_pending) ?(hop_latency = 0.020)
+    ?adversary ?auth ?nonce_rng () =
   let engine = Netsim.Engine.create () in
   let internet = Topology.Builder.figure1 () in
   let registry = Mapsys.Registry.create ~internet ~ttl:60.0 in
   let alt = Mapsys.Alt.create ~domains:2 ~hop_latency () in
-  let pull = Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode () in
+  let pull =
+    Mapsys.Pull.create ~engine ~internet ~registry ~alt ~mode ?adversary ?auth
+      ?nonce_rng ()
+  in
   let dataplane =
     Lispdp.Dataplane.create ~engine ~internet
       ~control_plane:(Mapsys.Pull.control_plane pull) ()
@@ -445,6 +449,33 @@ let test_glean_roundtrip () =
   Mapsys.Glean.clear g;
   Alcotest.(check int) "cleared" 0 (Mapsys.Glean.entries g)
 
+(* The admission cap bounds the table with oldest-first eviction — the
+   graceful-degradation answer to an EID-scan flood growing it without
+   bound. *)
+let test_glean_cap_fifo () =
+  let g = Mapsys.Glean.create ~cap:2 () in
+  let internet = Topology.Builder.figure1 () in
+  let as_s = internet.Topology.Builder.domains.(0) in
+  let b0 = as_s.Topology.Domain.borders.(0) in
+  let eid i = Ipv4.addr_of_string (Printf.sprintf "100.0.1.%d" i) in
+  Alcotest.(check (option int)) "cap recorded" (Some 2) (Mapsys.Glean.cap g);
+  Mapsys.Glean.note g ~domain:0 ~remote_eid:(eid 1) ~border:b0;
+  Mapsys.Glean.note g ~domain:0 ~remote_eid:(eid 2) ~border:b0;
+  Alcotest.(check int) "at cap, no eviction" 0 (Mapsys.Glean.evictions g);
+  (* Re-noting a live key replaces in place: no eviction, same size. *)
+  Mapsys.Glean.note g ~domain:0 ~remote_eid:(eid 1) ~border:b0;
+  Alcotest.(check int) "re-note is not an admission" 0 (Mapsys.Glean.evictions g);
+  Alcotest.(check int) "still two entries" 2 (Mapsys.Glean.entries g);
+  (* A third distinct key pushes out the oldest-noted one (eid 1's age
+     was fixed at its first note). *)
+  Mapsys.Glean.note g ~domain:0 ~remote_eid:(eid 3) ~border:b0;
+  Alcotest.(check int) "bounded" 2 (Mapsys.Glean.entries g);
+  Alcotest.(check int) "one eviction" 1 (Mapsys.Glean.evictions g);
+  Alcotest.(check bool) "oldest gone" true
+    (Mapsys.Glean.lookup g ~domain:0 ~remote_eid:(eid 1) = None);
+  Alcotest.(check bool) "newest live" true
+    (Mapsys.Glean.lookup g ~domain:0 ~remote_eid:(eid 3) <> None)
+
 (* ------------------------------------------------------------------ *)
 (* Control-plane loss and retransmission                               *)
 (* ------------------------------------------------------------------ *)
@@ -584,6 +615,146 @@ let test_cp_stats_merge () =
   Alcotest.(check int) "bytes summed" 100 m.Mapsys.Cp_stats.control_bytes;
   Alcotest.(check int) "message total" 9 (Mapsys.Cp_stats.message_total m)
 
+(* ------------------------------------------------------------------ *)
+(* Nonces                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: map-request nonces used to be a monotonically increasing
+   counter, so an off-path attacker could predict the next one and win
+   every forgery race.  They must now be uniform 32-bit draws. *)
+let test_nonce_unpredictable () =
+  let n = Mapsys.Nonce.create () in
+  let values = Array.init 64 (fun _ -> Mapsys.Nonce.fresh n) in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in [0, 2^32)" true (v >= 0 && v < 0x1_0000_0000))
+    values;
+  let sequential = ref 0 in
+  for i = 0 to Array.length values - 2 do
+    if values.(i + 1) = values.(i) + 1 then incr sequential
+  done;
+  Alcotest.(check int) "no sequential pairs" 0 !sequential;
+  let distinct = List.sort_uniq compare (Array.to_list values) in
+  Alcotest.(check bool) "draws spread over the space" true
+    (List.length distinct > 60);
+  (* The default stream is fixed-seed: deterministic across creations. *)
+  let m = Mapsys.Nonce.create () in
+  Alcotest.(check int) "deterministic default stream" values.(0)
+    (Mapsys.Nonce.fresh m)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary: forged and replayed map-replies vs the auth profile      *)
+(* ------------------------------------------------------------------ *)
+
+let spoofing_adversary () =
+  Netsim.Adversary.create ~rng:(Netsim.Rng.create 7) ~spoof_rate:1.0 ()
+
+let replaying_adversary () =
+  Netsim.Adversary.create ~rng:(Netsim.Rng.create 7) ~replay_rate:1.0 ()
+
+let armed_auth =
+  { Mapsys.Pull.no_auth with Mapsys.Pull.nonce_check = true; signatures = true }
+
+(* Without countermeasures the forged reply wins the race: the
+   attacker's unroutable RLOC is installed, the held packet is
+   encapsulated towards it and blackholes. *)
+let test_spoof_accepted_without_auth () =
+  let adversary = spoofing_adversary () in
+  let w =
+    make_pull_world ~mode:(Mapsys.Pull.Queue_while_pending 8) ~adversary ()
+  in
+  let flow = world_flow w ~port:4000 in
+  let received = ref 0 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst
+    (Some (fun _ -> incr received));
+  send w flow Packet.Syn;
+  Netsim.Engine.run w.engine;
+  Alcotest.(check int) "one forgery attempted" 1
+    (Netsim.Adversary.forged_replies adversary);
+  Alcotest.(check int) "forgery accepted" 1
+    (w.stats ()).Mapsys.Cp_stats.spoofed_accepted;
+  Alcotest.(check int) "held packet blackholed" 0 !received
+
+(* The nonce echo plus signature verification refuse the blind forgery;
+   the legitimate reply still resolves and releases the held packet. *)
+let test_spoof_rejected_with_auth () =
+  let adversary = spoofing_adversary () in
+  let w =
+    make_pull_world ~mode:(Mapsys.Pull.Queue_while_pending 8) ~adversary
+      ~auth:armed_auth ()
+  in
+  let flow = world_flow w ~port:4001 in
+  let received = ref 0 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst
+    (Some (fun _ -> incr received));
+  send w flow Packet.Syn;
+  Netsim.Engine.run w.engine;
+  let s = w.stats () in
+  Alcotest.(check int) "forgery rejected" 1 s.Mapsys.Cp_stats.spoofed_rejected;
+  Alcotest.(check int) "nothing accepted" 0 s.Mapsys.Cp_stats.spoofed_accepted;
+  Alcotest.(check int) "resolved by the genuine reply" 1
+    s.Mapsys.Cp_stats.resolutions;
+  Alcotest.(check int) "held packet delivered" 1 !received
+
+(* A replayed stale reply carries the genuine mapping, so acceptance is
+   invisible to the dataplane — only the nonce echo can tell it apart. *)
+let test_replay_accepted_without_auth () =
+  let adversary = replaying_adversary () in
+  let w =
+    make_pull_world ~mode:(Mapsys.Pull.Queue_while_pending 8) ~adversary ()
+  in
+  let flow = world_flow w ~port:4002 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst (Some ignore);
+  send w flow Packet.Syn;
+  Netsim.Engine.run w.engine;
+  Alcotest.(check int) "one replay attempted" 1
+    (Netsim.Adversary.replayed_replies adversary);
+  Alcotest.(check int) "replay accepted" 1
+    (w.stats ()).Mapsys.Cp_stats.replayed_accepted
+
+let test_replay_rejected_with_nonce () =
+  let adversary = replaying_adversary () in
+  let w =
+    make_pull_world ~mode:(Mapsys.Pull.Queue_while_pending 8) ~adversary
+      ~auth:{ Mapsys.Pull.no_auth with Mapsys.Pull.nonce_check = true }
+      ()
+  in
+  let flow = world_flow w ~port:4003 in
+  let received = ref 0 in
+  Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst
+    (Some (fun _ -> incr received));
+  send w flow Packet.Syn;
+  Netsim.Engine.run w.engine;
+  let s = w.stats () in
+  Alcotest.(check int) "replay rejected" 1 s.Mapsys.Cp_stats.replayed_rejected;
+  Alcotest.(check int) "nothing accepted" 0 s.Mapsys.Cp_stats.replayed_accepted;
+  Alcotest.(check int) "held packet delivered" 1 !received
+
+(* An inert adversary (all rates zero) must perturb nothing: same
+   counters and same final simulated time as no adversary at all. *)
+let test_inert_adversary_invisible () =
+  let run adversary =
+    let w = make_pull_world ?adversary () in
+    let flow = world_flow w ~port:4004 in
+    Lispdp.Dataplane.set_host_receiver w.dataplane flow.Flow.dst (Some ignore);
+    send w flow Packet.Syn;
+    send w flow Packet.Syn;
+    Netsim.Engine.run w.engine;
+    (Netsim.Engine.now w.engine, w.stats ())
+  in
+  let t0, s0 = run None in
+  let inert = Netsim.Adversary.create ~rng:(Netsim.Rng.create 7) () in
+  let t1, s1 = run (Some inert) in
+  Alcotest.(check (float 0.0)) "same final time" t0 t1;
+  Alcotest.(check int) "same requests" s0.Mapsys.Cp_stats.map_requests
+    s1.Mapsys.Cp_stats.map_requests;
+  Alcotest.(check int) "same replies" s0.Mapsys.Cp_stats.map_replies
+    s1.Mapsys.Cp_stats.map_replies;
+  Alcotest.(check int) "no verdicts" 0
+    (s1.Mapsys.Cp_stats.spoofed_accepted + s1.Mapsys.Cp_stats.spoofed_rejected
+    + s1.Mapsys.Cp_stats.replayed_accepted
+    + s1.Mapsys.Cp_stats.replayed_rejected)
+
 let () =
   Alcotest.run "mapsys"
     [
@@ -632,7 +803,25 @@ let () =
           Alcotest.test_case "drop then resolve" `Quick test_msmr_drops_then_resolves;
           Alcotest.test_case "bounded resolution" `Quick test_msmr_resolution_slower_than_direct;
         ] );
-      ("glean", [ Alcotest.test_case "roundtrip" `Quick test_glean_roundtrip ]);
+      ( "glean",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_glean_roundtrip;
+          Alcotest.test_case "cap fifo eviction" `Quick test_glean_cap_fifo;
+        ] );
+      ("nonce", [ Alcotest.test_case "unpredictable" `Quick test_nonce_unpredictable ]);
+      ( "adversary",
+        [
+          Alcotest.test_case "spoof accepted without auth" `Quick
+            test_spoof_accepted_without_auth;
+          Alcotest.test_case "spoof rejected with auth" `Quick
+            test_spoof_rejected_with_auth;
+          Alcotest.test_case "replay accepted without auth" `Quick
+            test_replay_accepted_without_auth;
+          Alcotest.test_case "replay rejected with nonce" `Quick
+            test_replay_rejected_with_nonce;
+          Alcotest.test_case "inert adversary invisible" `Quick
+            test_inert_adversary_invisible;
+        ] );
       ( "cp_stats",
         [
           Alcotest.test_case "merge" `Quick test_cp_stats_merge;

@@ -65,7 +65,7 @@ let test_bench_json_shape () =
   match Experiments.Runner.bench_json ~jobs:1 ~total_wall:1.5 outcomes with
   | Obs.Json.Obj fields ->
       Alcotest.(check bool) "schema tag" true
-        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/5");
+        (List.assoc "schema" fields = Obs.Json.String "lisp-pce-bench/6");
       Alcotest.(check bool) "jobs recorded" true
         (List.assoc "jobs" fields = Obs.Json.Int 1);
       (match List.assoc "experiments" fields with

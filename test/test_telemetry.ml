@@ -148,6 +148,20 @@ let test_drop_label_round_trip () =
   Alcotest.(check (option reject)) "unknown label rejected" None
     (Netsim.Telemetry.drop_cause_of_label "no-such-cause")
 
+(* The labels are a wire format: traces, JSONL events, BENCH.json and
+   the baseline differ use them, so they are pinned byte-for-byte.
+   Growing the enum appends — it never renames or reorders. *)
+let test_drop_labels_pinned () =
+  Alcotest.(check (list string)) "stable label list"
+    [ "no-route"; "no-such-eid"; "no-receiver"; "no-such-rloc";
+      "rloc-unreachable"; "post-resolution-miss"; "mapping-resolution-drop";
+      "resolution-abandoned"; "resolution-timeout";
+      "resolution-queue-overflow"; "nerd-database-miss"; "no-such-eid-domain";
+      "pce-no-mapping-forward"; "pce-no-mapping-reverse"; "cp-message-loss";
+      "outage-failure"; "spoofed-reply-rejected"; "replayed-reply-rejected";
+      "glean-admission-rejected" ]
+    (List.map Netsim.Telemetry.drop_label Netsim.Telemetry.all_drop_causes)
+
 let test_drop_attribution () =
   start ();
   Netsim.Telemetry.on_drop ~node:3 Netsim.Telemetry.No_route;
@@ -265,6 +279,45 @@ let prop_telemetry_preserves_output =
         (fingerprint ~seed ~telemetry:false)
         (fingerprint ~seed ~telemetry:true))
 
+(* The adversary layer follows the same opt-in contract: compiling it
+   in with every rate at zero (and the all-off auth profile) must not
+   shift a single event or RNG draw relative to no profile at all. *)
+let fingerprint_pull ~seed ~armed =
+  let s =
+    Core.Scenario.build
+      { Core.Scenario.default_config with
+        Core.Scenario.seed;
+        Core.Scenario.cp = Core.Scenario.Cp_pull_queue 8;
+        Core.Scenario.attack =
+          (if armed then Some Core.Scenario.default_attack else None);
+        Core.Scenario.auth =
+          (if armed then Some Core.Scenario.default_auth else None) }
+  in
+  let internet = Core.Scenario.internet s in
+  let flow =
+    Nettypes.Flow.create
+      ~src:(Topology.Domain.host_eid internet.Topology.Builder.domains.(0) 0)
+      ~dst:(Topology.Domain.host_eid internet.Topology.Builder.domains.(1) 0)
+      ~src_port:1 ()
+  in
+  let c = Core.Scenario.open_connection s ~flow ~data_packets:2 () in
+  Core.Scenario.run s;
+  let counters = Lispdp.Dataplane.counters (Core.Scenario.dataplane s) in
+  Printf.sprintf "%.12g %.12g %d %d %s"
+    (Option.value ~default:(-1.0) c.Core.Scenario.dns_time)
+    (Option.value ~default:(-1.0) (Core.Scenario.total_setup_time c))
+    counters.Lispdp.Dataplane.dropped counters.Lispdp.Dataplane.delivered
+    (Format.asprintf "%a" Netsim.Trace.pp (Core.Scenario.trace s))
+
+let prop_disarmed_adversary_preserves_output =
+  QCheck.Test.make
+    ~name:"zero-rate adversary profile: identical simulation output" ~count:8
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      String.equal
+        (fingerprint_pull ~seed ~armed:false)
+        (fingerprint_pull ~seed ~armed:true))
+
 (* With telemetry on, the dataplane's drop bookkeeping and the typed
    per-(node,cause) counters must agree cause-for-cause. *)
 let test_scenario_drop_agreement () =
@@ -320,6 +373,28 @@ let test_record_round_trip () =
             (rows = back)
       | None -> Alcotest.fail "rows_of_json rejected its own output")
 
+let test_security_record_round_trip () =
+  let rows =
+    [ { Experiments.Security_record.r_run = "pull/s41"; r_cp = "pull-queue";
+        r_attempted = 210; r_accepted = 210; r_success = 1.0; r_gleaned = 12;
+        r_glean_rejected = 0; r_pollution = 0.25; r_setup_mean = 0.35129;
+        r_gate = "success >= 0.90"; r_ok = true };
+      { Experiments.Security_record.r_run = "flood-cap/s43"; r_cp = "pull-drop";
+        r_attempted = 13075; r_accepted = 12; r_success = 0.0; r_gleaned = 16;
+        r_glean_rejected = 15298; r_pollution = 0.353;
+        r_setup_mean = 0.21993; r_gate = "-"; r_ok = true } ]
+  in
+  let json = Experiments.Security_record.json_of_rows rows in
+  let text = Obs.Json.to_string json in
+  match Obs.Json.of_string text with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok parsed -> (
+      match Experiments.Security_record.rows_of_json parsed with
+      | Some back ->
+          Alcotest.(check bool) "rows survive the JSON round-trip" true
+            (rows = back)
+      | None -> Alcotest.fail "rows_of_json rejected its own output")
+
 (* json_snapshot must always be printable and re-parseable, including
    the degenerate zero-traffic balance (infinite ratios become null). *)
 let test_json_snapshot_well_formed () =
@@ -354,6 +429,7 @@ let () =
         [
           Alcotest.test_case "label round-trip" `Quick
             test_drop_label_round_trip;
+          Alcotest.test_case "labels pinned" `Quick test_drop_labels_pinned;
           Alcotest.test_case "per-node attribution" `Quick
             test_drop_attribution;
           Alcotest.test_case "scenario agreement" `Quick
@@ -369,10 +445,13 @@ let () =
       ( "serialisation",
         [
           Alcotest.test_case "record round-trip" `Quick test_record_round_trip;
+          Alcotest.test_case "security record round-trip" `Quick
+            test_security_record_round_trip;
           Alcotest.test_case "snapshot well-formed" `Quick
             test_json_snapshot_well_formed;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_telemetry_preserves_output ] );
+          [ prop_telemetry_preserves_output;
+            prop_disarmed_adversary_preserves_output ] );
     ]
